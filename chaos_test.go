@@ -1,0 +1,296 @@
+package repdir
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repdir/internal/core"
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+	"repdir/internal/txn"
+	"repdir/internal/wal"
+)
+
+// chaosOracle is the per-key ground truth. A mutation that reports an
+// error is *indeterminate*: it may or may not have taken effect (e.g. a
+// replica crashed between the two commit phases and the retry saw its
+// own partial result), so the key enters an uncertain state until the
+// next successful operation re-anchors it — exactly the contract a real
+// client has after an ambiguous failure.
+type chaosOracle struct {
+	mu        sync.Mutex
+	data      map[string]string
+	present   map[string]bool
+	uncertain map[string]bool
+}
+
+func newChaosOracle() *chaosOracle {
+	return &chaosOracle{
+		data:      make(map[string]string),
+		present:   make(map[string]bool),
+		uncertain: make(map[string]bool),
+	}
+}
+
+// applied records a successful mutation.
+func (o *chaosOracle) applied(key, val string, present bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.data[key] = val
+	o.present[key] = present
+	o.uncertain[key] = false
+}
+
+// failed records an indeterminate mutation.
+func (o *chaosOracle) failed(key string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.uncertain[key] = true
+}
+
+// observe reconciles a successful lookup: if the key is certain, the
+// observation must match; if uncertain, the observation becomes the new
+// truth. Returns false on a genuine violation.
+func (o *chaosOracle) observe(key, val string, found bool) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.uncertain[key] {
+		o.data[key] = val
+		o.present[key] = found
+		o.uncertain[key] = false
+		return true
+	}
+	if found != o.present[key] {
+		return false
+	}
+	return !found || val == o.data[key]
+}
+
+// get returns the current belief (value, present, certain).
+func (o *chaosOracle) get(key string) (string, bool, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.data[key], o.present[key], !o.uncertain[key]
+}
+
+// TestChaos runs concurrent clients against a 3-2-2 suite while a chaos
+// goroutine crashes one replica at a time (losing its volatile state and
+// recovering it from the write-ahead log) and occasionally repairs it.
+// Every client owns a disjoint key range, so each successful operation is
+// immediately auditable against the oracle; a final full audit closes the
+// run. Operations may fail when quorums are unreachable — failures are
+// fine, wrong answers are not.
+func TestChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test")
+	}
+	ctx := context.Background()
+	names := []string{"A", "B", "C"}
+
+	// WAL-backed replicas so crashes are recoverable.
+	logs := make([]*wal.MemoryLog, len(names))
+	locals := make([]*transport.Local, len(names))
+	dirs := make([]rep.Directory, len(names))
+	var repMu sync.Mutex // guards replica swap during crash/recover
+	reps := make([]*rep.Rep, len(names))
+	for i, n := range names {
+		logs[i] = &wal.MemoryLog{}
+		reps[i] = rep.New(n, rep.WithLog(logs[i]))
+		locals[i] = transport.NewLocal(newSwappableRep(&repMu, reps, i))
+		dirs[i] = locals[i]
+	}
+	cfg := quorum.NewUniform(dirs, 2, 2)
+	ids := txn.NewIDSource(0)
+	suite, err := core.NewSuite(cfg, core.WithIDSource(ids), core.WithMaxRetries(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oracle := newChaosOracle()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Chaos: crash one replica (drop its volatile state), let the suite
+	// run degraded, recover it from its log, sometimes repair it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(13))
+		for round := 0; ; round++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(15 * time.Millisecond):
+			}
+			i := rng.Intn(len(names))
+			locals[i].Crash()
+			time.Sleep(20 * time.Millisecond)
+			// Recover from the WAL: in-flight state is gone, committed
+			// state returns; any in-doubt transactions keep their keys
+			// locked until a resolver finishes them.
+			recovered, err := rep.Recover(names[i], logs[i].Records(), rep.WithLog(logs[i]))
+			if err != nil {
+				t.Errorf("chaos recover %s: %v", names[i], err)
+				return
+			}
+			repMu.Lock()
+			reps[i] = recovered
+			repMu.Unlock()
+			locals[i].Restart()
+			// In-doubt transactions stay blocked until the post-run
+			// resolution sweep — resolving here could race a live
+			// coordinator. Sometimes run a repair pass.
+			if round%3 == 0 {
+				// Bounded: repair may block behind in-doubt locks.
+				rctx, cancel := context.WithTimeout(ctx, 400*time.Millisecond)
+				_, _ = core.RepairReplica(rctx, suite, locals[i])
+				cancel()
+			}
+		}
+	}()
+
+	// Clients.
+	const clients = 4
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + c)))
+			deadline := time.Now().Add(1500 * time.Millisecond)
+			for i := 0; time.Now().Before(deadline); i++ {
+				key := fmt.Sprintf("c%d-k%d", c, rng.Intn(8))
+				val := fmt.Sprintf("v%d-%d", c, i)
+				_, exists, certain := oracle.get(key)
+				// Bound every operation: an in-doubt transaction from a
+				// crash may hold locks that an older transaction would
+				// otherwise wait on forever.
+				ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+				switch rng.Intn(3) {
+				case 0:
+					var err error
+					if exists || !certain {
+						// Upsert semantics when uncertain: try update,
+						// fall back to insert.
+						err = suite.Update(ctx, key, val)
+						if errors.Is(err, core.ErrKeyNotFound) {
+							err = suite.Insert(ctx, key, val)
+						}
+					} else {
+						err = suite.Insert(ctx, key, val)
+					}
+					switch {
+					case err == nil:
+						oracle.applied(key, val, true)
+					case errors.Is(err, core.ErrKeyExists):
+						// Only reachable when uncertain; stays uncertain.
+						oracle.failed(key)
+					default:
+						oracle.failed(key)
+					}
+				case 1:
+					err := suite.Delete(ctx, key)
+					switch {
+					case err == nil:
+						oracle.applied(key, "", false)
+					case errors.Is(err, core.ErrKeyNotFound):
+						// A linearizable observation: the key is absent
+						// now (possibly because an earlier attempt of
+						// this very delete partially committed and won).
+						oracle.applied(key, "", false)
+					default:
+						oracle.failed(key)
+					}
+				case 2:
+					got, found, lerr := suite.Lookup(ctx, key)
+					if lerr == nil && !oracle.observe(key, got, found) {
+						t.Errorf("client %d: lookup %s = (%q,%v) contradicts certain oracle",
+							c, key, got, found)
+						cancel()
+						return
+					}
+				}
+				cancel()
+			}
+		}(c)
+	}
+
+	// Wait for clients, stop chaos.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	time.Sleep(1600 * time.Millisecond)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("chaos test wedged")
+	}
+
+	// Heal everything, finish anything left in doubt (all coordinators
+	// are done now, so resolution is safe), then run the final audit:
+	// certain keys must match the oracle exactly; uncertain keys must at
+	// least read stably (repeated quorum lookups agree).
+	for _, l := range locals {
+		l.Restart()
+	}
+	repMu.Lock()
+	current := append([]*rep.Rep(nil), reps...)
+	repMu.Unlock()
+	for _, r := range current {
+		for _, id := range r.InDoubt() {
+			if _, err := txn.Resolve(ctx, id, dirs); err != nil &&
+				!errors.Is(err, txn.ErrUnresolvable) {
+				t.Errorf("post-run resolve %d: %v", id, err)
+			}
+		}
+	}
+	for c := 0; c < clients; c++ {
+		for k := 0; k < 8; k++ {
+			key := fmt.Sprintf("c%d-k%d", c, k)
+			want, exists, certain := oracle.get(key)
+			got, found, err := suite.Lookup(ctx, key)
+			if err != nil {
+				t.Fatalf("final audit %s: %v", key, err)
+			}
+			if certain {
+				if found != exists || (found && got != want) {
+					t.Errorf("final audit %s: suite (%q,%v), oracle (%q,%v)",
+						key, got, found, want, exists)
+				}
+				continue
+			}
+			for trial := 0; trial < 6; trial++ {
+				got2, found2, err := suite.Lookup(ctx, key)
+				if err != nil {
+					t.Fatalf("final audit %s: %v", key, err)
+				}
+				if found2 != found || (found && got2 != got) {
+					t.Errorf("final audit %s: unstable reads (%q,%v) vs (%q,%v)",
+						key, got, found, got2, found2)
+					break
+				}
+			}
+		}
+	}
+}
+
+// swappableRep lets the chaos goroutine atomically replace a crashed
+// replica with its recovered incarnation while clients keep using the
+// same rep.Directory handle.
+func newSwappableRep(mu *sync.Mutex, reps []*rep.Rep, idx int) rep.Directory {
+	return &transport.Middleware{
+		Target: func() rep.Directory {
+			mu.Lock()
+			defer mu.Unlock()
+			return reps[idx]
+		},
+	}
+}

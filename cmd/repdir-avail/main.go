@@ -1,0 +1,81 @@
+// Command repdir-avail prints read/write availability tables for
+// directory-suite configurations, quantifying the paper's claim that
+// quorum sizes trade read availability against write availability.
+//
+//	repdir-avail -configs 3-2-2,3-1-3,3-3-1,5-3-3 -p 0.5,0.9,0.95,0.99
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repdir/internal/availability"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "repdir-avail:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("repdir-avail", flag.ContinueOnError)
+	var (
+		configs = fs.String("configs", "3-2-2,3-1-3,3-3-1,5-3-3,5-1-5",
+			"comma-separated x-y-z suite shapes")
+		probs = fs.String("p", "0.50,0.90,0.95,0.99",
+			"comma-separated per-replica up-probabilities")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfgs []availability.Config
+	for _, spec := range strings.Split(*configs, ",") {
+		cfg, err := parseConfig(strings.TrimSpace(spec))
+		if err != nil {
+			return err
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	var ps []float64
+	for _, raw := range strings.Split(*probs, ",") {
+		p, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+		if err != nil || p < 0 || p > 1 {
+			return fmt.Errorf("bad probability %q", raw)
+		}
+		ps = append(ps, p)
+	}
+
+	table, err := availability.FormatTable(cfgs, ps)
+	if err != nil {
+		return err
+	}
+	fmt.Print(table)
+	return nil
+}
+
+// parseConfig parses the paper's x-y-z notation.
+func parseConfig(spec string) (availability.Config, error) {
+	parts := strings.Split(spec, "-")
+	if len(parts) != 3 {
+		return availability.Config{}, fmt.Errorf("bad config %q (want x-y-z)", spec)
+	}
+	nums := make([]int, 3)
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 1 {
+			return availability.Config{}, fmt.Errorf("bad config %q: %q is not a positive integer", spec, p)
+		}
+		nums[i] = v
+	}
+	cfg := availability.Uniform(nums[0], nums[1], nums[2])
+	if err := cfg.Validate(); err != nil {
+		return availability.Config{}, err
+	}
+	return cfg, nil
+}

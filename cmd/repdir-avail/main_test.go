@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestParseConfig(t *testing.T) {
+	tests := []struct {
+		spec string
+		ok   bool
+	}{
+		{"3-2-2", true},
+		{"5-3-3", true},
+		{"3-1-1", false}, // no quorum intersection
+		{"3-2", false},
+		{"a-b-c", false},
+		{"3-0-3", false},
+		{"", false},
+		{"3-2-2-9", false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.spec, func(t *testing.T) {
+			cfg, err := parseConfig(tt.spec)
+			if (err == nil) != tt.ok {
+				t.Fatalf("parseConfig(%q) err = %v, want ok=%v", tt.spec, err, tt.ok)
+			}
+			if err == nil && cfg.Name != tt.spec {
+				t.Errorf("name = %q", cfg.Name)
+			}
+		})
+	}
+}
+
+func TestRunValidatesFlags(t *testing.T) {
+	if err := run([]string{"-configs", "3-2-2", "-p", "0.9"}); err != nil {
+		t.Errorf("valid invocation failed: %v", err)
+	}
+	if err := run([]string{"-configs", "bogus"}); err == nil {
+		t.Error("bogus config should fail")
+	}
+	if err := run([]string{"-p", "1.5"}); err == nil {
+		t.Error("probability above 1 should fail")
+	}
+	if err := run([]string{"-p", "abc"}); err == nil {
+		t.Error("non-numeric probability should fail")
+	}
+}

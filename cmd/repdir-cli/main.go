@@ -1,0 +1,326 @@
+// Command repdir-cli operates a replicated directory suite formed from
+// running repdir-server instances.
+//
+//	repdir-cli -replicas 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 \
+//	           -r 2 -w 2 lookup somekey
+//
+// Subcommands:
+//
+//	lookup <key>          print the entry's value, if any
+//	insert <key> <value>  create an entry
+//	update <key> <value>  replace an entry's value
+//	delete <key>          remove an entry
+//	scan   [after] [max]  list entries in key order
+//	resolve <txn-id>      cooperative termination of an in-doubt
+//	                      two-phase commit (coordinator crashed)
+//	repair <addr>         copy/freshen all current entries onto the
+//	                      replica at addr (read-repair after an outage)
+//	bench  <n>            time n insert+lookup+delete cycles
+//	load   <clients> <duration>
+//	                      mixed read/write load from concurrent clients,
+//	                      reporting throughput and retry/abort counts
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repdir/internal/core"
+	"repdir/internal/lock"
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+	"repdir/internal/txn"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "repdir-cli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("repdir-cli", flag.ContinueOnError)
+	var (
+		replicas = fs.String("replicas", "127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003",
+			"comma-separated representative addresses")
+		r        = fs.Int("r", 2, "read quorum size (votes)")
+		w        = fs.Int("w", 2, "write quorum size (votes)")
+		timeout  = fs.Duration("timeout", 10*time.Second, "per-operation timeout")
+		parallel = fs.Bool("parallel", true, "issue quorum messages concurrently")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return errors.New("missing subcommand (lookup, insert, update, delete, bench)")
+	}
+
+	suite, dirs, closeAll, err := connect(strings.Split(*replicas, ","), *r, *w, *parallel)
+	if err != nil {
+		return err
+	}
+	defer closeAll()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch cmd, rest := rest[0], rest[1:]; cmd {
+	case "lookup":
+		if len(rest) != 1 {
+			return errors.New("usage: lookup <key>")
+		}
+		value, found, err := suite.Lookup(ctx, rest[0])
+		if err != nil {
+			return err
+		}
+		if !found {
+			fmt.Printf("%s: not present\n", rest[0])
+			return nil
+		}
+		fmt.Printf("%s = %s\n", rest[0], value)
+		return nil
+	case "insert":
+		if len(rest) != 2 {
+			return errors.New("usage: insert <key> <value>")
+		}
+		return suite.Insert(ctx, rest[0], rest[1])
+	case "update":
+		if len(rest) != 2 {
+			return errors.New("usage: update <key> <value>")
+		}
+		return suite.Update(ctx, rest[0], rest[1])
+	case "delete":
+		if len(rest) != 1 {
+			return errors.New("usage: delete <key>")
+		}
+		return suite.Delete(ctx, rest[0])
+	case "scan":
+		after := ""
+		limit := 0
+		if len(rest) > 0 {
+			after = rest[0]
+		}
+		if len(rest) > 1 {
+			n, err := strconv.Atoi(rest[1])
+			if err != nil || n < 0 {
+				return fmt.Errorf("bad scan limit %q", rest[1])
+			}
+			limit = n
+		}
+		entries, err := suite.Scan(ctx, after, limit)
+		if err != nil {
+			return err
+		}
+		for _, kv := range entries {
+			fmt.Printf("%s = %s\n", kv.Key, kv.Value)
+		}
+		fmt.Printf("(%d entries)\n", len(entries))
+		return nil
+	case "resolve":
+		if len(rest) != 1 {
+			return errors.New("usage: resolve <txn-id>")
+		}
+		id, err := strconv.ParseUint(rest[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad transaction id %q", rest[0])
+		}
+		res, err := txn.Resolve(ctx, lock.TxnID(id), dirs)
+		if err != nil {
+			return err
+		}
+		outcome := "aborted"
+		if res.Committed {
+			outcome = "committed"
+		}
+		fmt.Printf("transaction %d %s; finished at %d in-doubt participant(s) %v\n",
+			id, outcome, len(res.Finished), res.Finished)
+		return nil
+	case "repair":
+		if len(rest) != 1 {
+			return errors.New("usage: repair <addr>")
+		}
+		target, err := transport.Dial(strings.TrimSpace(rest[0]))
+		if err != nil {
+			return err
+		}
+		defer target.Close()
+		stats, err := core.RepairReplica(ctx, suite, target)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("repaired %s: %d entries scanned, %d copied, %d freshened\n",
+			target.Name(), stats.Scanned, stats.Copied, stats.Freshened)
+		return nil
+	case "bench":
+		if len(rest) != 1 {
+			return errors.New("usage: bench <n>")
+		}
+		n, err := strconv.Atoi(rest[0])
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad cycle count %q", rest[0])
+		}
+		return bench(suite, n, *timeout)
+	case "load":
+		if len(rest) != 2 {
+			return errors.New("usage: load <clients> <duration>")
+		}
+		clients, err := strconv.Atoi(rest[0])
+		if err != nil || clients < 1 {
+			return fmt.Errorf("bad client count %q", rest[0])
+		}
+		dur, err := time.ParseDuration(rest[1])
+		if err != nil || dur <= 0 {
+			return fmt.Errorf("bad duration %q", rest[1])
+		}
+		return load(strings.Split(*replicas, ","), *r, *w, *parallel, clients, dur, *timeout)
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+// load drives a mixed workload (50% lookups, 25% upserts, 25% deletes)
+// from concurrent clients and reports throughput alongside aggregated
+// retry/abort counters. Each load client dials its own connections: a
+// transport.Client serializes calls per connection, so sharing one
+// between concurrent transactions would head-of-line block a
+// transaction's control messages behind another's lock waits.
+func load(addrs []string, r, w int, parallel bool, clients int, dur, opTimeout time.Duration) error {
+	var (
+		ok       atomic.Uint64
+		failures atomic.Uint64
+		statsMu  sync.Mutex
+		total    core.SuiteStats
+	)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(dur)
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			suite, _, closeAll, err := connect(addrs, r, w, parallel)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer closeAll()
+			defer func() {
+				st := suite.Stats()
+				statsMu.Lock()
+				total.Commits += st.Commits
+				total.Retries += st.Retries
+				total.Dies += st.Dies
+				total.ReplicaLosses += st.ReplicaLosses
+				statsMu.Unlock()
+			}()
+			rng := rand.New(rand.NewSource(int64(c) + start.UnixNano()))
+			for i := 0; time.Now().Before(deadline); i++ {
+				key := fmt.Sprintf("load-c%d-k%d", c, rng.Intn(32))
+				ctx, cancel := context.WithTimeout(context.Background(), opTimeout)
+				var err error
+				switch rng.Intn(4) {
+				case 0, 1:
+					_, _, err = suite.Lookup(ctx, key)
+				case 2:
+					err = suite.Update(ctx, key, fmt.Sprintf("v%d", i))
+					if errors.Is(err, core.ErrKeyNotFound) {
+						err = suite.Insert(ctx, key, fmt.Sprintf("v%d", i))
+					}
+				case 3:
+					err = suite.Delete(ctx, key)
+					if errors.Is(err, core.ErrKeyNotFound) {
+						err = nil
+					}
+				}
+				cancel()
+				if err != nil {
+					failures.Add(1)
+				} else {
+					ok.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d clients, %v: %d ops ok (%.0f ops/s), %d failed\n",
+		clients, elapsed.Round(time.Millisecond), ok.Load(),
+		float64(ok.Load())/elapsed.Seconds(), failures.Load())
+	fmt.Printf("suites: %d commits, %d retries, %d wait-die aborts, %d replica losses\n",
+		total.Commits, total.Retries, total.Dies, total.ReplicaLosses)
+	return nil
+}
+
+// connect dials every representative and builds the suite client.
+func connect(addrs []string, r, w int, parallel bool) (*core.Suite, []rep.Directory, func(), error) {
+	var clients []*transport.Client
+	closeAll := func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}
+	dirs := make([]rep.Directory, 0, len(addrs))
+	for _, addr := range addrs {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		c, err := transport.Dial(addr)
+		if err != nil {
+			closeAll()
+			return nil, nil, nil, fmt.Errorf("dial %s: %w", addr, err)
+		}
+		clients = append(clients, c)
+		dirs = append(dirs, c)
+	}
+	suite, err := core.NewSuite(quorum.NewUniform(dirs, r, w), core.WithParallelQuorum(parallel))
+	if err != nil {
+		closeAll()
+		return nil, nil, nil, err
+	}
+	return suite, dirs, closeAll, nil
+}
+
+// bench times n insert+lookup+delete cycles against the live suite.
+func bench(suite *core.Suite, n int, timeout time.Duration) error {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		key := fmt.Sprintf("bench-%d-%d", start.UnixNano(), i)
+		if err := suite.Insert(ctx, key, "x"); err != nil {
+			cancel()
+			return fmt.Errorf("cycle %d insert: %w", i, err)
+		}
+		if _, found, err := suite.Lookup(ctx, key); err != nil || !found {
+			cancel()
+			return fmt.Errorf("cycle %d lookup: found=%v err=%v", i, found, err)
+		}
+		if err := suite.Delete(ctx, key); err != nil {
+			cancel()
+			return fmt.Errorf("cycle %d delete: %w", i, err)
+		}
+		cancel()
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d cycles in %v (%.1f cycles/s, %v per cycle)\n",
+		n, elapsed.Round(time.Millisecond),
+		float64(n)/elapsed.Seconds(), (elapsed / time.Duration(n)).Round(time.Microsecond))
+	return nil
+}

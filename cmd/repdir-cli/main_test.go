@@ -1,0 +1,137 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+)
+
+// startSuite boots three in-process representative servers and returns
+// their address list.
+func startSuite(t *testing.T) string {
+	t.Helper()
+	return strings.Join(startSuiteAddrs(t), ",")
+}
+
+func startSuiteAddrs(t *testing.T) []string {
+	t.Helper()
+	var addrs []string
+	for _, name := range []string{"A", "B", "C"} {
+		srv, err := transport.Serve(rep.New(name), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs = append(addrs, srv.Addr())
+	}
+	return addrs
+}
+
+func TestCLIFullFlow(t *testing.T) {
+	replicas := startSuite(t)
+	base := []string{"-replicas", replicas, "-r", "2", "-w", "2"}
+	steps := [][]string{
+		append(base, "insert", "host1", "10.0.0.1"),
+		append(base, "lookup", "host1"),
+		append(base, "update", "host1", "10.0.0.2"),
+		append(base, "insert", "host2", "10.0.0.3"),
+		append(base, "scan"),
+		append(base, "scan", "host1", "1"),
+		append(base, "delete", "host1"),
+		append(base, "lookup", "host1"),
+		append(base, "resolve", "123456"), // nothing in doubt: aborts cleanly
+		append(base, "bench", "3"),
+	}
+	for _, args := range steps {
+		if err := run(args); err != nil {
+			t.Fatalf("run(%v): %v", args[len(args)-2:], err)
+		}
+	}
+}
+
+func TestCLIUsageErrors(t *testing.T) {
+	replicas := startSuite(t)
+	base := []string{"-replicas", replicas}
+	bad := [][]string{
+		{},
+		append(base, "frobnicate"),
+		append(base, "lookup"),
+		append(base, "insert", "k"),
+		append(base, "update", "k"),
+		append(base, "delete"),
+		append(base, "bench", "zero"),
+		append(base, "bench", "-1"),
+		append(base, "resolve"),
+		append(base, "resolve", "not-a-number"),
+		append(base, "scan", "x", "-3"),
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestCLIRepair(t *testing.T) {
+	addrs := startSuiteAddrs(t)
+	replicas := strings.Join(addrs, ",")
+	base := []string{"-replicas", replicas}
+	for i := 0; i < 3; i++ {
+		if err := run(append(base, "insert", "k"+strconv.Itoa(i), "v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run(append(base, "repair", addrs[0])); err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	if err := run(append(base, "repair")); err == nil {
+		t.Error("repair without address should fail")
+	}
+	if err := run(append(base, "repair", "127.0.0.1:1")); err == nil {
+		t.Error("repair of unreachable replica should fail")
+	}
+}
+
+func TestCLILoad(t *testing.T) {
+	replicas := startSuite(t)
+	base := []string{"-replicas", replicas}
+	if err := run(append(base, "load", "3", "300ms")); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	for _, bad := range [][]string{
+		append(base, "load", "0", "1s"),
+		append(base, "load", "2"),
+		append(base, "load", "2", "nope"),
+	} {
+		if err := run(bad); err == nil {
+			t.Errorf("run(%v) should fail", bad[len(bad)-2:])
+		}
+	}
+}
+
+func TestCLIErrorsWhenNoServer(t *testing.T) {
+	err := run([]string{"-replicas", "127.0.0.1:1", "lookup", "x"})
+	if err == nil {
+		t.Error("unreachable replicas should fail")
+	}
+}
+
+func TestCLISemanticErrorsSurface(t *testing.T) {
+	replicas := startSuite(t)
+	base := []string{"-replicas", replicas}
+	if err := run(append(base, "insert", "dup", "v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(base, "insert", "dup", "v")); err == nil {
+		t.Error("duplicate insert should surface ErrKeyExists")
+	}
+	if err := run(append(base, "update", "ghost-key", "v")); err == nil {
+		t.Error("update of missing key should surface ErrKeyNotFound")
+	}
+	if err := run(append(base, "delete", "ghost-key")); err == nil {
+		t.Error("delete of missing key should surface ErrKeyNotFound")
+	}
+}

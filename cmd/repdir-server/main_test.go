@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"repdir/internal/keyspace"
+	"repdir/internal/lock"
+)
+
+func TestBuildRepVolatile(t *testing.T) {
+	r, d, err := buildRep("vol", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != nil {
+		t.Error("volatile rep should have no durability manager")
+	}
+	if r.Len() != 2 {
+		t.Errorf("fresh rep should hold sentinels only, got %d", r.Len())
+	}
+}
+
+func TestBuildRepRecoversFromWAL(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "rep.wal")
+	snapPath := filepath.Join(dir, "rep.snap")
+
+	// First life: write one committed entry and checkpoint.
+	r1, d1, err := buildRep("persist", walPath, snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := lock.TxnID(1)
+	if err := r1.Insert(ctx, id, keyspace.New("k"), 1, "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Commit(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	d1.Close()
+
+	// Second life: the entry survives via the snapshot.
+	r2, d2, err := buildRep("persist", walPath, snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	res, err := r2.Lookup(ctx, 2, keyspace.New("k"))
+	if err != nil || !res.Found || res.Value != "v" {
+		t.Fatalf("recovered lookup = %+v, %v", res, err)
+	}
+	r2.Commit(ctx, 2)
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{"-snap", "/tmp/x.snap"}); err == nil {
+		t.Error("-snap without -wal should fail")
+	}
+	if err := run([]string{"-checkpoint", "5m", "-wal", "/tmp/x.wal"}); err == nil {
+		t.Error("-checkpoint without -snap should fail")
+	}
+}
+
+func TestBuildRepRejectsBadPath(t *testing.T) {
+	if _, _, err := buildRep("x", t.TempDir(), ""); err == nil {
+		t.Error("opening a directory as a WAL should fail")
+	}
+}

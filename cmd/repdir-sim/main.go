@@ -1,0 +1,201 @@
+// Command repdir-sim regenerates the paper's evaluation (section 4 and
+// the section 5 discussion) as text tables:
+//
+//	repdir-sim -experiment fig14   # Figure 14: config sweep at ~100 entries
+//	repdir-sim -experiment fig15   # Figure 15: 3-2-2 at 100/1k/10k entries
+//	repdir-sim -experiment fig16   # Figure 16: locality configuration
+//	repdir-sim -experiment sticky  # section 5 sticky-quorum ablation
+//	repdir-sim -experiment batch   # section 4 neighbor-batching ablation
+//	repdir-sim -experiment model   # section 5 analytic model vs simulation
+//	repdir-sim -experiment conc    # section 2 concurrency comparison
+//	repdir-sim -experiment all     # everything
+//
+// The -ops flag overrides the per-run operation count (the paper used
+// 10,000 for Figure 14 and 100,000 for Figure 15); -seed fixes the
+// random workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repdir/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "repdir-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("repdir-sim", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "fig14, fig15, fig16, sticky, conc, or all")
+		seed       = fs.Int64("seed", 1983, "workload seed")
+		ops        = fs.Int("ops", 0, "override operations per run (0 = paper's values)")
+		clients    = fs.Int("clients", 8, "concurrent clients for the concurrency comparison")
+		latency    = fs.Duration("latency", 200*time.Microsecond, "simulated per-message latency for the concurrency comparison")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runs := map[string]func() error{
+		"fig14": func() error {
+			results, err := runFigure14(*seed, *ops)
+			if err != nil {
+				return err
+			}
+			fmt.Print(sim.FormatResults(
+				"Figure 14 — ~100-entry directories, 10,000 operations, random quorums", results))
+			return nil
+		},
+		"fig15": func() error {
+			opsPerRun := *ops
+			if opsPerRun == 0 {
+				opsPerRun = 100000
+			}
+			results, err := sim.RunFigure15(*seed, opsPerRun)
+			if err != nil {
+				return err
+			}
+			fmt.Print(sim.FormatResults(
+				fmt.Sprintf("Figure 15 — 3-2-2 directory suites, %d operations", opsPerRun), results))
+			return nil
+		},
+		"fig16": func() error {
+			opsPerType := *ops
+			if opsPerType == 0 {
+				opsPerType = 2000
+			}
+			stats, err := sim.RunFigure16(opsPerType)
+			if err != nil {
+				return err
+			}
+			fmt.Print(sim.FormatLocality(stats))
+			return nil
+		},
+		"sticky": func() error {
+			opsPerRun := *ops
+			if opsPerRun == 0 {
+				opsPerRun = 10000
+			}
+			random, sticky, err := sim.RunStickyQuorumAblation(*seed, opsPerRun)
+			if err != nil {
+				return err
+			}
+			fmt.Print(sim.FormatResults(
+				"Section 5 ablation — random vs sticky write quorums (3-2-2, ~100 entries)",
+				[]sim.Result{random, sticky}))
+			return nil
+		},
+		"batch": func() error {
+			opsPerRun := *ops
+			if opsPerRun == 0 {
+				opsPerRun = 10000
+			}
+			single, batched, err := sim.RunBatchingAblation(*seed, opsPerRun)
+			if err != nil {
+				return err
+			}
+			fmt.Print(sim.FormatResults(
+				"Section 4 ablation — neighbor probe batching (3-2-2, ~100 entries)",
+				[]sim.Result{single, batched}))
+			return nil
+		},
+		"skew": func() error {
+			opsPerRun := *ops
+			if opsPerRun == 0 {
+				opsPerRun = 10000
+			}
+			uniform, skewed, err := sim.RunSkewAblation(*seed, opsPerRun, 1.3)
+			if err != nil {
+				return err
+			}
+			fmt.Print(sim.FormatResults(
+				"Workload-skew ablation — uniform vs Zipf(1.3) key selection (3-2-2, ~100 entries)",
+				[]sim.Result{uniform, skewed}))
+			return nil
+		},
+		"model": func() error {
+			comps, err := sim.RunModelComparison(*seed, *ops)
+			if err != nil {
+				return err
+			}
+			fmt.Print(sim.FormatModelComparison(comps))
+			return nil
+		},
+		"scale": func() error {
+			opsPerClient := *ops
+			if opsPerClient == 0 {
+				opsPerClient = 25
+			}
+			points, err := sim.RunScalability([]int{1, 2, 4, 8, 16}, opsPerClient, *latency)
+			if err != nil {
+				return err
+			}
+			fmt.Print(sim.FormatScalability(points, *latency))
+			return nil
+		},
+		"conc": func() error {
+			opsPerClient := *ops
+			if opsPerClient == 0 {
+				opsPerClient = 25
+			}
+			res, err := sim.RunConcurrencyComparison(*clients, opsPerClient, *latency)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Section 2 concurrency comparison (disjoint-range updates):")
+			fmt.Println(" ", res)
+			return nil
+		},
+	}
+
+	order := []string{"fig14", "fig15", "fig16", "sticky", "batch", "model", "skew", "scale", "conc"}
+	if *experiment != "all" {
+		fn, ok := runs[*experiment]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (want fig14, fig15, fig16, sticky, batch, model, skew, scale, conc, or all)", *experiment)
+		}
+		return timed(*experiment, fn)
+	}
+	for _, name := range order {
+		if err := timed(name, runs[name]); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// runFigure14 honors the -ops override.
+func runFigure14(seed int64, ops int) ([]sim.Result, error) {
+	if ops == 0 {
+		return sim.RunFigure14(seed)
+	}
+	var out []sim.Result
+	for _, cfg := range sim.Figure14Configs(seed) {
+		cfg.Operations = ops
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// timed runs fn and reports its wall-clock duration.
+func timed(name string, fn func() error) error {
+	start := time.Now()
+	if err := fn(); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	fmt.Printf("[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "nope"}); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunSmallExperiments(t *testing.T) {
+	// Tiny op counts keep this a smoke test of the full wiring.
+	for _, exp := range []string{"fig16", "sticky", "batch"} {
+		if err := run([]string{"-experiment", exp, "-ops", "200"}); err != nil {
+			t.Errorf("experiment %s: %v", exp, err)
+		}
+	}
+	if err := run([]string{"-experiment", "conc", "-ops", "2", "-clients", "2", "-latency", "1us"}); err != nil {
+		t.Errorf("experiment conc: %v", err)
+	}
+}
+
+func TestRunFigure14OpsOverride(t *testing.T) {
+	results, err := runFigure14(7, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 9 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.Config.Operations != 100 {
+			t.Errorf("ops override ignored: %d", r.Config.Operations)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+// Package repdir is a complete Go implementation of "An Algorithm for
+// Replicated Directories" (Dean Daniels and Alfred Z. Spector, PODC
+// 1983 / CMU-CS-83-123): weighted-voting replication for ordered
+// key-value directories, with a version number associated with every
+// possible key through dynamic range partitioning — entry versions for
+// stored keys, gap versions for the ranges between them.
+//
+// The public surface lives in the internal packages (this module is the
+// application); see README.md for the architecture and quick start,
+// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+// paper-versus-measured evaluation. The root package holds the benchmark
+// harness that regenerates every figure of the paper's evaluation
+// (bench_test.go) and the cross-package integration tests
+// (integration_test.go).
+package repdir

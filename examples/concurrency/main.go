@@ -1,0 +1,38 @@
+// Concurrency: the section 2 motivation measured. Clients update disjoint
+// entries of (a) a directory replicated with this paper's per-range
+// version numbers and range locks, and (b) the same directory stored as a
+// single Gifford-replicated file, where one version number per replica
+// serializes every modification. Both pay identical simulated
+// per-message latency; the speedup is pure concurrency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repdir/internal/sim"
+)
+
+func main() {
+	clients := flag.Int("clients", 8, "concurrent clients")
+	ops := flag.Int("ops", 25, "updates per client")
+	latency := flag.Duration("latency", 200*time.Microsecond, "simulated per-message latency")
+	flag.Parse()
+
+	fmt.Printf("running %d clients x %d disjoint updates (per-message latency %v)...\n",
+		*clients, *ops, *latency)
+	res, err := sim.RunConcurrencyComparison(*clients, *ops, *latency)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Printf("  range-locked replicated directory: %v\n", res.RangeLocking.Round(time.Millisecond))
+	fmt.Printf("  directory as one replicated file:  %v\n", res.FileLocking.Round(time.Millisecond))
+	fmt.Printf("  speedup: %.1fx with %d clients\n", res.Speedup(), *clients)
+	fmt.Println()
+	fmt.Println("the file version is correct but serializes all writers behind one")
+	fmt.Println("version number; dynamic key-range partitioning lets disjoint updates")
+	fmt.Println("run concurrently (sections 2 and 5 of the paper).")
+}

@@ -1,0 +1,74 @@
+package repdir
+
+import (
+	"bytes"
+	"os/exec"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lockedBuffer is a goroutine-safe output sink for the example processes.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestExamplesRun builds and runs every example program end to end, so
+// the documented walkthroughs can never rot. Each example is expected to
+// exit zero within the timeout.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs example binaries")
+	}
+	examples := []string{
+		"./examples/quickstart",
+		"./examples/nameservice",
+		"./examples/locality",
+		"./examples/concurrency",
+		"./examples/membership",
+		"./examples/operations",
+	}
+	for _, ex := range examples {
+		ex := ex
+		t.Run(ex, func(t *testing.T) {
+			t.Parallel()
+			args := []string{"run", ex}
+			if ex == "./examples/concurrency" {
+				// Keep the timing demo quick in CI.
+				args = append(args, "-clients", "4", "-ops", "5", "-latency", "100us")
+			}
+			cmd := exec.Command("go", args...)
+			cmd.Dir = "."
+			done := make(chan error, 1)
+			out := &lockedBuffer{}
+			cmd.Stdout = out
+			cmd.Stderr = out
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			go func() { done <- cmd.Wait() }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("%s failed: %v\n%s", ex, err, out.String())
+				}
+			case <-time.After(2 * time.Minute):
+				cmd.Process.Kill()
+				t.Fatalf("%s timed out\n%s", ex, out.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module repdir
+
+go 1.22

@@ -1,0 +1,165 @@
+// Package availability quantifies the data-availability claims of the
+// paper's sections 1 and 2: weighted voting lets a suite trade read
+// against write availability by choosing R and W, and "the sizes of the
+// read and write quorums may be varied to adjust the relative cost and
+// availability of reads and writes".
+//
+// With each representative independently up with probability p, the
+// availability of an operation class is the probability that the votes of
+// the live representatives reach the class's quorum. The exact value is
+// computed by dynamic programming over the distribution of live votes;
+// tests corroborate it by Monte-Carlo simulation and by driving real
+// suites with crashed replicas.
+package availability
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config describes a suite shape for availability analysis.
+type Config struct {
+	// Name labels the configuration, e.g. "3-2-2".
+	Name string
+	// Votes holds each representative's vote weight.
+	Votes []int
+	// R and W are the quorum thresholds in votes.
+	R, W int
+}
+
+// Uniform builds the x-y-z configuration with one vote each.
+func Uniform(n, r, w int) Config {
+	votes := make([]int, n)
+	for i := range votes {
+		votes[i] = 1
+	}
+	return Config{Name: fmt.Sprintf("%d-%d-%d", n, r, w), Votes: votes, R: r, W: w}
+}
+
+// Validate checks the quorum intersection property.
+func (c Config) Validate() error {
+	total := 0
+	for _, v := range c.Votes {
+		if v < 0 {
+			return errors.New("availability: negative votes")
+		}
+		total += v
+	}
+	if c.R < 1 || c.W < 1 || c.R > total || c.W > total {
+		return fmt.Errorf("availability: quorums R=%d W=%d out of range for %d votes", c.R, c.W, total)
+	}
+	if c.R+c.W <= total {
+		return fmt.Errorf("availability: R+W=%d must exceed total votes %d", c.R+c.W, total)
+	}
+	return nil
+}
+
+// QuorumProbability returns the probability that independently-up
+// representatives (each up with probability p) jointly muster at least
+// need votes. Exact, via dynamic programming over achievable vote sums.
+func QuorumProbability(votes []int, need int, p float64) float64 {
+	if need <= 0 {
+		return 1
+	}
+	total := 0
+	for _, v := range votes {
+		total += v
+	}
+	if need > total {
+		return 0
+	}
+	// dist[s] = probability that the replicas considered so far
+	// contribute exactly s live votes.
+	dist := make([]float64, total+1)
+	dist[0] = 1
+	upper := 0
+	for _, v := range votes {
+		upper += v
+		for s := upper; s >= 0; s-- {
+			var withRep float64
+			if s >= v {
+				withRep = dist[s-v] * p
+			}
+			dist[s] = dist[s]*(1-p) + withRep
+		}
+	}
+	sum := 0.0
+	for s := need; s <= total; s++ {
+		sum += dist[s]
+	}
+	return sum
+}
+
+// Point is one row of an availability curve.
+type Point struct {
+	// P is each representative's independent up-probability.
+	P float64
+	// Read and Write are the probabilities that a read (resp. write)
+	// quorum can be assembled.
+	Read  float64
+	Write float64
+}
+
+// Curve evaluates a configuration across up-probabilities.
+func Curve(cfg Config, ps []float64) ([]Point, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]Point, 0, len(ps))
+	for _, p := range ps {
+		out = append(out, Point{
+			P:     p,
+			Read:  QuorumProbability(cfg.Votes, cfg.R, p),
+			Write: QuorumProbability(cfg.Votes, cfg.W, p),
+		})
+	}
+	return out, nil
+}
+
+// MonteCarlo estimates the same probabilities by sampling trials replica
+// fates; used to cross-check the exact computation.
+func MonteCarlo(cfg Config, p float64, trials int, seed int64) (read, write float64) {
+	rng := rand.New(rand.NewSource(seed))
+	readOK, writeOK := 0, 0
+	for t := 0; t < trials; t++ {
+		live := 0
+		for _, v := range cfg.Votes {
+			if rng.Float64() < p {
+				live += v
+			}
+		}
+		if live >= cfg.R {
+			readOK++
+		}
+		if live >= cfg.W {
+			writeOK++
+		}
+	}
+	return float64(readOK) / float64(trials), float64(writeOK) / float64(trials)
+}
+
+// FormatTable renders read/write availability for several configurations
+// across up-probabilities.
+func FormatTable(configs []Config, ps []float64) (string, error) {
+	var b strings.Builder
+	b.WriteString("Availability (read / write) by per-replica up-probability\n")
+	fmt.Fprintf(&b, "%-14s", "config")
+	for _, p := range ps {
+		fmt.Fprintf(&b, "%19s", fmt.Sprintf("p=%.2f", p))
+	}
+	b.WriteByte('\n')
+	for _, cfg := range configs {
+		curve, err := Curve(cfg, ps)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-14s", cfg.Name)
+		for _, pt := range curve {
+			fmt.Fprintf(&b, "%19s", fmt.Sprintf("%.4f/%.4f", pt.Read, pt.Write))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,167 @@
+package availability
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestQuorumProbabilityClosedForms(t *testing.T) {
+	votes := []int{1, 1, 1}
+	p := 0.9
+	// Need 1 of 3: 1 - (1-p)^3.
+	if got, want := QuorumProbability(votes, 1, p), 1-math.Pow(1-p, 3); !almost(got, want, 1e-12) {
+		t.Errorf("need 1: %v want %v", got, want)
+	}
+	// Need 2 of 3: 3p^2(1-p) + p^3.
+	want2 := 3*p*p*(1-p) + p*p*p
+	if got := QuorumProbability(votes, 2, p); !almost(got, want2, 1e-12) {
+		t.Errorf("need 2: %v want %v", got, want2)
+	}
+	// Need 3 of 3: p^3.
+	if got := QuorumProbability(votes, 3, p); !almost(got, p*p*p, 1e-12) {
+		t.Errorf("need 3: %v want %v", got, p*p*p)
+	}
+}
+
+func TestQuorumProbabilityEdges(t *testing.T) {
+	if QuorumProbability([]int{1, 1}, 0, 0.5) != 1 {
+		t.Error("need 0 is always available")
+	}
+	if QuorumProbability([]int{1, 1}, 3, 0.5) != 0 {
+		t.Error("need beyond total is never available")
+	}
+	if QuorumProbability([]int{1, 1, 1}, 2, 1) != 1 {
+		t.Error("p=1 should be certain")
+	}
+	if QuorumProbability([]int{1, 1, 1}, 2, 0) != 0 {
+		t.Error("p=0 should be impossible")
+	}
+}
+
+func TestWeightedVotes(t *testing.T) {
+	// One replica with 2 votes, two with 1; need 2.
+	// Up configurations reaching 2 votes: heavy up (p), or both lights
+	// up without heavy ((1-p)*p*p). Total = p + (1-p)p^2.
+	p := 0.8
+	want := p + (1-p)*p*p
+	got := QuorumProbability([]int{2, 1, 1}, 2, p)
+	if !almost(got, want, 1e-12) {
+		t.Errorf("weighted: %v want %v", got, want)
+	}
+}
+
+func TestMonteCarloAgreesWithExact(t *testing.T) {
+	cfg := Uniform(5, 3, 3)
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		exact := QuorumProbability(cfg.Votes, cfg.R, p)
+		mc, _ := MonteCarlo(cfg, p, 200000, 7)
+		if !almost(exact, mc, 0.01) {
+			t.Errorf("p=%v: exact %v vs monte-carlo %v", p, exact, mc)
+		}
+	}
+}
+
+func TestReadWriteTradeoff(t *testing.T) {
+	// The paper's availability claim: shrinking R (growing W) raises
+	// read availability and lowers write availability.
+	p := 0.9
+	readFavoring := Uniform(5, 1, 5) // read-one / write-all
+	balanced := Uniform(5, 3, 3)
+	writeFavoring := Uniform(5, 5, 1) // read-all / write-one
+
+	rRead := QuorumProbability(readFavoring.Votes, readFavoring.R, p)
+	bRead := QuorumProbability(balanced.Votes, balanced.R, p)
+	wRead := QuorumProbability(writeFavoring.Votes, writeFavoring.R, p)
+	if !(rRead > bRead && bRead > wRead) {
+		t.Errorf("read availability should fall as R grows: %v %v %v", rRead, bRead, wRead)
+	}
+	rWrite := QuorumProbability(readFavoring.Votes, readFavoring.W, p)
+	bWrite := QuorumProbability(balanced.Votes, balanced.W, p)
+	wWrite := QuorumProbability(writeFavoring.Votes, writeFavoring.W, p)
+	if !(wWrite > bWrite && bWrite > rWrite) {
+		t.Errorf("write availability should fall as W grows: %v %v %v", wWrite, bWrite, rWrite)
+	}
+}
+
+func TestBalancedQuorumBeatsUnanimousForWrites(t *testing.T) {
+	// Section 2: unanimous update has poor write availability with many
+	// replicas; majority quorums fix that.
+	p := 0.9
+	for n := 3; n <= 9; n += 2 {
+		maj := (n / 2) + 1
+		balanced := QuorumProbability(Uniform(n, maj, maj).Votes, maj, p)
+		unanimous := QuorumProbability(Uniform(n, 1, n).Votes, n, p)
+		if balanced <= unanimous {
+			t.Errorf("n=%d: majority write availability %v should exceed unanimous %v",
+				n, balanced, unanimous)
+		}
+	}
+	// And unanimous-update write availability decays with n.
+	prev := 1.0
+	for n := 2; n <= 10; n++ {
+		u := QuorumProbability(Uniform(n, 1, n).Votes, n, p)
+		if u >= prev {
+			t.Errorf("unanimous write availability should decay with n: n=%d %v >= %v", n, u, prev)
+		}
+		prev = u
+	}
+}
+
+func TestZeroVoteWitnessDoesNotAffectQuorums(t *testing.T) {
+	// "Representatives with zero votes may be used as hints": their
+	// up-state must not change any quorum probability.
+	p := 0.8
+	with := QuorumProbability([]int{1, 1, 1, 0}, 2, p)
+	without := QuorumProbability([]int{1, 1, 1}, 2, p)
+	if !almost(with, without, 1e-12) {
+		t.Errorf("zero-vote replica changed availability: %v vs %v", with, without)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := Uniform(3, 2, 2).Validate(); err != nil {
+		t.Errorf("3-2-2 should validate: %v", err)
+	}
+	if err := Uniform(3, 1, 1).Validate(); err == nil {
+		t.Error("3-1-1 must fail the intersection requirement")
+	}
+	bad := Config{Name: "neg", Votes: []int{-1, 2}, R: 1, W: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative votes must be rejected")
+	}
+}
+
+func TestCurveAndTable(t *testing.T) {
+	cfg := Uniform(3, 2, 2)
+	pts, err := Curve(cfg, []float64{0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].P != 0.5 {
+		t.Fatalf("curve shape wrong: %+v", pts)
+	}
+	if pts[0].Read != pts[0].Write {
+		t.Error("symmetric quorums should have equal read/write availability")
+	}
+	table, err := FormatTable([]Config{cfg, Uniform(3, 1, 3)}, []float64{0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(table, "3-2-2") || !contains(table, "3-1-3") {
+		t.Errorf("table missing configs:\n%s", table)
+	}
+	if _, err := Curve(Uniform(3, 1, 1), []float64{0.9}); err == nil {
+		t.Error("curve must validate the config")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

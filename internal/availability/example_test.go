@@ -1,0 +1,35 @@
+package availability_test
+
+import (
+	"fmt"
+	"log"
+
+	"repdir/internal/availability"
+)
+
+// Example computes the read/write availability trade-off the paper's
+// section 2 describes: a balanced 3-2-2 suite versus read-one/write-all.
+func Example() {
+	balanced := availability.Uniform(3, 2, 2)
+	readOne := availability.Uniform(3, 1, 3)
+
+	for _, cfg := range []availability.Config{balanced, readOne} {
+		pts, err := availability.Curve(cfg, []float64{0.9})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: read %.4f, write %.4f\n", cfg.Name, pts[0].Read, pts[0].Write)
+	}
+	// Output:
+	// 3-2-2: read 0.9720, write 0.9720
+	// 3-1-3: read 0.9990, write 0.7290
+}
+
+// ExampleQuorumProbability shows weighted votes: a heavyweight replica
+// carrying two of four votes.
+func ExampleQuorumProbability() {
+	votes := []int{2, 1, 1}
+	p := availability.QuorumProbability(votes, 2, 0.9)
+	fmt.Printf("%.4f\n", p)
+	// Output: 0.9810
+}

@@ -1,0 +1,132 @@
+package baseline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Errors mirroring the directory-suite semantics.
+var (
+	// ErrKeyExists is returned by Insert for an existing key.
+	ErrKeyExists = errors.New("baseline: key already present")
+	// ErrKeyNotFound is returned by Update and Delete for a missing key.
+	ErrKeyNotFound = errors.New("baseline: key not present")
+)
+
+// DirectoryAsFile stores an entire directory inside one replicated file
+// suite — the strawman of section 2: "only a single transaction could
+// modify the directory at any time if a directory were stored as a
+// replicated file suite", because each representative has a single
+// version number covering all entries.
+//
+// The encoding is one "key\tvalue" line per entry, sorted by key. Keys
+// and values must not contain tab or newline characters.
+type DirectoryAsFile struct {
+	file *FileSuite
+}
+
+// NewDirectoryAsFile wraps a file suite as a directory.
+func NewDirectoryAsFile(file *FileSuite) *DirectoryAsFile {
+	return &DirectoryAsFile{file: file}
+}
+
+// decode parses the file encoding into a map.
+func decode(data string) map[string]string {
+	out := make(map[string]string)
+	if data == "" {
+		return out
+	}
+	for _, line := range strings.Split(data, "\n") {
+		if line == "" {
+			continue
+		}
+		k, v, _ := strings.Cut(line, "\t")
+		out[k] = v
+	}
+	return out
+}
+
+// encode renders the map deterministically.
+func encode(m map[string]string) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\t')
+		b.WriteString(m[k])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// validate rejects keys and values that would corrupt the encoding.
+func validate(key, value string) error {
+	if key == "" {
+		return errors.New("baseline: empty key")
+	}
+	if strings.ContainsAny(key, "\t\n") || strings.ContainsAny(value, "\t\n") {
+		return errors.New("baseline: key/value must not contain tab or newline")
+	}
+	return nil
+}
+
+// Lookup returns the value stored under key.
+func (d *DirectoryAsFile) Lookup(ctx context.Context, key string) (string, bool, error) {
+	data, err := d.file.Read(ctx)
+	if err != nil {
+		return "", false, err
+	}
+	v, ok := decode(data)[key]
+	return v, ok, nil
+}
+
+// Insert creates an entry, rewriting the whole file.
+func (d *DirectoryAsFile) Insert(ctx context.Context, key, value string) error {
+	if err := validate(key, value); err != nil {
+		return err
+	}
+	return d.file.Modify(ctx, func(data string) (string, error) {
+		m := decode(data)
+		if _, ok := m[key]; ok {
+			return "", fmt.Errorf("%w: %q", ErrKeyExists, key)
+		}
+		m[key] = value
+		return encode(m), nil
+	})
+}
+
+// Update replaces an entry's value, rewriting the whole file.
+func (d *DirectoryAsFile) Update(ctx context.Context, key, value string) error {
+	if err := validate(key, value); err != nil {
+		return err
+	}
+	return d.file.Modify(ctx, func(data string) (string, error) {
+		m := decode(data)
+		if _, ok := m[key]; !ok {
+			return "", fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+		}
+		m[key] = value
+		return encode(m), nil
+	})
+}
+
+// Delete removes an entry, rewriting the whole file. Unlike the
+// per-range algorithm, the space really is reclaimed everywhere the
+// write quorum reaches — at the cost of serializing all modifications.
+func (d *DirectoryAsFile) Delete(ctx context.Context, key string) error {
+	return d.file.Modify(ctx, func(data string) (string, error) {
+		m := decode(data)
+		if _, ok := m[key]; !ok {
+			return "", fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+		}
+		delete(m, key)
+		return encode(m), nil
+	})
+}

@@ -1,0 +1,279 @@
+// Package baseline implements the comparison systems the paper measures
+// its algorithm against or motivates it from (section 2):
+//
+//   - FileSuite: Gifford's weighted voting for whole files [Gifford 79] —
+//     one version number per replica, read quorums return the
+//     highest-version copy, writes install version+1 in a write quorum.
+//   - DirectoryAsFile: a directory stored inside a replicated file suite.
+//     Correct, but every modification rewrites (and locks) the whole
+//     file, so concurrent transactions serialize — the concurrency
+//     limitation that motivates per-range version numbers.
+//   - NewUnanimousConfig: the unanimous-update strategy (writes go to all
+//     replicas, reads to any one) expressed as a quorum configuration.
+//   - NaiveSuite: per-entry version numbers without gap versions,
+//     reproducing the deletion ambiguity of Figures 1-3.
+package baseline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repdir/internal/interval"
+	"repdir/internal/lock"
+	"repdir/internal/txn"
+	"repdir/internal/version"
+)
+
+// FileRep is one replica of a Gifford-style replicated file: a single
+// datum guarded by a single version number. Whole-object locking is
+// expressed as range locks over the full key domain, which makes the
+// contrast with per-range directory locking direct.
+type FileRep struct {
+	name  string
+	locks *lock.Manager
+
+	mu      sync.Mutex
+	ver     version.V
+	data    string
+	undo    map[lock.TxnID]fileState
+	latency time.Duration
+}
+
+// fileState snapshots a replica for transaction undo.
+type fileState struct {
+	ver  version.V
+	data string
+}
+
+// NewFileRep returns an empty file replica at version Lowest.
+func NewFileRep(name string) *FileRep {
+	return &FileRep{
+		name:  name,
+		locks: lock.NewManager(),
+		undo:  make(map[lock.TxnID]fileState),
+	}
+}
+
+// Name identifies the replica.
+func (f *FileRep) Name() string { return f.name }
+
+// Locks exposes the replica's lock manager for contention statistics.
+func (f *FileRep) Locks() *lock.Manager { return f.locks }
+
+// SetLatency adds a fixed delay to every Read and Write, modeling a
+// remote procedure call. Used by the concurrency comparison so that the
+// file baseline and the directory algorithm pay the same per-message
+// cost.
+func (f *FileRep) SetLatency(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.latency = d
+}
+
+// sleepLatency applies the configured per-call delay.
+func (f *FileRep) sleepLatency() {
+	f.mu.Lock()
+	d := f.latency
+	f.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Read returns the replica's version and contents, taking a whole-file
+// read lock.
+func (f *FileRep) Read(ctx context.Context, id lock.TxnID) (version.V, string, error) {
+	f.sleepLatency()
+	if err := f.locks.Acquire(ctx, id, lock.ModeLookup, interval.Full()); err != nil {
+		return 0, "", err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ver, f.data, nil
+}
+
+// Write installs new contents at the given version, taking a whole-file
+// write lock.
+func (f *FileRep) Write(ctx context.Context, id lock.TxnID, ver version.V, data string) error {
+	f.sleepLatency()
+	if err := f.locks.Acquire(ctx, id, lock.ModeModify, interval.Full()); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.undo[id]; !ok {
+		f.undo[id] = fileState{ver: f.ver, data: f.data}
+	}
+	f.ver, f.data = ver, data
+	return nil
+}
+
+// Commit makes the transaction's write permanent and releases its locks.
+func (f *FileRep) Commit(id lock.TxnID) {
+	f.mu.Lock()
+	delete(f.undo, id)
+	f.mu.Unlock()
+	f.locks.ReleaseAll(id)
+}
+
+// Abort rolls the transaction's write back and releases its locks.
+func (f *FileRep) Abort(id lock.TxnID) {
+	f.mu.Lock()
+	if st, ok := f.undo[id]; ok {
+		f.ver, f.data = st.ver, st.data
+		delete(f.undo, id)
+	}
+	f.mu.Unlock()
+	f.locks.ReleaseAll(id)
+}
+
+// FileSuite is Gifford's weighted voting for a single replicated file
+// with one vote per replica.
+type FileSuite struct {
+	reps []*FileRep
+	r, w int
+	ids  *txn.IDSource
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	maxRetries int
+}
+
+// NewFileSuite builds a file suite over reps with read quorum r and
+// write quorum w (votes are uniform). It validates r + w > len(reps).
+func NewFileSuite(reps []*FileRep, r, w int, seed int64) (*FileSuite, error) {
+	if len(reps) == 0 {
+		return nil, errors.New("baseline: no replicas")
+	}
+	if r < 1 || w < 1 || r > len(reps) || w > len(reps) || r+w <= len(reps) {
+		return nil, fmt.Errorf("baseline: invalid quorums r=%d w=%d for %d replicas", r, w, len(reps))
+	}
+	return &FileSuite{
+		reps:       reps,
+		r:          r,
+		w:          w,
+		ids:        txn.NewIDSource(1),
+		rng:        rand.New(rand.NewSource(seed)),
+		maxRetries: 1000,
+	}, nil
+}
+
+// pick returns n distinct replicas chosen uniformly at random.
+func (s *FileSuite) pick(n int) []*FileRep {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	order := make([]*FileRep, len(s.reps))
+	copy(order, s.reps)
+	s.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return order[:n]
+}
+
+// Read returns the file contents seen by a read quorum (the copy with
+// the largest version number).
+func (s *FileSuite) Read(ctx context.Context) (string, error) {
+	id := s.ids.Next()
+	var out string
+	err := s.retry(id, func() error {
+		_, data, err := s.readQuorum(ctx, id)
+		out = data
+		return err
+	})
+	return out, err
+}
+
+// Write atomically replaces the file contents: it reads the current
+// version from a read quorum and installs version+1 at a write quorum.
+func (s *FileSuite) Write(ctx context.Context, data string) error {
+	id := s.ids.Next()
+	return s.retry(id, func() error {
+		ver, _, err := s.readQuorum(ctx, id)
+		if err != nil {
+			return err
+		}
+		for _, r := range s.pick(s.w) {
+			if err := r.Write(ctx, id, ver.Next(), data); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Modify atomically applies fn to the file contents (read-modify-write
+// under whole-file locks).
+func (s *FileSuite) Modify(ctx context.Context, fn func(string) (string, error)) error {
+	id := s.ids.Next()
+	return s.retry(id, func() error {
+		ver, data, err := s.readQuorum(ctx, id)
+		if err != nil {
+			return err
+		}
+		next, err := fn(data)
+		if err != nil {
+			return err
+		}
+		for _, r := range s.pick(s.w) {
+			if err := r.Write(ctx, id, ver.Next(), next); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// readQuorum reads r replicas and returns the highest-version reply.
+func (s *FileSuite) readQuorum(ctx context.Context, id lock.TxnID) (version.V, string, error) {
+	var (
+		bestVer  version.V
+		bestData string
+	)
+	for _, r := range s.pick(s.r) {
+		ver, data, err := r.Read(ctx, id)
+		if err != nil {
+			return 0, "", err
+		}
+		if ver >= bestVer {
+			bestVer, bestData = ver, data
+		}
+	}
+	return bestVer, bestData, nil
+}
+
+// retry drives fn under wait-die retry semantics: on ErrDie the
+// transaction aborts everywhere and re-runs with the same (aging) ID,
+// backing off briefly so older transactions can finish.
+func (s *FileSuite) retry(id lock.TxnID, fn func() error) error {
+	var lastErr error
+	for attempt := 0; attempt <= s.maxRetries; attempt++ {
+		err := fn()
+		if err == nil {
+			for _, r := range s.reps {
+				r.Commit(id)
+			}
+			return nil
+		}
+		for _, r := range s.reps {
+			r.Abort(id)
+		}
+		lastErr = err
+		if !errors.Is(err, lock.ErrDie) {
+			return err
+		}
+		backoff(attempt)
+	}
+	return fmt.Errorf("baseline: retries exhausted: %w", lastErr)
+}
+
+// backoff sleeps linearly with the attempt number, capped at 2ms.
+func backoff(attempt int) {
+	d := time.Duration(attempt+1) * 50 * time.Microsecond
+	if d > 2*time.Millisecond {
+		d = 2 * time.Millisecond
+	}
+	time.Sleep(d)
+}

@@ -1,0 +1,158 @@
+package baseline
+
+import (
+	"math/rand"
+	"sync"
+
+	"repdir/internal/version"
+)
+
+// NaiveRep is a directory replica that versions entries but keeps no
+// version information for absent keys — the scheme section 2 shows to be
+// broken: "representatives might not have a version number for an entry
+// that is stored on other representatives", so a read quorum cannot
+// always decide whether an entry exists.
+//
+// NaiveRep has no locking or transactions; it exists to demonstrate the
+// ambiguity, not to be used.
+type NaiveRep struct {
+	name string
+
+	mu      sync.Mutex
+	entries map[string]naiveEntry
+}
+
+type naiveEntry struct {
+	ver version.V
+	val string
+}
+
+// NewNaiveRep returns an empty naive replica.
+func NewNaiveRep(name string) *NaiveRep {
+	return &NaiveRep{name: name, entries: make(map[string]naiveEntry)}
+}
+
+// Name identifies the replica.
+func (n *NaiveRep) Name() string { return n.name }
+
+// Lookup returns the entry's version and value when present. When the
+// key is absent there is no version number to return — the root of the
+// ambiguity.
+func (n *NaiveRep) Lookup(key string) (version.V, string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e, ok := n.entries[key]
+	return e.ver, e.val, ok
+}
+
+// Insert stores an entry.
+func (n *NaiveRep) Insert(key string, ver version.V, val string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.entries[key] = naiveEntry{ver: ver, val: val}
+}
+
+// Delete removes an entry, leaving no trace of its version.
+func (n *NaiveRep) Delete(key string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.entries, key)
+}
+
+// NaiveLookupReply is one replica's answer during a naive quorum read.
+type NaiveLookupReply struct {
+	Replica string
+	Present bool
+	Version version.V
+	Value   string
+}
+
+// NaiveSuite replicates a directory across NaiveReps with read/write
+// quorums but entry-only version numbers.
+type NaiveSuite struct {
+	reps []*NaiveRep
+	r, w int
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewNaiveSuite builds the broken baseline.
+func NewNaiveSuite(reps []*NaiveRep, r, w int, seed int64) *NaiveSuite {
+	return &NaiveSuite{reps: reps, r: r, w: w, rng: rand.New(rand.NewSource(seed))}
+}
+
+// pick returns n distinct replicas chosen uniformly at random.
+func (s *NaiveSuite) pick(n int) []*NaiveRep {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	order := make([]*NaiveRep, len(s.reps))
+	copy(order, s.reps)
+	s.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return order[:n]
+}
+
+// PickNamed selects specific replicas by name, for scripted scenarios.
+func (s *NaiveSuite) PickNamed(names ...string) []*NaiveRep {
+	var out []*NaiveRep
+	for _, want := range names {
+		for _, r := range s.reps {
+			if r.Name() == want {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// LookupAt performs the quorum read against the given replicas and
+// returns the raw replies plus the "highest version wins" verdict and
+// whether that verdict is trustworthy. The verdict is ambiguous when some
+// replicas report "present" and others "not present": without a version
+// number on the absent side there is nothing to compare, so the client
+// cannot tell a never-propagated insert from a deletion.
+func (s *NaiveSuite) LookupAt(reps []*NaiveRep, key string) (replies []NaiveLookupReply, present bool, ambiguous bool) {
+	var bestVer version.V
+	anyPresent, anyAbsent := false, false
+	for _, r := range reps {
+		ver, val, ok := r.Lookup(key)
+		replies = append(replies, NaiveLookupReply{Replica: r.Name(), Present: ok, Version: ver, Value: val})
+		if ok {
+			anyPresent = true
+			if ver >= bestVer {
+				bestVer = ver
+			}
+		} else {
+			anyAbsent = true
+		}
+	}
+	return replies, anyPresent, anyPresent && anyAbsent
+}
+
+// Lookup reads a random quorum; see LookupAt.
+func (s *NaiveSuite) Lookup(key string) (present, ambiguous bool) {
+	_, p, a := s.LookupAt(s.pick(s.r), key)
+	return p, a
+}
+
+// InsertAt writes the entry to the given replicas with one more than the
+// highest version a read of those replicas observed.
+func (s *NaiveSuite) InsertAt(reps []*NaiveRep, key, val string) {
+	var maxVer version.V
+	for _, r := range reps {
+		if ver, _, ok := r.Lookup(key); ok && ver > maxVer {
+			maxVer = ver
+		}
+	}
+	for _, r := range reps {
+		r.Insert(key, maxVer.Next(), val)
+	}
+}
+
+// DeleteAt removes the entry from the given replicas. There is no gap to
+// version, so nothing records that the deletion happened.
+func (s *NaiveSuite) DeleteAt(reps []*NaiveRep, key string) {
+	for _, r := range reps {
+		r.Delete(key)
+	}
+}

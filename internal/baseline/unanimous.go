@@ -1,0 +1,17 @@
+package baseline
+
+import (
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+)
+
+// NewUnanimousConfig expresses the unanimous-update replication strategy
+// (section 2, as in SDD-1 [Rothnie 77]) as a quorum configuration: every
+// update is applied at all replicas (W = n) and reads may be directed to
+// any single replica (R = 1). Used with core.NewSuite this is a correct
+// directory, but "the availability for updates of any object is poor when
+// large numbers of replicas are used": one failed replica blocks all
+// writes.
+func NewUnanimousConfig(dirs []rep.Directory) quorum.Config {
+	return quorum.NewUniform(dirs, 1, len(dirs))
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repdir/internal/quorum"
+)
+
+// TestAdjacentDeleteStress deletes adjacent keys from concurrent
+// goroutines sharing one suite client. Deletes of neighboring entries
+// contend on overlapping coalesce ranges and bound lookups; wait-die plus
+// retry must drain them all without violating the coalesce-bound
+// invariant.
+func TestAdjacentDeleteStress(t *testing.T) {
+	ctx := context.Background()
+	for round := 0; round < 30; round++ {
+		ts := newRandomSuite(t, []string{"A", "B", "C"}, 2, 2, int64(round))
+		for w := 0; w < 4; w++ {
+			if err := ts.suite.Insert(ctx, fmt.Sprintf("w%d-k0", w), "v"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, 4)
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if err := ts.suite.Delete(ctx, fmt.Sprintf("w%d-k0", w)); err != nil {
+					errs <- fmt.Errorf("round %d worker %d: %w", round, w, err)
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAdjacentDeleteStressSeparateClients repeats the stress with one
+// suite client per goroutine, all sharing the same representatives — the
+// deployment shape that once exposed colliding transaction IDs between
+// independently constructed suites. NewSuite must hand each client a
+// distinct wait-die node tag.
+func TestAdjacentDeleteStressSeparateClients(t *testing.T) {
+	ctx := context.Background()
+	for round := 0; round < 30; round++ {
+		ts := newRandomSuite(t, []string{"A", "B", "C"}, 2, 2, int64(round))
+		const workers = 4
+		suites := make([]*Suite, workers)
+		for w := range suites {
+			var err error
+			suites[w], err = NewSuite(ts.suite.cfg,
+				WithSelector(quorum.NewRandomSelector(ts.suite.cfg, int64(round*10+w))))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for w := 0; w < workers; w++ {
+			if err := suites[0].Insert(ctx, fmt.Sprintf("w%d-k0", w), "v"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wg sync.WaitGroup
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if err := suites[w].Delete(ctx, fmt.Sprintf("w%d-k0", w)); err != nil {
+					errs <- fmt.Errorf("round %d worker %d: %w", round, w, err)
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		// All keys gone on every quorum.
+		for w := 0; w < workers; w++ {
+			if _, found, err := suites[0].Lookup(ctx, fmt.Sprintf("w%d-k0", w)); err != nil || found {
+				t.Fatalf("round %d: w%d-k0 still present (%v, %v)", round, w, found, err)
+			}
+		}
+	}
+}

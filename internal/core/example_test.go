@@ -1,0 +1,108 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repdir/internal/core"
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+)
+
+// newExampleSuite builds the paper's 3-2-2 configuration in process.
+func newExampleSuite() *core.Suite {
+	dirs := []rep.Directory{
+		transport.NewLocal(rep.New("A")),
+		transport.NewLocal(rep.New("B")),
+		transport.NewLocal(rep.New("C")),
+	}
+	suite, err := core.NewSuite(quorum.NewUniform(dirs, 2, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return suite
+}
+
+// Example shows the basic directory operations on a 3-2-2 suite.
+func Example() {
+	ctx := context.Background()
+	suite := newExampleSuite()
+
+	if err := suite.Insert(ctx, "pluto", "planet"); err != nil {
+		log.Fatal(err)
+	}
+	if err := suite.Update(ctx, "pluto", "dwarf planet"); err != nil {
+		log.Fatal(err)
+	}
+	value, found, err := suite.Lookup(ctx, "pluto")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(found, value)
+
+	if err := suite.Delete(ctx, "pluto"); err != nil {
+		log.Fatal(err)
+	}
+	_, found, _ = suite.Lookup(ctx, "pluto")
+	fmt.Println(found)
+	// Output:
+	// true dwarf planet
+	// false
+}
+
+// ExampleSuite_RunInTxn shows a multi-key atomic transaction.
+func ExampleSuite_RunInTxn() {
+	ctx := context.Background()
+	suite := newExampleSuite()
+
+	err := suite.RunInTxn(ctx, func(tx *core.Tx) error {
+		if err := tx.Insert(ctx, "debit", "100"); err != nil {
+			return err
+		}
+		return tx.Insert(ctx, "credit", "100")
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, foundDebit, _ := suite.Lookup(ctx, "debit")
+	_, foundCredit, _ := suite.Lookup(ctx, "credit")
+	fmt.Println(foundDebit, foundCredit)
+	// Output: true true
+}
+
+// ExampleSuite_Scan shows ordered iteration.
+func ExampleSuite_Scan() {
+	ctx := context.Background()
+	suite := newExampleSuite()
+	for _, k := range []string{"cherry", "apple", "banana"} {
+		if err := suite.Insert(ctx, k, "fruit"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	entries, err := suite.Scan(ctx, "", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, kv := range entries {
+		fmt.Println(kv.Key)
+	}
+	// Output:
+	// apple
+	// banana
+}
+
+// ExampleSet shows the replicated set abstraction.
+func ExampleSet() {
+	ctx := context.Background()
+	set := core.NewSet(newExampleSuite())
+
+	if err := set.Add(ctx, "node-1"); err != nil {
+		log.Fatal(err)
+	}
+	in, _ := set.Contains(ctx, "node-1")
+	out, _ := set.Contains(ctx, "node-2")
+	fmt.Println(in, out)
+	// Output: true false
+}

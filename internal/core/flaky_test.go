@@ -1,0 +1,142 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+)
+
+// flakyDir wraps a representative and fails calls with ErrUnavailable
+// according to a countdown: the first failAfter calls succeed, then every
+// call fails until the budget is reset. Prepare/Commit/Abort always pass,
+// modeling a replica whose data path flaps while transaction control
+// still drains.
+type flakyDir struct {
+	*transport.Middleware
+
+	mu        sync.Mutex
+	remaining int
+}
+
+func newFlakyDir(inner rep.Directory) *flakyDir {
+	f := &flakyDir{}
+	f.Middleware = transport.Wrap(inner, func(op transport.Op) error {
+		switch op {
+		case transport.OpPrepare, transport.OpCommit, transport.OpAbort:
+			return nil
+		}
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.remaining <= 0 {
+			return fmt.Errorf("%w: flaky %s", transport.ErrUnavailable, inner.Name())
+		}
+		f.remaining--
+		return nil
+	})
+	return f
+}
+
+func (f *flakyDir) setBudget(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.remaining = n
+}
+
+// TestMidOperationReplicaLoss makes one replica fail partway through a
+// delete — after the successor walk has already sent it operations — and
+// checks the retry routes around it and the suite state stays correct.
+func TestMidOperationReplicaLoss(t *testing.T) {
+	ctx := context.Background()
+	flaky := newFlakyDir(rep.New("A"))
+	dirs := []rep.Directory{
+		flaky,
+		transport.NewLocal(rep.New("B")),
+		transport.NewLocal(rep.New("C")),
+	}
+	cfg := quorum.NewUniform(dirs, 2, 2)
+	suite, err := NewSuite(cfg, WithSelector(quorum.NewStickySelector(cfg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy phase: populate through the flaky-but-currently-fine A.
+	flaky.setBudget(1 << 30)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := suite.Insert(ctx, k, "v-"+k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Let exactly 3 more calls through, then flap: the delete's
+	// successor walk will start against A and die partway.
+	flaky.setBudget(3)
+	if err := suite.Delete(ctx, "b"); err != nil {
+		t.Fatalf("delete with mid-operation loss: %v", err)
+	}
+	if _, found, err := suite.Lookup(ctx, "b"); err != nil || found {
+		t.Fatalf("b should be deleted: %v %v", found, err)
+	}
+	// The sticky selector preferred A; after its exclusion mid-op, B and
+	// C carried the delete. Heal A and confirm reads still agree.
+	flaky.setBudget(1 << 30)
+	for i := 0; i < 5; i++ {
+		if _, found, err := suite.Lookup(ctx, "b"); err != nil || found {
+			t.Fatalf("b resurfaced after heal: %v %v", found, err)
+		}
+		if v, found, err := suite.Lookup(ctx, "a"); err != nil || !found || v != "v-a" {
+			t.Fatalf("a lost: %q %v %v", v, found, err)
+		}
+	}
+}
+
+// TestReplicaLossDuringInsertRetries checks the simpler insert path.
+func TestReplicaLossDuringInsertRetries(t *testing.T) {
+	ctx := context.Background()
+	flaky := newFlakyDir(rep.New("A"))
+	dirs := []rep.Directory{
+		flaky,
+		transport.NewLocal(rep.New("B")),
+		transport.NewLocal(rep.New("C")),
+	}
+	cfg := quorum.NewUniform(dirs, 2, 2)
+	suite, err := NewSuite(cfg, WithSelector(quorum.NewStickySelector(cfg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail after the read-quorum lookup: the write hits the wall.
+	flaky.setBudget(1)
+	if err := suite.Insert(ctx, "k", "v"); err != nil {
+		t.Fatalf("insert should retry around the flaky replica: %v", err)
+	}
+	flaky.setBudget(1 << 30)
+	if v, found, err := suite.Lookup(ctx, "k"); err != nil || !found || v != "v" {
+		t.Fatalf("lookup after retried insert: %q %v %v", v, found, err)
+	}
+}
+
+// TestAllReplicasFlakyFailsCleanly verifies the retry budget surfaces a
+// meaningful error when no quorum can ever be assembled.
+func TestAllReplicasFlakyFailsCleanly(t *testing.T) {
+	ctx := context.Background()
+	a := newFlakyDir(rep.New("A"))
+	b := newFlakyDir(rep.New("B"))
+	c := newFlakyDir(rep.New("C"))
+	suite, err := NewSuite(quorum.NewUniform([]rep.Directory{a, b, c}, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every call fails from the start.
+	err = suite.Insert(ctx, "k", "v")
+	if err == nil {
+		t.Fatal("insert with all replicas failing must error")
+	}
+	if !errors.Is(err, transport.ErrUnavailable) && !errors.Is(err, quorum.ErrNoQuorum) {
+		t.Fatalf("error should reflect unavailability: %v", err)
+	}
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+)
+
+// GrowSuite prepares a new representative to join a suite: it repairs the
+// newcomer from the current suite so it physically holds every current
+// entry, then returns the expanded configuration with the given quorum
+// sizes. The returned configuration validates the R + W intersection
+// requirement for the enlarged membership.
+//
+// Configuration changes are an operator procedure, not a protocol: the
+// paper has no reconfiguration mechanism (it notes only that "the exact
+// configuration of suites can be tailored", section 5). Clients must not
+// mix the old and new configurations for writes — a write quorum of the
+// old suite need not intersect a read quorum of the new one. The safe
+// sequence is: quiesce writers, GrowSuite, switch every client to the
+// returned configuration, resume.
+func GrowSuite(ctx context.Context, s *Suite, newcomer rep.Directory, votes, newR, newW int) (quorum.Config, error) {
+	grown := quorum.Config{
+		Members: append(append([]quorum.Member{}, s.cfg.Members...),
+			quorum.Member{Dir: newcomer, Votes: votes}),
+		R: newR,
+		W: newW,
+	}
+	if err := grown.Validate(); err != nil {
+		return quorum.Config{}, fmt.Errorf("core: grown configuration invalid: %w", err)
+	}
+	for _, m := range s.cfg.Members {
+		if m.Dir.Name() == newcomer.Name() {
+			return quorum.Config{}, fmt.Errorf("core: %s is already a member", newcomer.Name())
+		}
+	}
+	if _, err := RepairReplica(ctx, s, newcomer); err != nil {
+		return quorum.Config{}, fmt.Errorf("core: seed newcomer %s: %w", newcomer.Name(), err)
+	}
+	return grown, nil
+}

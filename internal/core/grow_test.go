@@ -1,0 +1,69 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+)
+
+func TestGrowSuiteAddsSeededReplica(t *testing.T) {
+	ctx := context.Background()
+	ts := newRandomSuite(t, []string{"A", "B", "C"}, 2, 2, 111)
+	for i := 0; i < 8; i++ {
+		if err := ts.suite.Insert(ctx, fmt.Sprintf("k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newcomerRep := rep.New("D")
+	newcomer := transport.NewLocal(newcomerRep)
+
+	grown, err := GrowSuite(ctx, ts.suite, newcomer, 1, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.TotalVotes() != 4 || len(grown.Members) != 4 {
+		t.Fatalf("grown config = %d members / %d votes", len(grown.Members), grown.TotalVotes())
+	}
+	// The newcomer physically holds everything before serving.
+	if newcomerRep.Len() != 2+8 {
+		t.Errorf("newcomer has %d entries, want %d", newcomerRep.Len(), 10)
+	}
+	// A suite over the new configuration answers correctly, including
+	// through quorums containing D.
+	grownSuite, err := NewSuite(grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if v, found, err := grownSuite.Lookup(ctx, fmt.Sprintf("k%d", i)); err != nil || !found || v != "v" {
+			t.Fatalf("grown lookup k%d = %q %v %v", i, v, found, err)
+		}
+	}
+	if err := grownSuite.Insert(ctx, "post-grow", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := grownSuite.Delete(ctx, "k0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := grownSuite.Lookup(ctx, "k0"); found {
+		t.Error("k0 should be deleted in grown suite")
+	}
+}
+
+func TestGrowSuiteValidation(t *testing.T) {
+	ctx := context.Background()
+	ts := newRandomSuite(t, []string{"A", "B", "C"}, 2, 2, 112)
+	d := transport.NewLocal(rep.New("D"))
+	// 4 replicas with R=2, W=2: no intersection.
+	if _, err := GrowSuite(ctx, ts.suite, d, 1, 2, 2); err == nil {
+		t.Error("invalid grown quorums must be rejected")
+	}
+	// Duplicate member.
+	dup := transport.NewLocal(rep.New("A"))
+	if _, err := GrowSuite(ctx, ts.suite, dup, 1, 3, 2); err == nil {
+		t.Error("duplicate member must be rejected")
+	}
+}

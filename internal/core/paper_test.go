@@ -1,0 +1,209 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// TestPaperFigures1to5 replays the motivating example of sections 2:
+// a 3-2-2 directory suite (representatives A, B, C) whose entries carry
+// gap version numbers. Without gap versions, a Lookup("b") on {A, C}
+// after the deletion of "b" is ambiguous (Figures 1-3); with them, the
+// "not present with version 2" reply dominates the ghost "present with
+// version 1" (Figures 4-5).
+func TestPaperFigures1to5(t *testing.T) {
+	ctx := context.Background()
+	ts := newScriptedSuite(t, []string{"A", "B", "C"}, 2, 2)
+	// Figure 1: every representative holds "a" and "c" at version 1.
+	ts.prepopulate(t, "a", "c")
+
+	// Figure 4: insert "b" into representatives A and B. The read quorum
+	// {A, C} sees the gap (a..c) at version 0, so "b" gets version 1.
+	ts.script.set([]int{0, 2}, []int{0, 1})
+	if err := ts.suite.Insert(ctx, "b", "val-b"); err != nil {
+		t.Fatalf("insert b: %v", err)
+	}
+	for i, want := range []bool{true, true, false} {
+		if got, _ := ts.repHas(i, "b"); got != want {
+			t.Errorf("rep %d has b = %v, want %v", i, got, want)
+		}
+	}
+	if has, ver := ts.repHas(0, "b"); !has || ver != 1 {
+		t.Errorf("b on A should be version 1, got %v %d", has, ver)
+	}
+
+	// Lookup("b") on {A, C}: A replies "present, version 1"; C replies
+	// "not present, version 0". Present wins — the client correctly
+	// determines the entry exists even though C never saw it.
+	ts.script.set([]int{0, 2}, nil)
+	if _, found, err := ts.suite.Lookup(ctx, "b"); err != nil || !found {
+		t.Fatalf("lookup b on {A,C} = found %v, err %v; want present", found, err)
+	}
+
+	// Figure 5: delete "b" from representatives B and C. The coalesce
+	// gives the gap (a..c) version 2 on both.
+	ts.script.set([]int{1, 2}, []int{1, 2})
+	if err := ts.suite.Delete(ctx, "b"); err != nil {
+		t.Fatalf("delete b: %v", err)
+	}
+	// A still holds the ghost of "b" at version 1.
+	if has, ver := ts.repHas(0, "b"); !has || ver != 1 {
+		t.Fatalf("A should still hold ghost b v1, got %v %d", has, ver)
+	}
+	if has, _ := ts.repHas(1, "b"); has {
+		t.Error("B should no longer hold b")
+	}
+
+	// The previously ambiguous quorum {A, C}: A says "present v1", C
+	// says "not present v2". The gap version dominates: not present.
+	ts.script.set([]int{0, 2}, nil)
+	if _, found, err := ts.suite.Lookup(ctx, "b"); err != nil || found {
+		t.Fatalf("lookup b on {A,C} after delete = found %v, err %v; want absent", found, err)
+	}
+	// And on {A, B} as well.
+	ts.script.set([]int{0, 1}, nil)
+	if _, found, _ := ts.suite.Lookup(ctx, "b"); found {
+		t.Error("lookup b on {A,B} after delete should be absent")
+	}
+	// "a" and "c" survive everywhere.
+	for _, k := range []string{"a", "c"} {
+		ts.script.set([]int{0, 2}, nil)
+		if v, found, err := ts.suite.Lookup(ctx, k); err != nil || !found || v != "val-"+k {
+			t.Errorf("lookup %s = %q, %v, %v", k, v, found, err)
+		}
+	}
+}
+
+// TestPaperFigures10and11 replays the ghost-elimination example: the real
+// successor of "a" is "bb", which must be copied to a write-quorum member
+// that lacks it, and the coalesce of (LOW..bb) eliminates the ghost "b".
+func TestPaperFigures10and11(t *testing.T) {
+	ctx := context.Background()
+	ts := newScriptedSuite(t, []string{"A", "B", "C"}, 2, 2)
+	ts.prepopulate(t, "a")
+
+	// Build the ghost: insert b and bb into {A, B}, then delete b via
+	// {B, C}. The delete copies bb to C (the Figure 10/11 bound copy) and
+	// leaves the ghost b on A.
+	ts.script.set([]int{0, 1}, []int{0, 1})
+	if err := ts.suite.Insert(ctx, "b", "val-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.suite.Insert(ctx, "bb", "val-bb"); err != nil {
+		t.Fatal(err)
+	}
+	ts.script.set([]int{0, 1}, []int{1, 2})
+	if err := ts.suite.Delete(ctx, "b"); err != nil {
+		t.Fatal(err)
+	}
+	obs := ts.rec.last(t)
+	if obs.Insertions != 1 {
+		t.Errorf("deleting b should copy bb to C: insertions = %d, want 1", obs.Insertions)
+	}
+	if has, ver := ts.repHas(2, "bb"); !has || ver != 1 {
+		t.Fatalf("bb should have been copied to C at version 1, got %v %d", has, ver)
+	}
+	if has, _ := ts.repHas(0, "b"); !has {
+		t.Fatal("A should hold the ghost of b")
+	}
+
+	// Figure 11: delete "a" with write quorum {A, C}. The real successor
+	// walk must skip the ghost b (two steps), and the coalesce of
+	// (LOW..bb) eliminates the ghost from A.
+	ts.script.set([]int{0, 1}, []int{0, 2})
+	if err := ts.suite.Delete(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	obs = ts.rec.last(t)
+	if obs.SuccessorWalkSteps != 2 {
+		t.Errorf("successor walk should skip ghost b: steps = %d, want 2", obs.SuccessorWalkSteps)
+	}
+	if obs.PredecessorWalkSteps != 1 {
+		t.Errorf("predecessor walk steps = %d, want 1 (LOW immediately)", obs.PredecessorWalkSteps)
+	}
+	if obs.GhostDeletions != 1 {
+		t.Errorf("ghost deletions = %d, want 1 (the ghost b on A)", obs.GhostDeletions)
+	}
+	if has, _ := ts.repHas(0, "b"); has {
+		t.Error("ghost b should have been eliminated from A")
+	}
+	if has, _ := ts.repHas(0, "a"); has {
+		t.Error("a should be gone from A")
+	}
+
+	// All read quorums now agree: a and b absent, bb present.
+	for _, quorumIdx := range [][]int{{0, 1}, {0, 2}, {1, 2}} {
+		ts.script.set(quorumIdx, nil)
+		if _, found, _ := ts.suite.Lookup(ctx, "a"); found {
+			t.Errorf("a should be absent on quorum %v", quorumIdx)
+		}
+		if _, found, _ := ts.suite.Lookup(ctx, "b"); found {
+			t.Errorf("b should be absent on quorum %v", quorumIdx)
+		}
+		if v, found, _ := ts.suite.Lookup(ctx, "bb"); !found || v != "val-bb" {
+			t.Errorf("bb should be present on quorum %v", quorumIdx)
+		}
+	}
+}
+
+// TestVersionDominanceAfterEveryOperation drives a scripted worst-case
+// interleaving of quorums and audits the section 3.3 invariant: current
+// data always carries a version number strictly greater than any
+// non-current data for the same key.
+func TestVersionDominanceInvariant(t *testing.T) {
+	ctx := context.Background()
+	ts := newScriptedSuite(t, []string{"A", "B", "C"}, 2, 2)
+	ts.prepopulate(t, "d", "m", "t")
+
+	// A sequence alternating quorums adversarially.
+	steps := []struct {
+		op    string
+		key   string
+		read  []int
+		write []int
+	}{
+		{"insert", "g", []int{0, 1}, []int{0, 1}},
+		{"delete", "g", []int{1, 2}, []int{1, 2}},
+		{"insert", "g", []int{0, 2}, []int{0, 2}},
+		{"update", "g", []int{0, 1}, []int{1, 2}},
+		{"delete", "m", []int{0, 2}, []int{0, 1}},
+		{"insert", "m", []int{1, 2}, []int{0, 2}},
+		{"delete", "g", []int{0, 1}, []int{0, 1}},
+		{"delete", "d", []int{1, 2}, []int{0, 2}},
+		{"insert", "e", []int{0, 1}, []int{1, 2}},
+		{"delete", "t", []int{0, 2}, []int{1, 2}},
+	}
+	oracle := map[string]bool{"d": true, "m": true, "t": true}
+	for i, st := range steps {
+		ts.script.set(st.read, st.write)
+		var err error
+		switch st.op {
+		case "insert":
+			err = ts.suite.Insert(ctx, st.key, "v")
+			oracle[st.key] = true
+		case "update":
+			err = ts.suite.Update(ctx, st.key, "v2")
+		case "delete":
+			err = ts.suite.Delete(ctx, st.key)
+			delete(oracle, st.key)
+		}
+		if err != nil {
+			t.Fatalf("step %d %s %s: %v", i, st.op, st.key, err)
+		}
+		// Audit: every read quorum must agree with the oracle for every
+		// key ever touched.
+		for key := range map[string]bool{"d": true, "e": true, "g": true, "m": true, "t": true} {
+			for _, q := range [][]int{{0, 1}, {0, 2}, {1, 2}} {
+				ts.script.set(q, nil)
+				_, found, err := ts.suite.Lookup(ctx, key)
+				if err != nil {
+					t.Fatalf("step %d audit lookup %s on %v: %v", i, key, q, err)
+				}
+				if found != oracle[key] {
+					t.Fatalf("step %d: lookup %s on quorum %v = %v, oracle says %v",
+						i, key, q, found, oracle[key])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+)
+
+// latencySuite builds a suite whose replicas each add delay per call.
+func latencySuite(t *testing.T, delay time.Duration, parallel bool) (*Suite, []*transport.Local) {
+	t.Helper()
+	locals := make([]*transport.Local, 3)
+	dirs := make([]rep.Directory, 3)
+	for i, n := range []string{"A", "B", "C"} {
+		locals[i] = transport.NewLocal(rep.New(n))
+		locals[i].SetLatency(delay)
+		dirs[i] = locals[i]
+	}
+	cfg := quorum.NewUniform(dirs, 3, 3) // full quorums maximize fan-out
+	s, err := NewSuite(cfg, WithParallelQuorum(parallel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, locals
+}
+
+func TestParallelQuorumCorrectness(t *testing.T) {
+	ctx := context.Background()
+	s, _ := latencySuite(t, 0, true)
+	if err := s.Insert(ctx, "k", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if v, found, err := s.Lookup(ctx, "k"); err != nil || !found || v != "v1" {
+		t.Fatalf("lookup = %q %v %v", v, found, err)
+	}
+	if err := s.Update(ctx, "k", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := s.Lookup(ctx, "k"); found {
+		t.Fatal("k should be deleted")
+	}
+	// Errors still surface with member identity.
+	if err := s.Insert(ctx, "k2", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(ctx, "k2", "v"); !errors.Is(err, ErrKeyExists) {
+		t.Fatalf("duplicate insert = %v", err)
+	}
+}
+
+func TestParallelQuorumCutsLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	ctx := context.Background()
+	const delay = 4 * time.Millisecond
+
+	seq, _ := latencySuite(t, delay, false)
+	par, _ := latencySuite(t, delay, true)
+	if err := seq.Insert(ctx, "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Insert(ctx, "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 10
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, _, err := seq.Lookup(ctx, "k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqDur := time.Since(start)
+
+	start = time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, _, err := par.Lookup(ctx, "k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parDur := time.Since(start)
+
+	// Sequential pays 3x the per-member latency per round; parallel pays
+	// about 1x. Require at least a 1.8x improvement to avoid flakiness.
+	if float64(seqDur)/float64(parDur) < 1.8 {
+		t.Errorf("parallel quorum should cut latency: sequential %v vs parallel %v",
+			seqDur, parDur)
+	}
+}
+
+func TestParallelQuorumReplicaFailure(t *testing.T) {
+	ctx := context.Background()
+	locals := make([]*transport.Local, 3)
+	dirs := make([]rep.Directory, 3)
+	for i, n := range []string{"A", "B", "C"} {
+		locals[i] = transport.NewLocal(rep.New(n))
+		dirs[i] = locals[i]
+	}
+	s, err := NewSuite(quorum.NewUniform(dirs, 2, 2), WithParallelQuorum(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(ctx, "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	locals[1].Crash()
+	for i := 0; i < 10; i++ {
+		if v, found, err := s.Lookup(ctx, "k"); err != nil || !found || v != "v" {
+			t.Fatalf("parallel lookup with failure: %q %v %v", v, found, err)
+		}
+	}
+	if err := s.Delete(ctx, "k"); err != nil {
+		t.Fatalf("parallel delete with failure: %v", err)
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+	"repdir/internal/txn"
+)
+
+// newPartitionedDir models a network partition from one client's vantage
+// point: calls to representatives outside the client's reachable set fail
+// with ErrUnavailable. Different clients can hold different views of the
+// same replicas, which is exactly a partition.
+func newPartitionedDir(inner rep.Directory, reachable func() bool) rep.Directory {
+	return transport.Wrap(inner, func(transport.Op) error {
+		if !reachable() {
+			return fmt.Errorf("%w: partitioned from %s", transport.ErrUnavailable, inner.Name())
+		}
+		return nil
+	})
+}
+
+// partitionedClient builds a suite whose view of the shared replicas is
+// limited to the named reachable set.
+func partitionedClient(t *testing.T, reps []*rep.Rep, reachable map[string]bool,
+	ids *txn.IDSource, r, w int) *Suite {
+	t.Helper()
+	dirs := make([]rep.Directory, len(reps))
+	for i, rp := range reps {
+		name := rp.Name()
+		dirs[i] = newPartitionedDir(rp, func() bool { return reachable[name] })
+	}
+	cfg := quorum.NewUniform(dirs, r, w)
+	suite, err := NewSuite(cfg, WithIDSource(ids), WithMaxRetries(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return suite
+}
+
+// TestOverlappingPartitionsStayConsistent puts two clients in partitions
+// that share exactly one replica. Both can form 2-of-3 quorums, and
+// every write quorum contains the shared replica, so their operations
+// serialize there and consistency is preserved.
+func TestOverlappingPartitionsStayConsistent(t *testing.T) {
+	ctx := context.Background()
+	reps := []*rep.Rep{rep.New("A"), rep.New("B"), rep.New("C")}
+	ids := txn.NewIDSource(0)
+	clientLeft := partitionedClient(t, reps, map[string]bool{"A": true, "B": true}, ids, 2, 2)
+	clientRight := partitionedClient(t, reps, map[string]bool{"B": true, "C": true}, ids, 2, 2)
+
+	if err := clientLeft.Insert(ctx, "shared", "left-1"); err != nil {
+		t.Fatal(err)
+	}
+	// The right client must observe the left client's write (through B).
+	if v, found, err := clientRight.Lookup(ctx, "shared"); err != nil || !found || v != "left-1" {
+		t.Fatalf("right client lookup = %q %v %v", v, found, err)
+	}
+	if err := clientRight.Update(ctx, "shared", "right-2"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, err := clientLeft.Lookup(ctx, "shared"); err != nil || v != "right-2" {
+		t.Fatalf("left client should see right's update: %q %v", v, err)
+	}
+	// Delete from one side is visible on the other.
+	if err := clientLeft.Delete(ctx, "shared"); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, err := clientRight.Lookup(ctx, "shared"); err != nil || found {
+		t.Fatalf("right client should see the deletion: %v %v", found, err)
+	}
+}
+
+// TestMinorityPartitionCannotOperate confirms split-brain safety: a
+// client that can reach only one of three replicas cannot read or write
+// (R = W = 2), so it can never diverge.
+func TestMinorityPartitionCannotOperate(t *testing.T) {
+	ctx := context.Background()
+	reps := []*rep.Rep{rep.New("A"), rep.New("B"), rep.New("C")}
+	ids := txn.NewIDSource(0)
+	majority := partitionedClient(t, reps, map[string]bool{"A": true, "B": true}, ids, 2, 2)
+	minority := partitionedClient(t, reps, map[string]bool{"C": true}, ids, 2, 2)
+
+	if err := majority.Insert(ctx, "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := minority.Insert(ctx, "other", "x"); err == nil {
+		t.Fatal("minority partition must not be able to write")
+	}
+	if _, _, err := minority.Lookup(ctx, "k"); err == nil {
+		t.Fatal("minority partition must not be able to read (R=2)")
+	}
+	// The majority keeps operating.
+	if v, found, err := majority.Lookup(ctx, "k"); err != nil || !found || v != "v" {
+		t.Fatalf("majority lookup = %q %v %v", v, found, err)
+	}
+}
+
+// TestPartitionHealReconverges heals a partition and verifies a client
+// that was cut off sees all writes made in its absence.
+func TestPartitionHealReconverges(t *testing.T) {
+	ctx := context.Background()
+	reps := []*rep.Rep{rep.New("A"), rep.New("B"), rep.New("C")}
+	ids := txn.NewIDSource(0)
+
+	// The healing client's reachability is dynamic.
+	healed := false
+	reach := map[string]bool{"C": true}
+	dirs := make([]rep.Directory, len(reps))
+	for i, rp := range reps {
+		name := rp.Name()
+		dirs[i] = newPartitionedDir(rp, func() bool { return healed || reach[name] })
+	}
+	cfg := quorum.NewUniform(dirs, 2, 2)
+	isolated, err := NewSuite(cfg, WithIDSource(ids), WithMaxRetries(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := partitionedClient(t, reps, map[string]bool{"A": true, "B": true, "C": true}, ids, 2, 2)
+
+	// Write while the other client is isolated; the write quorum may or
+	// may not include C.
+	for i := 0; i < 5; i++ {
+		if err := full.Insert(ctx, fmt.Sprintf("k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := isolated.Lookup(ctx, "k0"); err == nil {
+		t.Fatal("isolated client should not reach a quorum")
+	}
+	healed = true
+	for i := 0; i < 5; i++ {
+		if _, found, err := isolated.Lookup(ctx, fmt.Sprintf("k%d", i)); err != nil || !found {
+			t.Fatalf("after heal, k%d: %v %v", i, found, err)
+		}
+	}
+}

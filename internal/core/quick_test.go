@@ -1,0 +1,151 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickSuiteMatchesMapModel is a property-based test: for any
+// quick-generated operation sequence over a small key alphabet, a 3-2-2
+// suite with random quorums behaves exactly like a single map.
+func TestQuickSuiteMatchesMapModel(t *testing.T) {
+	ctx := context.Background()
+	property := func(ops []uint16, seed int64) bool {
+		ts := newRandomSuite(t, []string{"A", "B", "C"}, 2, 2, seed)
+		model := make(map[string]string)
+		for i, op := range ops {
+			key := fmt.Sprintf("k%d", (op>>2)%11)
+			val := fmt.Sprintf("v%d", i)
+			switch op % 4 {
+			case 0: // insert
+				err := ts.suite.Insert(ctx, key, val)
+				if _, exists := model[key]; exists {
+					if !errors.Is(err, ErrKeyExists) {
+						t.Logf("insert existing %s: %v", key, err)
+						return false
+					}
+				} else {
+					if err != nil {
+						t.Logf("insert %s: %v", key, err)
+						return false
+					}
+					model[key] = val
+				}
+			case 1: // update
+				err := ts.suite.Update(ctx, key, val)
+				if _, exists := model[key]; exists {
+					if err != nil {
+						t.Logf("update %s: %v", key, err)
+						return false
+					}
+					model[key] = val
+				} else if !errors.Is(err, ErrKeyNotFound) {
+					t.Logf("update missing %s: %v", key, err)
+					return false
+				}
+			case 2: // delete
+				err := ts.suite.Delete(ctx, key)
+				if _, exists := model[key]; exists {
+					if err != nil {
+						t.Logf("delete %s: %v", key, err)
+						return false
+					}
+					delete(model, key)
+				} else if !errors.Is(err, ErrKeyNotFound) {
+					t.Logf("delete missing %s: %v", key, err)
+					return false
+				}
+			case 3: // lookup
+				got, found, err := ts.suite.Lookup(ctx, key)
+				if err != nil {
+					t.Logf("lookup %s: %v", key, err)
+					return false
+				}
+				want, exists := model[key]
+				if found != exists || (found && got != want) {
+					t.Logf("lookup %s = (%q,%v), model (%q,%v)", key, got, found, want, exists)
+					return false
+				}
+			}
+		}
+		// Final audit: all keys, all quorum draws.
+		for i := 0; i < 11; i++ {
+			key := fmt.Sprintf("k%d", i)
+			want, exists := model[key]
+			for trial := 0; trial < 3; trial++ {
+				got, found, err := ts.suite.Lookup(ctx, key)
+				if err != nil || found != exists || (found && got != want) {
+					t.Logf("final audit %s: (%q,%v,%v) vs model (%q,%v)",
+						key, got, found, err, want, exists)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickVersionDominance is the section 3.3 invariant as a property:
+// after any operation sequence, for every key the maximum version among
+// entries on any replica either belongs to a current entry (key present)
+// or is dominated by some gap version on a read-quorum-reachable replica.
+// We check it through the public interface: every possible 2-member read
+// quorum must agree with the model.
+func TestQuickVersionDominance(t *testing.T) {
+	ctx := context.Background()
+	property := func(ops []uint8) bool {
+		ts := newScriptedSuite(t, []string{"A", "B", "C"}, 2, 2)
+		model := make(map[string]bool)
+		quorums := [][]int{{0, 1}, {0, 2}, {1, 2}}
+		for i, op := range ops {
+			key := fmt.Sprintf("k%d", (op>>3)%5)
+			q := quorums[int(op)%len(quorums)]
+			q2 := quorums[(int(op)/3)%len(quorums)]
+			ts.script.set(q, q2)
+			switch op % 3 {
+			case 0:
+				if err := ts.suite.Insert(ctx, key, fmt.Sprintf("v%d", i)); err == nil {
+					model[key] = true
+				} else if !errors.Is(err, ErrKeyExists) {
+					return false
+				}
+			case 1:
+				if err := ts.suite.Delete(ctx, key); err == nil {
+					delete(model, key)
+				} else if !errors.Is(err, ErrKeyNotFound) {
+					return false
+				}
+			case 2:
+				if err := ts.suite.Update(ctx, key, fmt.Sprintf("u%d", i)); err != nil &&
+					!errors.Is(err, ErrKeyNotFound) {
+					return false
+				}
+			}
+			// Every read quorum agrees with the model after every op.
+			for j := 0; j < 5; j++ {
+				k := fmt.Sprintf("k%d", j)
+				for _, rq := range quorums {
+					ts.script.set(rq, nil)
+					_, found, err := ts.suite.Lookup(ctx, k)
+					if err != nil || found != model[k] {
+						t.Logf("op %d: quorum %v disagrees on %s (found=%v model=%v err=%v)",
+							i, rq, k, found, model[k], err)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}

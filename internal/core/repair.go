@@ -1,0 +1,109 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repdir/internal/keyspace"
+	"repdir/internal/rep"
+)
+
+// RepairStats reports what RepairReplica did.
+type RepairStats struct {
+	// Scanned is the number of current entries examined.
+	Scanned int
+	// Copied is the number of entries installed on the target because
+	// they were missing.
+	Copied int
+	// Freshened is the number of entries whose stale version/value on
+	// the target was overwritten with the current one.
+	Freshened int
+}
+
+// RepairReplica brings one representative's entries up to date with the
+// suite: every current entry missing from the target is copied, and
+// every stale copy is freshened to the current version and value.
+//
+// A recovered replica otherwise catches up only incidentally — when it
+// lands in write quorums or serves as a coalesce bound — so a repair
+// pass restores full read performance after an outage (the paper's
+// footnote 6: failures that change quorums cost only performance; this
+// recovers that performance).
+//
+// Repair uses ordinary versioned inserts, so it is safe to run while the
+// suite is live: installing a current (version, value) pair at a replica
+// is exactly the bound-copying step of DirSuiteDelete, and range locking
+// serializes it against concurrent operations. Each entry is repaired in
+// its own transaction so the directory is never locked wholesale. Ghost
+// entries and stale gap versions on the target are left alone — they are
+// harmless by version dominance and are reclaimed by future coalesces.
+func RepairReplica(ctx context.Context, s *Suite, target rep.Directory) (RepairStats, error) {
+	var stats RepairStats
+	after := ""
+	for {
+		// One page of current entries per repair batch. Batch-local
+		// stats are folded in only after the batch commits, so wait-die
+		// retries never double-count.
+		var page []KV
+		var batch RepairStats
+		err := s.RunInTxn(ctx, func(tx *Tx) error {
+			batch = RepairStats{}
+			var err error
+			page, err = tx.Scan(ctx, after, 64)
+			if err != nil {
+				return err
+			}
+			for _, kv := range page {
+				if err := repairEntry(ctx, tx, target, kv.Key, &batch); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return stats, fmt.Errorf("core: repair %s: %w", target.Name(), err)
+		}
+		stats.Scanned += batch.Scanned
+		stats.Copied += batch.Copied
+		stats.Freshened += batch.Freshened
+		if len(page) == 0 {
+			return stats, nil
+		}
+		after = page[len(page)-1].Key
+	}
+}
+
+// repairEntry reconciles one key on the target within the transaction.
+func repairEntry(ctx context.Context, tx *Tx, target rep.Directory, key string, stats *RepairStats) error {
+	stats.Scanned++
+	k := keyspace.New(key)
+	// Current state, by quorum.
+	cur, err := tx.suiteLookup(ctx, k)
+	if err != nil {
+		return err
+	}
+	if !cur.Found {
+		// Deleted between the scan and now; nothing to install.
+		return nil
+	}
+	tx.txn.Join(target)
+	have, err := target.Lookup(ctx, tx.txn.ID, k)
+	if err != nil {
+		tx.noteFailure(target.Name(), err)
+		return err
+	}
+	switch {
+	case have.Found && have.Version >= cur.Version:
+		return nil
+	case have.Found:
+		stats.Freshened++
+	default:
+		stats.Copied++
+	}
+	if err := target.Insert(ctx, tx.txn.ID, k, cur.Version, cur.Value); err != nil {
+		tx.noteFailure(target.Name(), err)
+		return err
+	}
+	tx.mutated = true
+	return nil
+}

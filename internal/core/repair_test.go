@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+func TestRepairReplicaCatchesUpAfterOutage(t *testing.T) {
+	ctx := context.Background()
+	ts := newRandomSuite(t, []string{"A", "B", "C"}, 2, 2, 101)
+	s := ts.suite
+
+	// Baseline data while everything is up.
+	for i := 0; i < 10; i++ {
+		if err := s.Insert(ctx, fmt.Sprintf("pre-%02d", i), "v1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A goes down; the suite keeps mutating.
+	ts.locals[0].Crash()
+	for i := 0; i < 10; i++ {
+		if err := s.Insert(ctx, fmt.Sprintf("out-%02d", i), "v1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Update(ctx, fmt.Sprintf("pre-%02d", i), "v2"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete(ctx, "pre-09"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A returns, stale. Repair it.
+	ts.locals[0].Restart()
+	stats, err := RepairReplica(ctx, s, ts.locals[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scanned != 19 {
+		t.Errorf("scanned = %d, want 19 current entries", stats.Scanned)
+	}
+	if stats.Copied == 0 {
+		t.Error("outage-era inserts should have been copied to A")
+	}
+	if stats.Freshened == 0 {
+		t.Error("outage-era updates should have freshened stale copies on A")
+	}
+
+	// A now physically holds every current entry at the current version.
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("out-%02d", i)
+		if has, _ := ts.repHas(0, key); !has {
+			t.Errorf("A missing %s after repair", key)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("pre-%02d", i)
+		has, ver := ts.repHas(0, key)
+		if !has || ver < 2 {
+			t.Errorf("A has stale %s after repair (found=%v ver=%d)", key, has, ver)
+		}
+	}
+	// The deletion is NOT resurrected: pre-09's ghost may linger on A,
+	// but quorum lookups stay correct.
+	for i := 0; i < 10; i++ {
+		if _, found, err := s.Lookup(ctx, "pre-09"); err != nil || found {
+			t.Fatalf("pre-09 resurrected after repair: %v %v", found, err)
+		}
+	}
+}
+
+func TestRepairIsIdempotent(t *testing.T) {
+	ctx := context.Background()
+	ts := newRandomSuite(t, []string{"A", "B", "C"}, 2, 2, 102)
+	for i := 0; i < 8; i++ {
+		if err := ts.suite.Insert(ctx, fmt.Sprintf("k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := RepairReplica(ctx, ts.suite, ts.locals[1]); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := RepairReplica(ctx, ts.suite, ts.locals[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Copied != 0 || stats.Freshened != 0 {
+		t.Errorf("second repair should be a no-op: %+v", stats)
+	}
+}
+
+func TestRepairEmptySuite(t *testing.T) {
+	ctx := context.Background()
+	ts := newRandomSuite(t, []string{"A", "B", "C"}, 2, 2, 103)
+	stats, err := RepairReplica(ctx, ts.suite, ts.locals[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scanned != 0 {
+		t.Errorf("empty repair scanned %d", stats.Scanned)
+	}
+}
+
+func TestRepairZeroVoteHintReplica(t *testing.T) {
+	// Repair can populate a zero-vote hint replica (paper section 2:
+	// "representatives with zero votes may be used as hints") that
+	// quorums never write to.
+	ctx := context.Background()
+	ts := newRandomSuite(t, []string{"A", "B", "C"}, 2, 2, 104)
+	hintTS := newRandomSuite(t, []string{"H"}, 1, 1, 105)
+	hint := hintTS.locals[0]
+
+	// Votes don't matter here: we repair the hint directly.
+	for i := 0; i < 6; i++ {
+		if err := ts.suite.Insert(ctx, fmt.Sprintf("k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := RepairReplica(ctx, ts.suite, hint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Copied != 6 {
+		t.Errorf("hint should receive all 6 entries, got %d", stats.Copied)
+	}
+}

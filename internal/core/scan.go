@@ -1,0 +1,138 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repdir/internal/keyspace"
+)
+
+// KV is one entry returned by Scan.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// Scan returns up to limit current entries with keys strictly greater
+// than after, in ascending key order, as one atomic transaction. Pass
+// after = "" to scan from the beginning; limit <= 0 means no limit.
+//
+// Scanning is built from the same machinery as deletion: each step is a
+// real-successor search (Figure 12), which skips ghosts by quorum version
+// comparison, so stale replicas can neither hide a current entry nor
+// resurrect a deleted one. The scan holds read locks on the traversed
+// range until it completes (strict two-phase locking), so the result is a
+// consistent snapshot.
+func (s *Suite) Scan(ctx context.Context, after string, limit int) ([]KV, error) {
+	var out []KV
+	err := s.RunInTxn(ctx, func(tx *Tx) error {
+		var err error
+		out, err = tx.Scan(ctx, after, limit)
+		return err
+	})
+	return out, err
+}
+
+// Scan is the transactional form of Suite.Scan.
+func (tx *Tx) Scan(ctx context.Context, after string, limit int) ([]KV, error) {
+	return tx.scanBounded(ctx, after, keyspace.High(), limit)
+}
+
+// ScanRange returns up to limit current entries with after < key <
+// until, in ascending order, as one atomic transaction. An empty until
+// means "to the end".
+func (s *Suite) ScanRange(ctx context.Context, after, until string, limit int) ([]KV, error) {
+	var out []KV
+	err := s.RunInTxn(ctx, func(tx *Tx) error {
+		var err error
+		out, err = tx.ScanRange(ctx, after, until, limit)
+		return err
+	})
+	return out, err
+}
+
+// ScanRange is the transactional form of Suite.ScanRange.
+func (tx *Tx) ScanRange(ctx context.Context, after, until string, limit int) ([]KV, error) {
+	upper := keyspace.High()
+	if until != "" {
+		upper = keyspace.New(until)
+	}
+	return tx.scanBounded(ctx, after, upper, limit)
+}
+
+// ScanPrefix returns the entries whose keys are tuple-encoded extensions
+// of the given prefix components (see keyspace.EncodeTuple), in order.
+// It only makes sense on directories whose keys were written with
+// keyspace.EncodeTuple.
+func (s *Suite) ScanPrefix(ctx context.Context, limit int, components ...string) ([]KV, error) {
+	after, upper := keyspace.TuplePrefixRange(components...)
+	return s.ScanRange(ctx, after.Raw(), upper.Raw(), limit)
+}
+
+// scanBounded walks real successors from after (exclusive) up to upper
+// (exclusive).
+func (tx *Tx) scanBounded(ctx context.Context, after string, upper keyspace.Key, limit int) ([]KV, error) {
+	k := keyspace.Low()
+	if after != "" {
+		k = keyspace.New(after)
+	}
+	var out []KV
+	for limit <= 0 || len(out) < limit {
+		succ, err := tx.realSuccessor(ctx, k)
+		if err != nil {
+			return nil, fmt.Errorf("scan after %s: %w", k, err)
+		}
+		if succ.key.IsHigh() || !succ.key.Less(upper) {
+			break
+		}
+		out = append(out, KV{Key: succ.key.Raw(), Value: succ.value})
+		k = succ.key
+	}
+	return out, nil
+}
+
+// ScanReverse returns up to limit current entries with keys strictly
+// less than before, in descending key order, as one atomic transaction.
+// Pass before = "" to scan from the end; limit <= 0 means no limit. It
+// is the mirror of Scan, built on the real-predecessor search.
+func (s *Suite) ScanReverse(ctx context.Context, before string, limit int) ([]KV, error) {
+	var out []KV
+	err := s.RunInTxn(ctx, func(tx *Tx) error {
+		var err error
+		out, err = tx.ScanReverse(ctx, before, limit)
+		return err
+	})
+	return out, err
+}
+
+// ScanReverse is the transactional form of Suite.ScanReverse.
+func (tx *Tx) ScanReverse(ctx context.Context, before string, limit int) ([]KV, error) {
+	k := keyspace.High()
+	if before != "" {
+		k = keyspace.New(before)
+	}
+	var out []KV
+	for limit <= 0 || len(out) < limit {
+		pred, err := tx.realPredecessor(ctx, k)
+		if err != nil {
+			return nil, fmt.Errorf("scan before %s: %w", k, err)
+		}
+		if pred.key.IsLow() {
+			break
+		}
+		out = append(out, KV{Key: pred.key.Raw(), Value: pred.value})
+		k = pred.key
+	}
+	return out, nil
+}
+
+// Count returns the number of current entries, scanning the whole
+// directory in one transaction. Intended for small directories and
+// audits; it costs one real-successor search per entry.
+func (s *Suite) Count(ctx context.Context) (int, error) {
+	entries, err := s.Scan(ctx, "", 0)
+	if err != nil {
+		return 0, err
+	}
+	return len(entries), nil
+}

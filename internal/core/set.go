@@ -1,0 +1,74 @@
+package core
+
+import (
+	"context"
+	"errors"
+)
+
+// Set is a replicated set of strings built on a directory suite — the
+// "trivial modification" the paper's introduction mentions ("Trivial
+// modifications of this algorithm may be used to implement sets or
+// similar abstractions"). Members are directory keys; values are unused.
+//
+// Unlike the directory operations, Add and Remove are idempotent: adding
+// a present member or removing an absent one succeeds without effect,
+// which is the conventional set contract.
+type Set struct {
+	suite *Suite
+}
+
+// NewSet wraps a directory suite as a replicated set. The suite may be
+// shared with directory clients as long as key spaces do not overlap.
+func NewSet(suite *Suite) *Set {
+	return &Set{suite: suite}
+}
+
+// Add makes member an element of the set.
+func (s *Set) Add(ctx context.Context, member string) error {
+	err := s.suite.Insert(ctx, member, "")
+	if errors.Is(err, ErrKeyExists) {
+		return nil
+	}
+	return err
+}
+
+// Remove makes member not an element of the set.
+func (s *Set) Remove(ctx context.Context, member string) error {
+	err := s.suite.Delete(ctx, member)
+	if errors.Is(err, ErrKeyNotFound) {
+		return nil
+	}
+	return err
+}
+
+// Contains reports whether member is an element of the set.
+func (s *Set) Contains(ctx context.Context, member string) (bool, error) {
+	_, found, err := s.suite.Lookup(ctx, member)
+	return found, err
+}
+
+// AddAll atomically adds all members: either every member is added or
+// none are.
+func (s *Set) AddAll(ctx context.Context, members ...string) error {
+	return s.suite.RunInTxn(ctx, func(tx *Tx) error {
+		for _, m := range members {
+			if err := tx.Insert(ctx, m, ""); err != nil && !errors.Is(err, ErrKeyExists) {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// RemoveAll atomically removes all members: either every member is
+// removed or none are.
+func (s *Set) RemoveAll(ctx context.Context, members ...string) error {
+	return s.suite.RunInTxn(ctx, func(tx *Tx) error {
+		for _, m := range members {
+			if err := tx.Delete(ctx, m); err != nil && !errors.Is(err, ErrKeyNotFound) {
+				return err
+			}
+		}
+		return nil
+	})
+}

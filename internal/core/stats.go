@@ -1,0 +1,46 @@
+package core
+
+import "sync/atomic"
+
+// SuiteStats counts transaction-level events on a Suite. All fields are
+// cumulative since the suite was created.
+type SuiteStats struct {
+	// Commits is the number of transactions that committed.
+	Commits uint64
+	// Failures is the number of operations that ultimately failed
+	// (including semantic errors like ErrKeyExists).
+	Failures uint64
+	// Retries is the number of extra attempts caused by wait-die aborts
+	// or lost replicas.
+	Retries uint64
+	// Dies is the number of attempts killed by wait-die.
+	Dies uint64
+	// ReplicaLosses is the number of attempts that lost a replica
+	// mid-operation.
+	ReplicaLosses uint64
+}
+
+// suiteCounters is the mutable, atomic backing store.
+type suiteCounters struct {
+	commits       atomic.Uint64
+	failures      atomic.Uint64
+	retries       atomic.Uint64
+	dies          atomic.Uint64
+	replicaLosses atomic.Uint64
+}
+
+// snapshot freezes the counters.
+func (c *suiteCounters) snapshot() SuiteStats {
+	return SuiteStats{
+		Commits:       c.commits.Load(),
+		Failures:      c.failures.Load(),
+		Retries:       c.retries.Load(),
+		Dies:          c.dies.Load(),
+		ReplicaLosses: c.replicaLosses.Load(),
+	}
+}
+
+// Stats returns a snapshot of the suite's transaction counters.
+func (s *Suite) Stats() SuiteStats {
+	return s.counters.snapshot()
+}

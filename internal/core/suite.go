@@ -1,0 +1,293 @@
+// Package core implements the replicated directory suite — the paper's
+// primary contribution.
+//
+// A directory suite is a set of directory representatives, a vote
+// assignment, and read/write quorum sizes R and W with R + W greater than
+// the total votes. The suite offers the directory operations Lookup,
+// Insert, Update, and Delete with single-copy semantics (section 3.2):
+//
+//   - Lookup (Figure 8) reads a read quorum and returns the reply with
+//     the largest version number; because every representative associates
+//     a version number with every possible key (entry versions plus gap
+//     versions), the reply is unambiguous even after deletions.
+//   - Insert (Figure 9) looks the key up in a read quorum and writes the
+//     entry with one more than the highest version seen to a write
+//     quorum. Update is analogous.
+//   - Delete (Figure 13) locates the key's real predecessor and real
+//     successor (Figure 12), copies them to write-quorum members that
+//     lack them, and coalesces the whole range into a single gap with a
+//     version number exceeding everything previously associated with any
+//     key in the range — eliminating ghosts as a side effect.
+//
+// Every suite operation runs as an atomic transaction across the
+// representatives it touches: strict two-phase locking at each
+// representative plus two-phase commit (package txn). Transactions killed
+// by wait-die deadlock avoidance, and operations that lose a replica
+// mid-flight, are retried automatically under the same transaction
+// timestamp.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repdir/internal/keyspace"
+	"repdir/internal/lock"
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+	"repdir/internal/txn"
+)
+
+// Errors reported by suite operations.
+var (
+	// ErrKeyExists is returned by Insert when the key already has an
+	// entry ("if isin then ReportError()", Figure 9).
+	ErrKeyExists = errors.New("core: key already present")
+	// ErrKeyNotFound is returned by Update and Delete when the key has
+	// no entry.
+	ErrKeyNotFound = errors.New("core: key not present")
+	// ErrRetriesExhausted wraps the last failure after the operation
+	// retry budget is spent.
+	ErrRetriesExhausted = errors.New("core: retries exhausted")
+)
+
+// Suite is a replicated directory client. It is safe for concurrent use;
+// each operation runs its own transaction.
+type Suite struct {
+	cfg        quorum.Config
+	sel        quorum.Selector
+	ids        *txn.IDSource
+	metrics    Metrics
+	maxRetries int
+	fanout     int
+	parallel   bool
+	counters   suiteCounters
+}
+
+// Option configures a Suite.
+type Option interface {
+	apply(*Suite)
+}
+
+type selectorOption struct{ sel quorum.Selector }
+
+func (o selectorOption) apply(s *Suite) { s.sel = o.sel }
+
+// WithSelector sets the quorum selection policy (default: a random
+// selector seeded with 1, matching the paper's simulations).
+func WithSelector(sel quorum.Selector) Option { return selectorOption{sel: sel} }
+
+type idsOption struct{ ids *txn.IDSource }
+
+func (o idsOption) apply(s *Suite) { s.ids = o.ids }
+
+// WithIDSource sets the transaction ID source. Clients of the same suite
+// should share one source (or use distinct node tags) so wait-die sees a
+// consistent transaction age order.
+func WithIDSource(ids *txn.IDSource) Option { return idsOption{ids: ids} }
+
+type metricsOption struct{ m Metrics }
+
+func (o metricsOption) apply(s *Suite) { s.metrics = o.m }
+
+// WithMetrics installs an observer for the paper's section 4 deletion
+// statistics.
+func WithMetrics(m Metrics) Option { return metricsOption{m: m} }
+
+type retriesOption struct{ n int }
+
+func (o retriesOption) apply(s *Suite) { s.maxRetries = o.n }
+
+// WithMaxRetries sets how many times an operation is retried after a
+// wait-die abort or a lost replica (default 256).
+func WithMaxRetries(n int) Option { return retriesOption{n: n} }
+
+type fanoutOption struct{ n int }
+
+func (o fanoutOption) apply(s *Suite) { s.fanout = o.n }
+
+// WithParallelQuorum makes quorum fan-out (lookups and entry writes)
+// issue its per-member messages concurrently instead of sequentially.
+// Over a network this cuts a quorum round from the sum of member
+// latencies to the slowest member's latency. The default is sequential,
+// which keeps simulations deterministic.
+func WithParallelQuorum(on bool) Option { return parallelOption{on: on} }
+
+type parallelOption struct{ on bool }
+
+func (o parallelOption) apply(s *Suite) { s.parallel = o.on }
+
+// WithNeighborFanout sets how many successive predecessors/successors
+// each neighbor probe fetches in one message during Delete's
+// real-predecessor and real-successor searches. The default 1 is the
+// paper's base Figure 12 algorithm; the paper's section 4 suggests 3,
+// with which "the real predecessor and real successor will often be
+// located using one remote procedure call to each member of the quorum".
+func WithNeighborFanout(n int) Option { return fanoutOption{n: n} }
+
+// nextSuiteNode hands each Suite in this process a distinct wait-die node
+// tag, so transaction IDs from different suite clients sharing the same
+// representatives never collide. Clients in *different processes* must
+// coordinate tags explicitly via WithIDSource.
+var nextSuiteNode atomic.Uint32
+
+// NewSuite validates the configuration and builds a suite client.
+func NewSuite(cfg quorum.Config, opts ...Option) (*Suite, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Suite{
+		cfg:        cfg,
+		ids:        txn.NewIDSource(uint16(nextSuiteNode.Add(1))),
+		maxRetries: 256,
+		fanout:     1,
+	}
+	for _, op := range opts {
+		op.apply(s)
+	}
+	if s.sel == nil {
+		s.sel = quorum.NewRandomSelector(cfg, 1)
+	}
+	if s.fanout < 1 {
+		return nil, fmt.Errorf("core: neighbor fanout %d must be positive", s.fanout)
+	}
+	return s, nil
+}
+
+// Config returns the suite's quorum configuration.
+func (s *Suite) Config() quorum.Config { return s.cfg }
+
+// Lookup returns the value stored under key and whether an entry exists.
+func (s *Suite) Lookup(ctx context.Context, key string) (string, bool, error) {
+	var value string
+	var found bool
+	err := s.RunInTxn(ctx, func(tx *Tx) error {
+		var err error
+		value, found, err = tx.Lookup(ctx, key)
+		return err
+	})
+	return value, found, err
+}
+
+// Insert creates an entry for key. It returns ErrKeyExists if one exists.
+func (s *Suite) Insert(ctx context.Context, key, value string) error {
+	return s.RunInTxn(ctx, func(tx *Tx) error {
+		return tx.Insert(ctx, key, value)
+	})
+}
+
+// Update replaces the value of an existing entry. It returns
+// ErrKeyNotFound if the key has no entry.
+func (s *Suite) Update(ctx context.Context, key, value string) error {
+	return s.RunInTxn(ctx, func(tx *Tx) error {
+		return tx.Update(ctx, key, value)
+	})
+}
+
+// Delete removes the entry for key. It returns ErrKeyNotFound if the key
+// has no entry.
+func (s *Suite) Delete(ctx context.Context, key string) error {
+	return s.RunInTxn(ctx, func(tx *Tx) error {
+		return tx.Delete(ctx, key)
+	})
+}
+
+// RunInTxn runs fn as one atomic transaction: all directory operations
+// performed through the supplied Tx either commit together or have no
+// effect. fn may be re-executed after wait-die aborts or replica
+// failures, so it must be idempotent from the caller's perspective (pure
+// directory operations are).
+func (s *Suite) RunInTxn(ctx context.Context, fn func(tx *Tx) error) error {
+	base := s.ids.Next()
+	exclude := make(map[string]bool)
+	var lastErr error
+	maxAttempts := s.maxRetries
+	if maxAttempts >= txn.MaxAttempts {
+		maxAttempts = txn.MaxAttempts - 1
+	}
+	for attempt := 0; attempt <= maxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Each retry runs under its own attempt ID (same wait-die age),
+		// so a dead attempt's two-phase-commit outcome can never be
+		// confused with a live one.
+		attemptTxn := txn.New(txn.AttemptID(base, attempt))
+		attemptTxn.Parallel = s.parallel
+		tx := &Tx{
+			suite:   s,
+			txn:     attemptTxn,
+			exclude: exclude,
+		}
+		err := fn(tx)
+		if err == nil {
+			err = tx.finish(ctx)
+			if err == nil {
+				s.counters.commits.Add(1)
+				tx.flushMetrics()
+				return nil
+			}
+		} else {
+			_ = tx.txn.Abort(ctx)
+		}
+		lastErr = err
+		if errors.Is(err, lock.ErrDie) {
+			s.counters.dies.Add(1)
+		}
+		if len(tx.failed) > 0 {
+			s.counters.replicaLosses.Add(1)
+		}
+		if !retryable(err) {
+			s.counters.failures.Add(1)
+			return err
+		}
+		s.counters.retries.Add(1)
+		// A replica that failed mid-operation is skipped on the retry.
+		for name := range tx.failed {
+			exclude[name] = true
+		}
+		// Back off briefly after wait-die aborts so older transactions
+		// can finish; the transaction keeps its timestamp and therefore
+		// ages toward immunity.
+		if errors.Is(err, lock.ErrDie) {
+			backoff(attempt)
+		}
+	}
+	s.counters.failures.Add(1)
+	return fmt.Errorf("%w: %v", ErrRetriesExhausted, lastErr)
+}
+
+// backoff sleeps linearly with the attempt number, capped at 2ms.
+func backoff(attempt int) {
+	d := time.Duration(attempt+1) * 50 * time.Microsecond
+	if d > 2*time.Millisecond {
+		d = 2 * time.Millisecond
+	}
+	time.Sleep(d)
+}
+
+// retryable reports whether the operation should be re-run: wait-die
+// victims always retry; losing a replica retries with that replica
+// excluded; an attempt externally decided (by a resolver) re-runs under a
+// fresh attempt ID. Quorum-collection failures are final (not enough
+// replicas are up), as are semantic errors.
+func retryable(err error) bool {
+	return errors.Is(err, lock.ErrDie) ||
+		errors.Is(err, transport.ErrUnavailable) ||
+		errors.Is(err, rep.ErrTxnDecided) ||
+		errors.Is(err, rep.ErrUnknownTxn)
+}
+
+// validateKey rejects empty keys; the sentinels LOW and HIGH are not
+// addressable through the public API by construction (every user string
+// maps to a normal key).
+func validateKey(key string) (keyspace.Key, error) {
+	if key == "" {
+		return keyspace.Key{}, errors.New("core: empty key")
+	}
+	return keyspace.New(key), nil
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repdir/internal/keyspace"
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+	"repdir/internal/txn"
+	"repdir/internal/version"
+)
+
+// Tx is one transaction against a directory suite. All operations called
+// on a Tx are atomic as a group: they take effect only if the enclosing
+// RunInTxn commits. A Tx is not safe for concurrent use.
+type Tx struct {
+	suite   *Suite
+	txn     *txn.Txn
+	exclude map[string]bool
+
+	// failed collects members that became unavailable during this
+	// attempt, so the retry can route around them.
+	failed map[string]bool
+	// mutated records whether any representative state changed; pure
+	// read transactions release their locks with a cheap abort.
+	mutated bool
+	// observations buffers per-delete statistics until commit.
+	observations []DeleteObservation
+}
+
+// noteFailure records an unavailable member.
+func (tx *Tx) noteFailure(name string, err error) {
+	if !errors.Is(err, transport.ErrUnavailable) {
+		return
+	}
+	if tx.failed == nil {
+		tx.failed = make(map[string]bool)
+	}
+	tx.failed[name] = true
+}
+
+// finish commits a mutating transaction (two-phase commit when several
+// representatives participated) or releases a read-only one.
+func (tx *Tx) finish(ctx context.Context) error {
+	if tx.mutated {
+		return tx.txn.Commit(ctx)
+	}
+	// Read-only: abort releases locks without logging; it cannot change
+	// any state because none was written.
+	return tx.txn.Abort(ctx)
+}
+
+// flushMetrics reports buffered observations after a successful commit.
+func (tx *Tx) flushMetrics() {
+	if tx.suite.metrics == nil {
+		return
+	}
+	for _, obs := range tx.observations {
+		tx.suite.metrics.ObserveDelete(obs)
+	}
+}
+
+// readQuorum and writeQuorum assemble quorums honoring exclusions.
+func (tx *Tx) readQuorum() ([]quorum.Member, error) {
+	return tx.suite.sel.Select(quorum.Read, tx.exclude)
+}
+
+func (tx *Tx) writeQuorum() ([]quorum.Member, error) {
+	return tx.suite.sel.Select(quorum.Write, tx.exclude)
+}
+
+// Lookup implements DirSuiteLookup (Figure 8) within the transaction.
+func (tx *Tx) Lookup(ctx context.Context, key string) (string, bool, error) {
+	k, err := validateKey(key)
+	if err != nil {
+		return "", false, err
+	}
+	res, err := tx.suiteLookup(ctx, k)
+	if err != nil {
+		return "", false, err
+	}
+	return res.Value, res.Found, nil
+}
+
+// suiteLookup sends DirRepLookup to a read quorum and returns the reply
+// with the largest version number. When Found is false, Version is the
+// winning gap version.
+func (tx *Tx) suiteLookup(ctx context.Context, key keyspace.Key) (rep.LookupResult, error) {
+	members, err := tx.readQuorum()
+	if err != nil {
+		return rep.LookupResult{}, err
+	}
+	replies := make([]rep.LookupResult, len(members))
+	errs := make([]error, len(members))
+	do := func(i int, m quorum.Member) {
+		replies[i], errs[i] = m.Dir.Lookup(ctx, tx.txn.ID, key)
+	}
+	tx.fanOut(members, do)
+	// Figure 8: bestv starts at LowestVersion; strictly larger versions
+	// win. Replies at LowestVersion leave the default "not present".
+	best := rep.LookupResult{Found: false, Version: version.Lowest}
+	for i, m := range members {
+		if errs[i] != nil {
+			tx.noteFailure(m.Dir.Name(), errs[i])
+			return rep.LookupResult{}, fmt.Errorf("lookup %s at %s: %w", key, m.Dir.Name(), errs[i])
+		}
+		// Strictly larger wins, as in Figure 8. Version dominance
+		// (section 3.3) guarantees current data outranks stale data, so
+		// ties only occur between equally current "not present" replies.
+		if replies[i].Version > best.Version {
+			best = replies[i]
+		}
+	}
+	return best, nil
+}
+
+// fanOut joins every member and runs do for each, concurrently when the
+// suite is configured for parallel quorums. do must only write to its own
+// slot; error handling happens after the join.
+func (tx *Tx) fanOut(members []quorum.Member, do func(i int, m quorum.Member)) {
+	for _, m := range members {
+		tx.txn.Join(m.Dir)
+	}
+	if !tx.suite.parallel || len(members) < 2 {
+		for i, m := range members {
+			do(i, m)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m quorum.Member) {
+			defer wg.Done()
+			do(i, m)
+		}(i, m)
+	}
+	wg.Wait()
+}
+
+// Insert implements DirSuiteInsert (Figure 9) within the transaction.
+func (tx *Tx) Insert(ctx context.Context, key, value string) error {
+	k, err := validateKey(key)
+	if err != nil {
+		return err
+	}
+	// Look the key up to learn the highest version previously associated
+	// with it.
+	cur, err := tx.suiteLookup(ctx, k)
+	if err != nil {
+		return err
+	}
+	if cur.Found {
+		return fmt.Errorf("%w: %s", ErrKeyExists, k)
+	}
+	return tx.writeEntry(ctx, k, cur.Version.Next(), value)
+}
+
+// Update implements DirSuiteUpdate (analogous to Figure 9).
+func (tx *Tx) Update(ctx context.Context, key, value string) error {
+	k, err := validateKey(key)
+	if err != nil {
+		return err
+	}
+	cur, err := tx.suiteLookup(ctx, k)
+	if err != nil {
+		return err
+	}
+	if !cur.Found {
+		return fmt.Errorf("%w: %s", ErrKeyNotFound, k)
+	}
+	return tx.writeEntry(ctx, k, cur.Version.Next(), value)
+}
+
+// writeEntry inserts the entry into a write quorum.
+func (tx *Tx) writeEntry(ctx context.Context, key keyspace.Key, ver version.V, value string) error {
+	members, err := tx.writeQuorum()
+	if err != nil {
+		return err
+	}
+	errs := make([]error, len(members))
+	tx.fanOut(members, func(i int, m quorum.Member) {
+		errs[i] = m.Dir.Insert(ctx, tx.txn.ID, key, ver, value)
+	})
+	for i, m := range members {
+		if errs[i] != nil {
+			tx.noteFailure(m.Dir.Name(), errs[i])
+			return fmt.Errorf("insert %s at %s: %w", key, m.Dir.Name(), errs[i])
+		}
+	}
+	tx.mutated = true
+	return nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestReadYourWritesInTransaction: operations inside one transaction see
+// the transaction's own earlier writes, even though reads and writes use
+// different quorums — every read quorum intersects the write quorum the
+// transaction already wrote to, and two-phase locking makes that
+// intersection see the uncommitted-but-own state.
+func TestReadYourWritesInTransaction(t *testing.T) {
+	ctx := context.Background()
+	ts := newRandomSuite(t, []string{"A", "B", "C"}, 2, 2, 91)
+	err := ts.suite.RunInTxn(ctx, func(tx *Tx) error {
+		if err := tx.Insert(ctx, "fresh", "v1"); err != nil {
+			return err
+		}
+		v, found, err := tx.Lookup(ctx, "fresh")
+		if err != nil {
+			return err
+		}
+		if !found || v != "v1" {
+			t.Errorf("own insert invisible: %q %v", v, found)
+		}
+		if err := tx.Update(ctx, "fresh", "v2"); err != nil {
+			return err
+		}
+		v, _, err = tx.Lookup(ctx, "fresh")
+		if err != nil {
+			return err
+		}
+		if v != "v2" {
+			t.Errorf("own update invisible: %q", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := ts.suite.Lookup(ctx, "fresh"); v != "v2" {
+		t.Fatalf("committed value = %q", v)
+	}
+}
+
+func TestInsertThenDeleteInOneTransaction(t *testing.T) {
+	ctx := context.Background()
+	ts := newRandomSuite(t, []string{"A", "B", "C"}, 2, 2, 92)
+	if err := ts.suite.Insert(ctx, "anchor", "x"); err != nil {
+		t.Fatal(err)
+	}
+	err := ts.suite.RunInTxn(ctx, func(tx *Tx) error {
+		if err := tx.Insert(ctx, "ephemeral", "v"); err != nil {
+			return err
+		}
+		// Deleting a key this same transaction inserted: the
+		// real-neighbor walks and version accounting must work against
+		// the transaction's own state.
+		return tx.Delete(ctx, "ephemeral")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := ts.suite.Lookup(ctx, "ephemeral"); found {
+		t.Fatal("ephemeral should not exist after insert+delete txn")
+	}
+	if _, found, _ := ts.suite.Lookup(ctx, "anchor"); !found {
+		t.Fatal("anchor must survive")
+	}
+	// Reinserting afterwards works and wins lookups.
+	if err := ts.suite.Insert(ctx, "ephemeral", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := ts.suite.Lookup(ctx, "ephemeral"); v != "v2" {
+		t.Fatalf("reinserted value = %q", v)
+	}
+}
+
+func TestDeleteThenReinsertInOneTransaction(t *testing.T) {
+	ctx := context.Background()
+	ts := newRandomSuite(t, []string{"A", "B", "C"}, 2, 2, 93)
+	if err := ts.suite.Insert(ctx, "k", "old"); err != nil {
+		t.Fatal(err)
+	}
+	err := ts.suite.RunInTxn(ctx, func(tx *Tx) error {
+		if err := tx.Delete(ctx, "k"); err != nil {
+			return err
+		}
+		v, found, err := tx.Lookup(ctx, "k")
+		if err != nil {
+			return err
+		}
+		if found {
+			t.Errorf("own delete invisible: still found %q", v)
+		}
+		return tx.Insert(ctx, "k", "new")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, found, _ := ts.suite.Lookup(ctx, "k"); !found || v != "new" {
+		t.Fatalf("final value = %q %v", v, found)
+	}
+}
+
+func TestAbortedTransactionInvisibleToOthers(t *testing.T) {
+	ctx := context.Background()
+	ts := newRandomSuite(t, []string{"A", "B", "C"}, 2, 2, 94)
+	boom := errors.New("boom")
+	err := ts.suite.RunInTxn(ctx, func(tx *Tx) error {
+		if err := tx.Insert(ctx, "phantom", "v"); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, found, err := ts.suite.Lookup(ctx, "phantom"); err != nil || found {
+			t.Fatalf("phantom visible after abort: %v %v", found, err)
+		}
+	}
+	// The key space is unscathed: insert works normally.
+	if err := ts.suite.Insert(ctx, "phantom", "real"); err != nil {
+		t.Fatal(err)
+	}
+}

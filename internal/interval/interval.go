@@ -1,0 +1,51 @@
+// Package interval provides closed key ranges [Lo..Tau] and the
+// intersection test used by the directory representative lock
+// compatibility matrix (paper, Figure 7).
+package interval
+
+import (
+	"fmt"
+
+	"repdir/internal/keyspace"
+)
+
+// Range is the closed key range [Lo..Hi]. A Range with Hi < Lo is invalid.
+type Range struct {
+	Lo keyspace.Key
+	Hi keyspace.Key
+}
+
+// Point returns the degenerate range [k..k].
+func Point(k keyspace.Key) Range { return Range{Lo: k, Hi: k} }
+
+// Span returns the range covering both endpoints in either order.
+func Span(a, b keyspace.Key) Range {
+	return Range{Lo: keyspace.Min(a, b), Hi: keyspace.Max(a, b)}
+}
+
+// Full returns the range covering the entire key domain, [LOW..HIGH].
+func Full() Range { return Range{Lo: keyspace.Low(), Hi: keyspace.High()} }
+
+// Valid reports whether Lo <= Hi.
+func (r Range) Valid() bool { return !r.Hi.Less(r.Lo) }
+
+// Contains reports whether k lies within the closed range.
+func (r Range) Contains(k keyspace.Key) bool {
+	return !k.Less(r.Lo) && !r.Hi.Less(k)
+}
+
+// Intersects reports whether r and o share at least one key. Both ranges
+// are closed, so touching endpoints intersect.
+func (r Range) Intersects(o Range) bool {
+	return !r.Hi.Less(o.Lo) && !o.Hi.Less(r.Lo)
+}
+
+// ContainsRange reports whether o lies entirely within r.
+func (r Range) ContainsRange(o Range) bool {
+	return !o.Lo.Less(r.Lo) && !r.Hi.Less(o.Hi)
+}
+
+// String renders the range for logs and error messages.
+func (r Range) String() string {
+	return fmt.Sprintf("[%s..%s]", r.Lo, r.Hi)
+}

@@ -1,0 +1,112 @@
+package interval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repdir/internal/keyspace"
+)
+
+func k(s string) keyspace.Key { return keyspace.New(s) }
+
+func TestPointAndSpan(t *testing.T) {
+	p := Point(k("m"))
+	if !p.Lo.Equal(k("m")) || !p.Hi.Equal(k("m")) {
+		t.Error("Point should be degenerate")
+	}
+	s := Span(k("z"), k("a"))
+	if !s.Lo.Equal(k("a")) || !s.Hi.Equal(k("z")) {
+		t.Error("Span should normalize endpoint order")
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := Range{Lo: k("b"), Hi: k("d")}
+	tests := []struct {
+		key  keyspace.Key
+		want bool
+	}{
+		{k("a"), false},
+		{k("b"), true},
+		{k("c"), true},
+		{k("d"), true},
+		{k("e"), false},
+		{keyspace.Low(), false},
+		{keyspace.High(), false},
+	}
+	for _, tt := range tests {
+		if got := r.Contains(tt.key); got != tt.want {
+			t.Errorf("Contains(%s) = %v, want %v", tt.key, got, tt.want)
+		}
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Range
+		want bool
+	}{
+		{"disjoint", Span(k("a"), k("b")), Span(k("c"), k("d")), false},
+		{"touching endpoints", Span(k("a"), k("b")), Span(k("b"), k("c")), true},
+		{"nested", Span(k("a"), k("z")), Span(k("m"), k("n")), true},
+		{"identical", Span(k("a"), k("b")), Span(k("a"), k("b")), true},
+		{"points equal", Point(k("x")), Point(k("x")), true},
+		{"points differ", Point(k("x")), Point(k("y")), false},
+		{"full covers all", Full(), Point(k("q")), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Intersects(tt.b); got != tt.want {
+				t.Errorf("Intersects = %v, want %v", got, tt.want)
+			}
+			if got := tt.b.Intersects(tt.a); got != tt.want {
+				t.Errorf("Intersects not symmetric")
+			}
+		})
+	}
+}
+
+func TestContainsRange(t *testing.T) {
+	outer := Span(k("b"), k("y"))
+	if !outer.ContainsRange(Span(k("c"), k("d"))) {
+		t.Error("nested range should be contained")
+	}
+	if !outer.ContainsRange(outer) {
+		t.Error("range should contain itself")
+	}
+	if outer.ContainsRange(Span(k("a"), k("c"))) {
+		t.Error("overlapping-left range is not contained")
+	}
+	if outer.ContainsRange(Full()) {
+		t.Error("full domain is not contained in a sub-range")
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !Point(k("a")).Valid() {
+		t.Error("points are valid")
+	}
+	if (Range{Lo: k("b"), Hi: k("a")}).Valid() {
+		t.Error("inverted range is invalid")
+	}
+	if !Full().Valid() {
+		t.Error("full range is valid")
+	}
+}
+
+// Property: intersection is symmetric, and two ranges intersect exactly
+// when one contains an endpoint of the other.
+func TestIntersectsProperty(t *testing.T) {
+	f := func(a, b, c, d string) bool {
+		r1 := Span(k(a), k(b))
+		r2 := Span(k(c), k(d))
+		got := r1.Intersects(r2)
+		want := r1.Contains(r2.Lo) || r1.Contains(r2.Hi) ||
+			r2.Contains(r1.Lo) || r2.Contains(r1.Hi)
+		return got == want && got == r2.Intersects(r1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

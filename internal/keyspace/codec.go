@@ -1,0 +1,57 @@
+package keyspace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Wire codes for the three key kinds, used by MarshalBinary and the RPC
+// layer. The values are part of the on-wire contract; do not renumber.
+const (
+	wireLow    byte = 1
+	wireNormal byte = 2
+	wireHigh   byte = 3
+)
+
+var errShortKey = errors.New("keyspace: truncated key encoding")
+
+// MarshalBinary encodes the key as a one-byte kind tag followed by the
+// spelling for normal keys. It never fails.
+func (k Key) MarshalBinary() ([]byte, error) {
+	switch k.k {
+	case kindLow:
+		return []byte{wireLow}, nil
+	case kindHigh:
+		return []byte{wireHigh}, nil
+	default:
+		out := make([]byte, 1+len(k.s))
+		out[0] = wireNormal
+		copy(out[1:], k.s)
+		return out, nil
+	}
+}
+
+// GobEncode implements gob.GobEncoder so keys with unexported fields can
+// travel through the gob-based RPC transport and log files.
+func (k Key) GobEncode() ([]byte, error) { return k.MarshalBinary() }
+
+// GobDecode implements gob.GobDecoder.
+func (k *Key) GobDecode(data []byte) error { return k.UnmarshalBinary(data) }
+
+// UnmarshalBinary decodes a key produced by MarshalBinary.
+func (k *Key) UnmarshalBinary(data []byte) error {
+	if len(data) == 0 {
+		return errShortKey
+	}
+	switch data[0] {
+	case wireLow:
+		*k = Low()
+	case wireHigh:
+		*k = High()
+	case wireNormal:
+		*k = New(string(data[1:]))
+	default:
+		return fmt.Errorf("keyspace: unknown key kind tag %d", data[0])
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+package keyspace_test
+
+import (
+	"fmt"
+	"log"
+
+	"repdir/internal/keyspace"
+)
+
+// ExampleEncodeTuple shows order-preserving hierarchical keys: tuple
+// order survives the flattening, even with separators and NULs inside
+// components.
+func ExampleEncodeTuple() {
+	a := keyspace.EncodeTuple("svc", "db")
+	b := keyspace.EncodeTuple("svc", "db", "host1")
+	c := keyspace.EncodeTuple("svc", "web")
+
+	fmt.Println(a.Less(b), b.Less(c))
+
+	comps, err := keyspace.DecodeTuple(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(comps)
+	// Output:
+	// true true
+	// [svc db host1]
+}

@@ -1,0 +1,117 @@
+// Package keyspace defines the totally ordered key domain used by
+// replicated directories.
+//
+// The domain contains two distinguished sentinel keys, LOW and HIGH, that
+// bound every insertable key: LOW sorts strictly before any normal key and
+// HIGH sorts strictly after. Every directory representative permanently
+// stores entries for LOW and HIGH so that each key has a real predecessor
+// and a real successor (paper, section 3.1). Sentinels cannot be inserted,
+// updated, or deleted through a directory suite.
+package keyspace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// kind orders the three classes of keys: LOW < all normal keys < HIGH.
+type kind int8
+
+const (
+	kindLow    kind = -1
+	kindNormal kind = 0
+	kindHigh   kind = 1
+)
+
+// Key is a value in the directory's ordered key domain. The zero Key is
+// not valid; construct keys with New, Low, or High. Key is comparable and
+// may be used as a map key.
+type Key struct {
+	k kind
+	s string
+}
+
+// Low returns the LOW sentinel, which sorts before every normal key.
+func Low() Key { return Key{k: kindLow} }
+
+// High returns the HIGH sentinel, which sorts after every normal key.
+func High() Key { return Key{k: kindHigh} }
+
+// New returns the normal key with the given spelling. Any string,
+// including the empty string, is a valid normal key.
+func New(s string) Key { return Key{k: kindNormal, s: s} }
+
+// FromUint64 returns a normal key whose spelling is the zero-padded
+// decimal rendering of n. Keys produced this way sort in numeric order,
+// which makes them convenient for simulations and examples.
+func FromUint64(n uint64) Key {
+	return Key{k: kindNormal, s: fmt.Sprintf("%020d", n)}
+}
+
+// IsSentinel reports whether k is LOW or HIGH.
+func (k Key) IsSentinel() bool { return k.k != kindNormal }
+
+// IsLow reports whether k is the LOW sentinel.
+func (k Key) IsLow() bool { return k.k == kindLow }
+
+// IsHigh reports whether k is the HIGH sentinel.
+func (k Key) IsHigh() bool { return k.k == kindHigh }
+
+// Raw returns the spelling of a normal key. Sentinels have no spelling;
+// Raw returns "" for them.
+func (k Key) Raw() string {
+	if k.IsSentinel() {
+		return ""
+	}
+	return k.s
+}
+
+// Compare returns -1, 0, or +1 as k sorts before, equal to, or after o.
+func (k Key) Compare(o Key) int {
+	switch {
+	case k.k < o.k:
+		return -1
+	case k.k > o.k:
+		return 1
+	case k.k != kindNormal:
+		return 0
+	default:
+		return strings.Compare(k.s, o.s)
+	}
+}
+
+// Less reports whether k sorts strictly before o.
+func (k Key) Less(o Key) bool { return k.Compare(o) < 0 }
+
+// Equal reports whether k and o are the same key.
+func (k Key) Equal(o Key) bool { return k.Compare(o) == 0 }
+
+// String renders the key for logs and error messages. Sentinels render as
+// "<LOW>" and "<HIGH>"; normal keys render quoted.
+func (k Key) String() string {
+	switch k.k {
+	case kindLow:
+		return "<LOW>"
+	case kindHigh:
+		return "<HIGH>"
+	default:
+		return strconv.Quote(k.s)
+	}
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b Key) Key {
+	if b.Less(a) {
+		return b
+	}
+	return a
+}
+
+// Max returns the larger of a and b.
+func Max(a, b Key) Key {
+	if a.Less(b) {
+		return b
+	}
+	return a
+}

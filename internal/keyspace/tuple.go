@@ -1,0 +1,88 @@
+package keyspace
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Tuple encoding: applications often need hierarchical keys
+// ("service/host/port"). Naive joining breaks ordering — "a/b" vs "a!"
+// compares by the separator byte — and forbids separators inside
+// components. EncodeTuple produces an order-preserving, injective
+// encoding: tuples compare lexicographically component by component,
+// with a shorter tuple sorting before any extension of it.
+//
+// The encoding escapes 0x00 inside components as 0x00 0xFF and joins
+// components with 0x00 0x01. Because 0x01 sorts below every escaped or
+// raw component byte, component boundaries dominate the comparison
+// exactly like tuple order requires.
+
+const (
+	tupleEscape    = "\x00\xff"
+	tupleSeparator = "\x00\x01"
+)
+
+// EncodeTuple encodes components into a single normal Key whose ordering
+// matches lexicographic tuple ordering.
+func EncodeTuple(components ...string) Key {
+	var b strings.Builder
+	for i, c := range components {
+		if i > 0 {
+			b.WriteString(tupleSeparator)
+		}
+		b.WriteString(strings.ReplaceAll(c, "\x00", tupleEscape))
+	}
+	return New(b.String())
+}
+
+// ErrNotTuple reports a key whose spelling is not a valid tuple encoding.
+var ErrNotTuple = errors.New("keyspace: invalid tuple encoding")
+
+// DecodeTuple recovers the components of a key produced by EncodeTuple.
+func DecodeTuple(k Key) ([]string, error) {
+	if k.IsSentinel() {
+		return nil, fmt.Errorf("%w: sentinel key", ErrNotTuple)
+	}
+	raw := k.Raw()
+	if raw == "" {
+		return []string{""}, nil
+	}
+	var components []string
+	var cur strings.Builder
+	for i := 0; i < len(raw); i++ {
+		c := raw[i]
+		if c != 0x00 {
+			cur.WriteByte(c)
+			continue
+		}
+		if i+1 >= len(raw) {
+			return nil, fmt.Errorf("%w: dangling escape", ErrNotTuple)
+		}
+		i++
+		switch raw[i] {
+		case 0xff:
+			cur.WriteByte(0x00)
+		case 0x01:
+			components = append(components, cur.String())
+			cur.Reset()
+		default:
+			return nil, fmt.Errorf("%w: bad escape byte %#x", ErrNotTuple, raw[i])
+		}
+	}
+	return append(components, cur.String()), nil
+}
+
+// TuplePrefixRange returns the half-open scan bounds (after, before) such
+// that Suite.Scan(after) started at the range's beginning visits exactly
+// the keys whose tuple encoding extends the given prefix components.
+// after sorts immediately before the first extension; upperBound sorts
+// immediately after the last one.
+func TuplePrefixRange(components ...string) (after, upperBound Key) {
+	base := EncodeTuple(components...).Raw()
+	// Extensions are base + separator + more. The separator 0x00 0x01 is
+	// the smallest possible continuation that is a valid extension, so:
+	// after = base itself (scans are exclusive of 'after'), and anything
+	// >= base+0x00+0x02 is beyond all extensions.
+	return New(base), New(base + "\x00\x02")
+}

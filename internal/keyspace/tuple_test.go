@@ -1,0 +1,126 @@
+package keyspace
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// tupleLess is the reference lexicographic tuple ordering.
+func tupleLess(a, b []string) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func TestEncodeDecodeTupleRoundTrip(t *testing.T) {
+	tests := [][]string{
+		{"a"},
+		{"a", "b"},
+		{"", ""},
+		{"with\x00nul", "x"},
+		{"with\x00\x01both", "and\xff高"},
+		{"a", "", "c"},
+	}
+	for _, tt := range tests {
+		k := EncodeTuple(tt...)
+		got, err := DecodeTuple(k)
+		if err != nil {
+			t.Fatalf("decode(%q): %v", tt, err)
+		}
+		if !reflect.DeepEqual(got, tt) {
+			t.Errorf("round trip %q -> %q", tt, got)
+		}
+	}
+}
+
+func TestDecodeTupleRejectsBadEncodings(t *testing.T) {
+	bad := []Key{
+		New("dangling\x00"),
+		New("bad\x00\x02escape"),
+		Low(),
+		High(),
+	}
+	for _, k := range bad {
+		if _, err := DecodeTuple(k); err == nil {
+			t.Errorf("DecodeTuple(%s) should fail", k)
+		}
+	}
+}
+
+// TestTupleOrderPreservedProperty: encoded keys compare exactly like the
+// tuples they encode.
+func TestTupleOrderPreservedProperty(t *testing.T) {
+	f := func(a1, a2, b1, b2 string, aTwo, bTwo bool) bool {
+		a := []string{a1}
+		if aTwo {
+			a = append(a, a2)
+		}
+		b := []string{b1}
+		if bTwo {
+			b = append(b, b2)
+		}
+		ka, kb := EncodeTuple(a...), EncodeTuple(b...)
+		switch {
+		case tupleLess(a, b):
+			return ka.Less(kb)
+		case tupleLess(b, a):
+			return kb.Less(ka)
+		default:
+			return ka.Equal(kb)
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTupleInjectiveProperty: distinct tuples never collide.
+func TestTupleInjectiveProperty(t *testing.T) {
+	f := func(a1, a2, b1 string) bool {
+		// ("a1", "a2") must differ from ("a1a2") and ("b1") unless equal
+		// as tuples.
+		two := EncodeTuple(a1, a2)
+		joined := EncodeTuple(a1 + a2)
+		one := EncodeTuple(b1)
+		if two.Equal(joined) {
+			return false
+		}
+		if one.Equal(two) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTuplePrefixRange(t *testing.T) {
+	after, upper := TuplePrefixRange("svc", "db")
+	inside := []Key{
+		EncodeTuple("svc", "db", "host1"),
+		EncodeTuple("svc", "db", ""),
+		EncodeTuple("svc", "db", "a", "b"),
+	}
+	outside := []Key{
+		EncodeTuple("svc", "db"), // the prefix itself is excluded (scan is exclusive of 'after')
+		EncodeTuple("svc", "dbx"),
+		EncodeTuple("svc", "da"),
+		EncodeTuple("svc"),
+		EncodeTuple("svc", "db\x00"),
+	}
+	for _, k := range inside {
+		if !(after.Less(k) && k.Less(upper)) {
+			t.Errorf("%s should fall inside (%s, %s)", k, after, upper)
+		}
+	}
+	for _, k := range outside {
+		if after.Less(k) && k.Less(upper) {
+			t.Errorf("%s should fall outside (%s, %s)", k, after, upper)
+		}
+	}
+}

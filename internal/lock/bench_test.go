@@ -1,0 +1,63 @@
+package lock
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repdir/internal/interval"
+	"repdir/internal/keyspace"
+)
+
+// BenchmarkAcquireReleaseUncontended measures the fast path: one
+// transaction taking and releasing a point lock.
+func BenchmarkAcquireReleaseUncontended(b *testing.B) {
+	m := NewManager()
+	ctx := context.Background()
+	r := interval.Point(keyspace.New("k"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		txn := TxnID(i + 1)
+		if err := m.Acquire(ctx, txn, ModeModify, r); err != nil {
+			b.Fatal(err)
+		}
+		m.ReleaseAll(txn)
+	}
+}
+
+// BenchmarkAcquireManyHeldLocks measures conflict scanning with many
+// compatible locks held by other transactions.
+func BenchmarkAcquireManyHeldLocks(b *testing.B) {
+	for _, held := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("held=%d", held), func(b *testing.B) {
+			m := NewManager()
+			ctx := context.Background()
+			for i := 0; i < held; i++ {
+				r := interval.Point(keyspace.New(fmt.Sprintf("h%06d", i)))
+				if err := m.Acquire(ctx, TxnID(i+1), ModeLookup, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+			probe := interval.Point(keyspace.New("probe"))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				txn := TxnID(held + i + 1)
+				if err := m.Acquire(ctx, txn, ModeModify, probe); err != nil {
+					b.Fatal(err)
+				}
+				m.ReleaseAll(txn)
+			}
+		})
+	}
+}
+
+// BenchmarkCompatible measures the matrix check itself.
+func BenchmarkCompatible(b *testing.B) {
+	a := interval.Span(keyspace.New("a"), keyspace.New("m"))
+	c := interval.Span(keyspace.New("k"), keyspace.New("z"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Compatible(1, ModeModify, a, 2, ModeLookup, c)
+	}
+}

@@ -1,0 +1,106 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPredictValidation(t *testing.T) {
+	if _, err := Predict(3, 1, 1); err == nil {
+		t.Error("3-1-1 must be rejected (no quorum intersection)")
+	}
+	if _, err := Predict(0, 1, 1); err == nil {
+		t.Error("zero replicas must be rejected")
+	}
+	if _, err := Predict(3, 4, 2); err == nil {
+		t.Error("oversized quorum must be rejected")
+	}
+}
+
+func TestWriteAllIsExact(t *testing.T) {
+	// With W = n every replica always holds every current entry: no
+	// ghosts, no bound copies, exactly the victim coalesced per member.
+	p, err := Predict(3, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.ExpectedCoverage-3) > 1e-9 {
+		t.Errorf("coverage = %v, want 3", p.ExpectedCoverage)
+	}
+	if p.GhostDeletions != 0 || p.Insertions != 0 {
+		t.Errorf("write-all should predict zero overheads: %+v", p)
+	}
+	if math.Abs(p.EntriesCoalesced-1) > 1e-9 {
+		t.Errorf("write-all E = %v, want 1", p.EntriesCoalesced)
+	}
+}
+
+func TestKnownClosedForm322(t *testing.T) {
+	// For 3-2-2 the coverage chain solves in closed form:
+	// H* = 3 - (1/3) sum_k (2/3)^k (1/3)^k = 3 - 3/7 = 18/7.
+	p, err := Predict(3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 18.0 / 7.0
+	if math.Abs(p.ExpectedCoverage-want) > 1e-6 {
+		t.Errorf("H* = %v, want %v", p.ExpectedCoverage, want)
+	}
+	if math.Abs(p.GhostDeletions-want/3) > 1e-6 {
+		t.Errorf("D = %v, want %v", p.GhostDeletions, want/3)
+	}
+}
+
+func TestWalkStepsPrediction(t *testing.T) {
+	// 3-2-2: D = 6/7, R = W, so steps = 1 + D/2 = 10/7 — matching the
+	// measured 1.42-1.44 of the Figure 15 runs.
+	p, err := Predict(3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.WalkSteps-10.0/7.0) > 1e-6 {
+		t.Errorf("3-2-2 walk steps = %v, want %v", p.WalkSteps, 10.0/7.0)
+	}
+	// Write-all never walks past ghosts.
+	p, err = Predict(3, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.WalkSteps != 1 {
+		t.Errorf("write-all walk steps = %v, want 1", p.WalkSteps)
+	}
+}
+
+func TestCoverageMonotoneInW(t *testing.T) {
+	// Wider write quorums replicate entries more broadly.
+	prev := 0.0
+	for w := 3; w <= 5; w++ {
+		p, err := Predict(5, 5-w+1, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.ExpectedCoverage <= prev {
+			t.Errorf("coverage should grow with W: W=%d gives %v after %v",
+				w, p.ExpectedCoverage, prev)
+		}
+		prev = p.ExpectedCoverage
+	}
+}
+
+func TestHypergeom(t *testing.T) {
+	// Drawing 2 of 3 with 2 marked: overlap 1 w.p. 2/3, overlap 2 w.p. 1/3.
+	if got := hypergeom(3, 2, 2, 1); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("hypergeom(3,2,2,1) = %v", got)
+	}
+	if got := hypergeom(3, 2, 2, 2); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("hypergeom(3,2,2,2) = %v", got)
+	}
+	// Total probability is 1.
+	sum := 0.0
+	for o := 0; o <= 2; o++ {
+		sum += hypergeom(3, 2, 2, o)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("hypergeom pmf sums to %v", sum)
+	}
+}

@@ -1,0 +1,236 @@
+// Package quorum implements weighted voting quorum configuration and
+// collection for directory suites (paper, section 2, following
+// [Gifford 79]).
+//
+// A directory suite assigns each representative some number of votes and
+// fixes a read quorum size R and write quorum size W with R + W greater
+// than the total votes, so every read quorum intersects every write
+// quorum. This package validates configurations, computes quorum
+// feasibility, and supplies the quorum selection policies used in the
+// paper: uniformly random members (the section 4 simulations), a sticky
+// preference order (the section 5 observation that rarely-changing write
+// quorums make coalescing cheap), and the locality-aware policy of
+// Figure 16.
+package quorum
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repdir/internal/rep"
+)
+
+// ErrNoQuorum reports that the requested quorum cannot be assembled from
+// the available (non-excluded) members.
+var ErrNoQuorum = errors.New("quorum: not enough available votes")
+
+// Member is one representative in a suite together with its vote weight.
+type Member struct {
+	Dir   rep.Directory
+	Votes int
+}
+
+// Config describes a directory suite: its members, vote assignment, and
+// quorum sizes. The paper's x-y-z notation (x representatives, read
+// quorum y, write quorum z, one vote each) maps to len(Members)=x, R=y,
+// W=z with all Votes=1.
+type Config struct {
+	Members []Member
+	// R is the read quorum size in votes.
+	R int
+	// W is the write quorum size in votes.
+	W int
+}
+
+// NewUniform builds the paper's x-y-z configuration: one vote per
+// representative.
+func NewUniform(dirs []rep.Directory, r, w int) Config {
+	members := make([]Member, len(dirs))
+	for i, d := range dirs {
+		members[i] = Member{Dir: d, Votes: 1}
+	}
+	return Config{Members: members, R: r, W: w}
+}
+
+// TotalVotes sums the vote assignment.
+func (c Config) TotalVotes() int {
+	total := 0
+	for _, m := range c.Members {
+		total += m.Votes
+	}
+	return total
+}
+
+// Validate checks the weighted-voting constraints: positive quorums, at
+// least one vote somewhere, quorums collectible from the total, and the
+// intersection property R + W > total votes.
+func (c Config) Validate() error {
+	if len(c.Members) == 0 {
+		return errors.New("quorum: no members")
+	}
+	for i, m := range c.Members {
+		if m.Dir == nil {
+			return fmt.Errorf("quorum: member %d has no directory", i)
+		}
+		if m.Votes < 0 {
+			return fmt.Errorf("quorum: member %d has negative votes", i)
+		}
+	}
+	total := c.TotalVotes()
+	if total == 0 {
+		return errors.New("quorum: all members have zero votes")
+	}
+	if c.R < 1 || c.W < 1 {
+		return fmt.Errorf("quorum: R=%d and W=%d must be at least 1", c.R, c.W)
+	}
+	if c.R > total || c.W > total {
+		return fmt.Errorf("quorum: R=%d, W=%d exceed total votes %d", c.R, c.W, total)
+	}
+	if c.R+c.W <= total {
+		return fmt.Errorf(
+			"quorum: R+W=%d must exceed total votes %d so read and write quorums intersect",
+			c.R+c.W, total)
+	}
+	return nil
+}
+
+// Kind distinguishes read from write quorums.
+type Kind int
+
+const (
+	// Read selects a quorum of at least R votes.
+	Read Kind = iota + 1
+	// Write selects a quorum of at least W votes.
+	Write
+)
+
+// Selector assembles quorums. Exclude lists representative names that
+// must not be used (e.g. members that just failed); a Selector returns
+// ErrNoQuorum when the remaining members cannot reach the vote threshold.
+type Selector interface {
+	Select(kind Kind, exclude map[string]bool) ([]Member, error)
+}
+
+// take greedily accumulates members from an ordered candidate list until
+// need votes are reached.
+func take(candidates []Member, need int, exclude map[string]bool) ([]Member, error) {
+	var out []Member
+	votes := 0
+	for _, m := range candidates {
+		if exclude[m.Dir.Name()] || m.Votes == 0 {
+			continue
+		}
+		out = append(out, m)
+		votes += m.Votes
+		if votes >= need {
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: need %d, found %d", ErrNoQuorum, need, votes)
+}
+
+// need returns the vote threshold for kind.
+func (c Config) need(kind Kind) int {
+	if kind == Read {
+		return c.R
+	}
+	return c.W
+}
+
+// RandomSelector picks quorum members uniformly at random, the policy
+// used by the paper's section 4 simulations ("the members of quorums ...
+// were selected randomly from a uniform distribution"). Safe for
+// concurrent use.
+type RandomSelector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+var _ Selector = (*RandomSelector)(nil)
+
+// NewRandomSelector builds a random selector with a deterministic seed.
+func NewRandomSelector(cfg Config, seed int64) *RandomSelector {
+	return &RandomSelector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Select implements Selector.
+func (s *RandomSelector) Select(kind Kind, exclude map[string]bool) ([]Member, error) {
+	s.mu.Lock()
+	order := make([]Member, len(s.cfg.Members))
+	copy(order, s.cfg.Members)
+	s.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	s.mu.Unlock()
+	return take(order, s.cfg.need(kind), exclude)
+}
+
+// StickySelector always prefers members in a fixed order, so quorum
+// membership changes only when preferred members are excluded. Section 5
+// of the paper observes that with rarely-changing write quorums,
+// coalescing during deletions does almost no extra work.
+type StickySelector struct {
+	cfg Config
+}
+
+var _ Selector = (*StickySelector)(nil)
+
+// NewStickySelector builds a selector preferring members in config order.
+func NewStickySelector(cfg Config) *StickySelector {
+	return &StickySelector{cfg: cfg}
+}
+
+// Select implements Selector.
+func (s *StickySelector) Select(kind Kind, exclude map[string]bool) ([]Member, error) {
+	return take(s.cfg.Members, s.cfg.need(kind), exclude)
+}
+
+// LocalitySelector implements the Figure 16 policy: reads are served
+// entirely by the client's local representatives; writes use the local
+// representatives plus remote ones, spreading the remote picks
+// round-robin so "the non-local write ... is evenly distributed among the
+// remote representatives".
+type LocalitySelector struct {
+	cfg    Config
+	locals map[string]bool
+
+	mu   sync.Mutex
+	next int // round-robin cursor over remote members
+}
+
+var _ Selector = (*LocalitySelector)(nil)
+
+// NewLocalitySelector builds a locality selector. localNames are the
+// representatives local to this client.
+func NewLocalitySelector(cfg Config, localNames []string) *LocalitySelector {
+	locals := make(map[string]bool, len(localNames))
+	for _, n := range localNames {
+		locals[n] = true
+	}
+	return &LocalitySelector{cfg: cfg, locals: locals}
+}
+
+// Select implements Selector.
+func (s *LocalitySelector) Select(kind Kind, exclude map[string]bool) ([]Member, error) {
+	var local, remote []Member
+	for _, m := range s.cfg.Members {
+		if s.locals[m.Dir.Name()] {
+			local = append(local, m)
+		} else {
+			remote = append(remote, m)
+		}
+	}
+	// Rotate the remote list so successive writes hit different remotes.
+	s.mu.Lock()
+	if len(remote) > 0 {
+		k := s.next % len(remote)
+		if kind == Write {
+			s.next++
+		}
+		remote = append(append([]Member{}, remote[k:]...), remote[:k]...)
+	}
+	s.mu.Unlock()
+	return take(append(local, remote...), s.cfg.need(kind), exclude)
+}

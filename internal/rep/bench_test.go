@@ -1,0 +1,118 @@
+package rep
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repdir/internal/keyspace"
+	"repdir/internal/lock"
+)
+
+// populatedRep builds a representative with n committed entries.
+func populatedRep(b *testing.B, n int) *Rep {
+	b.Helper()
+	r := New("bench")
+	ctx := context.Background()
+	id := lock.TxnID(1)
+	for i := 0; i < n; i++ {
+		if err := r.Insert(ctx, id, keyspace.FromUint64(uint64(i)), 1, "v"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := r.Commit(ctx, id); err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkRepLookup measures a committed-read transaction per iteration.
+func BenchmarkRepLookup(b *testing.B) {
+	r := populatedRep(b, 10000)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := lock.TxnID(i + 10)
+		if _, err := r.Lookup(ctx, id, keyspace.FromUint64(uint64(i%10000))); err != nil {
+			b.Fatal(err)
+		}
+		r.Abort(ctx, id)
+	}
+}
+
+// BenchmarkRepInsertCommit measures insert + single-phase commit.
+func BenchmarkRepInsertCommit(b *testing.B) {
+	r := New("bench")
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := lock.TxnID(i + 1)
+		if err := r.Insert(ctx, id, keyspace.FromUint64(uint64(i)), 1, "v"); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Commit(ctx, id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepCoalesce measures delete-by-coalesce of a three-entry
+// range.
+func BenchmarkRepCoalesce(b *testing.B) {
+	r := New("bench")
+	ctx := context.Background()
+	setup := lock.TxnID(1)
+	if err := r.Insert(ctx, setup, keyspace.New("lo"), 1, "v"); err != nil {
+		b.Fatal(err)
+	}
+	if err := r.Insert(ctx, setup, keyspace.New("zhi"), 1, "v"); err != nil {
+		b.Fatal(err)
+	}
+	if err := r.Commit(ctx, setup); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		id := lock.TxnID(i + 10)
+		key := fmt.Sprintf("mid%d", i)
+		if err := r.Insert(ctx, id, keyspace.New(key), 2, "v"); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := r.Coalesce(ctx, id, keyspace.New("lo"), keyspace.New("zhi"), 3); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := r.Commit(ctx, id); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkDurableCommit measures the cost of a committed insert with a
+// file-backed write-ahead log.
+func BenchmarkDurableCommit(b *testing.B) {
+	dir := b.TempDir()
+	r, d, err := OpenDurable("bench", filepath.Join(dir, "w.wal"), filepath.Join(dir, "s.snap"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := lock.TxnID(i + 1)
+		if err := r.Insert(ctx, id, keyspace.FromUint64(uint64(i)), 1, "v"); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Commit(ctx, id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

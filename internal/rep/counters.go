@@ -1,0 +1,50 @@
+package rep
+
+import "sync/atomic"
+
+// Counters are cumulative operation counts for one representative,
+// suitable for operational dashboards (repdir-server prints them at
+// shutdown).
+type Counters struct {
+	Lookups        uint64
+	NeighborProbes uint64
+	Inserts        uint64
+	Coalesces      uint64
+	// EntriesCoalesced is the total number of entries removed by
+	// coalesce operations — the physical ghost-collection work this
+	// replica performed.
+	EntriesCoalesced uint64
+	Prepares         uint64
+	Commits          uint64
+	Aborts           uint64
+}
+
+// counters is the atomic backing store embedded in Rep.
+type counters struct {
+	lookups          atomic.Uint64
+	neighborProbes   atomic.Uint64
+	inserts          atomic.Uint64
+	coalesces        atomic.Uint64
+	entriesCoalesced atomic.Uint64
+	prepares         atomic.Uint64
+	commits          atomic.Uint64
+	aborts           atomic.Uint64
+}
+
+func (c *counters) snapshot() Counters {
+	return Counters{
+		Lookups:          c.lookups.Load(),
+		NeighborProbes:   c.neighborProbes.Load(),
+		Inserts:          c.inserts.Load(),
+		Coalesces:        c.coalesces.Load(),
+		EntriesCoalesced: c.entriesCoalesced.Load(),
+		Prepares:         c.prepares.Load(),
+		Commits:          c.commits.Load(),
+		Aborts:           c.aborts.Load(),
+	}
+}
+
+// Counters returns a snapshot of the representative's operation counts.
+func (r *Rep) Counters() Counters {
+	return r.stats.snapshot()
+}

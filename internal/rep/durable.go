@@ -1,0 +1,218 @@
+package rep
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"repdir/internal/btree"
+	"repdir/internal/wal"
+)
+
+// ErrBusy is returned by Checkpoint when transactions are in flight; the
+// caller should retry once the representative quiesces.
+var ErrBusy = errors.New("rep: transactions in flight")
+
+// snapshotFile is the on-disk snapshot format: the full entry dump
+// (sentinels and gap versions included) plus the LSN of the last
+// write-ahead-log record the snapshot covers.
+type snapshotFile struct {
+	Name    string
+	LastLSN uint64
+	Entries []btree.Entry
+}
+
+// WriteSnapshot atomically writes a snapshot file (temp file + rename).
+func WriteSnapshot(path, name string, lastLSN uint64, entries []btree.Entry) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".snap-*")
+	if err != nil {
+		return fmt.Errorf("rep: snapshot temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	if err := gob.NewEncoder(w).Encode(snapshotFile{Name: name, LastLSN: lastLSN, Entries: entries}); err != nil {
+		tmp.Close()
+		return fmt.Errorf("rep: snapshot encode: %w", err)
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("rep: snapshot flush: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("rep: snapshot sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("rep: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("rep: snapshot rename: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot loads a snapshot file. A missing file is not an error; it
+// returns ok = false.
+func ReadSnapshot(path string) (name string, lastLSN uint64, entries []btree.Entry, ok bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return "", 0, nil, false, nil
+		}
+		return "", 0, nil, false, fmt.Errorf("rep: open snapshot %q: %w", path, err)
+	}
+	defer f.Close()
+	var snap snapshotFile
+	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&snap); err != nil {
+		return "", 0, nil, false, fmt.Errorf("rep: decode snapshot %q: %w", path, err)
+	}
+	return snap.Name, snap.LastLSN, snap.Entries, true, nil
+}
+
+// dirOf returns the directory containing path, defaulting to ".".
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			if i == 0 {
+				return "/"
+			}
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+// seedStore replaces the representative's store with snapshot entries.
+// Used only during recovery, before the representative is shared.
+func (r *Rep) seedStore(entries []btree.Entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	store := btree.New()
+	for _, e := range entries {
+		store.Put(e)
+	}
+	r.store = store
+}
+
+// checkpointState atomically captures the entry dump and the last
+// log LSN while no transactions are in flight. Holding r.mu for both
+// excludes concurrent commits, so the pair is consistent: every record
+// at or below the returned LSN is reflected in the entries.
+func (r *Rep) checkpointState() ([]btree.Entry, uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.txns) != 0 {
+		return nil, 0, fmt.Errorf("%w: %d active", ErrBusy, len(r.txns))
+	}
+	var lastLSN uint64
+	if r.log != nil {
+		lastLSN = r.log.NextLSN() - 1
+	}
+	return r.store.Entries(), lastLSN, nil
+}
+
+// Durability manages a representative's on-disk state: a write-ahead log
+// plus periodic snapshots that bound recovery time and log growth.
+//
+// Crash safety relies on LSNs: the snapshot records the last log sequence
+// number it covers, and recovery replays only newer committed records. A
+// crash between snapshot and log truncation is therefore harmless — the
+// stale prefix is skipped by LSN, not by file position.
+type Durability struct {
+	mu       sync.Mutex
+	rep      *Rep
+	log      *wal.FileLog
+	walPath  string
+	snapPath string
+	closed   bool
+}
+
+// OpenDurable opens (or creates) a durable representative: snapshot
+// loaded if present, write-ahead log replayed on top, log reopened for
+// appending with monotone LSNs.
+func OpenDurable(name, walPath, snapPath string) (*Rep, *Durability, error) {
+	var (
+		seed    []btree.Entry
+		lastLSN uint64
+	)
+	if snapPath != "" {
+		snapName, lsn, entries, ok, err := ReadSnapshot(snapPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			if snapName != name {
+				return nil, nil, fmt.Errorf("rep: snapshot %q belongs to %q, not %q", snapPath, snapName, name)
+			}
+			seed, lastLSN = entries, lsn
+		}
+	}
+	records, err := wal.ReadFileLog(walPath)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, err
+	}
+	maxLSN := lastLSN
+	for _, rec := range records {
+		if rec.LSN > maxLSN {
+			maxLSN = rec.LSN
+		}
+	}
+	log, err := wal.OpenFileLog(walPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	log.StartAt(maxLSN + 1)
+
+	r := New(name, WithLog(log))
+	if seed != nil {
+		r.seedStore(seed)
+	}
+	a, err := wal.Analyze(wal.FilterAfter(records, lastLSN))
+	if err != nil {
+		log.Close()
+		return nil, nil, fmt.Errorf("rep: recover %s: %w", name, err)
+	}
+	if err := r.installAnalysis(a); err != nil {
+		log.Close()
+		return nil, nil, fmt.Errorf("rep: recover %s: %w", name, err)
+	}
+	return r, &Durability{rep: r, log: log, walPath: walPath, snapPath: snapPath}, nil
+}
+
+// Checkpoint writes a snapshot of the current committed state and then
+// truncates the write-ahead log. It fails with ErrBusy while transactions
+// are in flight.
+func (d *Durability) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errors.New("rep: durability closed")
+	}
+	if d.snapPath == "" {
+		return errors.New("rep: no snapshot path configured")
+	}
+	entries, lastLSN, err := d.rep.checkpointState()
+	if err != nil {
+		return err
+	}
+	if err := WriteSnapshot(d.snapPath, d.rep.Name(), lastLSN, entries); err != nil {
+		return err
+	}
+	// A crash here leaves the full log alongside the snapshot; recovery
+	// skips the covered prefix by LSN. Truncation is pure compaction.
+	return d.log.Truncate()
+}
+
+// Close flushes and closes the log.
+func (d *Durability) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.log.Close()
+}

@@ -1,0 +1,595 @@
+// Package rep implements a directory representative: one replica of the
+// directory data, exposing the five operations of the paper's Figure 6
+// (DirRepLookup, DirRepPredecessor, DirRepSuccessor, DirRepInsert,
+// DirRepCoalesce) plus the transaction control needed to participate in
+// atomic directory-suite operations (prepare / commit / abort).
+//
+// Each representative permanently stores the sentinel entries LOW and
+// HIGH, so every key has a real predecessor and a real successor. Between
+// every pair of adjacent entries lies a gap whose version number is held
+// in the GapAfter field of the gap's lower bounding entry (the B-tree
+// representation sketched in section 5 of the paper).
+//
+// Concurrency control is the Figure 7 type-specific range locking from
+// package lock, with strict two-phase locking: locks taken by an
+// operation are held until the transaction commits or aborts. Recovery
+// uses redo logging through package wal.
+package rep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repdir/internal/btree"
+	"repdir/internal/interval"
+	"repdir/internal/keyspace"
+	"repdir/internal/lock"
+	"repdir/internal/version"
+	"repdir/internal/wal"
+)
+
+// Errors reported by representative operations. ErrDie (from package
+// lock) additionally flows through every operation that takes locks.
+var (
+	// ErrSentinel is returned when an operation targets LOW or HIGH in a
+	// way the algorithm forbids (inserting or coalescing over them).
+	ErrSentinel = errors.New("rep: operation not permitted on sentinel key")
+	// ErrMissingBound is returned by Coalesce when no entry exists for
+	// one of the bounding keys ("An error is indicated if entries do not
+	// exist for keys l and h", Figure 6).
+	ErrMissingBound = errors.New("rep: coalesce bound has no entry")
+	// ErrBadRange is returned by Coalesce when l does not sort strictly
+	// before h.
+	ErrBadRange = errors.New("rep: coalesce bounds out of order")
+	// ErrNoNeighbor is returned by Predecessor(LOW) and Successor(HIGH),
+	// which have no neighbor in the key domain.
+	ErrNoNeighbor = errors.New("rep: key has no neighbor in that direction")
+	// ErrTxnDecided is returned when an operation arrives under a
+	// transaction ID whose two-phase-commit outcome this representative
+	// has already recorded (e.g. a resolver finished it). The caller
+	// must retry under a fresh attempt ID.
+	ErrTxnDecided = errors.New("rep: transaction already decided")
+	// ErrUnknownTxn is Prepare's abort vote for a transaction this
+	// representative has no record of: either the transaction never
+	// operated here, or a crash wiped its volatile state — in both
+	// cases committing would silently lose its writes.
+	ErrUnknownTxn = errors.New("rep: prepare of unknown transaction")
+)
+
+// LookupResult is the reply to Lookup. When Found is false, Version is
+// the version number of the gap containing the key.
+type LookupResult struct {
+	Found   bool
+	Version version.V
+	Value   string
+}
+
+// NeighborResult is the reply to Predecessor and Successor. GapVersion is
+// the version of the gap between the probe key and the neighbor.
+type NeighborResult struct {
+	Key        keyspace.Key
+	Version    version.V
+	Value      string
+	GapVersion version.V
+}
+
+// CoalesceResult reports what a Coalesce removed; the directory suite uses
+// it to compute the paper's section 4 statistics.
+type CoalesceResult struct {
+	// DeletedKeys are the keys of the entries that lay strictly between
+	// the bounds (ghosts plus, possibly, the entry being deleted).
+	DeletedKeys []keyspace.Key
+}
+
+// Directory is the representative-side interface; it is implemented
+// locally by *Rep and remotely by the RPC clients in package transport.
+type Directory interface {
+	// Name identifies the representative.
+	Name() string
+	// Lookup implements DirRepLookup: the entry's version and value if
+	// present, otherwise the version of the gap containing key.
+	Lookup(ctx context.Context, txn lock.TxnID, key keyspace.Key) (LookupResult, error)
+	// Predecessor implements DirRepPredecessor for the entry with the
+	// largest key less than key.
+	Predecessor(ctx context.Context, txn lock.TxnID, key keyspace.Key) (NeighborResult, error)
+	// Successor implements DirRepSuccessor for the entry with the
+	// smallest key greater than key.
+	Successor(ctx context.Context, txn lock.TxnID, key keyspace.Key) (NeighborResult, error)
+	// PredecessorBatch and SuccessorBatch return up to max successive
+	// neighbors in one message — the section 4 batching optimization.
+	PredecessorBatch(ctx context.Context, txn lock.TxnID, key keyspace.Key, max int) ([]NeighborResult, error)
+	SuccessorBatch(ctx context.Context, txn lock.TxnID, key keyspace.Key, max int) ([]NeighborResult, error)
+	// Insert implements DirRepInsert: create or overwrite the entry for
+	// key with the given version and value.
+	Insert(ctx context.Context, txn lock.TxnID, key keyspace.Key, ver version.V, value string) error
+	// Coalesce implements DirRepCoalesce: delete all entries strictly
+	// between lo and hi and give the resulting gap version ver.
+	Coalesce(ctx context.Context, txn lock.TxnID, lo, hi keyspace.Key, ver version.V) (CoalesceResult, error)
+	// Prepare, Commit, and Abort drive two-phase commit. Commit without
+	// a prior Prepare performs both phases locally (one-shot commit).
+	Prepare(ctx context.Context, txn lock.TxnID) error
+	Commit(ctx context.Context, txn lock.TxnID) error
+	Abort(ctx context.Context, txn lock.TxnID) error
+	// Status reports this representative's knowledge of a transaction's
+	// fate, for cooperative termination of in-doubt two-phase commits.
+	Status(ctx context.Context, txn lock.TxnID) (TxnStatus, error)
+}
+
+// undoRec restores the store to its pre-operation state: entries in put
+// are re-stored, keys in del are removed.
+type undoRec struct {
+	put []btree.Entry
+	del []keyspace.Key
+}
+
+// txnState tracks one in-flight transaction at this representative.
+// pendingRedo is set only on transactions reconstructed as in-doubt
+// during recovery: their effects were not applied and must be installed
+// if Commit arrives.
+type txnState struct {
+	undo        []undoRec
+	redo        []wal.Record
+	pendingRedo []wal.Record
+	prepared    bool
+}
+
+// Rep is an in-process directory representative.
+type Rep struct {
+	name  string
+	locks *lock.Manager
+
+	mu       sync.Mutex // guards store, txns, and outcomes
+	store    *btree.Tree
+	txns     map[lock.TxnID]*txnState
+	outcomes map[lock.TxnID]bool // decided 2PC participants: true = committed
+	log      wal.Log
+	stats    counters
+}
+
+var _ Directory = (*Rep)(nil)
+
+// Option configures a Rep.
+type Option interface {
+	apply(*Rep)
+}
+
+type logOption struct{ log wal.Log }
+
+func (o logOption) apply(r *Rep) { r.log = o.log }
+
+// WithLog attaches a write-ahead log; committed mutations become
+// recoverable through Recover.
+func WithLog(l wal.Log) Option { return logOption{log: l} }
+
+// New returns an empty representative containing only the LOW and HIGH
+// sentinels, with the initial gap at version Lowest.
+func New(name string, opts ...Option) *Rep {
+	r := &Rep{
+		name:     name,
+		locks:    lock.NewManager(),
+		store:    btree.New(),
+		txns:     make(map[lock.TxnID]*txnState),
+		outcomes: make(map[lock.TxnID]bool),
+	}
+	r.store.Put(btree.Entry{Key: keyspace.Low(), Version: version.Lowest, GapAfter: version.Lowest})
+	r.store.Put(btree.Entry{Key: keyspace.High(), Version: version.Lowest})
+	for _, o := range opts {
+		o.apply(r)
+	}
+	return r
+}
+
+// Recover rebuilds a representative from the records of its write-ahead
+// log, applying the redo records of committed transactions in commit
+// order. Transactions that never prepared are discarded (presumed
+// abort); prepared-but-undecided transactions are reconstructed as
+// in-doubt — effects withheld, write locks held — awaiting Commit,
+// Abort, or cooperative termination (txn.Resolve).
+func Recover(name string, records []wal.Record, opts ...Option) (*Rep, error) {
+	r := New(name, opts...)
+	a, err := wal.Analyze(records)
+	if err != nil {
+		return nil, fmt.Errorf("rep: recover %s: %w", name, err)
+	}
+	if err := r.installAnalysis(a); err != nil {
+		return nil, fmt.Errorf("rep: recover %s: %w", name, err)
+	}
+	return r, nil
+}
+
+// Name returns the representative's identifier.
+func (r *Rep) Name() string { return r.name }
+
+// Lookup implements Directory. Sentinel keys are always present.
+// Locks RepLookup(key, key).
+func (r *Rep) Lookup(ctx context.Context, txn lock.TxnID, key keyspace.Key) (LookupResult, error) {
+	if err := r.locks.Acquire(ctx, txn, lock.ModeLookup, interval.Point(key)); err != nil {
+		return LookupResult{}, err
+	}
+	r.stats.lookups.Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.undecided(txn); err != nil {
+		return LookupResult{}, err
+	}
+	r.touch(txn)
+	if e, ok := r.store.Get(key); ok {
+		return LookupResult{Found: true, Version: e.Version, Value: e.Value}, nil
+	}
+	pred, ok := r.store.Lower(key)
+	if !ok {
+		// Unreachable: LOW is always present and sorts below every
+		// missing key.
+		return LookupResult{}, fmt.Errorf("rep: %s: no lower bound for %s", r.name, key)
+	}
+	return LookupResult{Found: false, Version: pred.GapAfter}, nil
+}
+
+// Predecessor implements Directory. Locks RepLookup(y, key) where y is
+// the key returned; the lock range is widened and re-checked until the
+// predecessor is stable under the lock.
+func (r *Rep) Predecessor(ctx context.Context, txn lock.TxnID, key keyspace.Key) (NeighborResult, error) {
+	if key.IsLow() {
+		return NeighborResult{}, fmt.Errorf("%w: predecessor of LOW", ErrNoNeighbor)
+	}
+	r.stats.neighborProbes.Add(1)
+	var lockedLo keyspace.Key
+	locked := false
+	for {
+		r.mu.Lock()
+		if err := r.undecided(txn); err != nil {
+			r.mu.Unlock()
+			return NeighborResult{}, err
+		}
+		r.touch(txn)
+		pred, ok := r.store.Lower(key)
+		if !ok {
+			r.mu.Unlock()
+			return NeighborResult{}, fmt.Errorf("rep: %s: no predecessor entry for %s", r.name, key)
+		}
+		if locked && !pred.Key.Less(lockedLo) {
+			res := NeighborResult{
+				Key:        pred.Key,
+				Version:    pred.Version,
+				Value:      pred.Value,
+				GapVersion: pred.GapAfter,
+			}
+			r.mu.Unlock()
+			return res, nil
+		}
+		r.mu.Unlock()
+		if err := r.locks.Acquire(ctx, txn, lock.ModeLookup, interval.Span(pred.Key, key)); err != nil {
+			return NeighborResult{}, err
+		}
+		lockedLo, locked = pred.Key, true
+	}
+}
+
+// Successor implements Directory. Locks RepLookup(key, y) where y is the
+// key returned, widening until stable.
+func (r *Rep) Successor(ctx context.Context, txn lock.TxnID, key keyspace.Key) (NeighborResult, error) {
+	if key.IsHigh() {
+		return NeighborResult{}, fmt.Errorf("%w: successor of HIGH", ErrNoNeighbor)
+	}
+	r.stats.neighborProbes.Add(1)
+	var lockedHi keyspace.Key
+	locked := false
+	for {
+		r.mu.Lock()
+		if err := r.undecided(txn); err != nil {
+			r.mu.Unlock()
+			return NeighborResult{}, err
+		}
+		r.touch(txn)
+		succ, ok := r.store.Higher(key)
+		if !ok {
+			r.mu.Unlock()
+			return NeighborResult{}, fmt.Errorf("rep: %s: no successor entry for %s", r.name, key)
+		}
+		if locked && !lockedHi.Less(succ.Key) {
+			// The gap between key and its successor is the gap following
+			// the entry at or below key (floor), which always exists
+			// because LOW is stored.
+			floor, ok := r.store.Floor(key)
+			if !ok {
+				r.mu.Unlock()
+				return NeighborResult{}, fmt.Errorf("rep: %s: no floor entry for %s", r.name, key)
+			}
+			res := NeighborResult{
+				Key:        succ.Key,
+				Version:    succ.Version,
+				Value:      succ.Value,
+				GapVersion: floor.GapAfter,
+			}
+			r.mu.Unlock()
+			return res, nil
+		}
+		r.mu.Unlock()
+		if err := r.locks.Acquire(ctx, txn, lock.ModeLookup, interval.Span(key, succ.Key)); err != nil {
+			return NeighborResult{}, err
+		}
+		lockedHi, locked = succ.Key, true
+	}
+}
+
+// Insert implements Directory. Creating a new entry splits the gap it
+// lands in; both halves keep the gap's version number. Overwriting an
+// existing entry leaves gap versions untouched.
+// Locks RepModify(key, key).
+func (r *Rep) Insert(ctx context.Context, txn lock.TxnID, key keyspace.Key, ver version.V, value string) error {
+	if key.IsSentinel() {
+		return fmt.Errorf("%w: insert %s", ErrSentinel, key)
+	}
+	if err := r.locks.Acquire(ctx, txn, lock.ModeModify, interval.Point(key)); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.undecided(txn); err != nil {
+		return err
+	}
+	st := r.txn(txn)
+	if old, ok := r.store.Get(key); ok {
+		st.undo = append(st.undo, undoRec{put: []btree.Entry{old}})
+	} else {
+		st.undo = append(st.undo, undoRec{del: []keyspace.Key{key}})
+	}
+	r.applyInsert(key, ver, value)
+	r.stats.inserts.Add(1)
+	st.redo = append(st.redo, wal.Record{
+		Kind:    wal.KindInsert,
+		Txn:     uint64(txn),
+		Key:     key,
+		Version: ver,
+		Value:   value,
+	})
+	return nil
+}
+
+// applyInsert performs the store mutation for Insert; callers hold r.mu
+// (or have exclusive access during recovery).
+func (r *Rep) applyInsert(key keyspace.Key, ver version.V, value string) {
+	if old, ok := r.store.Get(key); ok {
+		old.Version = ver
+		old.Value = value
+		r.store.Put(old)
+		return
+	}
+	pred, _ := r.store.Lower(key)
+	r.store.Put(btree.Entry{Key: key, Version: ver, Value: value, GapAfter: pred.GapAfter})
+}
+
+// Coalesce implements Directory. Locks RepModify(lo, hi).
+func (r *Rep) Coalesce(ctx context.Context, txn lock.TxnID, lo, hi keyspace.Key, ver version.V) (CoalesceResult, error) {
+	if !lo.Less(hi) {
+		return CoalesceResult{}, fmt.Errorf("%w: %s..%s", ErrBadRange, lo, hi)
+	}
+	if err := r.locks.Acquire(ctx, txn, lock.ModeModify, interval.Span(lo, hi)); err != nil {
+		return CoalesceResult{}, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.undecided(txn); err != nil {
+		return CoalesceResult{}, err
+	}
+	loEntry, ok := r.store.Get(lo)
+	if !ok {
+		return CoalesceResult{}, fmt.Errorf("%w: low bound %s", ErrMissingBound, lo)
+	}
+	if _, ok := r.store.Get(hi); !ok {
+		return CoalesceResult{}, fmt.Errorf("%w: high bound %s", ErrMissingBound, hi)
+	}
+	st := r.txn(txn)
+	victims := r.store.Between(lo, hi)
+	undo := undoRec{put: append([]btree.Entry{loEntry}, victims...)}
+	st.undo = append(st.undo, undo)
+	if err := r.applyCoalesce(lo, hi, ver); err != nil {
+		return CoalesceResult{}, err
+	}
+	r.stats.coalesces.Add(1)
+	r.stats.entriesCoalesced.Add(uint64(len(victims)))
+	st.redo = append(st.redo, wal.Record{
+		Kind:    wal.KindCoalesce,
+		Txn:     uint64(txn),
+		Key:     lo,
+		Hi:      hi,
+		Version: ver,
+	})
+	keys := make([]keyspace.Key, len(victims))
+	for i, e := range victims {
+		keys[i] = e.Key
+	}
+	return CoalesceResult{DeletedKeys: keys}, nil
+}
+
+// applyCoalesce performs the store mutation for Coalesce; callers hold
+// r.mu (or have exclusive access during recovery).
+func (r *Rep) applyCoalesce(lo, hi keyspace.Key, ver version.V) error {
+	loEntry, ok := r.store.Get(lo)
+	if !ok {
+		return fmt.Errorf("%w: low bound %s", ErrMissingBound, lo)
+	}
+	if _, ok := r.store.Get(hi); !ok {
+		return fmt.Errorf("%w: high bound %s", ErrMissingBound, hi)
+	}
+	r.store.DeleteBetween(lo, hi)
+	loEntry.GapAfter = ver
+	r.store.Put(loEntry)
+	return nil
+}
+
+// Prepare implements Directory: phase one of two-phase commit. The
+// transaction's redo records and a prepare marker are forced to the log.
+func (r *Rep) Prepare(_ context.Context, txn lock.TxnID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.undecided(txn); err != nil {
+		return err
+	}
+	st, ok := r.txns[txn]
+	if !ok {
+		// Vote abort: this representative has no record of the
+		// transaction. Either it never operated here, or a crash wiped
+		// its state — committing would silently drop its writes.
+		return fmt.Errorf("%w: txn %d", ErrUnknownTxn, txn)
+	}
+	if st.prepared {
+		return nil
+	}
+	if err := r.appendRecords(st.redo); err != nil {
+		return err
+	}
+	if err := r.appendRecords([]wal.Record{{Kind: wal.KindPrepare, Txn: uint64(txn)}}); err != nil {
+		return err
+	}
+	st.prepared = true
+	r.stats.prepares.Add(1)
+	return nil
+}
+
+// Commit implements Directory: make the transaction's effects permanent
+// and release its locks. A Commit without a prior Prepare logs the redo
+// records first (one-shot commit for single-participant transactions).
+// Committing an in-doubt transaction reconstructed by recovery installs
+// its withheld effects first.
+func (r *Rep) Commit(_ context.Context, txn lock.TxnID) error {
+	r.mu.Lock()
+	if committed, decided := r.outcomes[txn]; decided {
+		r.mu.Unlock()
+		if committed {
+			return nil // idempotent re-commit
+		}
+		return fmt.Errorf("%w: commit of aborted txn %d", ErrTxnDecided, txn)
+	}
+	st, ok := r.txns[txn]
+	if ok {
+		for _, rec := range st.pendingRedo {
+			switch rec.Kind {
+			case wal.KindInsert:
+				r.applyInsert(rec.Key, rec.Version, rec.Value)
+			case wal.KindCoalesce:
+				if err := r.applyCoalesce(rec.Key, rec.Hi, rec.Version); err != nil {
+					r.mu.Unlock()
+					return fmt.Errorf("rep: %s: commit in-doubt txn %d: %w", r.name, txn, err)
+				}
+			}
+		}
+		if !st.prepared {
+			if err := r.appendRecords(st.redo); err != nil {
+				r.mu.Unlock()
+				return err
+			}
+		}
+		if err := r.appendRecords([]wal.Record{{Kind: wal.KindCommit, Txn: uint64(txn)}}); err != nil {
+			r.mu.Unlock()
+			return err
+		}
+		if st.prepared {
+			r.outcomes[txn] = true
+		}
+		delete(r.txns, txn)
+	}
+	r.mu.Unlock()
+	r.locks.ReleaseAll(txn)
+	r.stats.commits.Add(1)
+	return nil
+}
+
+// Abort implements Directory: undo the transaction's effects and release
+// its locks.
+func (r *Rep) Abort(_ context.Context, txn lock.TxnID) error {
+	r.mu.Lock()
+	if committed, decided := r.outcomes[txn]; decided {
+		r.mu.Unlock()
+		if !committed {
+			return nil // idempotent re-abort
+		}
+		return fmt.Errorf("%w: abort of committed txn %d", ErrTxnDecided, txn)
+	}
+	st, ok := r.txns[txn]
+	if ok {
+		for i := len(st.undo) - 1; i >= 0; i-- {
+			u := st.undo[i]
+			for _, k := range u.del {
+				r.store.Delete(k)
+			}
+			for _, e := range u.put {
+				r.store.Put(e)
+			}
+		}
+		if st.prepared {
+			if err := r.appendRecords([]wal.Record{{Kind: wal.KindAbort, Txn: uint64(txn)}}); err != nil {
+				r.mu.Unlock()
+				return err
+			}
+			r.outcomes[txn] = false
+		}
+		delete(r.txns, txn)
+	}
+	r.mu.Unlock()
+	r.locks.ReleaseAll(txn)
+	r.stats.aborts.Add(1)
+	return nil
+}
+
+// undecided rejects operations arriving under an already-decided
+// transaction ID; callers hold r.mu.
+func (r *Rep) undecided(id lock.TxnID) error {
+	if committed, decided := r.outcomes[id]; decided {
+		return fmt.Errorf("%w: txn %d (committed=%v)", ErrTxnDecided, id, committed)
+	}
+	return nil
+}
+
+// touch registers the transaction so that Prepare can distinguish a
+// participant that really served this transaction from one that lost its
+// state in a crash; callers hold r.mu. Read-only operations register
+// too — every participant of a two-phase commit must be able to vouch
+// for its part.
+func (r *Rep) touch(id lock.TxnID) {
+	_ = r.txn(id)
+}
+
+// txn returns (creating if needed) the state for txn; callers hold r.mu.
+func (r *Rep) txn(id lock.TxnID) *txnState {
+	st, ok := r.txns[id]
+	if !ok {
+		st = &txnState{}
+		r.txns[id] = st
+	}
+	return st
+}
+
+// appendRecords writes records to the log if one is attached; callers
+// hold r.mu.
+func (r *Rep) appendRecords(recs []wal.Record) error {
+	if r.log == nil {
+		return nil
+	}
+	for _, rec := range recs {
+		if err := r.log.Append(rec); err != nil {
+			return fmt.Errorf("rep: %s: log append: %w", r.name, err)
+		}
+	}
+	return nil
+}
+
+// Locks exposes the representative's lock manager statistics.
+func (r *Rep) Locks() *lock.Manager { return r.locks }
+
+// Len returns the number of entries stored, including the two sentinels.
+func (r *Rep) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.store.Len()
+}
+
+// Dump returns a snapshot of all entries in key order, sentinels
+// included. Intended for tests, audits, and debugging.
+func (r *Rep) Dump() []btree.Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.store.Entries()
+}

@@ -1,0 +1,115 @@
+package rep
+
+import (
+	"context"
+	"fmt"
+
+	"repdir/internal/interval"
+	"repdir/internal/lock"
+	"repdir/internal/wal"
+)
+
+// TxnStatus is a representative's knowledge of a transaction's fate,
+// used by cooperative termination (txn.Resolve) to finish two-phase
+// commits whose coordinator crashed between phases.
+type TxnStatus int
+
+const (
+	// StatusUnknown: this representative has no decided record of the
+	// transaction — it never prepared here (or its history was
+	// checkpointed away). For resolution purposes it counts as
+	// not-committed.
+	StatusUnknown TxnStatus = iota + 1
+	// StatusInDoubt: prepared here, outcome unknown. The transaction's
+	// write locks are held and its effects are withheld until Commit or
+	// Abort arrives.
+	StatusInDoubt
+	// StatusCommitted: committed here.
+	StatusCommitted
+	// StatusAborted: aborted here.
+	StatusAborted
+)
+
+// String names the status.
+func (s TxnStatus) String() string {
+	switch s {
+	case StatusUnknown:
+		return "unknown"
+	case StatusInDoubt:
+		return "in-doubt"
+	case StatusCommitted:
+		return "committed"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("TxnStatus(%d)", int(s))
+	}
+}
+
+// Status implements Directory: this representative's knowledge of txn.
+func (r *Rep) Status(_ context.Context, txn lock.TxnID) (TxnStatus, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if committed, ok := r.outcomes[txn]; ok {
+		if committed {
+			return StatusCommitted, nil
+		}
+		return StatusAborted, nil
+	}
+	if st, ok := r.txns[txn]; ok && st.prepared {
+		return StatusInDoubt, nil
+	}
+	return StatusUnknown, nil
+}
+
+// InDoubt lists transactions that are prepared here but undecided.
+func (r *Rep) InDoubt() []lock.TxnID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []lock.TxnID
+	for id, st := range r.txns {
+		if st.prepared {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// installAnalysis loads a log analysis into a freshly built
+// representative: committed effects are applied, and in-doubt
+// transactions are reconstructed as prepared — their effects withheld as
+// pending redo, their write locks re-acquired so no other transaction can
+// observe or overwrite the undecided ranges.
+func (r *Rep) installAnalysis(a wal.Analysis) error {
+	for _, op := range a.Committed {
+		switch op.Kind {
+		case wal.KindInsert:
+			r.applyInsert(op.Key, op.Version, op.Value)
+		case wal.KindCoalesce:
+			if err := r.applyCoalesce(op.Key, op.Hi, op.Version); err != nil {
+				return fmt.Errorf("replay txn %d: %w", op.Txn, err)
+			}
+		default:
+			return fmt.Errorf("unexpected redo kind %s", op.Kind)
+		}
+	}
+	for id, committed := range a.Outcomes {
+		r.outcomes[lock.TxnID(id)] = committed
+	}
+	for id, recs := range a.InDoubt {
+		txnID := lock.TxnID(id)
+		r.txns[txnID] = &txnState{prepared: true, pendingRedo: recs}
+		for _, rec := range recs {
+			rng := interval.Point(rec.Key)
+			if rec.Kind == wal.KindCoalesce {
+				rng = interval.Span(rec.Key, rec.Hi)
+			}
+			// Prepared transactions held these locks before the crash,
+			// so they are mutually compatible; acquisition cannot block.
+			if err := r.locks.Acquire(context.Background(), txnID, lock.ModeModify, rng); err != nil {
+				return fmt.Errorf("relock in-doubt txn %d: %w", id, err)
+			}
+		}
+	}
+	return nil
+}

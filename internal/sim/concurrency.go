@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repdir/internal/baseline"
+	"repdir/internal/core"
+	"repdir/internal/lock"
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+)
+
+// ConcurrencyResult compares this paper's range-locked replicated
+// directory against the section 2 strawman (a directory stored as one
+// Gifford-replicated file) under concurrent clients updating disjoint
+// entries. Both systems pay the same simulated per-message latency; the
+// file version serializes all modifications behind a single version
+// number and whole-object locks, while the directory version runs them
+// concurrently.
+type ConcurrencyResult struct {
+	Clients      int
+	OpsPerClient int
+	PerMessage   time.Duration
+
+	RangeLocking time.Duration
+	FileLocking  time.Duration
+
+	// RangeLockStats / FileLockStats aggregate the replicas' lock
+	// managers: disjoint-range clients should produce almost no waits or
+	// wait-die aborts under range locking, while whole-file locking
+	// forces every client through the same lock.
+	RangeLockStats lock.Stats
+	FileLockStats  lock.Stats
+}
+
+// Speedup is FileLocking / RangeLocking.
+func (r ConcurrencyResult) Speedup() float64 {
+	if r.RangeLocking == 0 {
+		return 0
+	}
+	return float64(r.FileLocking) / float64(r.RangeLocking)
+}
+
+// String renders the comparison.
+func (r ConcurrencyResult) String() string {
+	return fmt.Sprintf(
+		"%d clients x %d updates, %v per message: range-locked directory %v "+
+			"(%d lock waits, %d wait-die aborts), directory-as-file %v "+
+			"(%d waits, %d aborts) — %.1fx",
+		r.Clients, r.OpsPerClient, r.PerMessage,
+		r.RangeLocking.Round(time.Millisecond), r.RangeLockStats.Waits, r.RangeLockStats.Dies,
+		r.FileLocking.Round(time.Millisecond), r.FileLockStats.Waits, r.FileLockStats.Dies,
+		r.Speedup())
+}
+
+// RunConcurrencyComparison measures both systems on a 3-2-2 suite.
+func RunConcurrencyComparison(clients, opsPerClient int, perMessage time.Duration) (ConcurrencyResult, error) {
+	ctx := context.Background()
+	res := ConcurrencyResult{Clients: clients, OpsPerClient: opsPerClient, PerMessage: perMessage}
+
+	// Range-locked replicated directory.
+	reps := make([]*rep.Rep, 3)
+	dirs := make([]rep.Directory, 3)
+	for i := range dirs {
+		reps[i] = rep.New(fmt.Sprintf("rep%d", i))
+		l := transport.NewLocal(reps[i])
+		l.SetLatency(perMessage)
+		dirs[i] = l
+	}
+	suite, err := core.NewSuite(quorum.NewUniform(dirs, 2, 2))
+	if err != nil {
+		return res, err
+	}
+	for c := 0; c < clients; c++ {
+		if err := suite.Insert(ctx, fmt.Sprintf("key-%02d", c), "0"); err != nil {
+			return res, err
+		}
+	}
+	start := time.Now()
+	if err := runClients(clients, func(c int) error {
+		key := fmt.Sprintf("key-%02d", c)
+		for i := 0; i < opsPerClient; i++ {
+			if err := suite.Update(ctx, key, fmt.Sprintf("%d", i)); err != nil {
+				return fmt.Errorf("suite update %s: %w", key, err)
+			}
+		}
+		return nil
+	}); err != nil {
+		return res, err
+	}
+	res.RangeLocking = time.Since(start)
+	for _, r := range reps {
+		res.RangeLockStats = addLockStats(res.RangeLockStats, r.Locks().Stats())
+	}
+
+	// Directory stored as one replicated file.
+	fileReps := make([]*baseline.FileRep, 3)
+	for i := range fileReps {
+		fileReps[i] = baseline.NewFileRep(fmt.Sprintf("file%d", i))
+		fileReps[i].SetLatency(perMessage)
+	}
+	fs, err := baseline.NewFileSuite(fileReps, 2, 2, 5)
+	if err != nil {
+		return res, err
+	}
+	dir := baseline.NewDirectoryAsFile(fs)
+	for c := 0; c < clients; c++ {
+		if err := dir.Insert(ctx, fmt.Sprintf("key-%02d", c), "0"); err != nil {
+			return res, err
+		}
+	}
+	start = time.Now()
+	if err := runClients(clients, func(c int) error {
+		key := fmt.Sprintf("key-%02d", c)
+		for i := 0; i < opsPerClient; i++ {
+			if err := dir.Update(ctx, key, fmt.Sprintf("%d", i)); err != nil {
+				return fmt.Errorf("file update %s: %w", key, err)
+			}
+		}
+		return nil
+	}); err != nil {
+		return res, err
+	}
+	res.FileLocking = time.Since(start)
+	for _, fr := range fileReps {
+		res.FileLockStats = addLockStats(res.FileLockStats, fr.Locks().Stats())
+	}
+	return res, nil
+}
+
+// addLockStats sums lock-manager counters.
+func addLockStats(a, b lock.Stats) lock.Stats {
+	return lock.Stats{
+		Grants: a.Grants + b.Grants,
+		Waits:  a.Waits + b.Waits,
+		Dies:   a.Dies + b.Dies,
+	}
+}
+
+// runClients runs fn(0..n-1) concurrently and returns the first error.
+func runClients(n int, fn func(int) error) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			if err := fn(c); err != nil {
+				errs <- err
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}

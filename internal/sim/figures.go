@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repdir/internal/model"
+)
+
+// Figure14Configs is the configuration sweep we regenerate Figure 14
+// over: directories of approximately one hundred entries with varying
+// numbers of representatives and varying read/write quorum sizes, ten
+// thousand operations each, quorums selected uniformly at random (the
+// exact cell values of the paper's Figure 14 are illegible in the source
+// scan; the sweep covers the axes its caption describes and includes the
+// 3-2-2 point that Figure 15 corroborates).
+func Figure14Configs(seed int64) []Config {
+	shapes := []struct{ n, r, w int }{
+		{3, 2, 2}, {3, 1, 3}, {3, 3, 1},
+		{4, 2, 3}, {4, 3, 2},
+		{5, 2, 4}, {5, 3, 3}, {5, 4, 2},
+		{7, 4, 4},
+	}
+	cfgs := make([]Config, 0, len(shapes))
+	for i, s := range shapes {
+		cfgs = append(cfgs, Config{
+			Replicas:       s.n,
+			R:              s.r,
+			W:              s.w,
+			InitialEntries: 100,
+			Operations:     10000,
+			Seed:           seed + int64(i)*101,
+		})
+	}
+	return cfgs
+}
+
+// RunFigure14 executes the Figure 14 sweep.
+func RunFigure14(seed int64) ([]Result, error) {
+	var out []Result
+	for _, cfg := range Figure14Configs(seed) {
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: figure 14 %s: %w", cfg, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Figure15Configs is the paper's Figure 15 setup: 3-2-2 suites with one
+// hundred, one thousand, and ten thousand entries, one hundred thousand
+// operations each.
+func Figure15Configs(seed int64) []Config {
+	sizes := []int{100, 1000, 10000}
+	cfgs := make([]Config, 0, len(sizes))
+	for i, n := range sizes {
+		cfgs = append(cfgs, Config{
+			Replicas:       3,
+			R:              2,
+			W:              2,
+			InitialEntries: n,
+			Operations:     100000,
+			Seed:           seed + int64(i)*211,
+		})
+	}
+	return cfgs
+}
+
+// RunFigure15 executes the Figure 15 runs. ops overrides the per-run
+// operation count when positive (tests use a smaller count; the paper's
+// value is 100,000).
+func RunFigure15(seed int64, ops int) ([]Result, error) {
+	var out []Result
+	for _, cfg := range Figure15Configs(seed) {
+		if ops > 0 {
+			cfg.Operations = ops
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: figure 15 %s/%d: %w", cfg, cfg.InitialEntries, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RunStickyQuorumAblation contrasts random quorums with sticky quorums at
+// the Figure 15 small configuration, quantifying the section 5
+// observation that "if the memberships of write quorums change
+// infrequently, coalescing during deletions will not be costly".
+func RunStickyQuorumAblation(seed int64, ops int) (random, sticky Result, err error) {
+	base := Config{
+		Replicas:       3,
+		R:              2,
+		W:              2,
+		InitialEntries: 100,
+		Operations:     ops,
+		Seed:           seed,
+	}
+	random, err = Run(base)
+	if err != nil {
+		return Result{}, Result{}, fmt.Errorf("sim: ablation random: %w", err)
+	}
+	base.Sticky = true
+	base.Name = "3-2-2 sticky"
+	sticky, err = Run(base)
+	if err != nil {
+		return Result{}, Result{}, fmt.Errorf("sim: ablation sticky: %w", err)
+	}
+	return random, sticky, nil
+}
+
+// ModelComparison pairs the analytic model's predictions with measured
+// simulation results for one configuration.
+type ModelComparison struct {
+	Prediction model.Prediction
+	Measured   Result
+}
+
+// RunModelComparison evaluates the section 5 analytic model against
+// simulation across the Figure 14 sweep.
+func RunModelComparison(seed int64, ops int) ([]ModelComparison, error) {
+	var out []ModelComparison
+	for _, cfg := range Figure14Configs(seed) {
+		if ops > 0 {
+			cfg.Operations = ops
+		}
+		pred, err := model.Predict(cfg.Replicas, cfg.R, cfg.W)
+		if err != nil {
+			return nil, fmt.Errorf("sim: model %s: %w", cfg, err)
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: model comparison %s: %w", cfg, err)
+		}
+		out = append(out, ModelComparison{Prediction: pred, Measured: res})
+	}
+	return out, nil
+}
+
+// FormatModelComparison renders the model-vs-simulation table.
+func FormatModelComparison(comps []ModelComparison) string {
+	var b strings.Builder
+	b.WriteString("Section 5 analytic model vs simulation (avg of E, D, I per delete)\n")
+	fmt.Fprintf(&b, "%-10s%12s%12s%12s%12s%12s%12s%10s\n",
+		"config", "E model", "E sim", "D model", "D sim", "I model", "I sim", "H*")
+	for _, c := range comps {
+		fmt.Fprintf(&b, "%-10s%12.2f%12.2f%12.2f%12.2f%12.2f%12.2f%10.2f\n",
+			c.Measured.Config.String(),
+			c.Prediction.EntriesCoalesced, c.Measured.EntriesCoalesced.Avg,
+			c.Prediction.GhostDeletions, c.Measured.GhostDeletions.Avg,
+			c.Prediction.Insertions, c.Measured.Insertions.Avg,
+			c.Prediction.ExpectedCoverage)
+	}
+	b.WriteString("(model assumes quorum choices independent of holder sets; it\n")
+	b.WriteString(" overestimates I, which benefits from holder/quorum correlation)\n")
+	return b.String()
+}
+
+// RunBatchingAblation contrasts the base algorithm (one neighbor per
+// probe message, Figure 12) with the section 4 batching suggestion
+// (three neighbors per message), reporting how many neighbor RPCs each
+// delete needs. The paper: "the real predecessor and real successor will
+// often be located using one remote procedure call to each member of the
+// quorum."
+func RunBatchingAblation(seed int64, ops int) (single, batched Result, err error) {
+	base := Config{
+		Replicas:       3,
+		R:              2,
+		W:              2,
+		InitialEntries: 100,
+		Operations:     ops,
+		Seed:           seed,
+		Name:           "3-2-2 fanout=1",
+	}
+	single, err = Run(base)
+	if err != nil {
+		return Result{}, Result{}, fmt.Errorf("sim: ablation fanout=1: %w", err)
+	}
+	base.NeighborFanout = 3
+	base.Name = "3-2-2 fanout=3"
+	batched, err = Run(base)
+	if err != nil {
+		return Result{}, Result{}, fmt.Errorf("sim: ablation fanout=3: %w", err)
+	}
+	return single, batched, nil
+}
+
+// RunSkewAblation contrasts the paper's uniform key selection with a
+// Zipf-skewed workload (hot keys churned far more often) — one of the
+// "further simulations" section 5 calls for. Skewed churn concentrates
+// ghosts in the hot region, where they are also cleaned sooner; the
+// statistics quantify the net effect.
+func RunSkewAblation(seed int64, ops int, zipfS float64) (uniform, skewed Result, err error) {
+	base := Config{
+		Replicas:       3,
+		R:              2,
+		W:              2,
+		InitialEntries: 100,
+		Operations:     ops,
+		Seed:           seed,
+		Name:           "3-2-2 uniform",
+	}
+	uniform, err = Run(base)
+	if err != nil {
+		return Result{}, Result{}, fmt.Errorf("sim: skew ablation uniform: %w", err)
+	}
+	base.ZipfS = zipfS
+	base.Name = fmt.Sprintf("3-2-2 zipf %.1f", zipfS)
+	skewed, err = Run(base)
+	if err != nil {
+		return Result{}, Result{}, fmt.Errorf("sim: skew ablation zipf: %w", err)
+	}
+	return uniform, skewed, nil
+}
+
+// FormatResults renders runs as a text table shaped like the paper's
+// figures: one column block per run, rows for the three statistics with
+// Avg / Max / StdDev.
+func FormatResults(title string, results []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-28s", "configuration")
+	for _, r := range results {
+		label := r.Config.String()
+		if len(results) > 1 && r.Config.InitialEntries != 100 || r.Config.InitialEntries >= 1000 {
+			label = fmt.Sprintf("%s/%d", r.Config.String(), r.Config.InitialEntries)
+		}
+		fmt.Fprintf(&b, "%22s", label)
+	}
+	b.WriteByte('\n')
+	rows := []struct {
+		name string
+		get  func(Result) string
+	}{
+		{"Entries in ranges coalesced", func(r Result) string { return r.EntriesCoalesced.String() }},
+		{"Deletions while coalescing", func(r Result) string { return r.GhostDeletions.String() }},
+		{"Insertions while coalescing", func(r Result) string { return r.Insertions.String() }},
+		{"Pred walk steps", func(r Result) string { return r.PredWalkSteps.String() }},
+		{"Succ walk steps", func(r Result) string { return r.SuccWalkSteps.String() }},
+		{"Neighbor RPCs per delete", func(r Result) string { return r.NeighborRPCs.String() }},
+		{"Deletes performed", func(r Result) string { return fmt.Sprintf("%d", r.Deletes) }},
+		{"Final directory size", func(r Result) string { return fmt.Sprintf("%d", r.FinalSize) }},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-28s", row.name)
+		for _, r := range results {
+			fmt.Fprintf(&b, "%22s", row.get(r))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("(avg max stddev per row where three values are shown)\n")
+	return b.String()
+}

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repdir/internal/core"
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+)
+
+// countingDir wraps a representative and counts, per wrapping client, how
+// many inquiry and modification RPCs it received. Each client type gets
+// its own wrappers around the shared representatives, so the counts
+// attribute traffic to the issuing client class.
+type countingDir struct {
+	*transport.Middleware
+
+	mu        sync.Mutex
+	inquiries int
+	writes    int
+}
+
+func newCountingDir(inner rep.Directory) *countingDir {
+	c := &countingDir{}
+	c.Middleware = transport.Wrap(inner, func(op transport.Op) error {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		switch {
+		case op.IsInquiry():
+			c.inquiries++
+		case op.IsMutation():
+			c.writes++
+		}
+		return nil
+	})
+	return c
+}
+
+func (c *countingDir) counts() (inquiries, writes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inquiries, c.writes
+}
+
+// LocalityStats summarizes one client class in the Figure 16 experiment.
+type LocalityStats struct {
+	// ClientType is "A" or "B".
+	ClientType string
+	// Operations is the number of directory operations performed.
+	Operations int
+	// InquiryRPCs / LocalInquiryRPCs count read-class messages and how
+	// many of them stayed local. Figure 16's claim is that all inquiries
+	// can be done locally.
+	InquiryRPCs      int
+	LocalInquiryRPCs int
+	// WriteRPCs maps representative name to the number of modification
+	// messages this client class sent it. The claim is that the single
+	// non-local write per modification spreads evenly across the remote
+	// representatives.
+	WriteRPCs map[string]int
+}
+
+// LocalReadFraction is LocalInquiryRPCs / InquiryRPCs.
+func (s LocalityStats) LocalReadFraction() float64 {
+	if s.InquiryRPCs == 0 {
+		return 0
+	}
+	return float64(s.LocalInquiryRPCs) / float64(s.InquiryRPCs)
+}
+
+// RunFigure16 reproduces the section 5 locality example: a 4-2-3
+// directory suite over representatives A1, A2, B1, B2 holding keys 1 to
+// 100. Transactions of Type A operate on keys 1-50 and are local to
+// A1/A2; Type B transactions operate on keys 51-100 and are local to
+// B1/B2. Each class performs opsPerType operations (lookups and updates
+// in equal measure) through a locality-aware quorum selector.
+func RunFigure16(opsPerType int) ([]LocalityStats, error) {
+	ctx := context.Background()
+	names := []string{"A1", "A2", "B1", "B2"}
+	bases := make([]rep.Directory, len(names))
+	for i, n := range names {
+		bases[i] = rep.New(n)
+	}
+
+	// Shared key population: keys 001..100, inserted through an
+	// administrative suite so replica states are algorithm-produced.
+	adminCfg := quorum.NewUniform(bases, 2, 3)
+	admin, err := core.NewSuite(adminCfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i <= 100; i++ {
+		if err := admin.Insert(ctx, fmt.Sprintf("%03d", i), "v"); err != nil {
+			return nil, fmt.Errorf("sim: figure 16 populate: %w", err)
+		}
+	}
+
+	type client struct {
+		name    string
+		locals  []string
+		keyLo   int
+		keyHi   int
+		wrapped []*countingDir
+		suite   *core.Suite
+	}
+	clients := []*client{
+		{name: "A", locals: []string{"A1", "A2"}, keyLo: 1, keyHi: 50},
+		{name: "B", locals: []string{"B1", "B2"}, keyLo: 51, keyHi: 100},
+	}
+	for _, cl := range clients {
+		cl.wrapped = make([]*countingDir, len(bases))
+		dirs := make([]rep.Directory, len(bases))
+		for i, b := range bases {
+			cl.wrapped[i] = newCountingDir(b)
+			dirs[i] = cl.wrapped[i]
+		}
+		cfg := quorum.NewUniform(dirs, 2, 3)
+		sel := quorum.NewLocalitySelector(cfg, cl.locals)
+		cl.suite, err = core.NewSuite(cfg, core.WithSelector(sel))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var out []LocalityStats
+	for _, cl := range clients {
+		local := make(map[string]bool, len(cl.locals))
+		for _, n := range cl.locals {
+			local[n] = true
+		}
+		for op := 0; op < opsPerType; op++ {
+			key := fmt.Sprintf("%03d", cl.keyLo+op%(cl.keyHi-cl.keyLo+1))
+			if op%2 == 0 {
+				if _, found, err := cl.suite.Lookup(ctx, key); err != nil || !found {
+					return nil, fmt.Errorf("sim: figure 16 lookup %s: found=%v err=%w", key, found, err)
+				}
+			} else {
+				if err := cl.suite.Update(ctx, key, "v2"); err != nil {
+					return nil, fmt.Errorf("sim: figure 16 update %s: %w", key, err)
+				}
+			}
+		}
+		st := LocalityStats{
+			ClientType: cl.name,
+			Operations: opsPerType,
+			WriteRPCs:  make(map[string]int),
+		}
+		for _, w := range cl.wrapped {
+			inq, wr := w.counts()
+			st.InquiryRPCs += inq
+			if local[w.Name()] {
+				st.LocalInquiryRPCs += inq
+			}
+			if wr > 0 {
+				st.WriteRPCs[w.Name()] = wr
+			}
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// FormatLocality renders the Figure 16 result table.
+func FormatLocality(stats []LocalityStats) string {
+	var b strings.Builder
+	b.WriteString("Figure 16 — locality configuration (4-2-3, Type A keys 1-50 local to A1/A2, Type B keys 51-100 local to B1/B2)\n")
+	for _, s := range stats {
+		fmt.Fprintf(&b, "Type %s: %d ops, %d inquiry RPCs, %.1f%% local\n",
+			s.ClientType, s.Operations, s.InquiryRPCs, 100*s.LocalReadFraction())
+		fmt.Fprintf(&b, "  write RPCs per representative:")
+		for _, n := range []string{"A1", "A2", "B1", "B2"} {
+			fmt.Fprintf(&b, " %s=%d", n, s.WriteRPCs[n])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

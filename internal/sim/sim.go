@@ -1,0 +1,318 @@
+// Package sim reproduces the paper's performance characterization
+// (section 4): randomized workloads against directory suites, collecting
+// the three deletion statistics the paper reports —
+//
+//   - "Entries in ranges coalesced": per representative, per delete, the
+//     entries strictly between the real predecessor and real successor
+//     (the victim if present, plus ghosts);
+//   - "Insertions while coalescing": per suite, per delete, the
+//     real-predecessor/real-successor copies installed into write-quorum
+//     members lacking them;
+//   - "Deletions while coalescing": per suite, per delete, the ghost
+//     entries removed beyond the victim itself —
+//
+// as average, maximum, and standard deviation (Figures 14 and 15), plus
+// the locality experiment of Figure 16 and the ablations discussed in
+// section 5.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repdir/internal/core"
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+	"repdir/internal/stats"
+	"repdir/internal/transport"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Name labels the run in tables (e.g. "3-2-2").
+	Name string
+	// Replicas, R, W describe the suite in the paper's x-y-z notation
+	// (one vote per representative).
+	Replicas int
+	R, W     int
+	// InitialEntries is the approximate steady directory size.
+	InitialEntries int
+	// Operations is the number of workload operations after
+	// pre-population ("The duration of each simulation was ten thousand
+	// operations" for Figure 14; one hundred thousand for Figure 15).
+	Operations int
+	// Seed makes the run reproducible.
+	Seed int64
+	// Sticky selects the sticky quorum policy instead of the paper's
+	// uniformly random quorums (section 5 ablation).
+	Sticky bool
+	// NeighborFanout sets how many neighbors each probe message carries
+	// during deletes (0 or 1 = the paper's base algorithm; 3 = the
+	// section 4 batching suggestion).
+	NeighborFanout int
+	// ZipfS, when greater than 1, skews key selection: operations draw
+	// keys from a fixed universe with a Zipf(s) rank distribution
+	// instead of the paper's uniform distribution. The universe holds
+	// 4x InitialEntries keys; hot ranks cluster at the low end of the
+	// key order, modeling key-space locality.
+	ZipfS float64
+}
+
+// String renders the x-y-z name.
+func (c Config) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("%d-%d-%d", c.Replicas, c.R, c.W)
+}
+
+// Result holds the statistics of one run in the shape of the paper's
+// Figure 15 rows.
+type Result struct {
+	Config           Config
+	Deletes          int
+	FinalSize        int
+	EntriesCoalesced stats.Summary
+	Insertions       stats.Summary
+	GhostDeletions   stats.Summary
+	PredWalkSteps    stats.Summary
+	SuccWalkSteps    stats.Summary
+	NeighborRPCs     stats.Summary
+}
+
+// collector accumulates core.DeleteObservation into the three statistics.
+type collector struct {
+	mu       sync.Mutex
+	entries  stats.Accumulator // per representative per delete
+	inserts  stats.Accumulator // per suite per delete
+	ghosts   stats.Accumulator // per suite per delete
+	pred     stats.Accumulator
+	succ     stats.Accumulator
+	rpcs     stats.Accumulator
+	nDeletes int
+}
+
+var _ core.Metrics = (*collector)(nil)
+
+func (c *collector) ObserveDelete(o core.DeleteObservation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nDeletes++
+	for _, n := range o.EntriesCoalesced {
+		c.entries.Add(float64(n))
+	}
+	c.inserts.Add(float64(o.Insertions))
+	c.ghosts.Add(float64(o.GhostDeletions))
+	c.pred.Add(float64(o.PredecessorWalkSteps))
+	c.succ.Add(float64(o.SuccessorWalkSteps))
+	c.rpcs.Add(float64(o.NeighborRPCs))
+}
+
+// Run executes one simulation: it builds the suite, pre-populates it to
+// the target size, then applies Operations randomized operations. Inserts
+// draw fresh uniform keys; updates and deletes pick uniformly among the
+// keys currently present (the driver shadows the directory in an oracle
+// set). Insert/delete pressure is balanced so the size stays near
+// InitialEntries, with soft reflection at half and one-and-a-half times
+// the target.
+func Run(cfg Config) (Result, error) {
+	ctx := context.Background()
+	dirs := make([]rep.Directory, cfg.Replicas)
+	for i := range dirs {
+		dirs[i] = transport.NewLocal(rep.New(fmt.Sprintf("rep%d", i)))
+	}
+	qcfg := quorum.NewUniform(dirs, cfg.R, cfg.W)
+	var sel quorum.Selector
+	if cfg.Sticky {
+		sel = quorum.NewStickySelector(qcfg)
+	} else {
+		sel = quorum.NewRandomSelector(qcfg, cfg.Seed+1)
+	}
+	col := &collector{}
+	opts := []core.Option{core.WithSelector(sel), core.WithMetrics(col)}
+	if cfg.NeighborFanout > 1 {
+		opts = append(opts, core.WithNeighborFanout(cfg.NeighborFanout))
+	}
+	suite, err := core.NewSuite(qcfg, opts...)
+	if err != nil {
+		return Result{}, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	oracle := newKeySet()
+
+	// Key selection: uniform fresh keys by default (the paper's
+	// workload); a Zipf-ranked fixed universe under ZipfS.
+	var (
+		freshKey  func() string
+		victimKey func() string
+	)
+	if cfg.ZipfS > 1 {
+		universe := 4 * cfg.InitialEntries
+		if universe < 8 {
+			universe = 8
+		}
+		zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(universe-1))
+		draw := func() string { return fmt.Sprintf("%08d", zipf.Uint64()) }
+		freshKey = func() string {
+			for {
+				if k := draw(); !oracle.contains(k) {
+					return k
+				}
+			}
+		}
+		victimKey = func() string {
+			// The hot ranks are almost always present; fall back to a
+			// uniform pick if a long unlucky streak occurs.
+			for i := 0; i < 10000; i++ {
+				if k := draw(); oracle.contains(k) {
+					return k
+				}
+			}
+			return oracle.random(rng)
+		}
+	} else {
+		freshKey = func() string {
+			for {
+				k := fmt.Sprintf("%020d", rng.Uint64())
+				if !oracle.contains(k) {
+					return k
+				}
+			}
+		}
+		victimKey = func() string { return oracle.random(rng) }
+	}
+
+	// Pre-populate to the target size through ordinary suite inserts, so
+	// the initial replica states are the ones the algorithm itself
+	// produces.
+	for oracle.size() < cfg.InitialEntries {
+		k := freshKey()
+		if err := suite.Insert(ctx, k, "v"); err != nil {
+			return Result{}, fmt.Errorf("sim: pre-populate insert: %w", err)
+		}
+		oracle.add(k)
+	}
+
+	for op := 0; op < cfg.Operations; op++ {
+		switch pickOp(rng, oracle.size(), cfg.InitialEntries) {
+		case opInsert:
+			k := freshKey()
+			if err := suite.Insert(ctx, k, "v"); err != nil {
+				return Result{}, fmt.Errorf("sim: op %d insert: %w", op, err)
+			}
+			oracle.add(k)
+		case opDelete:
+			k := victimKey()
+			if err := suite.Delete(ctx, k); err != nil {
+				return Result{}, fmt.Errorf("sim: op %d delete %s: %w", op, k, err)
+			}
+			oracle.remove(k)
+		case opUpdate:
+			k := victimKey()
+			if err := suite.Update(ctx, k, "v2"); err != nil {
+				return Result{}, fmt.Errorf("sim: op %d update %s: %w", op, k, err)
+			}
+		case opLookup:
+			k := victimKey()
+			if _, found, err := suite.Lookup(ctx, k); err != nil {
+				return Result{}, fmt.Errorf("sim: op %d lookup: %w", op, err)
+			} else if !found {
+				return Result{}, fmt.Errorf("sim: op %d: oracle key %s missing from suite", op, k)
+			}
+		}
+	}
+
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	return Result{
+		Config:           cfg,
+		Deletes:          col.nDeletes,
+		FinalSize:        oracle.size(),
+		EntriesCoalesced: col.entries.Summarize(),
+		Insertions:       col.inserts.Summarize(),
+		GhostDeletions:   col.ghosts.Summarize(),
+		PredWalkSteps:    col.pred.Summarize(),
+		SuccWalkSteps:    col.succ.Summarize(),
+		NeighborRPCs:     col.rpcs.Summarize(),
+	}, nil
+}
+
+// opKind is a workload operation type.
+type opKind int
+
+const (
+	opInsert opKind = iota
+	opDelete
+	opUpdate
+	opLookup
+)
+
+// pickOp draws the next operation: 30% inserts, 30% deletes, 20% updates,
+// 20% lookups, with the insert/delete pair swapped at the soft size
+// boundaries to keep the directory near its target size.
+func pickOp(rng *rand.Rand, size, target int) opKind {
+	if size == 0 {
+		return opInsert
+	}
+	r := rng.Float64()
+	switch {
+	case r < 0.30:
+		if size >= target+target/2 {
+			return opDelete
+		}
+		return opInsert
+	case r < 0.60:
+		if size <= target/2 {
+			return opInsert
+		}
+		return opDelete
+	case r < 0.80:
+		return opUpdate
+	default:
+		return opLookup
+	}
+}
+
+// keySet is a set of strings with O(1) uniform random choice.
+type keySet struct {
+	keys []string
+	pos  map[string]int
+}
+
+func newKeySet() *keySet {
+	return &keySet{pos: make(map[string]int)}
+}
+
+func (s *keySet) size() int { return len(s.keys) }
+
+func (s *keySet) contains(k string) bool {
+	_, ok := s.pos[k]
+	return ok
+}
+
+func (s *keySet) add(k string) {
+	if s.contains(k) {
+		return
+	}
+	s.pos[k] = len(s.keys)
+	s.keys = append(s.keys, k)
+}
+
+func (s *keySet) remove(k string) {
+	i, ok := s.pos[k]
+	if !ok {
+		return
+	}
+	last := len(s.keys) - 1
+	s.keys[i] = s.keys[last]
+	s.pos[s.keys[i]] = i
+	s.keys = s.keys[:last]
+	delete(s.pos, k)
+}
+
+func (s *keySet) random(rng *rand.Rand) string {
+	return s.keys[rng.Intn(len(s.keys))]
+}

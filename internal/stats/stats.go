@@ -1,0 +1,180 @@
+// Package stats provides the streaming accumulators used to reproduce the
+// paper's simulation tables (Figures 14 and 15): average, maximum, and
+// standard deviation of per-operation statistics.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accumulator computes running mean, maximum, and population standard
+// deviation using Welford's online algorithm. The zero value is ready to
+// use.
+type Accumulator struct {
+	n    int64
+	mean float64
+	m2   float64
+	max  float64
+	min  float64
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.max = x
+		a.min = x
+	} else {
+		if x > a.max {
+			a.max = x
+		}
+		if x < a.min {
+			a.min = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// AddN records n copies of the observation x.
+func (a *Accumulator) AddN(x float64, n int64) {
+	for i := int64(0); i < n; i++ {
+		a.Add(x)
+	}
+}
+
+// Count returns the number of observations recorded.
+func (a *Accumulator) Count() int64 { return a.n }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.mean
+}
+
+// Max returns the largest observation, or 0 with no observations.
+func (a *Accumulator) Max() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.max
+}
+
+// Min returns the smallest observation, or 0 with no observations.
+func (a *Accumulator) Min() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.min
+}
+
+// StdDev returns the population standard deviation, or 0 with fewer than
+// two observations.
+func (a *Accumulator) StdDev() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return math.Sqrt(a.m2 / float64(a.n))
+}
+
+// Merge folds the observations of o into a. The result is as if every
+// observation seen by either accumulator had been Added to a single one.
+func (a *Accumulator) Merge(o *Accumulator) {
+	if o.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *o
+		return
+	}
+	n := a.n + o.n
+	delta := o.mean - a.mean
+	mean := a.mean + delta*float64(o.n)/float64(n)
+	m2 := a.m2 + o.m2 + delta*delta*float64(a.n)*float64(o.n)/float64(n)
+	if o.max > a.max {
+		a.max = o.max
+	}
+	if o.min < a.min {
+		a.min = o.min
+	}
+	a.n, a.mean, a.m2 = n, mean, m2
+}
+
+// Summary is a frozen snapshot of an Accumulator, convenient for tables.
+type Summary struct {
+	Count  int64
+	Avg    float64
+	Max    float64
+	StdDev float64
+}
+
+// Summarize returns a snapshot of the accumulator.
+func (a *Accumulator) Summarize() Summary {
+	return Summary{
+		Count:  a.Count(),
+		Avg:    a.Mean(),
+		Max:    a.Max(),
+		StdDev: a.StdDev(),
+	}
+}
+
+// String renders the summary the way the paper's Figure 15 prints rows:
+// "avg max stddev".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.2f %.0f %.2f", s.Avg, s.Max, s.StdDev)
+}
+
+// Histogram counts integer-valued observations into unit-wide buckets,
+// used to inspect the tail of the coalescing statistics.
+type Histogram struct {
+	counts map[int]int64
+	total  int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int64)}
+}
+
+// Add records one observation of the integer value v.
+func (h *Histogram) Add(v int) {
+	h.counts[v]++
+	h.total++
+}
+
+// Count returns the number of observations of exactly v.
+func (h *Histogram) Count(v int) int64 { return h.counts[v] }
+
+// Total returns the total number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Quantile returns the smallest value v such that at least fraction q of
+// observations are <= v. q must be in (0, 1]. Returns 0 for an empty
+// histogram.
+func (h *Histogram) Quantile(q float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	lo, hi := math.MaxInt, math.MinInt
+	for v := range h.counts {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	need := int64(math.Ceil(q * float64(h.total)))
+	var cum int64
+	for v := lo; v <= hi; v++ {
+		cum += h.counts[v]
+		if cum >= need {
+			return v
+		}
+	}
+	return hi
+}

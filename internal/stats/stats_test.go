@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEmptyAccumulator(t *testing.T) {
+	var a Accumulator
+	if a.Count() != 0 || a.Mean() != 0 || a.Max() != 0 || a.StdDev() != 0 {
+		t.Error("zero-value accumulator should report zeros")
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if !almost(a.Mean(), 5) {
+		t.Errorf("mean = %v, want 5", a.Mean())
+	}
+	if !almost(a.StdDev(), 2) {
+		t.Errorf("stddev = %v, want 2", a.StdDev())
+	}
+	if a.Max() != 9 || a.Min() != 2 || a.Count() != 8 {
+		t.Errorf("max/min/count = %v/%v/%v", a.Max(), a.Min(), a.Count())
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var a Accumulator
+	a.Add(-3)
+	if a.Mean() != -3 || a.Max() != -3 || a.Min() != -3 || a.StdDev() != 0 {
+		t.Error("single observation stats wrong")
+	}
+}
+
+func TestAddN(t *testing.T) {
+	var a, b Accumulator
+	a.AddN(4, 3)
+	for i := 0; i < 3; i++ {
+		b.Add(4)
+	}
+	if a.Count() != b.Count() || !almost(a.Mean(), b.Mean()) {
+		t.Error("AddN should equal repeated Add")
+	}
+}
+
+func TestMergeMatchesCombinedStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var left, right, all Accumulator
+	for i := 0; i < 500; i++ {
+		x := rng.NormFloat64()*3 + 1
+		all.Add(x)
+		if i%2 == 0 {
+			left.Add(x)
+		} else {
+			right.Add(x)
+		}
+	}
+	left.Merge(&right)
+	if left.Count() != all.Count() {
+		t.Fatalf("count %d != %d", left.Count(), all.Count())
+	}
+	if math.Abs(left.Mean()-all.Mean()) > 1e-9 {
+		t.Errorf("merged mean %v != %v", left.Mean(), all.Mean())
+	}
+	if math.Abs(left.StdDev()-all.StdDev()) > 1e-9 {
+		t.Errorf("merged stddev %v != %v", left.StdDev(), all.StdDev())
+	}
+	if left.Max() != all.Max() || left.Min() != all.Min() {
+		t.Error("merged extrema wrong")
+	}
+}
+
+func TestMergeEmptySides(t *testing.T) {
+	var a, empty Accumulator
+	a.Add(1)
+	a.Add(3)
+	before := a.Summarize()
+	a.Merge(&empty)
+	if a.Summarize() != before {
+		t.Error("merging an empty accumulator should be a no-op")
+	}
+	var b Accumulator
+	b.Merge(&a)
+	if b.Summarize() != before {
+		t.Error("merging into an empty accumulator should copy")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{1, 1, 1, 9} {
+		a.Add(x)
+	}
+	// Format mirrors Figure 15 rows: avg max stddev.
+	if got := a.Summarize().String(); got != "3.00 9 3.46" {
+		t.Errorf("summary string = %q", got)
+	}
+}
+
+// Property: mean is bounded by min and max, and stddev is non-negative.
+func TestAccumulatorBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		var a Accumulator
+		anyFinite := false
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Quick generates huge magnitudes; damp to keep m2 finite.
+			a.Add(math.Mod(x, 1e6))
+			anyFinite = true
+		}
+		if !anyFinite {
+			return true
+		}
+		return a.Mean() >= a.Min()-1e-6 && a.Mean() <= a.Max()+1e-6 && a.StdDev() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{0, 0, 1, 1, 1, 2, 5} {
+		h.Add(v)
+	}
+	if h.Total() != 7 || h.Count(1) != 3 || h.Count(4) != 0 {
+		t.Error("histogram counts wrong")
+	}
+	if q := h.Quantile(0.5); q != 1 {
+		t.Errorf("median = %d, want 1", q)
+	}
+	if q := h.Quantile(1.0); q != 5 {
+		t.Errorf("p100 = %d, want 5", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Total() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}

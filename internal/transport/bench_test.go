@@ -1,0 +1,53 @@
+package transport
+
+import (
+	"context"
+	"testing"
+
+	"repdir/internal/keyspace"
+	"repdir/internal/lock"
+	"repdir/internal/rep"
+)
+
+// BenchmarkLocalLookup measures the in-process transport overhead.
+func BenchmarkLocalLookup(b *testing.B) {
+	l := NewLocal(rep.New("bench"))
+	ctx := context.Background()
+	key := keyspace.New("k")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := lock.TxnID(i + 1)
+		if _, err := l.Lookup(ctx, id, key); err != nil {
+			b.Fatal(err)
+		}
+		l.Abort(ctx, id)
+	}
+}
+
+// BenchmarkTCPRoundTrip measures a full gob request/response cycle over
+// loopback.
+func BenchmarkTCPRoundTrip(b *testing.B) {
+	srv, err := Serve(rep.New("bench"), "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	key := keyspace.New("k")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := lock.TxnID(i + 1)
+		if _, err := c.Lookup(ctx, id, key); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Abort(ctx, id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

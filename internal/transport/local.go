@@ -1,0 +1,172 @@
+package transport
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repdir/internal/keyspace"
+	"repdir/internal/lock"
+	"repdir/internal/rep"
+	"repdir/internal/version"
+)
+
+// Local is an in-process connection to a representative with fault
+// injection: the target can be crashed (calls fail with ErrUnavailable)
+// and a fixed per-call latency can be added. Local is safe for concurrent
+// use.
+type Local struct {
+	target rep.Directory
+
+	mu      sync.Mutex
+	down    bool
+	latency time.Duration
+}
+
+var _ rep.Directory = (*Local)(nil)
+
+// NewLocal wraps a representative.
+func NewLocal(target rep.Directory) *Local {
+	return &Local{target: target}
+}
+
+// Crash makes subsequent calls fail with ErrUnavailable.
+func (l *Local) Crash() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.down = true
+}
+
+// Restart makes the representative reachable again. The underlying state
+// is whatever the wrapped representative holds; pair with rep.Recover to
+// model a crash that loses volatile state.
+func (l *Local) Restart() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.down = false
+}
+
+// SetLatency adds a fixed delay to every call.
+func (l *Local) SetLatency(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.latency = d
+}
+
+// Up reports whether the representative is reachable.
+func (l *Local) Up() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return !l.down
+}
+
+// pre applies fault injection before a call.
+func (l *Local) pre(ctx context.Context) error {
+	l.mu.Lock()
+	down, latency := l.down, l.latency
+	l.mu.Unlock()
+	if down {
+		return ErrUnavailable
+	}
+	if latency > 0 {
+		t := time.NewTimer(latency)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Name implements rep.Directory.
+func (l *Local) Name() string { return l.target.Name() }
+
+// Lookup implements rep.Directory.
+func (l *Local) Lookup(ctx context.Context, txn lock.TxnID, key keyspace.Key) (rep.LookupResult, error) {
+	if err := l.pre(ctx); err != nil {
+		return rep.LookupResult{}, err
+	}
+	return l.target.Lookup(ctx, txn, key)
+}
+
+// Predecessor implements rep.Directory.
+func (l *Local) Predecessor(ctx context.Context, txn lock.TxnID, key keyspace.Key) (rep.NeighborResult, error) {
+	if err := l.pre(ctx); err != nil {
+		return rep.NeighborResult{}, err
+	}
+	return l.target.Predecessor(ctx, txn, key)
+}
+
+// Successor implements rep.Directory.
+func (l *Local) Successor(ctx context.Context, txn lock.TxnID, key keyspace.Key) (rep.NeighborResult, error) {
+	if err := l.pre(ctx); err != nil {
+		return rep.NeighborResult{}, err
+	}
+	return l.target.Successor(ctx, txn, key)
+}
+
+// PredecessorBatch implements rep.Directory.
+func (l *Local) PredecessorBatch(ctx context.Context, txn lock.TxnID, key keyspace.Key, max int) ([]rep.NeighborResult, error) {
+	if err := l.pre(ctx); err != nil {
+		return nil, err
+	}
+	return l.target.PredecessorBatch(ctx, txn, key, max)
+}
+
+// SuccessorBatch implements rep.Directory.
+func (l *Local) SuccessorBatch(ctx context.Context, txn lock.TxnID, key keyspace.Key, max int) ([]rep.NeighborResult, error) {
+	if err := l.pre(ctx); err != nil {
+		return nil, err
+	}
+	return l.target.SuccessorBatch(ctx, txn, key, max)
+}
+
+// Insert implements rep.Directory.
+func (l *Local) Insert(ctx context.Context, txn lock.TxnID, key keyspace.Key, ver version.V, value string) error {
+	if err := l.pre(ctx); err != nil {
+		return err
+	}
+	return l.target.Insert(ctx, txn, key, ver, value)
+}
+
+// Coalesce implements rep.Directory.
+func (l *Local) Coalesce(ctx context.Context, txn lock.TxnID, lo, hi keyspace.Key, ver version.V) (rep.CoalesceResult, error) {
+	if err := l.pre(ctx); err != nil {
+		return rep.CoalesceResult{}, err
+	}
+	return l.target.Coalesce(ctx, txn, lo, hi, ver)
+}
+
+// Prepare implements rep.Directory.
+func (l *Local) Prepare(ctx context.Context, txn lock.TxnID) error {
+	if err := l.pre(ctx); err != nil {
+		return err
+	}
+	return l.target.Prepare(ctx, txn)
+}
+
+// Commit implements rep.Directory.
+func (l *Local) Commit(ctx context.Context, txn lock.TxnID) error {
+	if err := l.pre(ctx); err != nil {
+		return err
+	}
+	return l.target.Commit(ctx, txn)
+}
+
+// Abort implements rep.Directory.
+func (l *Local) Abort(ctx context.Context, txn lock.TxnID) error {
+	if err := l.pre(ctx); err != nil {
+		return err
+	}
+	return l.target.Abort(ctx, txn)
+}
+
+// Status implements rep.Directory.
+func (l *Local) Status(ctx context.Context, txn lock.TxnID) (rep.TxnStatus, error) {
+	if err := l.pre(ctx); err != nil {
+		return 0, err
+	}
+	return l.target.Status(ctx, txn)
+}

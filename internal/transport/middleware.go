@@ -1,0 +1,167 @@
+package transport
+
+import (
+	"context"
+
+	"repdir/internal/keyspace"
+	"repdir/internal/lock"
+	"repdir/internal/rep"
+	"repdir/internal/version"
+)
+
+// Op names a Directory operation for middleware hooks.
+type Op string
+
+// Operation names passed to Middleware hooks.
+const (
+	OpLookup           Op = "lookup"
+	OpPredecessor      Op = "predecessor"
+	OpSuccessor        Op = "successor"
+	OpPredecessorBatch Op = "predecessor-batch"
+	OpSuccessorBatch   Op = "successor-batch"
+	OpInsert           Op = "insert"
+	OpCoalesce         Op = "coalesce"
+	OpPrepare          Op = "prepare"
+	OpCommit           Op = "commit"
+	OpAbort            Op = "abort"
+	OpStatus           Op = "status"
+)
+
+// IsInquiry reports whether the operation is a read-class message
+// (DirRepLookup / DirRepPredecessor / DirRepSuccessor and their batches).
+func (o Op) IsInquiry() bool {
+	switch o {
+	case OpLookup, OpPredecessor, OpSuccessor, OpPredecessorBatch, OpSuccessorBatch:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsMutation reports whether the operation modifies directory state
+// (DirRepInsert / DirRepCoalesce).
+func (o Op) IsMutation() bool {
+	return o == OpInsert || o == OpCoalesce
+}
+
+// Middleware adapts a representative with per-call hooks; it is the
+// building block for fault injectors, partitions, and traffic counters
+// (the simulation and test harnesses are built on it). Target selects
+// the representative per call, which also supports swapping in a
+// recovered incarnation; Before, when set, runs first and may fail the
+// call by returning an error.
+type Middleware struct {
+	// Target returns the representative to forward to. Required.
+	Target func() rep.Directory
+	// Before, if non-nil, runs before each call; a non-nil error is
+	// returned to the caller without reaching the target.
+	Before func(op Op) error
+}
+
+var _ rep.Directory = (*Middleware)(nil)
+
+// Wrap builds a Middleware over a fixed target.
+func Wrap(target rep.Directory, before func(op Op) error) *Middleware {
+	return &Middleware{
+		Target: func() rep.Directory { return target },
+		Before: before,
+	}
+}
+
+func (m *Middleware) pre(op Op) error {
+	if m.Before == nil {
+		return nil
+	}
+	return m.Before(op)
+}
+
+// Name implements rep.Directory.
+func (m *Middleware) Name() string { return m.Target().Name() }
+
+// Lookup implements rep.Directory.
+func (m *Middleware) Lookup(ctx context.Context, id lock.TxnID, key keyspace.Key) (rep.LookupResult, error) {
+	if err := m.pre(OpLookup); err != nil {
+		return rep.LookupResult{}, err
+	}
+	return m.Target().Lookup(ctx, id, key)
+}
+
+// Predecessor implements rep.Directory.
+func (m *Middleware) Predecessor(ctx context.Context, id lock.TxnID, key keyspace.Key) (rep.NeighborResult, error) {
+	if err := m.pre(OpPredecessor); err != nil {
+		return rep.NeighborResult{}, err
+	}
+	return m.Target().Predecessor(ctx, id, key)
+}
+
+// Successor implements rep.Directory.
+func (m *Middleware) Successor(ctx context.Context, id lock.TxnID, key keyspace.Key) (rep.NeighborResult, error) {
+	if err := m.pre(OpSuccessor); err != nil {
+		return rep.NeighborResult{}, err
+	}
+	return m.Target().Successor(ctx, id, key)
+}
+
+// PredecessorBatch implements rep.Directory.
+func (m *Middleware) PredecessorBatch(ctx context.Context, id lock.TxnID, key keyspace.Key, max int) ([]rep.NeighborResult, error) {
+	if err := m.pre(OpPredecessorBatch); err != nil {
+		return nil, err
+	}
+	return m.Target().PredecessorBatch(ctx, id, key, max)
+}
+
+// SuccessorBatch implements rep.Directory.
+func (m *Middleware) SuccessorBatch(ctx context.Context, id lock.TxnID, key keyspace.Key, max int) ([]rep.NeighborResult, error) {
+	if err := m.pre(OpSuccessorBatch); err != nil {
+		return nil, err
+	}
+	return m.Target().SuccessorBatch(ctx, id, key, max)
+}
+
+// Insert implements rep.Directory.
+func (m *Middleware) Insert(ctx context.Context, id lock.TxnID, key keyspace.Key, ver version.V, value string) error {
+	if err := m.pre(OpInsert); err != nil {
+		return err
+	}
+	return m.Target().Insert(ctx, id, key, ver, value)
+}
+
+// Coalesce implements rep.Directory.
+func (m *Middleware) Coalesce(ctx context.Context, id lock.TxnID, lo, hi keyspace.Key, ver version.V) (rep.CoalesceResult, error) {
+	if err := m.pre(OpCoalesce); err != nil {
+		return rep.CoalesceResult{}, err
+	}
+	return m.Target().Coalesce(ctx, id, lo, hi, ver)
+}
+
+// Prepare implements rep.Directory.
+func (m *Middleware) Prepare(ctx context.Context, id lock.TxnID) error {
+	if err := m.pre(OpPrepare); err != nil {
+		return err
+	}
+	return m.Target().Prepare(ctx, id)
+}
+
+// Commit implements rep.Directory.
+func (m *Middleware) Commit(ctx context.Context, id lock.TxnID) error {
+	if err := m.pre(OpCommit); err != nil {
+		return err
+	}
+	return m.Target().Commit(ctx, id)
+}
+
+// Abort implements rep.Directory.
+func (m *Middleware) Abort(ctx context.Context, id lock.TxnID) error {
+	if err := m.pre(OpAbort); err != nil {
+		return err
+	}
+	return m.Target().Abort(ctx, id)
+}
+
+// Status implements rep.Directory.
+func (m *Middleware) Status(ctx context.Context, id lock.TxnID) (rep.TxnStatus, error) {
+	if err := m.pre(OpStatus); err != nil {
+		return 0, err
+	}
+	return m.Target().Status(ctx, id)
+}

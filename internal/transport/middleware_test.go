@@ -1,0 +1,113 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repdir/internal/keyspace"
+	"repdir/internal/rep"
+)
+
+func TestMiddlewarePassThrough(t *testing.T) {
+	m := Wrap(rep.New("A"), nil)
+	if m.Name() != "A" {
+		t.Error("name should pass through")
+	}
+	if err := m.Insert(ctx, 1, keyspace.New("k"), 1, "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Prepare(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Lookup(ctx, 2, keyspace.New("k"))
+	if err != nil || !res.Found {
+		t.Fatalf("lookup = %+v %v", res, err)
+	}
+	if _, err := m.Predecessor(ctx, 2, keyspace.New("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Successor(ctx, 2, keyspace.New("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PredecessorBatch(ctx, 2, keyspace.New("k"), 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SuccessorBatch(ctx, 2, keyspace.New("k"), 2); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := m.Status(ctx, 1); err != nil || st != rep.StatusCommitted {
+		t.Fatalf("status = %v %v", st, err)
+	}
+	m.Abort(ctx, 2)
+}
+
+func TestMiddlewareBeforeBlocksCalls(t *testing.T) {
+	boom := errors.New("blocked")
+	var mu sync.Mutex
+	seen := map[Op]int{}
+	m := Wrap(rep.New("A"), func(op Op) error {
+		mu.Lock()
+		seen[op]++
+		mu.Unlock()
+		if op.IsMutation() {
+			return boom
+		}
+		return nil
+	})
+	if err := m.Insert(ctx, 1, keyspace.New("k"), 1, "v"); !errors.Is(err, boom) {
+		t.Fatalf("insert should be blocked: %v", err)
+	}
+	if _, err := m.Coalesce(ctx, 1, keyspace.Low(), keyspace.High(), 1); !errors.Is(err, boom) {
+		t.Fatalf("coalesce should be blocked: %v", err)
+	}
+	if _, err := m.Lookup(ctx, 1, keyspace.New("k")); err != nil {
+		t.Fatalf("lookup should pass: %v", err)
+	}
+	m.Abort(ctx, 1)
+	if seen[OpInsert] != 1 || seen[OpLookup] != 1 || seen[OpAbort] != 1 {
+		t.Errorf("hook counts = %v", seen)
+	}
+}
+
+func TestMiddlewareDynamicTarget(t *testing.T) {
+	a, b := rep.New("A"), rep.New("B")
+	current := a
+	var mu sync.Mutex
+	m := &Middleware{Target: func() rep.Directory {
+		mu.Lock()
+		defer mu.Unlock()
+		return current
+	}}
+	if m.Name() != "A" {
+		t.Error("should target A")
+	}
+	mu.Lock()
+	current = b
+	mu.Unlock()
+	if m.Name() != "B" {
+		t.Error("should target B after swap")
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	inquiries := []Op{OpLookup, OpPredecessor, OpSuccessor, OpPredecessorBatch, OpSuccessorBatch}
+	for _, op := range inquiries {
+		if !op.IsInquiry() || op.IsMutation() {
+			t.Errorf("%s misclassified", op)
+		}
+	}
+	for _, op := range []Op{OpInsert, OpCoalesce} {
+		if op.IsInquiry() || !op.IsMutation() {
+			t.Errorf("%s misclassified", op)
+		}
+	}
+	for _, op := range []Op{OpPrepare, OpCommit, OpAbort, OpStatus} {
+		if op.IsInquiry() || op.IsMutation() {
+			t.Errorf("%s misclassified", op)
+		}
+	}
+}

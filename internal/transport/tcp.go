@@ -1,0 +1,379 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repdir/internal/keyspace"
+	"repdir/internal/lock"
+	"repdir/internal/rep"
+	"repdir/internal/version"
+)
+
+// op is the wire operation code.
+type op int
+
+const (
+	opLookup op = iota + 1
+	opPredecessor
+	opSuccessor
+	opPredecessorBatch
+	opSuccessorBatch
+	opInsert
+	opCoalesce
+	opPrepare
+	opCommit
+	opAbort
+	opStatus
+	opName
+)
+
+// request is the single wire request shape.
+type request struct {
+	Op      op
+	Txn     uint64
+	Key     keyspace.Key
+	Hi      keyspace.Key
+	Version version.V
+	Value   string
+	Count   int
+}
+
+// response is the single wire response shape.
+type response struct {
+	Code        code
+	Msg         string
+	Found       bool
+	Version     version.V
+	Value       string
+	Key         keyspace.Key
+	GapVersion  version.V
+	DeletedKeys []keyspace.Key
+	Neighbors   []rep.NeighborResult
+	TxnStatus   rep.TxnStatus
+	Name        string
+}
+
+// Server exposes one representative over TCP. Each connection is served
+// by its own goroutine; requests on a connection are processed in order.
+type Server struct {
+	dir rep.Directory
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+
+	// callTimeout caps how long one request (including its lock waits)
+	// may run on the server.
+	callTimeout time.Duration
+}
+
+// Serve starts a server for dir on addr (e.g. "127.0.0.1:0"). Close must
+// be called to release the listener and connections.
+func Serve(dir rep.Directory, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
+	}
+	s := &Server{
+		dir:         dir,
+		ln:          ln,
+		conns:       make(map[net.Conn]struct{}),
+		callTimeout: 30 * time.Second,
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes every connection, and waits for handler
+// goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req request) response {
+	ctx, cancel := context.WithTimeout(context.Background(), s.callTimeout)
+	defer cancel()
+	txn := lock.TxnID(req.Txn)
+	var resp response
+	var err error
+	switch req.Op {
+	case opLookup:
+		var r rep.LookupResult
+		r, err = s.dir.Lookup(ctx, txn, req.Key)
+		resp.Found, resp.Version, resp.Value = r.Found, r.Version, r.Value
+	case opPredecessor:
+		var r rep.NeighborResult
+		r, err = s.dir.Predecessor(ctx, txn, req.Key)
+		resp.Key, resp.Version, resp.Value, resp.GapVersion = r.Key, r.Version, r.Value, r.GapVersion
+	case opSuccessor:
+		var r rep.NeighborResult
+		r, err = s.dir.Successor(ctx, txn, req.Key)
+		resp.Key, resp.Version, resp.Value, resp.GapVersion = r.Key, r.Version, r.Value, r.GapVersion
+	case opPredecessorBatch:
+		resp.Neighbors, err = s.dir.PredecessorBatch(ctx, txn, req.Key, req.Count)
+	case opSuccessorBatch:
+		resp.Neighbors, err = s.dir.SuccessorBatch(ctx, txn, req.Key, req.Count)
+	case opInsert:
+		err = s.dir.Insert(ctx, txn, req.Key, req.Version, req.Value)
+	case opCoalesce:
+		var r rep.CoalesceResult
+		r, err = s.dir.Coalesce(ctx, txn, req.Key, req.Hi, req.Version)
+		resp.DeletedKeys = r.DeletedKeys
+	case opPrepare:
+		err = s.dir.Prepare(ctx, txn)
+	case opCommit:
+		err = s.dir.Commit(ctx, txn)
+	case opAbort:
+		err = s.dir.Abort(ctx, txn)
+	case opStatus:
+		resp.TxnStatus, err = s.dir.Status(ctx, txn)
+	case opName:
+		resp.Name = s.dir.Name()
+	default:
+		err = fmt.Errorf("transport: unknown op %d", req.Op)
+	}
+	resp.Code, resp.Msg = encodeError(err)
+	return resp
+}
+
+// Client is a TCP connection to a remote representative. It implements
+// rep.Directory. Calls on one Client are serialized; use one Client per
+// concurrent actor. A broken connection is redialed on the next call.
+type Client struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	name string
+}
+
+var _ rep.Directory = (*Client)(nil)
+
+// Dial connects to a representative server and fetches its name.
+func Dial(addr string) (*Client, error) {
+	c := &Client{addr: addr}
+	resp, err := c.call(context.Background(), request{Op: opName})
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.name = resp.Name
+	c.mu.Unlock()
+	return c, nil
+}
+
+// Close drops the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// call performs one request/response exchange, dialing if necessary.
+func (c *Client) call(ctx context.Context, req request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		d := net.Dialer{}
+		conn, err := d.DialContext(ctx, "tcp", c.addr)
+		if err != nil {
+			return response{}, fmt.Errorf("%w: dial %s: %v", ErrUnavailable, c.addr, err)
+		}
+		c.conn = conn
+		c.enc = gob.NewEncoder(conn)
+		c.dec = gob.NewDecoder(conn)
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(dl)
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
+	if err := c.enc.Encode(req); err != nil {
+		c.reset()
+		return response{}, fmt.Errorf("%w: send to %s: %v", ErrUnavailable, c.addr, err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		c.reset()
+		return response{}, fmt.Errorf("%w: receive from %s: %v", ErrUnavailable, c.addr, err)
+	}
+	return resp, decodeError(resp.Code, resp.Msg)
+}
+
+// reset drops a broken connection so the next call redials. Callers hold
+// c.mu.
+func (c *Client) reset() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Name implements rep.Directory.
+func (c *Client) Name() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.name != "" {
+		return c.name
+	}
+	return c.addr
+}
+
+// Lookup implements rep.Directory.
+func (c *Client) Lookup(ctx context.Context, txn lock.TxnID, key keyspace.Key) (rep.LookupResult, error) {
+	resp, err := c.call(ctx, request{Op: opLookup, Txn: uint64(txn), Key: key})
+	if err != nil {
+		return rep.LookupResult{}, err
+	}
+	return rep.LookupResult{Found: resp.Found, Version: resp.Version, Value: resp.Value}, nil
+}
+
+// Predecessor implements rep.Directory.
+func (c *Client) Predecessor(ctx context.Context, txn lock.TxnID, key keyspace.Key) (rep.NeighborResult, error) {
+	resp, err := c.call(ctx, request{Op: opPredecessor, Txn: uint64(txn), Key: key})
+	if err != nil {
+		return rep.NeighborResult{}, err
+	}
+	return rep.NeighborResult{Key: resp.Key, Version: resp.Version, Value: resp.Value, GapVersion: resp.GapVersion}, nil
+}
+
+// Successor implements rep.Directory.
+func (c *Client) Successor(ctx context.Context, txn lock.TxnID, key keyspace.Key) (rep.NeighborResult, error) {
+	resp, err := c.call(ctx, request{Op: opSuccessor, Txn: uint64(txn), Key: key})
+	if err != nil {
+		return rep.NeighborResult{}, err
+	}
+	return rep.NeighborResult{Key: resp.Key, Version: resp.Version, Value: resp.Value, GapVersion: resp.GapVersion}, nil
+}
+
+// PredecessorBatch implements rep.Directory.
+func (c *Client) PredecessorBatch(ctx context.Context, txn lock.TxnID, key keyspace.Key, max int) ([]rep.NeighborResult, error) {
+	resp, err := c.call(ctx, request{Op: opPredecessorBatch, Txn: uint64(txn), Key: key, Count: max})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Neighbors, nil
+}
+
+// SuccessorBatch implements rep.Directory.
+func (c *Client) SuccessorBatch(ctx context.Context, txn lock.TxnID, key keyspace.Key, max int) ([]rep.NeighborResult, error) {
+	resp, err := c.call(ctx, request{Op: opSuccessorBatch, Txn: uint64(txn), Key: key, Count: max})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Neighbors, nil
+}
+
+// Insert implements rep.Directory.
+func (c *Client) Insert(ctx context.Context, txn lock.TxnID, key keyspace.Key, ver version.V, value string) error {
+	_, err := c.call(ctx, request{Op: opInsert, Txn: uint64(txn), Key: key, Version: ver, Value: value})
+	return err
+}
+
+// Coalesce implements rep.Directory.
+func (c *Client) Coalesce(ctx context.Context, txn lock.TxnID, lo, hi keyspace.Key, ver version.V) (rep.CoalesceResult, error) {
+	resp, err := c.call(ctx, request{Op: opCoalesce, Txn: uint64(txn), Key: lo, Hi: hi, Version: ver})
+	if err != nil {
+		return rep.CoalesceResult{}, err
+	}
+	return rep.CoalesceResult{DeletedKeys: resp.DeletedKeys}, nil
+}
+
+// Prepare implements rep.Directory.
+func (c *Client) Prepare(ctx context.Context, txn lock.TxnID) error {
+	_, err := c.call(ctx, request{Op: opPrepare, Txn: uint64(txn)})
+	return err
+}
+
+// Commit implements rep.Directory.
+func (c *Client) Commit(ctx context.Context, txn lock.TxnID) error {
+	_, err := c.call(ctx, request{Op: opCommit, Txn: uint64(txn)})
+	return err
+}
+
+// Abort implements rep.Directory.
+func (c *Client) Abort(ctx context.Context, txn lock.TxnID) error {
+	_, err := c.call(ctx, request{Op: opAbort, Txn: uint64(txn)})
+	return err
+}
+
+// Status implements rep.Directory.
+func (c *Client) Status(ctx context.Context, txn lock.TxnID) (rep.TxnStatus, error) {
+	resp, err := c.call(ctx, request{Op: opStatus, Txn: uint64(txn)})
+	if err != nil {
+		return 0, err
+	}
+	return resp.TxnStatus, nil
+}

@@ -1,0 +1,86 @@
+package txn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repdir/internal/lock"
+	"repdir/internal/rep"
+)
+
+// ErrUnresolvable reports that cooperative termination could not reach a
+// safe decision because some participant was unreachable and no reachable
+// participant had committed: the unreachable one might hold the commit.
+var ErrUnresolvable = errors.New("txn: cannot resolve while a participant is unreachable and none committed")
+
+// Resolution describes what Resolve decided and did.
+type Resolution struct {
+	// Committed is the decision: true if the transaction was (and now
+	// is everywhere reachable) committed, false if aborted.
+	Committed bool
+	// Finished lists participants that were in doubt and have now been
+	// driven to the decision.
+	Finished []string
+}
+
+// Resolve performs cooperative termination for an in-doubt two-phase
+// commit whose coordinator died between phases. participants must be a
+// superset of the transaction's actual participant set (a directory
+// suite's full replica list qualifies, since quorums are drawn from it).
+//
+// PRECONDITION: the coordinator must be dead (or have abandoned the
+// transaction). Resolving while a coordinator is still driving phase two
+// races its commits; the representatives' decided-transaction guard
+// (rep.ErrTxnDecided) turns such races into loud errors rather than
+// silent divergence, but the resolution itself may then fail partway.
+//
+// The decision rule for client-coordinated 2PC without a coordinator
+// log: the commit point is the first Commit applied at any participant
+// (the coordinator sends commits only after every participant prepared,
+// and reports success only after all commits applied). Therefore:
+//
+//   - if any participant reports Committed, the transaction committed:
+//     drive Commit at every in-doubt participant;
+//   - if every participant is reachable and none committed, the
+//     coordinator cannot have observed a successful commit: drive Abort
+//     at every in-doubt participant;
+//   - if some participant is unreachable and none of the reachable ones
+//     committed, no safe decision exists yet (ErrUnresolvable).
+func Resolve(ctx context.Context, id lock.TxnID, participants []rep.Directory) (Resolution, error) {
+	var res Resolution
+	statuses := make(map[string]rep.TxnStatus, len(participants))
+	anyCommitted := false
+	anyUnreachable := false
+	for _, p := range participants {
+		st, err := p.Status(ctx, id)
+		if err != nil {
+			anyUnreachable = true
+			continue
+		}
+		statuses[p.Name()] = st
+		if st == rep.StatusCommitted {
+			anyCommitted = true
+		}
+	}
+	if !anyCommitted && anyUnreachable {
+		return res, fmt.Errorf("%w (txn %d)", ErrUnresolvable, id)
+	}
+	res.Committed = anyCommitted
+	for _, p := range participants {
+		if statuses[p.Name()] != rep.StatusInDoubt {
+			continue
+		}
+		var err error
+		if anyCommitted {
+			err = p.Commit(ctx, id)
+		} else {
+			err = p.Abort(ctx, id)
+		}
+		if err != nil {
+			return res, fmt.Errorf("txn: resolve %d at %s: %w", id, p.Name(), err)
+		}
+		res.Finished = append(res.Finished, p.Name())
+	}
+	return res, nil
+}

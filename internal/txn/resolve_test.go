@@ -1,0 +1,145 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+
+	"repdir/internal/keyspace"
+	"repdir/internal/lock"
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+	"repdir/internal/wal"
+)
+
+// crashRecover prepares (and optionally commits) a transaction at a
+// WAL-backed representative, then "crashes" it by recovering a fresh
+// instance from the log.
+func crashRecover(t *testing.T, name string, id lock.TxnID, key string, commit bool) *rep.Rep {
+	t.Helper()
+	var log wal.MemoryLog
+	r := rep.New(name, rep.WithLog(&log))
+	if err := r.Insert(ctx, id, keyspace.New(key), 1, "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Prepare(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	if commit {
+		if err := r.Commit(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recovered, err := rep.Recover(name, log.Records())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recovered
+}
+
+func TestResolveCommitsWhenAnyParticipantCommitted(t *testing.T) {
+	// Coordinator crashed after committing at A but before reaching B.
+	const id = lock.TxnID(7777)
+	a := crashRecover(t, "A", id, "k", true)
+	b := crashRecover(t, "B", id, "k", false)
+
+	if st, _ := b.Status(ctx, id); st != rep.StatusInDoubt {
+		t.Fatalf("B status = %v, want in-doubt", st)
+	}
+	res, err := Resolve(ctx, id, []rep.Directory{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Committed {
+		t.Fatal("resolution should commit (A committed)")
+	}
+	if len(res.Finished) != 1 || res.Finished[0] != "B" {
+		t.Fatalf("finished = %v, want [B]", res.Finished)
+	}
+	// B now has the entry, consistent with A.
+	for _, r := range []*rep.Rep{a, b} {
+		look, err := r.Lookup(ctx, 9999, keyspace.New("k"))
+		if err != nil || !look.Found {
+			t.Errorf("%s lookup after resolution = %+v, %v", r.Name(), look, err)
+		}
+		r.Commit(ctx, 9999)
+	}
+	if st, _ := b.Status(ctx, id); st != rep.StatusCommitted {
+		t.Errorf("B status after resolution = %v", st)
+	}
+}
+
+func TestResolveAbortsWhenNobodyCommitted(t *testing.T) {
+	// Coordinator crashed after prepares but before any commit.
+	const id = lock.TxnID(8888)
+	a := crashRecover(t, "A", id, "k", false)
+	b := crashRecover(t, "B", id, "k", false)
+
+	res, err := Resolve(ctx, id, []rep.Directory{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed {
+		t.Fatal("resolution should abort (nobody committed)")
+	}
+	if len(res.Finished) != 2 {
+		t.Fatalf("finished = %v, want both", res.Finished)
+	}
+	for _, r := range []*rep.Rep{a, b} {
+		look, err := r.Lookup(ctx, 9999, keyspace.New("k"))
+		if err != nil || look.Found {
+			t.Errorf("%s should not hold k after abort resolution: %+v %v", r.Name(), look, err)
+		}
+		r.Commit(ctx, 9999)
+		if st, _ := r.Status(ctx, id); st != rep.StatusAborted {
+			t.Errorf("%s status = %v, want aborted", r.Name(), st)
+		}
+	}
+}
+
+func TestResolveRefusesWithUnreachableParticipant(t *testing.T) {
+	const id = lock.TxnID(9999)
+	a := crashRecover(t, "A", id, "k", false)
+	down := transport.NewLocal(crashRecover(t, "B", id, "k", false))
+	down.Crash()
+
+	_, err := Resolve(ctx, id, []rep.Directory{a, down})
+	if !errors.Is(err, ErrUnresolvable) {
+		t.Fatalf("resolve with unreachable participant = %v, want ErrUnresolvable", err)
+	}
+	// A must remain in doubt — no unilateral decision.
+	if st, _ := a.Status(ctx, id); st != rep.StatusInDoubt {
+		t.Errorf("A status = %v, want still in-doubt", st)
+	}
+
+	// Once the unreachable participant returns, resolution proceeds.
+	down.Restart()
+	res, err := Resolve(ctx, id, []rep.Directory{a, down})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed {
+		t.Error("should abort: nobody committed")
+	}
+}
+
+func TestResolveCommitUnblocksWaitingOperations(t *testing.T) {
+	// The in-doubt transaction's lock blocks access to its key; after
+	// resolution the key is reachable again.
+	const id = lock.TxnID(5555)
+	a := crashRecover(t, "A", id, "k", true)
+	b := crashRecover(t, "B", id, "k", false)
+
+	if _, err := b.Lookup(ctx, id+1, keyspace.New("k")); !errors.Is(err, lock.ErrDie) {
+		t.Fatalf("lookup of in-doubt key = %v, want ErrDie", err)
+	}
+	b.Abort(ctx, id+1)
+
+	if _, err := Resolve(ctx, id, []rep.Directory{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	look, err := b.Lookup(ctx, id+2, keyspace.New("k"))
+	if err != nil || !look.Found {
+		t.Fatalf("lookup after resolution = %+v, %v", look, err)
+	}
+	b.Commit(ctx, id+2)
+}

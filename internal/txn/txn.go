@@ -1,0 +1,190 @@
+// Package txn supplies transaction identity and the two-phase commit
+// coordination that directory-suite operations run under.
+//
+// Transaction IDs double as wait-die timestamps (package lock): an ID
+// assigned earlier is numerically smaller and therefore "older". IDs
+// combine a shared monotonic counter with a node tag so that independent
+// clients never collide. When a transaction is aborted by wait-die, the
+// caller retries it under the same ID, so it ages and eventually cannot
+// be killed — the standard wait-die non-starvation argument.
+package txn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repdir/internal/lock"
+	"repdir/internal/rep"
+)
+
+// Transaction ID layout, low bits to high: 8 attempt bits (each retry of
+// a logical transaction runs under its own ID, so two-phase-commit
+// outcome tracking never confuses attempts), 10 node-tag bits (clients
+// sharing replicas never collide), then the shared counter. Age order for
+// wait-die is dominated by the counter: retries keep their timestamp and
+// therefore keep aging toward immunity.
+const (
+	attemptBits = 8
+	nodeBits    = 10
+)
+
+// MaxAttempts is how many distinct attempt IDs a logical transaction has.
+const MaxAttempts = 1 << attemptBits
+
+// IDSource hands out globally ordered transaction IDs. All clients of one
+// suite should share an IDSource (or use distinct node tags) so wait-die
+// sees a consistent age order.
+type IDSource struct {
+	counter atomic.Uint64
+	node    uint64
+}
+
+// NewIDSource returns an ID source for the given node tag (0..1023).
+func NewIDSource(node uint16) *IDSource {
+	return &IDSource{node: uint64(node) & (1<<nodeBits - 1)}
+}
+
+// Next returns a fresh base transaction ID (attempt 0).
+func (s *IDSource) Next() lock.TxnID {
+	c := s.counter.Add(1)
+	return lock.TxnID(c<<(nodeBits+attemptBits) | s.node<<attemptBits)
+}
+
+// AttemptID derives the ID for the given retry attempt of base. Attempts
+// wrap modulo MaxAttempts; callers retrying that many times should give
+// up instead.
+func AttemptID(base lock.TxnID, attempt int) lock.TxnID {
+	return base | lock.TxnID(uint64(attempt)&(MaxAttempts-1))
+}
+
+// Txn tracks the representatives touched by one transaction and drives
+// atomic commit across them. It is safe for concurrent use, although
+// directory-suite operations use it from one goroutine.
+type Txn struct {
+	// ID is the transaction's identity and wait-die timestamp.
+	ID lock.TxnID
+	// Parallel makes the prepare, commit, and abort rounds contact
+	// participants concurrently. Set before the first Commit/Abort.
+	Parallel bool
+
+	mu           sync.Mutex
+	participants []rep.Directory
+	seen         map[string]bool
+	done         bool
+}
+
+// New begins a transaction with the given ID.
+func New(id lock.TxnID) *Txn {
+	return &Txn{ID: id, seen: make(map[string]bool)}
+}
+
+// Join records d as a participant. Every representative that received an
+// operation under this transaction — including pure reads, which hold
+// locks — must be joined so commit or abort releases it.
+func (t *Txn) Join(d rep.Directory) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.seen[d.Name()] {
+		return
+	}
+	t.seen[d.Name()] = true
+	t.participants = append(t.participants, d)
+}
+
+// Participants returns the joined representatives.
+func (t *Txn) Participants() []rep.Directory {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]rep.Directory, len(t.participants))
+	copy(out, t.participants)
+	return out
+}
+
+// ErrFinished is returned by Commit and Abort when the transaction was
+// already completed.
+var ErrFinished = errors.New("txn: transaction already finished")
+
+// Commit atomically commits at every participant via two-phase commit:
+// prepare everywhere, then commit everywhere. The prepare round is run
+// even for a single participant — a participant that lost the
+// transaction's state in a crash votes abort at prepare
+// (rep.ErrUnknownTxn) instead of silently acknowledging a commit that
+// would apply nothing. If any prepare fails, the transaction is aborted
+// everywhere and the prepare error returned.
+func (t *Txn) Commit(ctx context.Context) error {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return ErrFinished
+	}
+	t.done = true
+	parts := make([]rep.Directory, len(t.participants))
+	copy(parts, t.participants)
+	t.mu.Unlock()
+
+	if len(parts) == 0 {
+		return nil
+	}
+	prepErrs := t.round(ctx, parts, rep.Directory.Prepare)
+	for i, p := range parts {
+		if prepErrs[i] != nil {
+			t.abortAll(ctx, parts)
+			return fmt.Errorf("txn %d: prepare at %s: %w", t.ID, p.Name(), prepErrs[i])
+		}
+	}
+	commitErrs := t.round(ctx, parts, rep.Directory.Commit)
+	for i, p := range parts {
+		if commitErrs[i] != nil {
+			return fmt.Errorf("txn %d: commit at %s: %w", t.ID, p.Name(), commitErrs[i])
+		}
+	}
+	return nil
+}
+
+// round drives one protocol phase at every participant, concurrently
+// when Parallel is set.
+func (t *Txn) round(ctx context.Context, parts []rep.Directory,
+	phase func(rep.Directory, context.Context, lock.TxnID) error) []error {
+	errs := make([]error, len(parts))
+	if !t.Parallel || len(parts) < 2 {
+		for i, p := range parts {
+			errs[i] = phase(p, ctx, t.ID)
+		}
+		return errs
+	}
+	var wg sync.WaitGroup
+	for i, p := range parts {
+		wg.Add(1)
+		go func(i int, p rep.Directory) {
+			defer wg.Done()
+			errs[i] = phase(p, ctx, t.ID)
+		}(i, p)
+	}
+	wg.Wait()
+	return errs
+}
+
+// Abort aborts at every participant. Individual abort failures are
+// swallowed: an unreachable participant will discard the transaction as
+// presumed-abort when it recovers.
+func (t *Txn) Abort(ctx context.Context) error {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return ErrFinished
+	}
+	t.done = true
+	parts := make([]rep.Directory, len(t.participants))
+	copy(parts, t.participants)
+	t.mu.Unlock()
+	t.abortAll(ctx, parts)
+	return nil
+}
+
+// abortAll aborts at every participant, best effort; see Abort.
+func (t *Txn) abortAll(ctx context.Context, parts []rep.Directory) {
+	_ = t.round(ctx, parts, rep.Directory.Abort)
+}

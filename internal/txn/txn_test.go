@@ -1,0 +1,195 @@
+package txn
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repdir/internal/keyspace"
+	"repdir/internal/lock"
+	"repdir/internal/rep"
+)
+
+var ctx = context.Background()
+
+func TestIDSourceMonotonicAndUnique(t *testing.T) {
+	s := NewIDSource(3)
+	prev := lock.TxnID(0)
+	for i := 0; i < 1000; i++ {
+		id := s.Next()
+		if id <= prev {
+			t.Fatalf("IDs must be strictly increasing: %d after %d", id, prev)
+		}
+		prev = id
+	}
+}
+
+func TestIDSourceNodeTagsDisjoint(t *testing.T) {
+	a, b := NewIDSource(1), NewIDSource(2)
+	seen := make(map[lock.TxnID]bool)
+	for i := 0; i < 500; i++ {
+		for _, s := range []*IDSource{a, b} {
+			id := s.Next()
+			if seen[id] {
+				t.Fatalf("duplicate ID %d across node tags", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestIDSourceConcurrentUnique(t *testing.T) {
+	s := NewIDSource(0)
+	var mu sync.Mutex
+	seen := make(map[lock.TxnID]bool)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]lock.TxnID, 200)
+			for i := range local {
+				local[i] = s.Next()
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range local {
+				if seen[id] {
+					t.Errorf("duplicate concurrent ID %d", id)
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCommitSingleParticipant(t *testing.T) {
+	r := rep.New("A")
+	tx := New(100)
+	if err := r.Insert(ctx, tx.ID, keyspace.New("k"), 1, "v"); err != nil {
+		t.Fatal(err)
+	}
+	tx.Join(r)
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Lookup(ctx, 101, keyspace.New("k"))
+	if err != nil || !res.Found {
+		t.Fatalf("lookup after commit: %+v %v", res, err)
+	}
+	r.Commit(ctx, 101)
+}
+
+func TestCommitTwoPhaseAcrossParticipants(t *testing.T) {
+	a, b := rep.New("A"), rep.New("B")
+	tx := New(100)
+	for _, r := range []*rep.Rep{a, b} {
+		if err := r.Insert(ctx, tx.ID, keyspace.New("k"), 1, "v"); err != nil {
+			t.Fatal(err)
+		}
+		tx.Join(r)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*rep.Rep{a, b} {
+		res, err := r.Lookup(ctx, 101, keyspace.New("k"))
+		if err != nil || !res.Found {
+			t.Fatalf("%s missing entry after 2PC: %+v %v", r.Name(), res, err)
+		}
+		r.Commit(ctx, 101)
+	}
+}
+
+func TestAbortUndoesEverywhere(t *testing.T) {
+	a, b := rep.New("A"), rep.New("B")
+	tx := New(100)
+	for _, r := range []*rep.Rep{a, b} {
+		if err := r.Insert(ctx, tx.ID, keyspace.New("k"), 1, "v"); err != nil {
+			t.Fatal(err)
+		}
+		tx.Join(r)
+	}
+	if err := tx.Abort(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*rep.Rep{a, b} {
+		res, err := r.Lookup(ctx, 101, keyspace.New("k"))
+		if err != nil || res.Found {
+			t.Fatalf("%s should have no entry after abort: %+v %v", r.Name(), res, err)
+		}
+		r.Commit(ctx, 101)
+	}
+}
+
+func TestJoinDeduplicates(t *testing.T) {
+	r := rep.New("A")
+	tx := New(1)
+	tx.Join(r)
+	tx.Join(r)
+	if got := len(tx.Participants()); got != 1 {
+		t.Errorf("participants = %d, want 1", got)
+	}
+}
+
+func TestDoubleFinishRejected(t *testing.T) {
+	tx := New(1)
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); !errors.Is(err, ErrFinished) {
+		t.Errorf("second commit = %v, want ErrFinished", err)
+	}
+	tx2 := New(2)
+	if err := tx2.Abort(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Abort(ctx); !errors.Is(err, ErrFinished) {
+		t.Errorf("second abort = %v, want ErrFinished", err)
+	}
+}
+
+// failingDir wraps a rep and fails Prepare, to exercise the abort-on-
+// prepare-failure path.
+type failingDir struct {
+	*rep.Rep
+}
+
+var errPrepareBoom = errors.New("prepare refused")
+
+func (f failingDir) Prepare(context.Context, lock.TxnID) error {
+	return errPrepareBoom
+}
+
+func TestPrepareFailureAbortsAll(t *testing.T) {
+	good := rep.New("good")
+	bad := failingDir{Rep: rep.New("bad")}
+	tx := New(100)
+	if err := good.Insert(ctx, tx.ID, keyspace.New("k"), 1, "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Insert(ctx, tx.ID, keyspace.New("k"), 1, "v"); err != nil {
+		t.Fatal(err)
+	}
+	tx.Join(good)
+	tx.Join(bad)
+	err := tx.Commit(ctx)
+	if !errors.Is(err, errPrepareBoom) {
+		t.Fatalf("commit = %v, want prepare failure", err)
+	}
+	// The good participant must have rolled back.
+	res, err := good.Lookup(ctx, 101, keyspace.New("k"))
+	if err != nil || res.Found {
+		t.Fatalf("good participant kept aborted write: %+v %v", res, err)
+	}
+	good.Commit(ctx, 101)
+}
+
+func TestEmptyTransactionCommit(t *testing.T) {
+	tx := New(1)
+	if err := tx.Commit(ctx); err != nil {
+		t.Errorf("empty commit = %v", err)
+	}
+}

@@ -1,0 +1,27 @@
+// Package version defines the version numbers the replication algorithm
+// attaches to directory entries and to the gaps between them.
+//
+// The paper notes that "for some applications, version numbers containing
+// 48 or more bits may be required to prevent version numbers from cycling"
+// (section 5); we use 64 bits.
+package version
+
+// V is a version number. Versions start at Lowest and only ever increase;
+// the datum with the largest version for a key is the current one.
+type V uint64
+
+// Lowest is the smallest version number, carried by the initial gap of an
+// empty directory representative ("LowestVersion" in the paper's
+// pseudo-code, Figure 8).
+const Lowest V = 0
+
+// Next returns the version immediately after v.
+func (v V) Next() V { return v + 1 }
+
+// Max returns the larger of a and b.
+func Max(a, b V) V {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,47 @@
+package version
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLowestAndNext(t *testing.T) {
+	if Lowest != 0 {
+		t.Errorf("Lowest = %d, want 0", Lowest)
+	}
+	if Lowest.Next() != 1 {
+		t.Errorf("Lowest.Next() = %d, want 1", Lowest.Next())
+	}
+	if V(41).Next() != 42 {
+		t.Errorf("Next broken")
+	}
+}
+
+func TestMax(t *testing.T) {
+	tests := []struct{ a, b, want V }{
+		{0, 0, 0},
+		{1, 2, 2},
+		{2, 1, 2},
+		{7, 7, 7},
+	}
+	for _, tt := range tests {
+		if got := Max(tt.a, tt.b); got != tt.want {
+			t.Errorf("Max(%d,%d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+// Property: Next is strictly increasing and Max is commutative and
+// idempotent.
+func TestProperties(t *testing.T) {
+	f := func(a, b uint64) bool {
+		va, vb := V(a), V(b)
+		if va != ^V(0) && va.Next() <= va {
+			return false
+		}
+		return Max(va, vb) == Max(vb, va) && Max(va, va) == va
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
