@@ -1,0 +1,25 @@
+# Developer entry points. `make check` is the gate CI and pre-commit
+# hooks should run: vet + build + full test suite under the race
+# detector.
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Transport + paper benchmarks (see EXPERIMENTS.md for methodology).
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1s ./...

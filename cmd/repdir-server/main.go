@@ -23,6 +23,7 @@ import (
 
 	"repdir/internal/rep"
 	"repdir/internal/transport"
+	"repdir/internal/wal"
 )
 
 func main() {
@@ -40,6 +41,9 @@ func run(args []string) error {
 		walPath  = fs.String("wal", "", "write-ahead log file (empty = volatile)")
 		snapPath = fs.String("snap", "", "snapshot file for checkpoints (requires -wal)")
 		every    = fs.Duration("checkpoint", 0, "checkpoint interval (0 = never; requires -snap)")
+		fsync    = fs.String("fsync", "commit", "WAL fsync policy: commit, never, or always")
+		conc     = fs.Int("concurrency", transport.DefaultPerConnConcurrency,
+			"max requests served concurrently per client connection")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,8 +54,15 @@ func run(args []string) error {
 	if *every > 0 && *snapPath == "" {
 		return errors.New("-checkpoint requires -snap")
 	}
+	policy, err := parseSyncPolicy(*fsync)
+	if err != nil {
+		return err
+	}
+	if *conc < 1 {
+		return errors.New("-concurrency must be at least 1")
+	}
 
-	r, durability, err := buildRep(*name, *walPath, *snapPath)
+	r, durability, err := buildRep(*name, *walPath, *snapPath, policy)
 	if err != nil {
 		return err
 	}
@@ -61,7 +72,7 @@ func run(args []string) error {
 		}
 	}()
 
-	srv, err := transport.Serve(r, *addr)
+	srv, err := transport.Serve(r, *addr, transport.WithPerConnConcurrency(*conc))
 	if err != nil {
 		return err
 	}
@@ -108,9 +119,23 @@ func checkpointLoop(d *rep.Durability, every time.Duration, stop <-chan struct{}
 
 // buildRep constructs the representative: durable (snapshot + WAL) when
 // paths are configured, volatile otherwise.
-func buildRep(name, walPath, snapPath string) (*rep.Rep, *rep.Durability, error) {
+func buildRep(name, walPath, snapPath string, policy wal.SyncPolicy) (*rep.Rep, *rep.Durability, error) {
 	if walPath == "" {
 		return rep.New(name), nil, nil
 	}
-	return rep.OpenDurable(name, walPath, snapPath)
+	return rep.OpenDurable(name, walPath, snapPath, rep.WithSyncPolicy(policy))
+}
+
+// parseSyncPolicy maps the -fsync flag to a wal.SyncPolicy.
+func parseSyncPolicy(s string) (wal.SyncPolicy, error) {
+	switch s {
+	case "commit":
+		return wal.SyncOnCommit, nil
+	case "never":
+		return wal.SyncNever, nil
+	case "always":
+		return wal.SyncAlways, nil
+	default:
+		return 0, fmt.Errorf("unknown -fsync policy %q (want commit, never, or always)", s)
+	}
 }

@@ -7,10 +7,11 @@ import (
 
 	"repdir/internal/keyspace"
 	"repdir/internal/lock"
+	"repdir/internal/wal"
 )
 
 func TestBuildRepVolatile(t *testing.T) {
-	r, d, err := buildRep("vol", "", "")
+	r, d, err := buildRep("vol", "", "", wal.SyncOnCommit)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestBuildRepRecoversFromWAL(t *testing.T) {
 	snapPath := filepath.Join(dir, "rep.snap")
 
 	// First life: write one committed entry and checkpoint.
-	r1, d1, err := buildRep("persist", walPath, snapPath)
+	r1, d1, err := buildRep("persist", walPath, snapPath, wal.SyncOnCommit)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestBuildRepRecoversFromWAL(t *testing.T) {
 	d1.Close()
 
 	// Second life: the entry survives via the snapshot.
-	r2, d2, err := buildRep("persist", walPath, snapPath)
+	r2, d2, err := buildRep("persist", walPath, snapPath, wal.SyncOnCommit)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,23 @@ func TestRunFlagValidation(t *testing.T) {
 }
 
 func TestBuildRepRejectsBadPath(t *testing.T) {
-	if _, _, err := buildRep("x", t.TempDir(), ""); err == nil {
+	if _, _, err := buildRep("x", t.TempDir(), "", wal.SyncOnCommit); err == nil {
 		t.Error("opening a directory as a WAL should fail")
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for s, want := range map[string]wal.SyncPolicy{
+		"commit": wal.SyncOnCommit,
+		"never":  wal.SyncNever,
+		"always": wal.SyncAlways,
+	} {
+		got, err := parseSyncPolicy(s)
+		if err != nil || got != want {
+			t.Errorf("parseSyncPolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseSyncPolicy("sometimes"); err == nil {
+		t.Error("unknown policy should error")
 	}
 }

@@ -254,20 +254,27 @@ func (s *Suite) RunInTxn(ctx context.Context, fn func(tx *Tx) error) error {
 		// can finish; the transaction keeps its timestamp and therefore
 		// ages toward immunity.
 		if errors.Is(err, lock.ErrDie) {
-			backoff(attempt)
+			backoff(ctx, attempt)
 		}
 	}
 	s.counters.failures.Add(1)
 	return fmt.Errorf("%w: %v", ErrRetriesExhausted, lastErr)
 }
 
-// backoff sleeps linearly with the attempt number, capped at 2ms.
-func backoff(attempt int) {
+// backoff waits linearly with the attempt number, capped at 2ms. A
+// cancelled context cuts the wait short so abandoned transactions stop
+// retry-sleeping promptly (the loop in RunInTxn then observes ctx.Err).
+func backoff(ctx context.Context, attempt int) {
 	d := time.Duration(attempt+1) * 50 * time.Microsecond
 	if d > 2*time.Millisecond {
 		d = 2 * time.Millisecond
 	}
-	time.Sleep(d)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }
 
 // retryable reports whether the operation should be re-run: wait-die

@@ -130,10 +130,29 @@ type Durability struct {
 	closed   bool
 }
 
+// DurableOption configures OpenDurable.
+type DurableOption func(*durableConfig)
+
+type durableConfig struct {
+	policy wal.SyncPolicy
+}
+
+// WithSyncPolicy selects when the write-ahead log fsyncs (default
+// wal.SyncOnCommit: prepare and commit records are forced to disk, so
+// committed transactions survive machine crashes). Simulations and
+// benchmarks can pass wal.SyncNever to trade durability for speed.
+func WithSyncPolicy(p wal.SyncPolicy) DurableOption {
+	return func(c *durableConfig) { c.policy = p }
+}
+
 // OpenDurable opens (or creates) a durable representative: snapshot
 // loaded if present, write-ahead log replayed on top, log reopened for
 // appending with monotone LSNs.
-func OpenDurable(name, walPath, snapPath string) (*Rep, *Durability, error) {
+func OpenDurable(name, walPath, snapPath string, opts ...DurableOption) (*Rep, *Durability, error) {
+	var cfg durableConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	var (
 		seed    []btree.Entry
 		lastLSN uint64
@@ -164,6 +183,7 @@ func OpenDurable(name, walPath, snapPath string) (*Rep, *Durability, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	log.SetSyncPolicy(cfg.policy)
 	log.StartAt(maxLSN + 1)
 
 	r := New(name, WithLog(log))

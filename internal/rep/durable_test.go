@@ -322,3 +322,31 @@ func TestDurableTortureLoop(t *testing.T) {
 		d.Close() // crash boundary
 	}
 }
+
+func TestDurableCommitSyncsWAL(t *testing.T) {
+	walPath, snapPath := durablePaths(t)
+	r, d, err := OpenDurable("sync", walPath, snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	commitInsert(t, r, 1, "a", 1)
+	// One transaction = one commit record; the default SyncOnCommit
+	// policy must have forced it (and its redo records) to disk.
+	if got := d.log.SyncCount(); got < 1 {
+		t.Fatalf("commit issued %d fsyncs, want >= 1", got)
+	}
+}
+
+func TestDurableSyncNeverOptsOut(t *testing.T) {
+	walPath, snapPath := durablePaths(t)
+	r, d, err := OpenDurable("nosync", walPath, snapPath, WithSyncPolicy(wal.SyncNever))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	commitInsert(t, r, 1, "a", 1)
+	if got := d.log.SyncCount(); got != 0 {
+		t.Fatalf("SyncNever issued %d fsyncs", got)
+	}
+}

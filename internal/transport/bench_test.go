@@ -2,6 +2,10 @@ package transport
 
 import (
 	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 	"testing"
 
 	"repdir/internal/keyspace"
@@ -49,5 +53,142 @@ func BenchmarkTCPRoundTrip(b *testing.B) {
 		if err := c.Abort(ctx, id); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// delayDir adds a fixed service time to every Lookup, standing in for
+// the lock waits, fsyncs, and network distance a loaded deployment sees.
+// Loopback RTT is near zero, so without it a quorum benchmark measures
+// only gob CPU cost and says nothing about pipelining.
+type delayDir struct {
+	rep.Directory
+	delay time.Duration
+}
+
+func (d delayDir) Lookup(ctx context.Context, id lock.TxnID, key keyspace.Key) (rep.LookupResult, error) {
+	time.Sleep(d.delay)
+	return d.Directory.Lookup(ctx, id, key)
+}
+
+// benchTCPQuorum models the suite's read-quorum round over TCP: each
+// operation fans a Lookup out to all three members in parallel, waits
+// for every reply, then releases the transaction with a parallel Abort.
+// Each member takes serviceTime to serve a lookup. workers is how many
+// quorum rounds are in flight at once — 1 reproduces the old
+// single-in-flight client behavior, higher values exercise the
+// multiplexed connection.
+func benchTCPQuorum(b *testing.B, workers int) {
+	const (
+		members     = 3
+		serviceTime = 500 * time.Microsecond
+	)
+	ctx := context.Background()
+	clients := make([]*Client, members)
+	for i := range clients {
+		srv, err := Serve(delayDir{Directory: rep.New(fmt.Sprintf("m%d", i)), delay: serviceTime}, "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		c, err := Dial(srv.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	key := keyspace.New("k")
+	fanOut := func(do func(c *Client)) {
+		var wg sync.WaitGroup
+		for _, c := range clients {
+			wg.Add(1)
+			go func(c *Client) {
+				defer wg.Done()
+				do(c)
+			}(c)
+		}
+		wg.Wait()
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := next.Add(1)
+				if n > int64(b.N) {
+					return
+				}
+				id := lock.TxnID(n)
+				fanOut(func(c *Client) {
+					if _, err := c.Lookup(ctx, id, key); err != nil {
+						b.Error(err)
+					}
+				})
+				fanOut(func(c *Client) {
+					if err := c.Abort(ctx, id); err != nil {
+						b.Error(err)
+					}
+				})
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkTCPQuorumSerial is the old client's ceiling: one quorum
+// round in flight at a time.
+func BenchmarkTCPQuorumSerial(b *testing.B) { benchTCPQuorum(b, 1) }
+
+// BenchmarkTCPQuorumPipelined keeps 8 quorum rounds in flight over the
+// same three connections; the multiplexed transport must let them
+// overlap.
+func BenchmarkTCPQuorumPipelined(b *testing.B) { benchTCPQuorum(b, 8) }
+
+// BenchmarkTCPLookupConcurrent sweeps single-connection lookup
+// throughput across client-side concurrency levels.
+func BenchmarkTCPLookupConcurrent(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ctx := context.Background()
+			srv, err := Serve(rep.New("bench"), "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			key := keyspace.New("k")
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						n := next.Add(1)
+						if n > int64(b.N) {
+							return
+						}
+						id := lock.TxnID(n)
+						if _, err := c.Lookup(ctx, id, key); err != nil {
+							b.Error(err)
+						}
+						if err := c.Abort(ctx, id); err != nil {
+							b.Error(err)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
 	}
 }

@@ -1,11 +1,13 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
 
 	"repdir/internal/keyspace"
+	"repdir/internal/lock"
 	"repdir/internal/rep"
 )
 
@@ -91,6 +93,101 @@ func TestMiddlewareDynamicTarget(t *testing.T) {
 	if m.Name() != "B" {
 		t.Error("should target B after swap")
 	}
+}
+
+func TestCallStatsCountsAndLatency(t *testing.T) {
+	m, stats := WrapStats(rep.New("A"))
+	if err := m.Insert(ctx, 1, keyspace.New("k"), 1, "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Lookup(ctx, 2, keyspace.New("k")); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate insert of a sentinel errors; the error must be counted.
+	if err := m.Insert(ctx, 3, keyspace.Low(), 1, "x"); err == nil {
+		t.Fatal("sentinel insert should fail")
+	}
+	m.Abort(ctx, 2)
+	m.Abort(ctx, 3)
+
+	ins := stats.Op(OpInsert)
+	if ins.Calls != 2 || ins.Errors != 1 {
+		t.Errorf("insert stats = %+v, want 2 calls / 1 error", ins)
+	}
+	lk := stats.Op(OpLookup)
+	if lk.Calls != 1 || lk.Errors != 0 || lk.InFlight != 0 || lk.MaxInFlight < 1 {
+		t.Errorf("lookup stats = %+v", lk)
+	}
+	if lk.Total <= 0 || lk.Avg() <= 0 {
+		t.Errorf("lookup latency not recorded: %+v", lk)
+	}
+	if stats.InFlight() != 0 {
+		t.Errorf("in-flight after quiesce = %d", stats.InFlight())
+	}
+	if got := stats.Snapshot()[OpCommit].Calls; got != 1 {
+		t.Errorf("snapshot commit calls = %d", got)
+	}
+}
+
+func TestCallStatsInFlightGauge(t *testing.T) {
+	// A target that blocks until released, so several calls overlap.
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	target := blockingDir{Directory: rep.New("A"), entered: entered, release: release}
+	stats := NewCallStats()
+	m := &Middleware{Target: func() rep.Directory { return target }, Stats: stats}
+
+	const n = 3
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m.Lookup(ctx, 0, keyspace.New("k"))
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-entered
+	}
+	if got := stats.Op(OpLookup).InFlight; got != n {
+		t.Errorf("in-flight while blocked = %d, want %d", got, n)
+	}
+	close(release)
+	wg.Wait()
+	s := stats.Op(OpLookup)
+	if s.InFlight != 0 || s.MaxInFlight != n || s.Calls != n {
+		t.Errorf("final lookup stats = %+v", s)
+	}
+}
+
+func TestCallStatsCountsBlocked(t *testing.T) {
+	boom := errors.New("blocked")
+	stats := NewCallStats()
+	m := Wrap(rep.New("A"), func(op Op) error { return boom })
+	m.Stats = stats
+	if _, err := m.Lookup(ctx, 1, keyspace.New("k")); !errors.Is(err, boom) {
+		t.Fatalf("lookup should be blocked: %v", err)
+	}
+	s := stats.Op(OpLookup)
+	if s.Blocked != 1 || s.Calls != 0 {
+		t.Errorf("blocked lookup stats = %+v", s)
+	}
+}
+
+// blockingDir delays Lookup until release closes, signalling entry.
+type blockingDir struct {
+	rep.Directory
+	entered chan<- struct{}
+	release <-chan struct{}
+}
+
+func (d blockingDir) Lookup(c context.Context, id lock.TxnID, key keyspace.Key) (rep.LookupResult, error) {
+	d.entered <- struct{}{}
+	<-d.release
+	return rep.LookupResult{}, nil
 }
 
 func TestOpClassification(t *testing.T) {

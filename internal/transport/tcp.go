@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repdir/internal/keyspace"
@@ -32,8 +33,11 @@ const (
 	opName
 )
 
-// request is the single wire request shape.
+// request is the single wire request shape. ID matches the request to
+// its response: the connection is multiplexed, so responses may return
+// in any order.
 type request struct {
+	ID      uint64
 	Op      op
 	Txn     uint64
 	Key     keyspace.Key
@@ -43,8 +47,10 @@ type request struct {
 	Count   int
 }
 
-// response is the single wire response shape.
+// response is the single wire response shape. ID echoes the request it
+// answers.
 type response struct {
+	ID          uint64
 	Code        code
 	Msg         string
 	Found       bool
@@ -58,8 +64,41 @@ type response struct {
 	Name        string
 }
 
-// Server exposes one representative over TCP. Each connection is served
-// by its own goroutine; requests on a connection are processed in order.
+// DefaultPerConnConcurrency bounds how many requests from one connection
+// a server runs at once when WithPerConnConcurrency is not given.
+const DefaultPerConnConcurrency = 32
+
+// ServerOption configures Serve.
+type ServerOption func(*Server)
+
+// WithCallTimeout caps how long one request (including its lock waits)
+// may run on the server. The default is 30 seconds.
+func WithCallTimeout(d time.Duration) ServerOption {
+	return func(s *Server) {
+		if d > 0 {
+			s.callTimeout = d
+		}
+	}
+}
+
+// WithPerConnConcurrency bounds how many requests from one connection
+// may be in flight at once on the server. When the bound is reached the
+// connection's decode loop stops pulling new frames, applying
+// backpressure to the client. n < 1 selects the default.
+func WithPerConnConcurrency(n int) ServerOption {
+	return func(s *Server) {
+		if n >= 1 {
+			s.perConn = n
+		}
+	}
+}
+
+// Server exposes one representative over TCP. Each connection has one
+// decode loop, but every request is dispatched to its own goroutine
+// (bounded by the per-connection concurrency limit), so a request stuck
+// waiting for a lock does not head-of-line-block later requests on the
+// same connection. Responses are serialized through a per-connection
+// write mutex and matched to requests by ID.
 type Server struct {
 	dir rep.Directory
 	ln  net.Listener
@@ -72,11 +111,13 @@ type Server struct {
 	// callTimeout caps how long one request (including its lock waits)
 	// may run on the server.
 	callTimeout time.Duration
+	// perConn bounds concurrent dispatch per connection.
+	perConn int
 }
 
 // Serve starts a server for dir on addr (e.g. "127.0.0.1:0"). Close must
 // be called to release the listener and connections.
-func Serve(dir rep.Directory, addr string) (*Server, error) {
+func Serve(dir rep.Directory, addr string, opts ...ServerOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
@@ -86,6 +127,10 @@ func Serve(dir rep.Directory, addr string) (*Server, error) {
 		ln:          ln,
 		conns:       make(map[net.Conn]struct{}),
 		callTimeout: 30 * time.Second,
+		perConn:     DefaultPerConnConcurrency,
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -143,15 +188,33 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
+	var (
+		wmu      sync.Mutex
+		handlers sync.WaitGroup
+	)
+	// Outstanding handlers may still be mid-operation when the decode
+	// loop exits; wait for them before tearing the connection down so
+	// their (failing) writes never race the close.
+	defer handlers.Wait()
+	sem := make(chan struct{}, s.perConn)
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
-		resp := s.handle(req)
-		if err := enc.Encode(resp); err != nil {
-			return
-		}
+		sem <- struct{}{}
+		handlers.Add(1)
+		go func(req request) {
+			defer handlers.Done()
+			defer func() { <-sem }()
+			resp := s.handle(req)
+			resp.ID = req.ID
+			wmu.Lock()
+			// An encode error means the connection broke; the decode
+			// loop is failing in parallel, so just drop the response.
+			_ = enc.Encode(resp)
+			wmu.Unlock()
+		}(req)
 	}
 }
 
@@ -201,17 +264,130 @@ func (s *Server) handle(req request) response {
 	return resp
 }
 
-// Client is a TCP connection to a remote representative. It implements
-// rep.Directory. Calls on one Client are serialized; use one Client per
-// concurrent actor. A broken connection is redialed on the next call.
-type Client struct {
-	addr string
+// Redial backoff bounds: the first redial after a failed dial waits
+// redialBase, doubling per consecutive failure up to redialMax.
+const (
+	redialBase = 10 * time.Millisecond
+	redialMax  = time.Second
+)
 
-	mu   sync.Mutex
+// callResult is what a waiting caller receives from the demux loop.
+type callResult struct {
+	resp response
+	err  error
+}
+
+// clientConn is one live multiplexed connection: a shared gob encoder
+// guarded by a write mutex, and an in-flight table mapping request IDs
+// to the channels of the callers awaiting their responses. A single
+// reader goroutine (readLoop) demultiplexes responses by ID.
+type clientConn struct {
 	conn net.Conn
 	enc  *gob.Encoder
-	dec  *gob.Decoder
-	name string
+	wmu  sync.Mutex
+
+	imu      sync.Mutex
+	inflight map[uint64]chan callResult
+	broken   bool
+}
+
+func newClientConn(conn net.Conn) *clientConn {
+	return &clientConn{
+		conn:     conn,
+		enc:      gob.NewEncoder(conn),
+		inflight: make(map[uint64]chan callResult),
+	}
+}
+
+// register claims an ID slot; it fails if the connection already broke.
+func (cc *clientConn) register(id uint64, ch chan callResult) bool {
+	cc.imu.Lock()
+	defer cc.imu.Unlock()
+	if cc.broken {
+		return false
+	}
+	cc.inflight[id] = ch
+	return true
+}
+
+// unregister abandons a call (context cancelled); a late response for
+// the ID is discarded by the demux loop.
+func (cc *clientConn) unregister(id uint64) {
+	cc.imu.Lock()
+	delete(cc.inflight, id)
+	cc.imu.Unlock()
+}
+
+// complete routes one response to its waiting caller.
+func (cc *clientConn) complete(resp response) {
+	cc.imu.Lock()
+	ch := cc.inflight[resp.ID]
+	delete(cc.inflight, resp.ID)
+	cc.imu.Unlock()
+	if ch != nil {
+		ch <- callResult{resp: resp}
+	}
+}
+
+// fail marks the connection broken, closes it, and fails every in-flight
+// call with err. Idempotent.
+func (cc *clientConn) fail(err error) {
+	cc.imu.Lock()
+	if cc.broken {
+		cc.imu.Unlock()
+		return
+	}
+	cc.broken = true
+	pending := cc.inflight
+	cc.inflight = make(map[uint64]chan callResult)
+	cc.imu.Unlock()
+	cc.conn.Close()
+	for _, ch := range pending {
+		ch <- callResult{err: err}
+	}
+}
+
+// isBroken reports whether fail has run.
+func (cc *clientConn) isBroken() bool {
+	cc.imu.Lock()
+	defer cc.imu.Unlock()
+	return cc.broken
+}
+
+// readLoop decodes responses and hands each to its caller until the
+// connection dies, then fails whatever is still in flight.
+func (cc *clientConn) readLoop(addr string) {
+	dec := gob.NewDecoder(cc.conn)
+	for {
+		var resp response
+		if err := dec.Decode(&resp); err != nil {
+			cc.fail(fmt.Errorf("%w: receive from %s: %v", ErrUnavailable, addr, err))
+			return
+		}
+		cc.complete(resp)
+	}
+}
+
+// Client is a multiplexed TCP connection to a remote representative. It
+// implements rep.Directory and is safe for concurrent use: any number of
+// goroutines may have calls outstanding on the one connection at once.
+// Requests carry IDs; a single reader goroutine demultiplexes responses
+// to their callers, so a slow call never blocks an unrelated one. Each
+// call honors its own context (deadline or cancellation) independently —
+// an abandoned call's late response is simply discarded. A broken
+// connection fails all in-flight calls with ErrUnavailable and is
+// redialed on the next call, with exponential backoff between failed
+// dial attempts.
+type Client struct {
+	addr   string
+	nextID atomic.Uint64
+
+	mu       sync.Mutex
+	cc       *clientConn
+	dialing  chan struct{}
+	nextDial time.Time
+	wait     time.Duration
+	name     string
 }
 
 var _ rep.Directory = (*Client)(nil)
@@ -229,55 +405,141 @@ func Dial(addr string) (*Client, error) {
 	return c, nil
 }
 
-// Close drops the connection.
+// Close drops the connection, failing any in-flight calls with
+// ErrUnavailable. The client remains usable: the next call redials.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn != nil {
-		err := c.conn.Close()
-		c.conn = nil
-		return err
+	cc := c.cc
+	c.cc = nil
+	c.nextDial = time.Time{}
+	c.wait = 0
+	c.mu.Unlock()
+	if cc != nil {
+		cc.fail(fmt.Errorf("%w: %s: client closed", ErrUnavailable, c.addr))
 	}
 	return nil
 }
 
-// call performs one request/response exchange, dialing if necessary.
-func (c *Client) call(ctx context.Context, req request) (response, error) {
+// dropConn forgets cc if it is still the current connection, so the next
+// call dials afresh.
+func (c *Client) dropConn(cc *clientConn) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
-		d := net.Dialer{}
-		conn, err := d.DialContext(ctx, "tcp", c.addr)
-		if err != nil {
-			return response{}, fmt.Errorf("%w: dial %s: %v", ErrUnavailable, c.addr, err)
-		}
-		c.conn = conn
-		c.enc = gob.NewEncoder(conn)
-		c.dec = gob.NewDecoder(conn)
+	if c.cc == cc {
+		c.cc = nil
 	}
-	if dl, ok := ctx.Deadline(); ok {
-		c.conn.SetDeadline(dl)
-	} else {
-		c.conn.SetDeadline(time.Time{})
-	}
-	if err := c.enc.Encode(req); err != nil {
-		c.reset()
-		return response{}, fmt.Errorf("%w: send to %s: %v", ErrUnavailable, c.addr, err)
-	}
-	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
-		c.reset()
-		return response{}, fmt.Errorf("%w: receive from %s: %v", ErrUnavailable, c.addr, err)
-	}
-	return resp, decodeError(resp.Code, resp.Msg)
+	c.mu.Unlock()
 }
 
-// reset drops a broken connection so the next call redials. Callers hold
-// c.mu.
-func (c *Client) reset() {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
+// ensureConn returns a live connection, dialing when needed. Exactly one
+// goroutine dials at a time; the others wait for its outcome (or their
+// context). Consecutive dial failures back off exponentially, and a call
+// arriving inside the backoff window waits it out (respecting ctx)
+// rather than hammering the address.
+func (c *Client) ensureConn(ctx context.Context) (*clientConn, error) {
+	c.mu.Lock()
+	for {
+		if c.cc != nil && !c.cc.isBroken() {
+			cc := c.cc
+			c.mu.Unlock()
+			return cc, nil
+		}
+		c.cc = nil
+		if c.dialing != nil {
+			done := c.dialing
+			c.mu.Unlock()
+			select {
+			case <-done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			c.mu.Lock()
+			continue
+		}
+		if wait := time.Until(c.nextDial); wait > 0 {
+			c.mu.Unlock()
+			t := time.NewTimer(wait)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+			t.Stop()
+			c.mu.Lock()
+			continue
+		}
+		c.dialing = make(chan struct{})
+		c.mu.Unlock()
+		conn, err := (&net.Dialer{}).DialContext(ctx, "tcp", c.addr)
+		c.mu.Lock()
+		close(c.dialing)
+		c.dialing = nil
+		if err != nil {
+			if c.wait == 0 {
+				c.wait = redialBase
+			} else if c.wait < redialMax {
+				c.wait *= 2
+				if c.wait > redialMax {
+					c.wait = redialMax
+				}
+			}
+			c.nextDial = time.Now().Add(c.wait)
+			c.mu.Unlock()
+			return nil, fmt.Errorf("%w: dial %s: %v", ErrUnavailable, c.addr, err)
+		}
+		c.wait = 0
+		c.nextDial = time.Time{}
+		cc := newClientConn(conn)
+		c.cc = cc
+		go func() {
+			cc.readLoop(c.addr)
+			c.dropConn(cc)
+		}()
+		c.mu.Unlock()
+		return cc, nil
+	}
+}
+
+// call performs one request/response exchange on the multiplexed
+// connection. Many calls may be outstanding at once; each waits only for
+// its own response or its own context.
+func (c *Client) call(ctx context.Context, req request) (response, error) {
+	for attempt := 0; ; attempt++ {
+		cc, err := c.ensureConn(ctx)
+		if err != nil {
+			return response{}, err
+		}
+		req.ID = c.nextID.Add(1)
+		ch := make(chan callResult, 1)
+		if !cc.register(req.ID, ch) {
+			// The connection broke between ensureConn and register;
+			// retry once on a fresh dial, then give up.
+			c.dropConn(cc)
+			if attempt == 0 {
+				continue
+			}
+			return response{}, fmt.Errorf("%w: %s: connection reset", ErrUnavailable, c.addr)
+		}
+		cc.wmu.Lock()
+		err = cc.enc.Encode(req)
+		cc.wmu.Unlock()
+		if err != nil {
+			// A failed write poisons the gob stream for every user of the
+			// connection, not just this call.
+			cc.fail(fmt.Errorf("%w: send to %s: %v", ErrUnavailable, c.addr, err))
+			c.dropConn(cc)
+			return response{}, fmt.Errorf("%w: send to %s: %v", ErrUnavailable, c.addr, err)
+		}
+		select {
+		case r := <-ch:
+			if r.err != nil {
+				return response{}, r.err
+			}
+			return r.resp, decodeError(r.resp.Code, r.resp.Msg)
+		case <-ctx.Done():
+			cc.unregister(req.ID)
+			return response{}, ctx.Err()
+		}
 	}
 }
 

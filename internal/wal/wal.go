@@ -136,6 +136,42 @@ func (l *MemoryLog) Records() []Record {
 	return out
 }
 
+// SyncPolicy controls when FileLog forces appended records to stable
+// storage (fsync). Flushing the bufio writer alone only hands bytes to
+// the OS; without an fsync a machine crash can lose records the log
+// already acknowledged.
+type SyncPolicy int
+
+const (
+	// SyncOnCommit (the default) fsyncs after KindPrepare and KindCommit
+	// records — the two points where two-phase commit promises
+	// durability (a prepared participant must survive a crash in doubt;
+	// a committed transaction must survive, period). Redo records need
+	// no individual sync: they precede their prepare/commit in the log,
+	// so the decision record's sync carries them to disk too.
+	SyncOnCommit SyncPolicy = iota
+	// SyncNever leaves persistence timing to the OS. A crash can lose
+	// committed transactions; meant for simulations and benchmarks that
+	// opt out of durability.
+	SyncNever
+	// SyncAlways fsyncs after every record.
+	SyncAlways
+)
+
+// String names the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncOnCommit:
+		return "commit"
+	case SyncNever:
+		return "never"
+	case SyncAlways:
+		return "always"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
 // FileLog appends records to a file. Each record is a length-prefixed
 // frame containing a self-contained gob encoding, so a log can be
 // reopened for appending and a torn trailing frame is detectable.
@@ -144,6 +180,8 @@ type FileLog struct {
 	f      *os.File
 	w      *bufio.Writer
 	next   uint64
+	policy SyncPolicy
+	syncs  uint64
 	closed bool
 }
 
@@ -152,13 +190,42 @@ var _ Log = (*FileLog)(nil)
 // OpenFileLog opens (creating or appending to) a log file. When
 // appending to an existing log, call StartAt with one past the last LSN
 // already in the file (ReadFileLog reveals it) so sequence numbers stay
-// monotone; rep.OpenDurable does this automatically.
+// monotone; rep.OpenDurable does this automatically. The sync policy
+// defaults to SyncOnCommit.
 func OpenFileLog(path string) (*FileLog, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %q: %w", path, err)
 	}
 	return &FileLog{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// SetSyncPolicy selects when appends fsync.
+func (l *FileLog) SetSyncPolicy(p SyncPolicy) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.policy = p
+}
+
+// SyncCount reports how many fsyncs Append has issued (explicit Sync
+// calls not included); tests use it to assert commits hit the disk.
+func (l *FileLog) SyncCount() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncs
+}
+
+// needsSync reports whether the policy demands an fsync after a record
+// of kind k; callers hold l.mu.
+func (l *FileLog) needsSync(k Kind) bool {
+	switch l.policy {
+	case SyncAlways:
+		return true
+	case SyncOnCommit:
+		return k == KindPrepare || k == KindCommit
+	default:
+		return false
+	}
 }
 
 // StartAt sets the next LSN to assign. It must be called before the
@@ -221,6 +288,12 @@ func (l *FileLog) Append(r Record) error {
 	}
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if l.needsSync(r.Kind) {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+		l.syncs++
 	}
 	return nil
 }

@@ -285,3 +285,72 @@ func TestKindString(t *testing.T) {
 		}
 	}
 }
+
+func TestFileLogSyncPolicyOnCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sync.wal")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Default policy: redo records do not sync on their own...
+	if err := l.Append(rec(KindInsert, 1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec(KindCoalesce, 1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.SyncCount(); got != 0 {
+		t.Fatalf("redo records synced %d times, want 0", got)
+	}
+	// ...but prepare and commit each force the log to disk, carrying the
+	// redo records that precede them.
+	if err := l.Append(rec(KindPrepare, 1, "")); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.SyncCount(); got != 1 {
+		t.Fatalf("sync count after prepare = %d, want 1", got)
+	}
+	if err := l.Append(rec(KindCommit, 1, "")); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.SyncCount(); got != 2 {
+		t.Fatalf("sync count after commit = %d, want 2", got)
+	}
+}
+
+func TestFileLogSyncPolicyNeverAndAlways(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sync.wal")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	l.SetSyncPolicy(SyncNever)
+	if err := l.Append(rec(KindCommit, 1, "")); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.SyncCount(); got != 0 {
+		t.Fatalf("SyncNever synced %d times", got)
+	}
+	l.SetSyncPolicy(SyncAlways)
+	if err := l.Append(rec(KindInsert, 2, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.SyncCount(); got != 1 {
+		t.Fatalf("SyncAlways sync count = %d, want 1", got)
+	}
+}
+
+func TestSyncPolicyString(t *testing.T) {
+	for p, want := range map[SyncPolicy]string{
+		SyncOnCommit:  "commit",
+		SyncNever:     "never",
+		SyncAlways:    "always",
+		SyncPolicy(9): "SyncPolicy(9)",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), got, want)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package repdir
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repdir/internal/core"
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+)
+
+// newBenchTCPSuite builds a full networked 3-2-2 deployment: three
+// volatile representative servers and one suite client connected over
+// TCP with parallel quorum fan-out (the configuration the multiplexed
+// transport exists to serve).
+func newBenchTCPSuite(b *testing.B) *core.Suite {
+	b.Helper()
+	dirs := make([]rep.Directory, 3)
+	for i := range dirs {
+		srv, err := transport.Serve(rep.New(fmt.Sprintf("m%d", i)), "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { srv.Close() })
+		c, err := transport.Dial(srv.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { c.Close() })
+		dirs[i] = c
+	}
+	suite, err := core.NewSuite(quorum.NewUniform(dirs, 2, 2), core.WithParallelQuorum(true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return suite
+}
+
+// benchSuiteTCP runs fn for every iteration across the given number of
+// concurrent workers, all sharing one suite (and therefore the same
+// three TCP connections).
+func benchSuiteTCP(b *testing.B, workers int, fn func(n int64) error) {
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := next.Add(1)
+				if n > int64(b.N) {
+					return
+				}
+				if err := fn(n); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkSuiteTCPLookup measures full directory lookups (read quorum
+// of 2 over TCP, one transaction each) through one suite client.
+func BenchmarkSuiteTCPLookup(b *testing.B) {
+	ctx := context.Background()
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			suite := newBenchTCPSuite(b)
+			if err := suite.Insert(ctx, "bench-key", "v"); err != nil {
+				b.Fatal(err)
+			}
+			benchSuiteTCP(b, workers, func(int64) error {
+				_, _, err := suite.Lookup(ctx, "bench-key")
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkSuiteTCPInsert measures full directory inserts (read quorum
+// lookup + write quorum insert + two-phase commit over TCP) through one
+// suite client. Keys spread across pre-seeded gaps so concurrent inserts
+// rarely fight over the same gap lock.
+func BenchmarkSuiteTCPInsert(b *testing.B) {
+	ctx := context.Background()
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			suite := newBenchTCPSuite(b)
+			const gaps = 256
+			for i := 0; i < gaps; i++ {
+				if err := suite.Insert(ctx, fmt.Sprintf("seed-%03d", i), "v"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchSuiteTCP(b, workers, func(n int64) error {
+				key := fmt.Sprintf("seed-%03d+%09d", n%gaps, n)
+				return suite.Insert(ctx, key, "v")
+			})
+		})
+	}
+}
