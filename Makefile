@@ -1,12 +1,12 @@
 # Developer entry points. `make check` is the gate CI and pre-commit
 # hooks should run: vet + build + full test suite under the race
-# detector.
+# detector, plus the deterministic chaos soak.
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench chaos
 
-check: vet build race
+check: vet build race chaos
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +19,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Deterministic fault-injection soak (see EXPERIMENTS.md): five seeds,
+# 1000 ops each, crash/partition/duplicate/drop injection under -race,
+# every completed operation checked against the sequential model. A
+# failing seed is printed and replays with -chaos.seed=N. Set
+# REPDIR_CHAOS_LONG=1 for the long soak (20 seeds x 10000 ops).
+chaos:
+	$(GO) test -race -count 1 -run 'TestChaosSoak' -v .
 
 # Transport + paper benchmarks (see EXPERIMENTS.md for methodology).
 bench:

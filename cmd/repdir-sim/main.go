@@ -8,6 +8,7 @@
 //	repdir-sim -experiment batch   # section 4 neighbor-batching ablation
 //	repdir-sim -experiment model   # section 5 analytic model vs simulation
 //	repdir-sim -experiment conc    # section 2 concurrency comparison
+//	repdir-sim -experiment chaos   # fault-injection soak (crash/partition/duplicate)
 //	repdir-sim -experiment all     # everything
 //
 // The -ops flag overrides the per-run operation count (the paper used
@@ -141,6 +142,30 @@ func run(args []string) error {
 			fmt.Print(sim.FormatScalability(points, *latency))
 			return nil
 		},
+		"chaos": func() error {
+			opsPerSeed := *ops
+			if opsPerSeed == 0 {
+				opsPerSeed = 2000
+			}
+			seeds := make([]int64, 5)
+			for i := range seeds {
+				seeds[i] = *seed + int64(i)
+			}
+			results, err := sim.RunChaosSeeds(sim.ChaosConfig{Operations: opsPerSeed}, seeds)
+			if err != nil {
+				return err
+			}
+			fmt.Print(sim.FormatChaos(
+				fmt.Sprintf("Chaos soak — 3-2-2 suite, %d ops/seed under crash/partition/duplicate/drop injection", opsPerSeed),
+				results))
+			for _, r := range results {
+				if len(r.Violations) > 0 {
+					return fmt.Errorf("chaos: seed %d violated single-copy semantics (replay with -seed %d)",
+						r.Config.Seed, r.Config.Seed)
+				}
+			}
+			return nil
+		},
 		"conc": func() error {
 			opsPerClient := *ops
 			if opsPerClient == 0 {
@@ -156,11 +181,11 @@ func run(args []string) error {
 		},
 	}
 
-	order := []string{"fig14", "fig15", "fig16", "sticky", "batch", "model", "skew", "scale", "conc"}
+	order := []string{"fig14", "fig15", "fig16", "sticky", "batch", "model", "skew", "scale", "conc", "chaos"}
 	if *experiment != "all" {
 		fn, ok := runs[*experiment]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want fig14, fig15, fig16, sticky, batch, model, skew, scale, conc, or all)", *experiment)
+			return fmt.Errorf("unknown experiment %q (want fig14, fig15, fig16, sticky, batch, model, skew, scale, conc, chaos, or all)", *experiment)
 		}
 		return timed(*experiment, fn)
 	}

@@ -15,8 +15,9 @@ type SuiteStats struct {
 	Retries uint64
 	// Dies is the number of attempts killed by wait-die.
 	Dies uint64
-	// ReplicaLosses is the number of attempts that lost a replica
-	// mid-operation.
+	// ReplicaLosses is the number of replicas lost mid-operation and
+	// excluded from a retry; one attempt can lose several at once under
+	// parallel fan-out.
 	ReplicaLosses uint64
 }
 

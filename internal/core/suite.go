@@ -239,7 +239,7 @@ func (s *Suite) RunInTxn(ctx context.Context, fn func(tx *Tx) error) error {
 			s.counters.dies.Add(1)
 		}
 		if len(tx.failed) > 0 {
-			s.counters.replicaLosses.Add(1)
+			s.counters.replicaLosses.Add(uint64(len(tx.failed)))
 		}
 		if !retryable(err) {
 			s.counters.failures.Add(1)

@@ -100,14 +100,13 @@ func (tx *Tx) suiteLookup(ctx context.Context, key keyspace.Key) (rep.LookupResu
 		replies[i], errs[i] = m.Dir.Lookup(ctx, tx.txn.ID, key)
 	}
 	tx.fanOut(members, do)
+	if err := tx.roundError(members, errs, "lookup", key); err != nil {
+		return rep.LookupResult{}, err
+	}
 	// Figure 8: bestv starts at LowestVersion; strictly larger versions
 	// win. Replies at LowestVersion leave the default "not present".
 	best := rep.LookupResult{Found: false, Version: version.Lowest}
-	for i, m := range members {
-		if errs[i] != nil {
-			tx.noteFailure(m.Dir.Name(), errs[i])
-			return rep.LookupResult{}, fmt.Errorf("lookup %s at %s: %w", key, m.Dir.Name(), errs[i])
-		}
+	for i := range members {
 		// Strictly larger wins, as in Figure 8. Version dominance
 		// (section 3.3) guarantees current data outranks stale data, so
 		// ties only occur between equally current "not present" replies.
@@ -116,6 +115,24 @@ func (tx *Tx) suiteLookup(ctx context.Context, key keyspace.Key) (rep.LookupResu
 		}
 	}
 	return best, nil
+}
+
+// roundError folds the per-member errors of one quorum round. Every
+// unavailable member is noted — a parallel fan-out can lose several
+// members at once, and each must be excluded from the retry together,
+// not one retry at a time — and the first error is returned.
+func (tx *Tx) roundError(members []quorum.Member, errs []error, verb string, key keyspace.Key) error {
+	var first error
+	for i, m := range members {
+		if errs[i] == nil {
+			continue
+		}
+		tx.noteFailure(m.Dir.Name(), errs[i])
+		if first == nil {
+			first = fmt.Errorf("%s %s at %s: %w", verb, key, m.Dir.Name(), errs[i])
+		}
+	}
+	return first
 }
 
 // fanOut joins every member and runs do for each, concurrently when the
@@ -186,11 +203,8 @@ func (tx *Tx) writeEntry(ctx context.Context, key keyspace.Key, ver version.V, v
 	tx.fanOut(members, func(i int, m quorum.Member) {
 		errs[i] = m.Dir.Insert(ctx, tx.txn.ID, key, ver, value)
 	})
-	for i, m := range members {
-		if errs[i] != nil {
-			tx.noteFailure(m.Dir.Name(), errs[i])
-			return fmt.Errorf("insert %s at %s: %w", key, m.Dir.Name(), errs[i])
-		}
+	if err := tx.roundError(members, errs, "insert", key); err != nil {
+		return err
 	}
 	tx.mutated = true
 	return nil

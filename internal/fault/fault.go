@@ -1,0 +1,475 @@
+// Package fault injects deterministic, seed-driven faults between a
+// directory suite and its representatives. A Member wraps a
+// rep.Directory (it implements rep.Directory itself, so it composes with
+// transport.WrapStats and the rest of the middleware stack) and imposes,
+// per call:
+//
+//   - latency, injected on a fraction of calls (Plan.PDelay), drawn
+//     uniformly in [0, Plan.MaxLatency);
+//   - unavailability windows (transport.ErrUnavailable), either
+//     partitions (state intact) or crashes (volatile state dropped, the
+//     representative rebuilt from its write-ahead log via rep.Recover
+//     when the window ends — so recovery and in-doubt two-phase-commit
+//     state are exercised on every restart);
+//   - mid-transaction failures: the call executes at the target but the
+//     reply is replaced with ErrUnavailable (PDropReply), or the member
+//     crashes immediately after executing (PCrashAfter) — both leave the
+//     caller unable to tell whether the operation took effect;
+//   - duplicate re-delivery: the operation is delivered twice under the
+//     same transaction ID, modeling a retransmitted message whose first
+//     copy was actually processed.
+//
+// All decisions are drawn from a per-member math/rand stream seeded from
+// the plan seed, and unavailability windows are measured in observed
+// calls rather than wall-clock time. A driver that issues operations
+// from one goroutine therefore gets a fully reproducible fault schedule
+// for a given seed — even with parallel quorum fan-out, which issues at
+// most one concurrent call per member per round.
+package fault
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repdir/internal/keyspace"
+	"repdir/internal/lock"
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+	"repdir/internal/version"
+	"repdir/internal/wal"
+)
+
+// Plan parameterizes a member's fault schedule. Probabilities are per
+// delivered call; an all-zero plan injects nothing.
+type Plan struct {
+	// PCrash is the chance a call finds the member freshly crashed:
+	// volatile state (in-flight transactions, their locks) is lost, and
+	// the member stays unavailable for a down-window before restarting
+	// from its write-ahead log.
+	PCrash float64
+	// PCrashAfter is the chance the member executes the call and then
+	// crashes before replying — the caller sees ErrUnavailable for an
+	// operation that happened. Hitting a Prepare this way manufactures
+	// an in-doubt transaction that recovery must reconstruct.
+	PCrashAfter float64
+	// PPartition is the chance a call opens an unavailability window
+	// with state intact (a network partition rather than a crash).
+	PPartition float64
+	// PDropReply is the chance the call executes but its reply is
+	// replaced with ErrUnavailable.
+	PDropReply float64
+	// PDuplicate is the chance the call is delivered twice under the
+	// same transaction ID; the second reply is returned.
+	PDuplicate float64
+	// PDelay is the chance a delivered call is held for a latency drawn
+	// uniformly in [0, MaxLatency). Delays are injected as an occasional
+	// fault rather than a per-call tax: sub-millisecond sleeps cost far
+	// more wall-clock than they nominally ask for (runtime timer
+	// granularity), and rare longer stalls shake out goroutine
+	// interleavings better than a uniform trickle.
+	PDelay float64
+	// DownMin and DownMax bound the length of crash and partition
+	// windows, counted in calls observed while down (each rejected call
+	// shortens the window by one, so a member the suite keeps probing
+	// comes back, deterministically, after DownMin..DownMax rejections).
+	DownMin, DownMax int
+	// MaxLatency bounds the per-call injected latency; zero disables
+	// latency injection.
+	MaxLatency time.Duration
+}
+
+// DefaultPlan is a moderately hostile schedule suitable for soaks: a
+// few dozen crash/partition windows and a steady trickle of duplicate
+// and dropped-reply deliveries per ten thousand calls.
+func DefaultPlan() Plan {
+	return Plan{
+		PCrash:      0.003,
+		PCrashAfter: 0.002,
+		PPartition:  0.005,
+		PDropReply:  0.004,
+		PDuplicate:  0.010,
+		PDelay:      0.02,
+		DownMin:     4,
+		DownMax:     40,
+		MaxLatency:  300 * time.Microsecond,
+	}
+}
+
+// Stats counts what a member injected.
+type Stats struct {
+	// Calls counts deliveries attempted (including rejected ones).
+	Calls uint64
+	// Rejected counts calls bounced with ErrUnavailable while down.
+	Rejected uint64
+	// Crashes and Partitions count opened windows; CrashAfters counts
+	// crashes injected after executing a call.
+	Crashes, CrashAfters, Partitions uint64
+	// DroppedReplies and Duplicates count mid-transaction failures and
+	// double deliveries.
+	DroppedReplies, Duplicates uint64
+	// Restarts counts recoveries from the write-ahead log.
+	Restarts uint64
+}
+
+// Member is a fault-injecting rep.Directory middleware. The zero value
+// is not usable; construct with NewMember or NewRecovering.
+type Member struct {
+	name string
+	plan Plan
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	target     rep.Directory
+	restart    func() (rep.Directory, error)
+	down       int
+	lost       bool // down window opened by a crash: restart must rebuild
+	restartErr error
+	stats      Stats
+}
+
+var _ rep.Directory = (*Member)(nil)
+
+// NewMember wraps target with the plan's fault schedule. restart, when
+// non-nil, rebuilds the representative after a crash window (typically
+// from its write-ahead log); with a nil restart, crashes are downgraded
+// to partitions since there is nothing to lose state from.
+func NewMember(name string, target rep.Directory, restart func() (rep.Directory, error), plan Plan, seed int64) *Member {
+	return &Member{
+		name:    name,
+		plan:    plan,
+		rng:     rand.New(rand.NewSource(seed)),
+		target:  target,
+		restart: restart,
+	}
+}
+
+// NewRecovering builds a write-ahead-logged representative wrapped in a
+// fault member whose crashes drop volatile state and whose restarts
+// rebuild it with rep.Recover from the log. The log is returned for
+// inspection.
+func NewRecovering(name string, plan Plan, seed int64) (*Member, *wal.MemoryLog) {
+	log := &wal.MemoryLog{}
+	m := NewMember(name, rep.New(name, rep.WithLog(log)), func() (rep.Directory, error) {
+		return rep.Recover(name, log.Records(), rep.WithLog(log))
+	}, plan, seed)
+	return m, log
+}
+
+// decision is everything one delivery drew from the member's stream.
+type decision struct {
+	unavailable bool
+	target      rep.Directory
+	delay       time.Duration
+	duplicate   bool
+	dropReply   bool
+	crashAfter  bool
+}
+
+// decide draws one delivery's faults. All randomness happens here,
+// under the lock, so the per-member decision sequence is a pure
+// function of the seed and the call order.
+func (m *Member) decide() decision {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Calls++
+	if m.down > 0 {
+		m.down--
+		m.stats.Rejected++
+		if m.down == 0 {
+			m.restartLocked()
+		}
+		return decision{unavailable: true}
+	}
+	roll := m.rng.Float64()
+	switch {
+	case roll < m.plan.PCrash:
+		m.crashLocked()
+		m.stats.Rejected++
+		return decision{unavailable: true}
+	case roll < m.plan.PCrash+m.plan.PPartition:
+		m.down = m.windowLocked()
+		m.lost = false
+		m.stats.Partitions++
+		m.stats.Rejected++
+		return decision{unavailable: true}
+	}
+	d := decision{target: m.target}
+	if m.plan.MaxLatency > 0 && m.rng.Float64() < m.plan.PDelay {
+		d.delay = time.Duration(m.rng.Int63n(int64(m.plan.MaxLatency)))
+	}
+	d.duplicate = m.rng.Float64() < m.plan.PDuplicate
+	d.dropReply = m.rng.Float64() < m.plan.PDropReply
+	d.crashAfter = m.rng.Float64() < m.plan.PCrashAfter
+	return d
+}
+
+// windowLocked draws a down-window length; callers hold m.mu.
+func (m *Member) windowLocked() int {
+	lo, hi := m.plan.DownMin, m.plan.DownMax
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo + m.rng.Intn(hi-lo+1)
+}
+
+// crashLocked opens a crash window; callers hold m.mu. With no restart
+// hook the member cannot lose state, so the window is a partition.
+func (m *Member) crashLocked() {
+	m.down = m.windowLocked()
+	if m.restart != nil {
+		m.lost = true
+		m.stats.Crashes++
+	} else {
+		m.lost = false
+		m.stats.Partitions++
+	}
+}
+
+// restartLocked ends a down window; callers hold m.mu. After a crash
+// the representative is rebuilt from its write-ahead log: committed
+// state returns, in-flight transactions are gone, and prepared-but-
+// undecided transactions come back in doubt with their locks held.
+func (m *Member) restartLocked() {
+	if !m.lost {
+		return
+	}
+	t, err := m.restart()
+	if err != nil {
+		// Keep the member down; Heal and later restart attempts retry.
+		// The error is surfaced through RestartErr.
+		m.restartErr = err
+		m.down = 1
+		return
+	}
+	m.target = t
+	m.lost = false
+	m.restartErr = nil
+	m.stats.Restarts++
+}
+
+// crashAfterCall crashes the member after it executed a call.
+func (m *Member) crashAfterCall() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down > 0 {
+		return
+	}
+	m.crashLocked()
+	m.stats.Crashes-- // counted as CrashAfters instead
+	m.stats.CrashAfters++
+}
+
+// sleep waits for the injected latency, honoring the caller's context.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// invoke drives one delivery through the fault schedule.
+func invoke[T any](ctx context.Context, m *Member, call func(rep.Directory) (T, error)) (T, error) {
+	var zero T
+	d := m.decide()
+	if d.unavailable {
+		return zero, transport.ErrUnavailable
+	}
+	if err := sleep(ctx, d.delay); err != nil {
+		return zero, err
+	}
+	res, err := call(d.target)
+	if d.duplicate {
+		m.note(func(s *Stats) { s.Duplicates++ })
+		res, err = call(d.target)
+	}
+	if d.crashAfter {
+		m.crashAfterCall()
+		return zero, transport.ErrUnavailable
+	}
+	if d.dropReply && err == nil {
+		m.note(func(s *Stats) { s.DroppedReplies++ })
+		return zero, transport.ErrUnavailable
+	}
+	return res, err
+}
+
+// note updates stats under the lock.
+func (m *Member) note(f func(*Stats)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f(&m.stats)
+}
+
+// Heal ends any open down window immediately, restarting a crashed
+// member from its log, and returns the restart error if rebuilding
+// failed.
+func (m *Member) Heal() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down > 0 {
+		m.down = 0
+		m.restartLocked()
+	}
+	return m.restartErr
+}
+
+// Crash opens a crash window immediately, as if PCrash had fired: the
+// member goes unavailable and its volatile state will be dropped, to be
+// rebuilt from its log when the window ends. A no-op while already down.
+func (m *Member) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down == 0 {
+		m.crashLocked()
+	}
+}
+
+// Quiesce zeroes the member's plan, stopping all future injection; an
+// open down window still needs Heal to end. Drivers quiesce before
+// their final resolution and audit phases so those validate state
+// rather than fault tolerance.
+func (m *Member) Quiesce() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.plan = Plan{}
+}
+
+// Up reports whether the member is currently reachable.
+func (m *Member) Up() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.down == 0
+}
+
+// Stats returns a snapshot of the member's injection counters.
+func (m *Member) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// RestartErr returns the error of the last failed restart, if any.
+func (m *Member) RestartErr() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.restartErr
+}
+
+// Rep returns the current incarnation of the wrapped representative.
+func (m *Member) Rep() rep.Directory {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.target
+}
+
+// InDoubt lists the prepared-but-undecided transactions held by the
+// current incarnation, or nil while the member is down (a crashed
+// member's in-doubt set is unknowable until it restarts).
+func (m *Member) InDoubt() []lock.TxnID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down > 0 {
+		return nil
+	}
+	type inDoubter interface{ InDoubt() []lock.TxnID }
+	if r, ok := m.target.(inDoubter); ok {
+		return r.InDoubt()
+	}
+	return nil
+}
+
+// Name implements rep.Directory. The name is stable across restarts.
+func (m *Member) Name() string { return m.name }
+
+// Lookup implements rep.Directory.
+func (m *Member) Lookup(ctx context.Context, id lock.TxnID, key keyspace.Key) (rep.LookupResult, error) {
+	return invoke(ctx, m, func(d rep.Directory) (rep.LookupResult, error) {
+		return d.Lookup(ctx, id, key)
+	})
+}
+
+// Predecessor implements rep.Directory.
+func (m *Member) Predecessor(ctx context.Context, id lock.TxnID, key keyspace.Key) (rep.NeighborResult, error) {
+	return invoke(ctx, m, func(d rep.Directory) (rep.NeighborResult, error) {
+		return d.Predecessor(ctx, id, key)
+	})
+}
+
+// Successor implements rep.Directory.
+func (m *Member) Successor(ctx context.Context, id lock.TxnID, key keyspace.Key) (rep.NeighborResult, error) {
+	return invoke(ctx, m, func(d rep.Directory) (rep.NeighborResult, error) {
+		return d.Successor(ctx, id, key)
+	})
+}
+
+// PredecessorBatch implements rep.Directory.
+func (m *Member) PredecessorBatch(ctx context.Context, id lock.TxnID, key keyspace.Key, max int) ([]rep.NeighborResult, error) {
+	return invoke(ctx, m, func(d rep.Directory) ([]rep.NeighborResult, error) {
+		return d.PredecessorBatch(ctx, id, key, max)
+	})
+}
+
+// SuccessorBatch implements rep.Directory.
+func (m *Member) SuccessorBatch(ctx context.Context, id lock.TxnID, key keyspace.Key, max int) ([]rep.NeighborResult, error) {
+	return invoke(ctx, m, func(d rep.Directory) ([]rep.NeighborResult, error) {
+		return d.SuccessorBatch(ctx, id, key, max)
+	})
+}
+
+// Insert implements rep.Directory.
+func (m *Member) Insert(ctx context.Context, id lock.TxnID, key keyspace.Key, ver version.V, value string) error {
+	_, err := invoke(ctx, m, func(d rep.Directory) (struct{}, error) {
+		return struct{}{}, d.Insert(ctx, id, key, ver, value)
+	})
+	return err
+}
+
+// Coalesce implements rep.Directory.
+func (m *Member) Coalesce(ctx context.Context, id lock.TxnID, lo, hi keyspace.Key, ver version.V) (rep.CoalesceResult, error) {
+	return invoke(ctx, m, func(d rep.Directory) (rep.CoalesceResult, error) {
+		return d.Coalesce(ctx, id, lo, hi, ver)
+	})
+}
+
+// Prepare implements rep.Directory.
+func (m *Member) Prepare(ctx context.Context, id lock.TxnID) error {
+	_, err := invoke(ctx, m, func(d rep.Directory) (struct{}, error) {
+		return struct{}{}, d.Prepare(ctx, id)
+	})
+	return err
+}
+
+// Commit implements rep.Directory.
+func (m *Member) Commit(ctx context.Context, id lock.TxnID) error {
+	_, err := invoke(ctx, m, func(d rep.Directory) (struct{}, error) {
+		return struct{}{}, d.Commit(ctx, id)
+	})
+	return err
+}
+
+// Abort implements rep.Directory.
+func (m *Member) Abort(ctx context.Context, id lock.TxnID) error {
+	_, err := invoke(ctx, m, func(d rep.Directory) (struct{}, error) {
+		return struct{}{}, d.Abort(ctx, id)
+	})
+	return err
+}
+
+// Status implements rep.Directory.
+func (m *Member) Status(ctx context.Context, id lock.TxnID) (rep.TxnStatus, error) {
+	return invoke(ctx, m, func(d rep.Directory) (rep.TxnStatus, error) {
+		return d.Status(ctx, id)
+	})
+}

@@ -1,0 +1,108 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repdir/internal/lock"
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+	"repdir/internal/txn"
+)
+
+// Injector manages a suite's worth of fault members built over
+// write-ahead-logged representatives, and drives cooperative
+// termination of the in-doubt two-phase commits its crashes create.
+type Injector struct {
+	members []*Member
+}
+
+// NewInjector builds one recovering member per name, with per-member
+// fault streams derived deterministically from seed.
+func NewInjector(names []string, plan Plan, seed int64) *Injector {
+	in := &Injector{}
+	for i, n := range names {
+		m, _ := NewRecovering(n, plan, seed+int64(i)*7919)
+		in.members = append(in.members, m)
+	}
+	return in
+}
+
+// Members returns the fault members in construction order.
+func (in *Injector) Members() []*Member { return in.members }
+
+// Directories returns the members as rep.Directory values, for quorum
+// configuration.
+func (in *Injector) Directories() []rep.Directory {
+	out := make([]rep.Directory, len(in.members))
+	for i, m := range in.members {
+		out[i] = m
+	}
+	return out
+}
+
+// Heal ends every open fault window, restarting crashed members from
+// their logs. It returns the first restart failure, if any.
+func (in *Injector) Heal() error {
+	var first error
+	for _, m := range in.members {
+		if err := m.Heal(); err != nil && first == nil {
+			first = fmt.Errorf("fault: heal %s: %w", m.Name(), err)
+		}
+	}
+	return first
+}
+
+// InDoubt returns the union of the members' in-doubt transactions,
+// sorted for deterministic resolution order.
+func (in *Injector) InDoubt() []lock.TxnID {
+	seen := make(map[lock.TxnID]bool)
+	var out []lock.TxnID
+	for _, m := range in.members {
+		for _, id := range m.InDoubt() {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Resolve runs cooperative termination (txn.Resolve) for every in-doubt
+// transaction currently visible. It must only be called while no
+// coordinator is live (e.g. between operations of a sequential driver).
+// Transactions that cannot be decided yet — some participant is inside
+// an unavailability window and none committed — are left for a later
+// pass; resolution calls themselves pass through the fault schedule, so
+// a pass can also be cut short by a fresh fault. Resolve returns how
+// many participants it drove to a decision.
+func (in *Injector) Resolve(ctx context.Context) (finished int, err error) {
+	dirs := in.Directories()
+	for _, id := range in.InDoubt() {
+		res, rerr := txn.Resolve(ctx, id, dirs)
+		finished += len(res.Finished)
+		if rerr == nil {
+			continue
+		}
+		if errors.Is(rerr, txn.ErrUnresolvable) || errors.Is(rerr, transport.ErrUnavailable) {
+			continue // some participant is down; retry on a later pass
+		}
+		if err == nil {
+			err = fmt.Errorf("fault: resolve txn %d: %w", id, rerr)
+		}
+	}
+	return finished, err
+}
+
+// Stats returns every member's injection counters, keyed by name.
+func (in *Injector) Stats() map[string]Stats {
+	out := make(map[string]Stats, len(in.members))
+	for _, m := range in.members {
+		out[m.Name()] = m.Stats()
+	}
+	return out
+}

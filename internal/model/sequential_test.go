@@ -1,0 +1,125 @@
+package model
+
+import "testing"
+
+func TestCheckLookupAgainstCertainState(t *testing.T) {
+	s := NewSequential()
+	s.Applied("k", "v1", true)
+	if err := s.CheckLookup("k", "v1", true); err != nil {
+		t.Errorf("matching lookup = %v, want nil", err)
+	}
+	if err := s.CheckLookup("k", "v2", true); err == nil {
+		t.Error("wrong value must be a violation")
+	}
+	if err := s.CheckLookup("k", "", false); err == nil {
+		t.Error("absent against known-present must be a violation")
+	}
+	s.Applied("k", "", false)
+	if err := s.CheckLookup("k", "v1", true); err == nil {
+		t.Error("present against known-absent must be a violation")
+	}
+	if got := len(s.Violations()); got != 3 {
+		t.Errorf("violations recorded = %d, want 3", got)
+	}
+}
+
+func TestIndeterminateReanchorsOnObservation(t *testing.T) {
+	s := NewSequential()
+	s.Applied("k", "v1", true)
+	s.Indeterminate("k")
+	if _, _, level := s.Get("k"); level != Unknown {
+		t.Fatalf("level = %v, want unknown", level)
+	}
+	// First observation adopts; the key is fully known again.
+	if err := s.CheckLookup("k", "v9", true); err != nil {
+		t.Fatalf("anchoring lookup = %v, want nil", err)
+	}
+	if v, present, level := s.Get("k"); v != "v9" || !present || level != Full {
+		t.Errorf("after anchor: (%q,%v,%v), want (v9,true,full)", v, present, level)
+	}
+	// Later contradictions are violations again.
+	if err := s.CheckLookup("k", "v1", true); err == nil {
+		t.Error("contradiction after re-anchor must be a violation")
+	}
+}
+
+func TestInsertExists(t *testing.T) {
+	s := NewSequential()
+	// Against a certainly-absent key, only this insert's own earlier
+	// attempt can have materialized it: value becomes known.
+	s.InsertExists("k", "mine")
+	if v, present, level := s.Get("k"); v != "mine" || !present || level != Full {
+		t.Errorf("insert-exists on absent: (%q,%v,%v), want (mine,true,full)", v, present, level)
+	}
+	// Against a known-present key the stored value is kept.
+	s.Applied("k", "old", true)
+	s.InsertExists("k", "mine2")
+	if v, _, level := s.Get("k"); v != "old" || level != Full {
+		t.Errorf("insert-exists on present: (%q,%v), want (old,full)", v, level)
+	}
+	// Against an uncertain key only presence becomes known.
+	s.Indeterminate("k")
+	s.InsertExists("k", "mine3")
+	if _, present, level := s.Get("k"); !present || level != PresenceOnly {
+		t.Errorf("insert-exists on unknown: (%v,%v), want (true,presence-only)", present, level)
+	}
+	// A presence-only key checks presence, then adopts the value.
+	if err := s.CheckLookup("k", "", false); err == nil {
+		t.Error("absent lookup against presence-only present must be a violation")
+	}
+	if err := s.CheckLookup("k", "seen", true); err != nil {
+		t.Errorf("present lookup against presence-only = %v, want nil", err)
+	}
+	if v, _, level := s.Get("k"); v != "seen" || level != Full {
+		t.Errorf("after presence-only anchor: (%q,%v), want (seen,full)", v, level)
+	}
+}
+
+func TestUpdateNotFound(t *testing.T) {
+	s := NewSequential()
+	// Updates cannot remove keys: not-found against known-present is a
+	// genuine violation.
+	s.Applied("k", "v", true)
+	if err := s.UpdateNotFound("k"); err == nil {
+		t.Error("update not-found against known-present must be a violation")
+	}
+	// Against an uncertain key it anchors absence.
+	s.Indeterminate("k")
+	if err := s.UpdateNotFound("k"); err != nil {
+		t.Errorf("update not-found on unknown = %v, want nil", err)
+	}
+	if _, present, level := s.Get("k"); present || level != Full {
+		t.Errorf("after anchor: (%v,%v), want (false,full)", present, level)
+	}
+}
+
+func TestDeleteNotFoundNeverViolates(t *testing.T) {
+	s := NewSequential()
+	// Even against a known-present key: an earlier attempt of this very
+	// delete may have won before the attempt that finally reported.
+	s.Applied("k", "v", true)
+	s.DeleteNotFound("k")
+	if _, present, level := s.Get("k"); present || level != Full {
+		t.Errorf("after delete not-found: (%v,%v), want (false,full)", present, level)
+	}
+	if got := len(s.Violations()); got != 0 {
+		t.Errorf("violations = %d, want 0", got)
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := NewSequential()
+	s.Applied("b", "v", true)
+	s.Applied("a", "v", true)
+	s.Indeterminate("c")
+	got := s.Keys()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("keys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", got, want)
+		}
+	}
+}

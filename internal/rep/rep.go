@@ -453,44 +453,65 @@ func (r *Rep) Prepare(_ context.Context, txn lock.TxnID) error {
 // and release its locks. A Commit without a prior Prepare logs the redo
 // records first (one-shot commit for single-participant transactions).
 // Committing an in-doubt transaction reconstructed by recovery installs
-// its withheld effects first.
+// its withheld effects after the commit record is durable. Every commit
+// that had something to commit is recorded in outcomes, so a duplicate
+// or late operation under the same transaction ID is answered with
+// ErrTxnDecided (or an idempotent nil for a re-commit) instead of
+// silently seeding fresh transaction state.
 func (r *Rep) Commit(_ context.Context, txn lock.TxnID) error {
 	r.mu.Lock()
 	if committed, decided := r.outcomes[txn]; decided {
 		r.mu.Unlock()
+		// Sweep locks even on the decided path: a duplicate operation
+		// arriving after the decision can have re-acquired a lock under
+		// this ID before being bounced with ErrTxnDecided, and nothing
+		// else will ever release it.
+		r.locks.ReleaseAll(txn)
 		if committed {
 			return nil // idempotent re-commit
 		}
 		return fmt.Errorf("%w: commit of aborted txn %d", ErrTxnDecided, txn)
 	}
 	st, ok := r.txns[txn]
-	if ok {
-		for _, rec := range st.pendingRedo {
-			switch rec.Kind {
-			case wal.KindInsert:
-				r.applyInsert(rec.Key, rec.Version, rec.Value)
-			case wal.KindCoalesce:
-				if err := r.applyCoalesce(rec.Key, rec.Hi, rec.Version); err != nil {
-					r.mu.Unlock()
-					return fmt.Errorf("rep: %s: commit in-doubt txn %d: %w", r.name, txn, err)
-				}
-			}
-		}
-		if !st.prepared {
-			if err := r.appendRecords(st.redo); err != nil {
-				r.mu.Unlock()
-				return err
-			}
-		}
-		if err := r.appendRecords([]wal.Record{{Kind: wal.KindCommit, Txn: uint64(txn)}}); err != nil {
+	if !ok {
+		// No record of the transaction at all: nothing committed here,
+		// so nothing is counted. Locks are still swept in case a failed
+		// operation acquired one before registering the transaction.
+		r.mu.Unlock()
+		r.locks.ReleaseAll(txn)
+		return nil
+	}
+	// Log before mutating the store: if an append fails, the store is
+	// untouched (in-doubt effects stay withheld, state is retained) and
+	// the commit can be retried — never a mutated store with no commit
+	// record behind it.
+	if !st.prepared {
+		if err := r.appendRecords(st.redo); err != nil {
 			r.mu.Unlock()
 			return err
 		}
-		if st.prepared {
-			r.outcomes[txn] = true
-		}
-		delete(r.txns, txn)
 	}
+	if err := r.appendRecords([]wal.Record{{Kind: wal.KindCommit, Txn: uint64(txn)}}); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	for _, rec := range st.pendingRedo {
+		switch rec.Kind {
+		case wal.KindInsert:
+			r.applyInsert(rec.Key, rec.Version, rec.Value)
+		case wal.KindCoalesce:
+			if err := r.applyCoalesce(rec.Key, rec.Hi, rec.Version); err != nil {
+				// The commit record is durable; the transaction state is
+				// retained so a retry re-applies from the top (both redo
+				// kinds are idempotent). This is unreachable while the
+				// in-doubt locks reconstructed by recovery are held.
+				r.mu.Unlock()
+				return fmt.Errorf("rep: %s: commit in-doubt txn %d: %w", r.name, txn, err)
+			}
+		}
+	}
+	r.outcomes[txn] = true
+	delete(r.txns, txn)
 	r.mu.Unlock()
 	r.locks.ReleaseAll(txn)
 	r.stats.commits.Add(1)
@@ -503,6 +524,9 @@ func (r *Rep) Abort(_ context.Context, txn lock.TxnID) error {
 	r.mu.Lock()
 	if committed, decided := r.outcomes[txn]; decided {
 		r.mu.Unlock()
+		// Same decided-path sweep as Commit: a late duplicate operation
+		// may have re-acquired a lock under this ID.
+		r.locks.ReleaseAll(txn)
 		if !committed {
 			return nil // idempotent re-abort
 		}

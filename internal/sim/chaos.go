@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repdir/internal/core"
+	"repdir/internal/fault"
+	"repdir/internal/model"
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+	"repdir/internal/txn"
+)
+
+// ChaosConfig parameterizes one chaos soak: a live suite driven through
+// randomized operations while the fault injector crashes, partitions,
+// delays, and double-delivers underneath it, with every completed
+// operation checked against the sequential specification
+// (model.Sequential). The whole run — workload and fault schedule — is
+// a deterministic function of Seed.
+type ChaosConfig struct {
+	// Name labels the run; empty defaults to "chaos-<seed>".
+	Name string
+	// Replicas, R, W describe the suite (defaults 3-2-2).
+	Replicas, R, W int
+	// Operations is the number of workload operations (default 1000).
+	Operations int
+	// Keys is the size of the key universe; small universes maximize
+	// collisions, ghosts, and lock conflicts (default 48).
+	Keys int
+	// Seed drives the workload and the fault schedule.
+	Seed int64
+	// Plan is the fault schedule; the zero value means
+	// fault.DefaultPlan().
+	Plan fault.Plan
+	// Parallel enables parallel quorum fan-out and parallel two-phase
+	// commit rounds (default true, so races are exercised under -race).
+	Parallel *bool
+	// OpTimeout bounds each operation; in-doubt transactions can hold
+	// locks until the between-ops resolution pass, and wait-die kills
+	// conflicting younger transactions quickly, so this is a backstop
+	// rather than a pacing device (default 5s).
+	OpTimeout time.Duration
+	// MaxRetries is the suite's per-operation retry budget (default 32).
+	MaxRetries int
+}
+
+// withDefaults fills in the zero-value defaults.
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Replicas == 0 {
+		c.Replicas, c.R, c.W = 3, 2, 2
+	}
+	if c.Operations == 0 {
+		c.Operations = 1000
+	}
+	if c.Keys == 0 {
+		c.Keys = 48
+	}
+	if c.Plan == (fault.Plan{}) {
+		c.Plan = fault.DefaultPlan()
+	}
+	if c.Parallel == nil {
+		t := true
+		c.Parallel = &t
+	}
+	if c.OpTimeout == 0 {
+		c.OpTimeout = 5 * time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 32
+	}
+	if c.Name == "" {
+		c.Name = fmt.Sprintf("chaos-%d", c.Seed)
+	}
+	return c
+}
+
+// ChaosResult reports one soak.
+type ChaosResult struct {
+	Config ChaosConfig
+	// Applied counts mutations that reported success; Observed counts
+	// error replies that were reconciled as observations (ErrKeyExists /
+	// ErrKeyNotFound); Indeterminate counts ambiguous mutation failures;
+	// Lookups counts successful lookups checked against the spec.
+	Applied, Observed, Indeterminate, Lookups int
+	// FailedLookups counts lookups that returned an error (no check
+	// possible).
+	FailedLookups int
+	// Resolved counts in-doubt participants driven to a decision by the
+	// between-ops and post-run resolution passes.
+	Resolved int
+	// Fault totals over all members.
+	Faults fault.Stats
+	// Suite-level transaction counters.
+	Suite core.SuiteStats
+	// RepCalls is the total number of representative calls observed by
+	// the transport.WrapStats layer stacked over the fault members.
+	RepCalls uint64
+	// AuditedKeys is how many keys the final audit checked.
+	AuditedKeys int
+	// Violations are single-copy-semantics contradictions; a correct
+	// implementation produces none.
+	Violations []string
+}
+
+// RunChaos executes one deterministic chaos soak and returns its
+// result. Violations are reported in the result, not as an error; the
+// error covers harness failures (quorum misconfiguration, a member that
+// could not be recovered, an audit that could not complete).
+func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
+	cfg = cfg.withDefaults()
+	res := ChaosResult{Config: cfg}
+
+	names := make([]string, cfg.Replicas)
+	for i := range names {
+		names[i] = fmt.Sprintf("rep%d", i)
+	}
+	injector := fault.NewInjector(names, cfg.Plan, cfg.Seed)
+
+	// Stack call counters over the fault members: the same middleware
+	// layering a production deployment would use for observability.
+	dirs := make([]rep.Directory, cfg.Replicas)
+	stats := make([]*transport.CallStats, cfg.Replicas)
+	for i, m := range injector.Members() {
+		dirs[i], stats[i] = transport.WrapStats(m)
+	}
+
+	qcfg := quorum.NewUniform(dirs, cfg.R, cfg.W)
+	suite, err := core.NewSuite(qcfg,
+		core.WithIDSource(txn.NewIDSource(0)),
+		core.WithSelector(quorum.NewRandomSelector(qcfg, cfg.Seed+1)),
+		core.WithMaxRetries(cfg.MaxRetries),
+		core.WithParallelQuorum(*cfg.Parallel),
+	)
+	if err != nil {
+		return res, err
+	}
+
+	spec := model.NewSequential()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	key := func() string { return fmt.Sprintf("k%04d", rng.Intn(cfg.Keys)) }
+
+	for op := 0; op < cfg.Operations; op++ {
+		// Settle any in-doubt two-phase commits left by crashes before
+		// the next operation; between operations no coordinator is
+		// live, so cooperative termination is safe.
+		if n, rerr := injector.Resolve(context.Background()); true {
+			res.Resolved += n
+			if rerr != nil {
+				return res, rerr
+			}
+		}
+
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.OpTimeout)
+		k := key()
+		val := fmt.Sprintf("v%d", op)
+		switch rng.Intn(10) {
+		case 0, 1, 2: // insert
+			err := suite.Insert(ctx, k, val)
+			switch {
+			case err == nil:
+				spec.Applied(k, val, true)
+				res.Applied++
+			case errors.Is(err, core.ErrKeyExists):
+				spec.InsertExists(k, val)
+				res.Observed++
+			default:
+				spec.Indeterminate(k)
+				res.Indeterminate++
+			}
+		case 3, 4: // update
+			err := suite.Update(ctx, k, val)
+			switch {
+			case err == nil:
+				spec.Applied(k, val, true)
+				res.Applied++
+			case errors.Is(err, core.ErrKeyNotFound):
+				if verr := spec.UpdateNotFound(k); verr != nil {
+					res.Violations = append(res.Violations, fmt.Sprintf("op %d: %v", op, verr))
+				}
+				res.Observed++
+			default:
+				spec.Indeterminate(k)
+				res.Indeterminate++
+			}
+		case 5, 6: // delete
+			err := suite.Delete(ctx, k)
+			switch {
+			case err == nil:
+				spec.Applied(k, "", false)
+				res.Applied++
+			case errors.Is(err, core.ErrKeyNotFound):
+				spec.DeleteNotFound(k)
+				res.Observed++
+			default:
+				spec.Indeterminate(k)
+				res.Indeterminate++
+			}
+		default: // lookup
+			got, found, err := suite.Lookup(ctx, k)
+			if err != nil {
+				res.FailedLookups++
+			} else {
+				res.Lookups++
+				if verr := spec.CheckLookup(k, got, found); verr != nil {
+					res.Violations = append(res.Violations, fmt.Sprintf("op %d: %v", op, verr))
+				}
+			}
+		}
+		cancel()
+	}
+
+	// Quiesce: stop injecting, heal every window (restarting crashed
+	// members from their logs), and settle every remaining in-doubt
+	// transaction — every coordinator is finished now.
+	for _, m := range injector.Members() {
+		m.Quiesce()
+	}
+	if err := injector.Heal(); err != nil {
+		return res, err
+	}
+	for pass := 0; len(injector.InDoubt()) > 0; pass++ {
+		if pass > 10 {
+			return res, fmt.Errorf("sim: chaos %s: in-doubt transactions would not settle: %v",
+				cfg.Name, injector.InDoubt())
+		}
+		n, rerr := injector.Resolve(context.Background())
+		res.Resolved += n
+		if rerr != nil {
+			return res, rerr
+		}
+	}
+
+	// Final audit: every touched key must agree with the specification.
+	// Keys left uncertain by ambiguous failures are re-anchored by the
+	// first read and must at least read stably on the second.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, k := range spec.Keys() {
+		for pass := 0; pass < 2; pass++ {
+			got, found, err := suite.Lookup(ctx, k)
+			if err != nil {
+				return res, fmt.Errorf("sim: chaos %s: audit lookup %s: %w", cfg.Name, k, err)
+			}
+			if verr := spec.CheckLookup(k, got, found); verr != nil {
+				res.Violations = append(res.Violations, fmt.Sprintf("audit: %v", verr))
+			}
+		}
+		res.AuditedKeys++
+	}
+
+	for _, s := range injector.Stats() {
+		res.Faults.Calls += s.Calls
+		res.Faults.Rejected += s.Rejected
+		res.Faults.Crashes += s.Crashes
+		res.Faults.CrashAfters += s.CrashAfters
+		res.Faults.Partitions += s.Partitions
+		res.Faults.DroppedReplies += s.DroppedReplies
+		res.Faults.Duplicates += s.Duplicates
+		res.Faults.Restarts += s.Restarts
+	}
+	for _, cs := range stats {
+		for _, os := range cs.Snapshot() {
+			res.RepCalls += os.Calls
+		}
+	}
+	res.Suite = suite.Stats()
+	return res, nil
+}
+
+// RunChaosSeeds runs one soak per seed with the same base configuration.
+func RunChaosSeeds(base ChaosConfig, seeds []int64) ([]ChaosResult, error) {
+	out := make([]ChaosResult, 0, len(seeds))
+	for _, seed := range seeds {
+		cfg := base
+		cfg.Seed = seed
+		cfg.Name = ""
+		res, err := RunChaos(cfg)
+		if err != nil {
+			return out, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FormatChaos renders soak results as a table, one row per seed.
+func FormatChaos(title string, results []ChaosResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-12s %6s %8s %8s %7s %7s %7s %7s %6s %6s %6s %8s %5s\n",
+		"run", "ops", "applied", "observe", "indet", "lookups", "crash", "partn", "dup", "drop", "rstrt", "resolved", "viol")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-12s %6d %8d %8d %7d %7d %7d %7d %6d %6d %6d %8d %5d\n",
+			r.Config.Name, r.Config.Operations, r.Applied, r.Observed, r.Indeterminate,
+			r.Lookups, r.Faults.Crashes+r.Faults.CrashAfters, r.Faults.Partitions,
+			r.Faults.Duplicates, r.Faults.DroppedReplies, r.Faults.Restarts,
+			r.Resolved, len(r.Violations))
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "    VIOLATION: %s\n", v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package txn
+
+import (
+	"context"
+	"testing"
+
+	"repdir/internal/keyspace"
+	"repdir/internal/lock"
+	"repdir/internal/rep"
+	"repdir/internal/wal"
+)
+
+// TestResolveSettlesCrashRestartedParticipant runs the full
+// crash-during-2PC story against real write-ahead logs: a coordinator
+// prepares a transaction at two participants, commits at one, and dies.
+// The other participant crashes, loses its volatile state, and is
+// rebuilt from its log — the transaction comes back in doubt, effects
+// withheld and write locks held. Cooperative termination must find the
+// committed participant and drive the recovered one to commit.
+func TestResolveSettlesCrashRestartedParticipant(t *testing.T) {
+	ctx := context.Background()
+	logA, logB := &wal.MemoryLog{}, &wal.MemoryLog{}
+	a := rep.New("A", rep.WithLog(logA))
+	b := rep.New("B", rep.WithLog(logB))
+	id := lock.TxnID(42)
+	key := keyspace.New("k")
+
+	for _, r := range []*rep.Rep{a, b} {
+		if err := r.Insert(ctx, id, key, 1, "v"); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Prepare(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Coordinator commits at A, then dies before reaching B.
+	if err := a.Commit(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+
+	// B crashes and restarts from its log.
+	b2, err := rep.Recover("B", logB.Records(), rep.WithLog(logB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b2.InDoubt(); len(got) != 1 || got[0] != id {
+		t.Fatalf("recovered in-doubt set = %v, want [%d]", got, id)
+	}
+	if st, _ := b2.Status(ctx, id); st != rep.StatusInDoubt {
+		t.Fatalf("recovered status = %v, want in-doubt", st)
+	}
+	// Effects are withheld until the decision arrives.
+	if res, err := a.Lookup(ctx, 50, key); err != nil || !res.Found {
+		t.Fatalf("A lookup = %+v, %v; want committed entry", res, err)
+	}
+
+	res, err := Resolve(ctx, id, []rep.Directory{a, b2})
+	if err != nil {
+		t.Fatalf("resolve = %v", err)
+	}
+	if !res.Committed {
+		t.Error("resolution should be commit: a participant committed")
+	}
+	if len(res.Finished) != 1 || res.Finished[0] != "B" {
+		t.Errorf("finished = %v, want [B]", res.Finished)
+	}
+
+	// B now matches A: effects installed, locks released, outcome known.
+	if st, _ := b2.Status(ctx, id); st != rep.StatusCommitted {
+		t.Errorf("B status = %v, want committed", st)
+	}
+	got, err := b2.Lookup(ctx, 51, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Found || got.Value != "v" {
+		t.Errorf("B lookup after resolve = %+v, want found v", got)
+	}
+}
