@@ -82,12 +82,32 @@ func TestChaosSoak(t *testing.T) {
 			if total == 0 {
 				t.Errorf("seed %d: fault injector injected nothing", seed)
 			}
+			// Convergence phase: after the healer finishes, every replica
+			// must physically agree on every current entry; any leftover
+			// ghost must be provably dominated. Crash/restart seeds leave
+			// real divergence behind, so the healer must also have done
+			// actual catch-up work.
+			if !res.Converged {
+				t.Errorf("seed %d: replicas did not converge after healing", seed)
+			}
+			if res.Faults.Restarts > 0 && res.Heal.Scanned == 0 {
+				t.Errorf("seed %d: healer scanned nothing despite %d restarts", seed, res.Faults.Restarts)
+			}
+			// The breaker must have seen the injected outages: windows
+			// long enough to trip it occur on every default-plan seed.
+			if res.Health.Trips == 0 {
+				t.Errorf("seed %d: circuit breaker never opened despite %d outage windows",
+					seed, res.Faults.Crashes+res.Faults.Partitions)
+			}
 			t.Logf("seed %d: applied=%d observed=%d indeterminate=%d lookups=%d audited=%d "+
-				"crashes=%d partitions=%d duplicates=%d drops=%d restarts=%d resolved=%d repcalls=%d",
+				"crashes=%d partitions=%d duplicates=%d drops=%d restarts=%d resolved=%d strays=%d repcalls=%d "+
+				"trips=%d fastfails=%d probes=%d healed=%d ghosts=%d",
 				seed, res.Applied, res.Observed, res.Indeterminate, res.Lookups, res.AuditedKeys,
 				res.Faults.Crashes+res.Faults.CrashAfters, res.Faults.Partitions,
 				res.Faults.Duplicates, res.Faults.DroppedReplies, res.Faults.Restarts,
-				res.Resolved, res.RepCalls)
+				res.Resolved, res.StraysAborted, res.RepCalls,
+				res.Health.Trips, res.Health.FastFails, res.Health.Probes,
+				res.Heal.Copied+res.Heal.Freshened, res.GhostsLeft)
 		})
 	}
 }
@@ -109,7 +129,10 @@ func TestChaosSoakDeterministic(t *testing.T) {
 	}
 	if a.Applied != b.Applied || a.Observed != b.Observed ||
 		a.Indeterminate != b.Indeterminate || a.Lookups != b.Lookups ||
-		a.Faults != b.Faults || a.AuditedKeys != b.AuditedKeys {
+		a.Faults != b.Faults || a.AuditedKeys != b.AuditedKeys ||
+		a.Health != b.Health || a.Heal != b.Heal ||
+		a.StraysAborted != b.StraysAborted ||
+		a.Converged != b.Converged || a.GhostsLeft != b.GhostsLeft {
 		t.Errorf("same seed, different runs:\n  %+v\n  %+v", a, b)
 	}
 }
@@ -143,10 +166,17 @@ func TestChaosConcurrentClients(t *testing.T) {
 	}
 	cfg := quorum.NewUniform(dirs, 2, 2)
 	ids := txn.NewIDSource(0)
-	suite, err := core.NewSuite(cfg, core.WithIDSource(ids), core.WithMaxRetries(48))
+	// Health-tracked membership plus asynchronous read repair: the
+	// breaker fast-fails calls to crashed members, and quorum reads that
+	// observe stale copies freshen them in the background while clients
+	// keep racing.
+	health := core.NewHealthTracker(names, core.HealthConfig{ProbeAfter: 4})
+	suite, err := core.NewSuite(cfg, core.WithIDSource(ids), core.WithMaxRetries(48),
+		core.WithHealth(health), core.WithReadRepair(64))
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer suite.Close()
 
 	spec := model.NewSequential()
 	stop := make(chan struct{})
@@ -299,6 +329,19 @@ func TestChaosConcurrentClients(t *testing.T) {
 			}
 		}
 	}
+
+	// Let in-flight read repairs finish and report the self-healing
+	// traffic the run generated. Crash recovery routinely leaves stale
+	// copies behind, so enqueues are expected but not guaranteed — the
+	// consistency checks above are the assertion; this is visibility.
+	dctx, dcancel := context.WithTimeout(ctx, 2*time.Second)
+	_ = suite.DrainReadRepair(dctx)
+	dcancel()
+	st := suite.Stats()
+	t.Logf("read repair: enqueued=%d done=%d failed=%d copied=%d freshened=%d dropped=%d",
+		st.ReadRepairEnqueued, st.ReadRepairDone, st.ReadRepairFailed,
+		st.ReadRepairCopied, st.ReadRepairFreshened, st.ReadRepairDropped)
+	t.Logf("health: %+v", health.Stats())
 }
 
 // swappableRep lets the chaos goroutine atomically replace a crashed

@@ -9,6 +9,7 @@
 //	repdir-sim -experiment model   # section 5 analytic model vs simulation
 //	repdir-sim -experiment conc    # section 2 concurrency comparison
 //	repdir-sim -experiment chaos   # fault-injection soak (crash/partition/duplicate)
+//	repdir-sim -experiment heal    # circuit breaker + anti-entropy recovery curve
 //	repdir-sim -experiment all     # everything
 //
 // The -ops flag overrides the per-run operation count (the paper used
@@ -166,6 +167,14 @@ func run(args []string) error {
 			}
 			return nil
 		},
+		"heal": func() error {
+			res, err := sim.RunHeal(sim.HealConfig{Seed: *seed, Ops: *ops})
+			if err != nil {
+				return err
+			}
+			fmt.Print(sim.FormatHeal(res))
+			return nil
+		},
 		"conc": func() error {
 			opsPerClient := *ops
 			if opsPerClient == 0 {
@@ -181,11 +190,11 @@ func run(args []string) error {
 		},
 	}
 
-	order := []string{"fig14", "fig15", "fig16", "sticky", "batch", "model", "skew", "scale", "conc", "chaos"}
+	order := []string{"fig14", "fig15", "fig16", "sticky", "batch", "model", "skew", "scale", "conc", "chaos", "heal"}
 	if *experiment != "all" {
 		fn, ok := runs[*experiment]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want fig14, fig15, fig16, sticky, batch, model, skew, scale, conc, chaos, or all)", *experiment)
+			return fmt.Errorf("unknown experiment %q (want fig14, fig15, fig16, sticky, batch, model, skew, scale, conc, chaos, heal, or all)", *experiment)
 		}
 		return timed(*experiment, fn)
 	}

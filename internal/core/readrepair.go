@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"repdir/internal/rep"
+)
+
+// Read repair: a quorum read that observes some responder holding a
+// stale or missing copy of the winning (version, value) has just paid
+// for the evidence that the replica is behind — so the suite enqueues
+// an asynchronous, bounded freshen of exactly that key on exactly those
+// members (Dotted Version Vectors, arXiv:1011.5808, frames this
+// read-time reconciliation; our version-dominance install makes it
+// safe). The freshen reuses the versioned-install step of
+// RepairReplica: it re-reads the key by quorum inside its own
+// transaction and installs the current pair only if the target is still
+// behind, so a racing Update or Delete always wins by version
+// dominance and a stale install can never resurrect deleted data.
+//
+// The queue is bounded and lossy: read repair is an optimization, not a
+// correctness mechanism, so when the queue is full the observation is
+// dropped (and counted) rather than back-pressuring reads.
+
+// readRepairJob is one observed-staleness freshen request.
+type readRepairJob struct {
+	key   string
+	stale []rep.Directory
+}
+
+// readRepairTimeout bounds one freshen transaction, so a job against a
+// member that fails again cannot wedge the worker.
+const readRepairTimeout = 2 * time.Second
+
+// enqueueReadRepair hands the job to the worker without blocking.
+func (s *Suite) enqueueReadRepair(job readRepairJob) {
+	select {
+	case s.rrQueue <- job:
+		s.counters.readRepairEnqueued.Add(1)
+	default:
+		s.counters.readRepairDropped.Add(1)
+	}
+}
+
+// readRepairWorker drains the queue until the suite is closed.
+func (s *Suite) readRepairWorker(ctx context.Context) {
+	defer s.rrWG.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case job := <-s.rrQueue:
+			jctx, cancel := context.WithTimeout(ctx, readRepairTimeout)
+			stats, err := s.repairKeyOn(jctx, job.key, job.stale)
+			cancel()
+			if err != nil {
+				s.counters.readRepairFailed.Add(1)
+				continue
+			}
+			s.counters.readRepairDone.Add(1)
+			s.counters.readRepairCopied.Add(uint64(stats.Copied))
+			s.counters.readRepairFreshened.Add(uint64(stats.Freshened))
+		}
+	}
+}
+
+// repairKeyOn freshens one key on the given members in a single repair
+// transaction (internal transactions never re-enqueue read repairs, so
+// a freshen that observes further staleness cannot loop on itself).
+func (s *Suite) repairKeyOn(ctx context.Context, key string, targets []rep.Directory) (RepairStats, error) {
+	var stats RepairStats
+	err := s.runTxn(ctx, true, func(tx *Tx) error {
+		stats = RepairStats{}
+		for _, target := range targets {
+			if err := repairEntry(ctx, tx, target, key, &stats); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return stats, err
+}
+
+// DrainReadRepair blocks until every read repair enqueued so far has
+// been attempted (or ctx expires). Intended for tests and audits that
+// need the asynchronous freshens settled before inspecting replicas.
+func (s *Suite) DrainReadRepair(ctx context.Context) error {
+	if s.rrQueue == nil {
+		return nil
+	}
+	for {
+		st := s.Stats()
+		if st.ReadRepairDone+st.ReadRepairFailed >= st.ReadRepairEnqueued {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// Close stops the suite's background read-repair worker, discarding any
+// queued jobs. It is a no-op for suites without read repair and is safe
+// to call more than once. Operations remain usable after Close; only
+// the asynchronous freshening stops.
+func (s *Suite) Close() {
+	if s.rrCancel == nil {
+		return
+	}
+	s.closeOnce.Do(func() {
+		s.rrCancel()
+		s.rrWG.Wait()
+	})
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+	"repdir/internal/version"
+)
+
+// newReadRepairSuite builds a scripted 3-replica 2/2 suite with read
+// repair enabled, so tests can choose exactly which members serve each
+// quorum and observe the asynchronous freshens.
+func newReadRepairSuite(t *testing.T, queue int) *testSuite {
+	t.Helper()
+	names := []string{"A", "B", "C"}
+	reps := make([]*rep.Rep, len(names))
+	locals := make([]*transport.Local, len(names))
+	dirs := make([]rep.Directory, len(names))
+	for i, n := range names {
+		reps[i] = rep.New(n)
+		locals[i] = transport.NewLocal(reps[i])
+		dirs[i] = locals[i]
+	}
+	cfg := quorum.NewUniform(dirs, 2, 2)
+	script := &scriptSelector{cfg: cfg}
+	s, err := NewSuite(cfg, WithSelector(script), WithReadRepair(queue))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return &testSuite{suite: s, reps: reps, locals: locals, script: script}
+}
+
+// drain waits for all enqueued read repairs to be attempted.
+func drain(t *testing.T, s *Suite) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.DrainReadRepair(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestReadRepairFreshensStaleReplica checks the core loop: a quorum
+// read that observes a responder missing (then later holding a stale
+// copy of) the winning entry enqueues an asynchronous freshen that
+// brings exactly that member up to the winning version.
+func TestReadRepairFreshensStaleReplica(t *testing.T) {
+	ctx := context.Background()
+	ts := newReadRepairSuite(t, 16)
+
+	// Write k to {A, B}; C is left behind at its gap version.
+	ts.script.set([]int{0, 1}, []int{0, 1})
+	if err := ts.suite.Insert(ctx, "k", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if has, _ := ts.repHas(2, "k"); has {
+		t.Fatal("C has the entry before any repair")
+	}
+
+	// A read served by {B, C} sees B's entry win over C's gap: C's copy
+	// is missing, so the read enqueues a freshen of k on C.
+	ts.script.set([]int{1, 2}, []int{0, 1})
+	if v, found, err := ts.suite.Lookup(ctx, "k"); err != nil || !found || v != "v1" {
+		t.Fatalf("lookup = %q,%v,%v", v, found, err)
+	}
+	drain(t, ts.suite)
+	if has, ver := ts.repHas(2, "k"); !has || ver != version.V(1) {
+		t.Fatalf("C after read repair: has=%v ver=%v, want entry at version 1", has, ver)
+	}
+	st := ts.suite.Stats()
+	if st.ReadRepairEnqueued != 1 || st.ReadRepairDone != 1 || st.ReadRepairCopied != 1 {
+		t.Errorf("stats = %+v, want 1 enqueued, 1 done, 1 copied", st)
+	}
+
+	// Update through {A, B}: C is stale again, now with an old entry
+	// rather than a gap — the freshen path, not the copy path.
+	ts.script.set([]int{0, 1}, []int{0, 1})
+	if err := ts.suite.Update(ctx, "k", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	ts.script.set([]int{1, 2}, []int{0, 1})
+	if v, _, err := ts.suite.Lookup(ctx, "k"); err != nil || v != "v2" {
+		t.Fatalf("lookup = %q,%v", v, err)
+	}
+	drain(t, ts.suite)
+	if has, ver := ts.repHas(2, "k"); !has || ver != version.V(2) {
+		t.Fatalf("C after second read repair: has=%v ver=%v, want version 2", has, ver)
+	}
+	if st := ts.suite.Stats(); st.ReadRepairFreshened != 1 {
+		t.Errorf("freshened = %d, want 1", st.ReadRepairFreshened)
+	}
+}
+
+// TestReadRepairIgnoresGhosts checks the delete interaction: when the
+// winning reply is a gap (key deleted), a responder still holding an
+// old entry is a ghost, and read repair must NOT touch it — there is
+// nothing current to install, and installing anything would risk
+// resurrection. Version dominance already makes the ghost invisible.
+func TestReadRepairIgnoresGhosts(t *testing.T) {
+	ctx := context.Background()
+	ts := newReadRepairSuite(t, 16)
+
+	// Write k everywhere, then delete it through {A, B} only: C keeps
+	// its now-ghost entry at version 1.
+	ts.script.set([]int{0, 1}, []int{0, 1, 2})
+	if err := ts.suite.Insert(ctx, "k", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	ts.script.set([]int{0, 1}, []int{0, 1})
+	if err := ts.suite.Delete(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if has, _ := ts.repHas(2, "k"); !has {
+		t.Fatal("C lost its entry without participating in the delete")
+	}
+
+	// A read over {A, C}: A's gap version dominates C's ghost entry, so
+	// the key reads as absent — and no repair may be enqueued.
+	ts.script.set([]int{0, 2}, []int{0, 1})
+	if _, found, err := ts.suite.Lookup(ctx, "k"); err != nil || found {
+		t.Fatalf("lookup after delete: found=%v err=%v", found, err)
+	}
+	drain(t, ts.suite)
+	if st := ts.suite.Stats(); st.ReadRepairEnqueued != 0 {
+		t.Errorf("ghost observation enqueued %d repairs, want 0", st.ReadRepairEnqueued)
+	}
+}
+
+// TestReadRepairNoSelfLoop checks that internal repair transactions
+// (RepairReplica and the freshens themselves) never enqueue further
+// read repairs, even when their own quorum reads observe staleness —
+// otherwise one stale member could generate repair traffic forever.
+func TestReadRepairNoSelfLoop(t *testing.T) {
+	ctx := context.Background()
+	ts := newReadRepairSuite(t, 16)
+
+	ts.script.set([]int{0, 1}, []int{0, 1})
+	if err := ts.suite.Insert(ctx, "k", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	// RepairReplica(C) with read quorums served by {B, C}: every quorum
+	// lookup inside the repair observes C's staleness, but being a
+	// repair transaction it must fix C directly, not enqueue jobs.
+	ts.script.set([]int{1, 2}, []int{0, 1})
+	stats, err := RepairReplica(ctx, ts.suite, ts.locals[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Copied != 1 {
+		t.Errorf("repair copied %d, want 1", stats.Copied)
+	}
+	if st := ts.suite.Stats(); st.ReadRepairEnqueued != 0 {
+		t.Errorf("repair transaction enqueued %d read repairs, want 0", st.ReadRepairEnqueued)
+	}
+}
+
+// TestReadRepairQueueBounds checks the lossy-queue contract: a full
+// queue drops (and counts) observations instead of blocking reads.
+func TestReadRepairQueueBounds(t *testing.T) {
+	ts := newReadRepairSuite(t, 1)
+	// Stop the worker so nothing drains the single-slot queue, then
+	// enqueue directly: the first fits, the second must be dropped.
+	ts.suite.Close()
+	ts.suite.enqueueReadRepair(readRepairJob{key: "a"})
+	ts.suite.enqueueReadRepair(readRepairJob{key: "b"})
+	st := ts.suite.Stats()
+	if st.ReadRepairEnqueued != 1 || st.ReadRepairDropped != 1 {
+		t.Errorf("stats = %+v, want 1 enqueued, 1 dropped", st)
+	}
+	// Close is idempotent.
+	ts.suite.Close()
+}

@@ -20,6 +20,30 @@ type RepairStats struct {
 	Freshened int
 }
 
+// add folds another batch of repair work into the totals.
+func (s *RepairStats) add(o RepairStats) {
+	s.Scanned += o.Scanned
+	s.Copied += o.Copied
+	s.Freshened += o.Freshened
+}
+
+// DefaultRepairPageSize is the per-transaction page size RepairReplica
+// uses when RepairOptions.PageSize is unset.
+const DefaultRepairPageSize = 64
+
+// RepairOptions tunes RepairReplicaOpts.
+type RepairOptions struct {
+	// PageSize is the number of current entries repaired per
+	// transaction (default DefaultRepairPageSize). Each page is its own
+	// transaction, so the directory is never locked wholesale.
+	PageSize int
+	// OnPage, when non-nil, runs after each page's transaction commits,
+	// with the cumulative stats so far. Returning a non-nil error stops
+	// the repair and surfaces that error — the hook is the pacing and
+	// cancellation point for background anti-entropy (package heal).
+	OnPage func(RepairStats) error
+}
+
 // RepairReplica brings one representative's entries up to date with the
 // suite: every current entry missing from the target is copied, and
 // every stale copy is freshened to the current version and value.
@@ -38,6 +62,15 @@ type RepairStats struct {
 // entries and stale gap versions on the target are left alone — they are
 // harmless by version dominance and are reclaimed by future coalesces.
 func RepairReplica(ctx context.Context, s *Suite, target rep.Directory) (RepairStats, error) {
+	return RepairReplicaOpts(ctx, s, target, RepairOptions{})
+}
+
+// RepairReplicaOpts is RepairReplica with paging and pacing control.
+func RepairReplicaOpts(ctx context.Context, s *Suite, target rep.Directory, opts RepairOptions) (RepairStats, error) {
+	pageSize := opts.PageSize
+	if pageSize <= 0 {
+		pageSize = DefaultRepairPageSize
+	}
 	var stats RepairStats
 	after := ""
 	for {
@@ -46,10 +79,10 @@ func RepairReplica(ctx context.Context, s *Suite, target rep.Directory) (RepairS
 		// retries never double-count.
 		var page []KV
 		var batch RepairStats
-		err := s.RunInTxn(ctx, func(tx *Tx) error {
+		err := s.runTxn(ctx, true, func(tx *Tx) error {
 			batch = RepairStats{}
 			var err error
-			page, err = tx.Scan(ctx, after, 64)
+			page, err = tx.Scan(ctx, after, pageSize)
 			if err != nil {
 				return err
 			}
@@ -63,10 +96,15 @@ func RepairReplica(ctx context.Context, s *Suite, target rep.Directory) (RepairS
 		if err != nil {
 			return stats, fmt.Errorf("core: repair %s: %w", target.Name(), err)
 		}
-		stats.Scanned += batch.Scanned
-		stats.Copied += batch.Copied
-		stats.Freshened += batch.Freshened
-		if len(page) == 0 {
+		stats.add(batch)
+		if opts.OnPage != nil {
+			if err := opts.OnPage(stats); err != nil {
+				return stats, err
+			}
+		}
+		// A short page means the scan reached the end of the directory:
+		// stop here instead of paying one extra empty-scan transaction.
+		if len(page) < pageSize {
 			return stats, nil
 		}
 		after = page[len(page)-1].Key

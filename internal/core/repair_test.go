@@ -2,8 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"testing"
+
+	"repdir/internal/keyspace"
+	"repdir/internal/lock"
 )
 
 func TestRepairReplicaCatchesUpAfterOutage(t *testing.T) {
@@ -101,6 +106,178 @@ func TestRepairEmptySuite(t *testing.T) {
 	}
 	if stats.Scanned != 0 {
 		t.Errorf("empty repair scanned %d", stats.Scanned)
+	}
+}
+
+// TestRepairPagingStopsOnShortPage pins the paging contract: a scan
+// page shorter than the page size proves the directory is exhausted, so
+// the repair must stop there instead of paying one extra transaction
+// for an empty confirming scan.
+func TestRepairPagingStopsOnShortPage(t *testing.T) {
+	ctx := context.Background()
+	ts := newRandomSuite(t, []string{"A", "B", "C"}, 2, 2, 106)
+	for i := 0; i < 5; i++ {
+		if err := ts.suite.Insert(ctx, fmt.Sprintf("k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// 5 entries at page size 2: pages of 2, 2, 1. The short final page
+	// ends the repair — exactly 3 transactions, not a 4th empty scan.
+	before := ts.suite.Stats().Commits
+	var pages int
+	var perPage []int
+	prev := 0
+	stats, err := RepairReplicaOpts(ctx, ts.suite, ts.locals[0], RepairOptions{
+		PageSize: 2,
+		OnPage: func(s RepairStats) error {
+			pages++
+			perPage = append(perPage, s.Scanned-prev)
+			prev = s.Scanned
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scanned != 5 {
+		t.Errorf("scanned = %d, want 5", stats.Scanned)
+	}
+	if pages != 3 {
+		t.Errorf("pages = %d (%v), want 3", pages, perPage)
+	}
+	if txns := ts.suite.Stats().Commits - before; txns != 3 {
+		t.Errorf("repair ran %d transactions, want 3", txns)
+	}
+
+	// OnPage errors abort the repair immediately and surface verbatim.
+	sentinel := errors.New("stop here")
+	calls := 0
+	_, err = RepairReplicaOpts(ctx, ts.suite, ts.locals[0], RepairOptions{
+		PageSize: 2,
+		OnPage:   func(RepairStats) error { calls++; return sentinel },
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want the OnPage sentinel", err)
+	}
+	if calls != 1 {
+		t.Errorf("OnPage ran %d times after erroring, want 1", calls)
+	}
+}
+
+// TestRepairDoesNotResurrectDeleted is the ghost-resurrection guard: a
+// stale entry installed at a replica after the key was deleted (the
+// worst-case interleaving of a repair racing a delete) must stay
+// invisible to quorum reads, and further repair passes must not spread
+// it to other replicas.
+func TestRepairDoesNotResurrectDeleted(t *testing.T) {
+	ctx := context.Background()
+	ts := newScriptedSuite(t, []string{"A", "B", "C"}, 2, 2)
+	s := ts.suite
+
+	// k exists everywhere at version 1, then is deleted through {A, B}:
+	// their gap version now dominates 1, while C never hears of it.
+	ts.script.set([]int{0, 1}, []int{0, 1, 2})
+	if err := s.Insert(ctx, "k", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	ts.script.set([]int{0, 1}, []int{0, 1})
+	if err := s.Delete(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The racing repair's install lands at C after the delete commits:
+	// re-install the stale (1, "v1") pair directly, exactly what
+	// repairEntry would have written had its quorum read run before the
+	// delete and its install after.
+	id := lock.TxnID(9999)
+	if err := ts.reps[2].Insert(ctx, id, keyspace.New("k"), 1, "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.reps[2].Commit(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+
+	// Version dominance: any read quorum — even one containing C — must
+	// report the key absent, because every quorum intersects {A, B} and
+	// their gap version outranks the ghost.
+	for _, read := range [][]int{{0, 1}, {0, 2}, {1, 2}} {
+		ts.script.set(read, []int{0, 1})
+		if _, found, err := s.Lookup(ctx, "k"); err != nil || found {
+			t.Fatalf("quorum %v: found=%v err=%v, want deleted", read, found, err)
+		}
+	}
+
+	// A full repair pass over every replica must treat the ghost as
+	// harmless: nothing is copied anywhere (the key is not current), so
+	// the stale value cannot propagate.
+	ts.script.set([]int{0, 1}, []int{0, 1})
+	for i := range ts.reps {
+		stats, err := RepairReplica(ctx, s, ts.locals[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Copied != 0 || stats.Freshened != 0 {
+			t.Errorf("repair of %s propagated the ghost: %+v", ts.reps[i].Name(), stats)
+		}
+	}
+	if has, _ := ts.repHas(0, "k"); has {
+		t.Error("ghost spread to A")
+	}
+	if has, _ := ts.repHas(1, "k"); has {
+		t.Error("ghost spread to B")
+	}
+}
+
+// TestRepairRacingDeletes runs live RepairReplica passes concurrently
+// with deletes of every key and checks that no deletion is undone —
+// the async-race complement to the deterministic interleaving above.
+func TestRepairRacingDeletes(t *testing.T) {
+	ctx := context.Background()
+	ts := newRandomSuite(t, []string{"A", "B", "C"}, 2, 2, 107)
+	s := ts.suite
+
+	const n = 16
+	for i := 0; i < n; i++ {
+		if err := s.Insert(ctx, fmt.Sprintf("k%02d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Repair C over and over while the deletes run; conflicts retry
+		// under wait-die, and a pass may legitimately fail if its
+		// transaction budget is spent racing.
+		for i := 0; i < 6; i++ {
+			_, _ = RepairReplicaOpts(ctx, s, ts.locals[2], RepairOptions{PageSize: 4})
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if err := s.Delete(ctx, fmt.Sprintf("k%02d", i)); err != nil {
+			t.Fatalf("delete k%02d: %v", i, err)
+		}
+	}
+	wg.Wait()
+
+	// Every deleted key stays deleted, on repeated reads across random
+	// quorums, and one more full repair pass changes nothing.
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("k%02d", i)
+			if _, found, err := s.Lookup(ctx, key); err != nil || found {
+				t.Fatalf("pass %d: %s resurrected (found=%v err=%v)", pass, key, found, err)
+			}
+		}
+	}
+	stats, err := RepairReplica(ctx, s, ts.locals[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Copied != 0 || stats.Freshened != 0 {
+		t.Errorf("post-race repair installed entries: %+v", stats)
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -65,7 +66,14 @@ type Suite struct {
 	maxRetries int
 	fanout     int
 	parallel   bool
+	health     *HealthTracker
 	counters   suiteCounters
+
+	// Read-repair machinery (nil/zero unless WithReadRepair).
+	rrQueue   chan readRepairJob
+	rrCancel  context.CancelFunc
+	rrWG      sync.WaitGroup
+	closeOnce sync.Once
 }
 
 // Option configures a Suite.
@@ -121,6 +129,35 @@ type parallelOption struct{ on bool }
 
 func (o parallelOption) apply(s *Suite) { s.parallel = o.on }
 
+type healthOption struct{ t *HealthTracker }
+
+func (o healthOption) apply(s *Suite) { s.health = o.t }
+
+// WithHealth attaches a member health tracker: quorum fan-out outcomes
+// feed its per-member state machine, and quorum selection skips members
+// whose circuit is open (HealthDown) instead of spending a call — and,
+// over a network, a timeout — on them every round. If skipping would
+// leave no quorum, the exclusions are waived for that round, so the
+// breaker can only ever save work, never refuse an operation the
+// representatives could serve.
+func WithHealth(t *HealthTracker) Option { return healthOption{t: t} }
+
+type readRepairOption struct{ queue int }
+
+func (o readRepairOption) apply(s *Suite) {
+	if o.queue > 0 {
+		s.rrQueue = make(chan readRepairJob, o.queue)
+	}
+}
+
+// WithReadRepair enables asynchronous read repair with a bounded queue
+// of the given capacity: quorum reads that observe a responder holding
+// a stale or missing copy of the winning entry enqueue a single-key
+// freshen of that member. When the queue is full, observations are
+// dropped and counted (SuiteStats.ReadRepairDropped). Call Suite.Close
+// to stop the background worker.
+func WithReadRepair(queue int) Option { return readRepairOption{queue: queue} }
+
 // WithNeighborFanout sets how many successive predecessors/successors
 // each neighbor probe fetches in one message during Delete's
 // real-predecessor and real-successor searches. The default 1 is the
@@ -155,8 +192,18 @@ func NewSuite(cfg quorum.Config, opts ...Option) (*Suite, error) {
 	if s.fanout < 1 {
 		return nil, fmt.Errorf("core: neighbor fanout %d must be positive", s.fanout)
 	}
+	if s.rrQueue != nil {
+		ctx, cancel := context.WithCancel(context.Background())
+		s.rrCancel = cancel
+		s.rrWG.Add(1)
+		go s.readRepairWorker(ctx)
+	}
 	return s, nil
 }
+
+// Health returns the suite's health tracker, or nil when none is
+// attached.
+func (s *Suite) Health() *HealthTracker { return s.health }
 
 // Config returns the suite's quorum configuration.
 func (s *Suite) Config() quorum.Config { return s.cfg }
@@ -202,6 +249,14 @@ func (s *Suite) Delete(ctx context.Context, key string) error {
 // failures, so it must be idempotent from the caller's perspective (pure
 // directory operations are).
 func (s *Suite) RunInTxn(ctx context.Context, fn func(tx *Tx) error) error {
+	return s.runTxn(ctx, false, fn)
+}
+
+// runTxn is RunInTxn plus the repair-transaction marker: repair
+// transactions (read repair, RepairReplica) never enqueue further read
+// repairs, so a freshen that observes more staleness cannot loop on
+// itself.
+func (s *Suite) runTxn(ctx context.Context, repairTxn bool, fn func(tx *Tx) error) error {
 	base := s.ids.Next()
 	exclude := make(map[string]bool)
 	var lastErr error
@@ -219,9 +274,10 @@ func (s *Suite) RunInTxn(ctx context.Context, fn func(tx *Tx) error) error {
 		attemptTxn := txn.New(txn.AttemptID(base, attempt))
 		attemptTxn.Parallel = s.parallel
 		tx := &Tx{
-			suite:   s,
-			txn:     attemptTxn,
-			exclude: exclude,
+			suite:     s,
+			txn:       attemptTxn,
+			exclude:   exclude,
+			repairTxn: repairTxn,
 		}
 		err := fn(tx)
 		if err == nil {

@@ -22,6 +22,10 @@ type Tx struct {
 	txn     *txn.Txn
 	exclude map[string]bool
 
+	// repairTxn marks internal repair transactions (read repair,
+	// RepairReplica), whose quorum reads must not enqueue further read
+	// repairs.
+	repairTxn bool
 	// failed collects members that became unavailable during this
 	// attempt, so the retry can route around them.
 	failed map[string]bool
@@ -32,7 +36,8 @@ type Tx struct {
 	observations []DeleteObservation
 }
 
-// noteFailure records an unavailable member.
+// noteFailure records an unavailable member, feeding the health
+// tracker (every path that loses a member passes through here).
 func (tx *Tx) noteFailure(name string, err error) {
 	if !errors.Is(err, transport.ErrUnavailable) {
 		return
@@ -41,6 +46,9 @@ func (tx *Tx) noteFailure(name string, err error) {
 		tx.failed = make(map[string]bool)
 	}
 	tx.failed[name] = true
+	if h := tx.suite.health; h != nil {
+		h.ReportFailure(name)
+	}
 }
 
 // finish commits a mutating transaction (two-phase commit when several
@@ -66,11 +74,40 @@ func (tx *Tx) flushMetrics() {
 
 // readQuorum and writeQuorum assemble quorums honoring exclusions.
 func (tx *Tx) readQuorum() ([]quorum.Member, error) {
-	return tx.suite.sel.Select(quorum.Read, tx.exclude)
+	return tx.selectQuorum(quorum.Read)
 }
 
 func (tx *Tx) writeQuorum() ([]quorum.Member, error) {
-	return tx.suite.sel.Select(quorum.Write, tx.exclude)
+	return tx.selectQuorum(quorum.Write)
+}
+
+// selectQuorum merges the transaction's own exclusions with the health
+// tracker's open circuits. If skipping Down members leaves no quorum,
+// the health exclusions are waived for the round: the breaker exists to
+// avoid wasted probes, not to fail operations the representatives might
+// still serve.
+func (tx *Tx) selectQuorum(kind quorum.Kind) ([]quorum.Member, error) {
+	h := tx.suite.health
+	if h == nil {
+		return tx.suite.sel.Select(kind, tx.exclude)
+	}
+	open := h.RoundExclusions()
+	if len(open) == 0 {
+		return tx.suite.sel.Select(kind, tx.exclude)
+	}
+	merged := make(map[string]bool, len(open)+len(tx.exclude))
+	for name := range tx.exclude {
+		merged[name] = true
+	}
+	for name := range open {
+		merged[name] = true
+	}
+	members, err := tx.suite.sel.Select(kind, merged)
+	if errors.Is(err, quorum.ErrNoQuorum) {
+		h.noteFallback()
+		return tx.suite.sel.Select(kind, tx.exclude)
+	}
+	return members, err
 }
 
 // Lookup implements DirSuiteLookup (Figure 8) within the transaction.
@@ -114,6 +151,22 @@ func (tx *Tx) suiteLookup(ctx context.Context, key keyspace.Key) (rep.LookupResu
 			best = replies[i]
 		}
 	}
+	// Read repair: responders whose reply lost to the winning entry
+	// hold a stale or missing copy; enqueue an asynchronous freshen of
+	// just this key on just those members. Only entry wins trigger it —
+	// a winning gap (not-present) needs no install, and lingering
+	// ghosts are harmless by version dominance.
+	if tx.suite.rrQueue != nil && !tx.repairTxn && best.Found {
+		var stale []rep.Directory
+		for i := range members {
+			if errs[i] == nil && replies[i].Version < best.Version {
+				stale = append(stale, members[i].Dir)
+			}
+		}
+		if len(stale) > 0 {
+			tx.suite.enqueueReadRepair(readRepairJob{key: key.Raw(), stale: stale})
+		}
+	}
 	return best, nil
 }
 
@@ -123,9 +176,18 @@ func (tx *Tx) suiteLookup(ctx context.Context, key keyspace.Key) (rep.LookupResu
 // not one retry at a time — and the first error is returned.
 func (tx *Tx) roundError(members []quorum.Member, errs []error, verb string, key keyspace.Key) error {
 	var first error
+	h := tx.suite.health
 	for i, m := range members {
 		if errs[i] == nil {
+			if h != nil {
+				h.ReportSuccess(m.Dir.Name())
+			}
 			continue
+		}
+		// Any reply at all — even an error like a wait-die kill — proves
+		// the member reachable; only unavailability counts against it.
+		if h != nil && !errors.Is(errs[i], transport.ErrUnavailable) {
+			h.ReportSuccess(m.Dir.Name())
 		}
 		tx.noteFailure(m.Dir.Name(), errs[i])
 		if first == nil {

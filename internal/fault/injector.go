@@ -98,6 +98,29 @@ func (in *Injector) Resolve(ctx context.Context) (finished int, err error) {
 	return finished, err
 }
 
+// AbortStrays sweeps every member's never-prepared in-flight
+// transactions with a unilateral Abort, reclaiming locks leaked by
+// coordinators that died — or gave up while the member was unreachable,
+// so their Abort never arrived. Presumed abort makes this safe for
+// unprepared transactions, but ONLY while no coordinator is live: a
+// live coordinator's transaction is indistinguishable from a stray.
+// It returns the number of participants aborted.
+func (in *Injector) AbortStrays(ctx context.Context) (int, error) {
+	aborted := 0
+	for _, m := range in.members {
+		for _, id := range m.Strays() {
+			if err := m.Abort(ctx, id); err != nil {
+				if errors.Is(err, transport.ErrUnavailable) {
+					continue // down again; a later pass can retry
+				}
+				return aborted, fmt.Errorf("fault: abort stray txn %d at %s: %w", id, m.Name(), err)
+			}
+			aborted++
+		}
+	}
+	return aborted, nil
+}
+
 // Stats returns every member's injection counters, keyed by name.
 func (in *Injector) Stats() map[string]Stats {
 	out := make(map[string]Stats, len(in.members))

@@ -1,0 +1,280 @@
+// Package heal runs automatic anti-entropy for a directory suite: when
+// a member returns from an outage (a health-tracker down→up
+// transition, or an explicit Notify), a background worker brings it
+// fully current with paced core.RepairReplica passes. Keyspace
+// (arXiv:1209.3913) calls this catch-up replication and treats it as
+// the availability workhorse of a replicated store; here it is the
+// mechanism that recovers the performance the paper's footnote 6 says
+// failures cost.
+//
+// The healer is deliberately dumb about safety: every entry it installs
+// goes through the suite's ordinary versioned-install transactions, so
+// version dominance — not the healer — guarantees that racing updates
+// and deletes win and that repairs are idempotent.
+package heal
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repdir/internal/core"
+	"repdir/internal/rep"
+)
+
+// Config tunes the healer. The zero value means defaults.
+type Config struct {
+	// PageSize is the number of entries repaired per transaction
+	// (default core.DefaultRepairPageSize).
+	PageSize int
+	// Pace is an optional sleep between repair pages, bounding the
+	// extra load a catch-up pass puts on a live suite (default 0: run
+	// flat out).
+	Pace time.Duration
+	// RepairTimeout bounds one member's repair pass (default 1m).
+	RepairTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.PageSize <= 0 {
+		c.PageSize = core.DefaultRepairPageSize
+	}
+	if c.RepairTimeout <= 0 {
+		c.RepairTimeout = time.Minute
+	}
+	return c
+}
+
+// Stats counts the healer's cumulative work.
+type Stats struct {
+	// Notified counts recovery notifications accepted; Coalesced counts
+	// notifications merged into an already-pending repair for the same
+	// member.
+	Notified, Coalesced uint64
+	// Started, Completed, Failed count repair passes.
+	Started, Completed, Failed uint64
+	// Scanned, Copied, Freshened total the entry work across all
+	// passes; Pages counts committed repair transactions.
+	Scanned, Copied, Freshened, Pages uint64
+}
+
+// Healer repairs recovered members in the background. Construct with
+// New, feed it with Notify (or wire it to a core.HealthTracker via
+// Watch), and drive it with Run.
+type Healer struct {
+	suite   *core.Suite
+	cfg     Config
+	targets map[string]rep.Directory
+
+	jobs chan string
+	mu   sync.Mutex
+	// pending marks members queued or being repaired, so a flurry of
+	// transitions coalesces into one pass (a member that recovers again
+	// mid-repair is simply caught by that repair's later pages or a
+	// fresh notification after it finishes).
+	pending map[string]bool
+
+	notified  atomic.Uint64
+	coalesced atomic.Uint64
+	started   atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	scanned   atomic.Uint64
+	copied    atomic.Uint64
+	freshened atomic.Uint64
+	pages     atomic.Uint64
+}
+
+// New builds a healer over the suite for the given repair targets
+// (typically the same rep.Directory handles the quorum configuration
+// uses, so repairs route through the identical middleware stack).
+func New(suite *core.Suite, targets []rep.Directory, cfg Config) *Healer {
+	h := &Healer{
+		suite:   suite,
+		cfg:     cfg.withDefaults(),
+		targets: make(map[string]rep.Directory, len(targets)),
+		jobs:    make(chan string, len(targets)*2+4),
+		pending: make(map[string]bool),
+	}
+	for _, t := range targets {
+		h.targets[t.Name()] = t
+	}
+	return h
+}
+
+// Watch subscribes the healer to a health tracker: every recovery
+// transition (down/probation → up) queues a repair of that member.
+// Call before the tracker starts receiving reports.
+func (h *Healer) Watch(t *core.HealthTracker) {
+	t.OnTransition(func(tr core.HealthTransition) {
+		if tr.Recovered() {
+			h.Notify(tr.Member)
+		}
+	})
+}
+
+// Notify queues a repair pass for the named member. It reports whether
+// the notification was accepted: unknown members are ignored, and a
+// member already pending coalesces into the queued pass.
+func (h *Healer) Notify(member string) bool {
+	if _, ok := h.targets[member]; !ok {
+		return false
+	}
+	h.mu.Lock()
+	if h.pending[member] {
+		h.mu.Unlock()
+		h.coalesced.Add(1)
+		return false
+	}
+	h.pending[member] = true
+	h.mu.Unlock()
+	h.notified.Add(1)
+	h.jobs <- member
+	return true
+}
+
+// Run processes repair jobs until ctx is cancelled. It always returns
+// ctx.Err(); repair failures are counted, not fatal (the member may
+// have crashed again mid-repair — a later recovery re-notifies).
+func (h *Healer) Run(ctx context.Context) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case member := <-h.jobs:
+			_, _ = h.repair(ctx, member, nil)
+		}
+	}
+}
+
+// repair runs one paced repair pass for member; progress, when non-nil,
+// observes cumulative stats after each committed page.
+func (h *Healer) repair(ctx context.Context, member string, progress func(core.RepairStats)) (core.RepairStats, error) {
+	target := h.targets[member]
+	defer func() {
+		h.mu.Lock()
+		delete(h.pending, member)
+		h.mu.Unlock()
+	}()
+	h.started.Add(1)
+	rctx, cancel := context.WithTimeout(ctx, h.cfg.RepairTimeout)
+	defer cancel()
+	var prev core.RepairStats
+	stats, err := core.RepairReplicaOpts(rctx, h.suite, target, core.RepairOptions{
+		PageSize: h.cfg.PageSize,
+		OnPage: func(cum core.RepairStats) error {
+			h.pages.Add(1)
+			h.scanned.Add(uint64(cum.Scanned - prev.Scanned))
+			h.copied.Add(uint64(cum.Copied - prev.Copied))
+			h.freshened.Add(uint64(cum.Freshened - prev.Freshened))
+			prev = cum
+			if progress != nil {
+				progress(cum)
+			}
+			if h.cfg.Pace > 0 {
+				t := time.NewTimer(h.cfg.Pace)
+				defer t.Stop()
+				select {
+				case <-t.C:
+				case <-rctx.Done():
+					return rctx.Err()
+				}
+			}
+			return rctx.Err()
+		},
+	})
+	if err != nil {
+		h.failed.Add(1)
+		return stats, err
+	}
+	h.completed.Add(1)
+	return stats, nil
+}
+
+// RepairNow runs one synchronous repair pass for member, outside the
+// background queue (callers own pacing and cancellation via ctx).
+func (h *Healer) RepairNow(ctx context.Context, member string) (core.RepairStats, error) {
+	return h.RepairNowPaced(ctx, member, nil)
+}
+
+// RepairNowPaced is RepairNow with a per-page progress callback: after
+// each committed repair page (and before the pace sleep) onPage
+// observes the cumulative stats, letting callers chart recovery over
+// time.
+func (h *Healer) RepairNowPaced(ctx context.Context, member string, onPage func(core.RepairStats)) (core.RepairStats, error) {
+	if _, ok := h.targets[member]; !ok {
+		return core.RepairStats{}, fmt.Errorf("heal: unknown member %q", member)
+	}
+	h.mu.Lock()
+	if h.pending[member] {
+		h.mu.Unlock()
+		return core.RepairStats{}, fmt.Errorf("heal: repair of %q already pending", member)
+	}
+	h.pending[member] = true
+	h.mu.Unlock()
+	return h.repair(ctx, member, onPage)
+}
+
+// ErrNotConverged reports that Converge's pass budget ran out while
+// repairs were still finding work — only possible when the suite is
+// being mutated concurrently.
+var ErrNotConverged = errors.New("heal: replicas still diverging after max passes")
+
+// Converge repairs every target, repeating whole-suite passes until a
+// full pass finds nothing to copy or freshen — at which point every
+// replica physically holds every current entry at its current version.
+// On a quiesced suite one pass plus one confirming pass suffices;
+// Converge allows a few extra in case repairs race live traffic, and
+// returns ErrNotConverged (with the work totals) if the budget runs
+// out. Members are repaired in sorted-name order, so the pass is
+// deterministic.
+func (h *Healer) Converge(ctx context.Context) (core.RepairStats, error) {
+	var total core.RepairStats
+	names := make([]string, 0, len(h.targets))
+	for n := range h.targets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	const maxPasses = 6
+	for pass := 0; pass < maxPasses; pass++ {
+		var work core.RepairStats
+		for _, n := range names {
+			stats, err := h.RepairNow(ctx, n)
+			work.Scanned += stats.Scanned
+			work.Copied += stats.Copied
+			work.Freshened += stats.Freshened
+			if err != nil {
+				total.Scanned += work.Scanned
+				total.Copied += work.Copied
+				total.Freshened += work.Freshened
+				return total, fmt.Errorf("heal: converge %s: %w", n, err)
+			}
+		}
+		total.Scanned += work.Scanned
+		total.Copied += work.Copied
+		total.Freshened += work.Freshened
+		if work.Copied == 0 && work.Freshened == 0 {
+			return total, nil
+		}
+	}
+	return total, ErrNotConverged
+}
+
+// Stats returns the healer's cumulative counters.
+func (h *Healer) Stats() Stats {
+	return Stats{
+		Notified:  h.notified.Load(),
+		Coalesced: h.coalesced.Load(),
+		Started:   h.started.Load(),
+		Completed: h.completed.Load(),
+		Failed:    h.failed.Load(),
+		Scanned:   h.scanned.Load(),
+		Copied:    h.copied.Load(),
+		Freshened: h.freshened.Load(),
+		Pages:     h.pages.Load(),
+	}
+}

@@ -1,0 +1,235 @@
+package heal
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repdir/internal/core"
+	"repdir/internal/keyspace"
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+)
+
+// fixture is a 3-replica 2/2 suite with crashable members.
+type fixture struct {
+	suite  *core.Suite
+	names  []string
+	reps   []*rep.Rep
+	locals []*transport.Local
+	dirs   []rep.Directory
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	f := &fixture{names: []string{"A", "B", "C"}}
+	for _, n := range f.names {
+		r := rep.New(n)
+		l := transport.NewLocal(r)
+		f.reps = append(f.reps, r)
+		f.locals = append(f.locals, l)
+		f.dirs = append(f.dirs, l)
+	}
+	cfg := quorum.NewUniform(f.dirs, 2, 2)
+	s, err := core.NewSuite(cfg, core.WithSelector(quorum.NewRandomSelector(cfg, 21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.suite = s
+	return f
+}
+
+// has reports whether replica i physically stores key.
+func (f *fixture) has(i int, key string) bool {
+	for _, e := range f.reps[i].Dump() {
+		if e.Key.Equal(keyspace.New(key)) {
+			return true
+		}
+	}
+	return false
+}
+
+// divergeC inserts n keys while C is crashed, leaving C behind, then
+// restarts C. Returns the keys.
+func (f *fixture) divergeC(t *testing.T, n int) []string {
+	t.Helper()
+	ctx := context.Background()
+	f.locals[2].Crash()
+	var keys []string
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		if err := f.suite.Insert(ctx, k, "v"); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	f.locals[2].Restart()
+	return keys
+}
+
+// TestHealerRepairsOnRecovery wires a healer to a health tracker and
+// checks the end-to-end loop: a down→up transition queues a repair
+// pass that brings the recovered member fully current.
+func TestHealerRepairsOnRecovery(t *testing.T) {
+	f := newFixture(t)
+	keys := f.divergeC(t, 8)
+
+	tracker := core.NewHealthTracker(f.names, core.HealthConfig{DownAfter: 1})
+	h := New(f.suite, f.dirs, Config{PageSize: 4})
+	h.Watch(tracker)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- h.Run(ctx) }()
+
+	// Drive the tracker through C's outage and recovery; the recovery
+	// transition must notify the healer.
+	tracker.ReportFailure("C")
+	if got := tracker.State("C"); got != core.HealthDown {
+		t.Fatalf("state = %v, want down", got)
+	}
+	tracker.ReportSuccess("C")
+
+	// The background pass catches C up.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		missing := 0
+		for _, k := range keys {
+			if !f.has(2, k) {
+				missing++
+			}
+		}
+		if missing == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("C still missing %d keys; healer stats %+v", missing, h.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	st := h.Stats()
+	if st.Notified == 0 || st.Started == 0 {
+		t.Errorf("stats = %+v, want a notified, started pass", st)
+	}
+	if st.Copied != uint64(len(keys)) {
+		t.Errorf("copied = %d, want %d", st.Copied, len(keys))
+	}
+	if st.Pages < 2 {
+		t.Errorf("pages = %d, want >= 2 at page size 4 with 8 entries", st.Pages)
+	}
+
+	// Completed may trail the last page's counter updates briefly.
+	for time.Now().Before(deadline) && h.Stats().Completed == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if st := h.Stats(); st.Completed == 0 {
+		t.Errorf("stats = %+v, want a completed pass", st)
+	}
+
+	// Run exits on cancellation.
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Errorf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not exit after cancel")
+	}
+}
+
+// TestHealerNotify checks the queueing contract directly: unknown
+// members are rejected, duplicate notifications coalesce.
+func TestHealerNotify(t *testing.T) {
+	f := newFixture(t)
+	h := New(f.suite, f.dirs, Config{})
+
+	if h.Notify("nobody") {
+		t.Error("unknown member accepted")
+	}
+	if !h.Notify("C") {
+		t.Error("first notification rejected")
+	}
+	if h.Notify("C") {
+		t.Error("duplicate notification not coalesced")
+	}
+	st := h.Stats()
+	if st.Notified != 1 || st.Coalesced != 1 {
+		t.Errorf("stats = %+v, want 1 notified, 1 coalesced", st)
+	}
+	if _, err := h.RepairNow(context.Background(), "C"); err == nil {
+		t.Error("RepairNow succeeded while a pass for C is pending")
+	}
+	if _, err := h.RepairNow(context.Background(), "nobody"); err == nil {
+		t.Error("RepairNow accepted an unknown member")
+	}
+}
+
+// TestHealerConverge checks the fixpoint loop: after Converge, every
+// replica physically holds every current entry, and a second Converge
+// finds nothing to do.
+func TestHealerConverge(t *testing.T) {
+	ctx := context.Background()
+	f := newFixture(t)
+	keys := f.divergeC(t, 6)
+
+	h := New(f.suite, f.dirs, Config{PageSize: 4})
+	stats, err := h.Converge(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Copied == 0 {
+		t.Errorf("converge copied nothing: %+v", stats)
+	}
+	for i := range f.reps {
+		for _, k := range keys {
+			if !f.has(i, k) {
+				t.Errorf("%s missing %s after converge", f.names[i], k)
+			}
+		}
+	}
+
+	again, err := h.Converge(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Copied != 0 || again.Freshened != 0 {
+		t.Errorf("second converge found work: %+v", again)
+	}
+}
+
+// TestHealerPace checks that the page pace actually spaces repair
+// transactions out: 6 entries at page size 2 with a 20ms pace cannot
+// finish in under 60ms.
+func TestHealerPace(t *testing.T) {
+	ctx := context.Background()
+	f := newFixture(t)
+	f.divergeC(t, 6)
+
+	h := New(f.suite, f.dirs, Config{PageSize: 2, Pace: 20 * time.Millisecond})
+	start := time.Now()
+	if _, err := h.RepairNow(ctx, "C"); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took < 60*time.Millisecond {
+		t.Errorf("paced repair took %v, want >= 60ms", took)
+	}
+	// The pace is also the cancellation point: an expired context stops
+	// the pass between pages and counts a failure.
+	f.locals[2].Crash()
+	if err := f.suite.Insert(ctx, "late", "v"); err != nil {
+		t.Fatal(err)
+	}
+	f.locals[2].Restart()
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := h.RepairNow(cctx, "C"); err == nil {
+		t.Error("repair ran to completion under a cancelled context")
+	}
+	if st := h.Stats(); st.Failed == 0 {
+		t.Errorf("stats = %+v, want a failed pass", st)
+	}
+}

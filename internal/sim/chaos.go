@@ -8,8 +8,10 @@ import (
 	"strings"
 	"time"
 
+	"repdir/internal/btree"
 	"repdir/internal/core"
 	"repdir/internal/fault"
+	"repdir/internal/heal"
 	"repdir/internal/model"
 	"repdir/internal/quorum"
 	"repdir/internal/rep"
@@ -94,6 +96,11 @@ type ChaosResult struct {
 	// Resolved counts in-doubt participants driven to a decision by the
 	// between-ops and post-run resolution passes.
 	Resolved int
+	// StraysAborted counts never-prepared participants whose leaked
+	// locks the post-run presumed-abort sweep reclaimed (an operation
+	// abandoned while its member was unreachable cannot deliver its
+	// Abort there).
+	StraysAborted int
 	// Fault totals over all members.
 	Faults fault.Stats
 	// Suite-level transaction counters.
@@ -103,6 +110,19 @@ type ChaosResult struct {
 	RepCalls uint64
 	// AuditedKeys is how many keys the final audit checked.
 	AuditedKeys int
+	// Health is the suite's circuit-breaker activity over the run.
+	Health core.HealthStats
+	// Heal is the total work of the post-run convergence phase.
+	Heal core.RepairStats
+	// Converged reports that after the healer finished, every replica
+	// physically held every current entry at an identical (version,
+	// value), with any leftover ghosts (GhostsLeft) provably harmless
+	// under version dominance.
+	Converged bool
+	// GhostsLeft counts stale non-current entries remaining on
+	// replicas after convergence — allowed, as long as quorum lookups
+	// prove them dominated.
+	GhostsLeft int
 	// Violations are single-copy-semantics contradictions; a correct
 	// implementation produces none.
 	Violations []string
@@ -130,12 +150,19 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		dirs[i], stats[i] = transport.WrapStats(m)
 	}
 
+	// Health-tracked membership: the breaker skips members inside
+	// unavailability windows after a few failures, probing them back in
+	// on a paced schedule. All tracker updates happen on the driver
+	// goroutine (fan-out outcomes are folded sequentially after each
+	// round), so the soak stays a pure function of the seed.
+	health := core.NewHealthTracker(names, core.HealthConfig{ProbeAfter: 4})
 	qcfg := quorum.NewUniform(dirs, cfg.R, cfg.W)
 	suite, err := core.NewSuite(qcfg,
 		core.WithIDSource(txn.NewIDSource(0)),
 		core.WithSelector(quorum.NewRandomSelector(qcfg, cfg.Seed+1)),
 		core.WithMaxRetries(cfg.MaxRetries),
 		core.WithParallelQuorum(*cfg.Parallel),
+		core.WithHealth(health),
 	)
 	if err != nil {
 		return res, err
@@ -235,12 +262,41 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 			return res, rerr
 		}
 	}
+	// Sweep stray locks: operations the driver gave up on while a
+	// member was unreachable never delivered their Abort there, and an
+	// unprepared transaction holds its locks until one arrives. Every
+	// coordinator is finished now, so presumed abort applies.
+	strays, err := injector.AbortStrays(context.Background())
+	if err != nil {
+		return res, fmt.Errorf("sim: chaos %s: %w", cfg.Name, err)
+	}
+	res.StraysAborted = strays
+
+	// Convergence phase: the healer drives every replica to full
+	// agreement — each current entry installed everywhere at its
+	// current version — then the agreement is verified against the
+	// replicas' physical contents. Ghost entries may remain, but each
+	// must be provably dominated (a quorum lookup of its key must say
+	// not-present).
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	healer := heal.New(suite, dirs, heal.Config{})
+	conv, err := healer.Converge(ctx)
+	res.Heal = conv
+	if err != nil {
+		return res, fmt.Errorf("sim: chaos %s: convergence: %w", cfg.Name, err)
+	}
+	convViolations, ghosts, err := auditConvergence(ctx, suite, injector)
+	if err != nil {
+		return res, fmt.Errorf("sim: chaos %s: %w", cfg.Name, err)
+	}
+	res.GhostsLeft = ghosts
+	res.Converged = len(convViolations) == 0
+	res.Violations = append(res.Violations, convViolations...)
 
 	// Final audit: every touched key must agree with the specification.
 	// Keys left uncertain by ambiguous failures are re-anchored by the
 	// first read and must at least read stably on the second.
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
 	for _, k := range spec.Keys() {
 		for pass := 0; pass < 2; pass++ {
 			got, found, err := suite.Lookup(ctx, k)
@@ -270,7 +326,89 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		}
 	}
 	res.Suite = suite.Stats()
+	res.Health = health.Stats()
 	return res, nil
+}
+
+// auditConvergence checks physical replica agreement after the healer
+// finished: every current entry (by quorum scan) must be present on
+// every replica with one identical (version, value), and every
+// non-current entry lingering on a replica must be dominated (its key
+// must read as not-present by quorum). It returns the violations found
+// and the count of harmless ghosts.
+func auditConvergence(ctx context.Context, suite *core.Suite, injector *fault.Injector) ([]string, int, error) {
+	current, err := suite.Scan(ctx, "", 0)
+	if err != nil {
+		return nil, 0, fmt.Errorf("convergence scan: %w", err)
+	}
+	type dumper interface{ Dump() []btree.Entry }
+	dumps := make(map[string]map[string]btree.Entry)
+	for _, m := range injector.Members() {
+		d, ok := m.Rep().(dumper)
+		if !ok {
+			return nil, 0, fmt.Errorf("convergence: member %s not dumpable", m.Name())
+		}
+		entries := make(map[string]btree.Entry)
+		for _, e := range d.Dump() {
+			if e.Key.IsLow() || e.Key.IsHigh() {
+				continue
+			}
+			entries[e.Key.Raw()] = e
+		}
+		dumps[m.Name()] = entries
+	}
+
+	var violations []string
+	currentSet := make(map[string]bool, len(current))
+	for _, kv := range current {
+		currentSet[kv.Key] = true
+		first := true
+		var refVersion btree.Entry
+		for _, m := range injector.Members() {
+			e, ok := dumps[m.Name()][kv.Key]
+			switch {
+			case !ok:
+				violations = append(violations,
+					fmt.Sprintf("convergence: %s missing current entry %s", m.Name(), kv.Key))
+			case e.Value != kv.Value:
+				violations = append(violations,
+					fmt.Sprintf("convergence: %s has %s=%q, current value is %q",
+						m.Name(), kv.Key, e.Value, kv.Value))
+			case first:
+				refVersion, first = e, false
+			case e.Version != refVersion.Version:
+				violations = append(violations,
+					fmt.Sprintf("convergence: %s holds %s at version %d, others at %d",
+						m.Name(), kv.Key, e.Version, refVersion.Version))
+			}
+		}
+	}
+
+	// Ghosts: entries on some replica for keys that are not current.
+	// Harmless only if version dominance hides them from quorum reads.
+	ghosts := 0
+	checked := make(map[string]bool)
+	for name, entries := range dumps {
+		for key := range entries {
+			if currentSet[key] {
+				continue
+			}
+			ghosts++
+			if checked[key] {
+				continue
+			}
+			checked[key] = true
+			_, found, err := suite.Lookup(ctx, key)
+			if err != nil {
+				return violations, ghosts, fmt.Errorf("convergence ghost lookup %s: %w", key, err)
+			}
+			if found {
+				violations = append(violations,
+					fmt.Sprintf("convergence: ghost %s on %s reads as present by quorum", key, name))
+			}
+		}
+	}
+	return violations, ghosts, nil
 }
 
 // RunChaosSeeds runs one soak per seed with the same base configuration.
@@ -293,14 +431,21 @@ func RunChaosSeeds(base ChaosConfig, seeds []int64) ([]ChaosResult, error) {
 func FormatChaos(title string, results []ChaosResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", title)
-	fmt.Fprintf(&b, "%-12s %6s %8s %8s %7s %7s %7s %7s %6s %6s %6s %8s %5s\n",
-		"run", "ops", "applied", "observe", "indet", "lookups", "crash", "partn", "dup", "drop", "rstrt", "resolved", "viol")
+	fmt.Fprintf(&b, "%-12s %6s %8s %8s %7s %7s %7s %7s %6s %6s %6s %8s %5s %5s %6s %6s %6s %5s %4s\n",
+		"run", "ops", "applied", "observe", "indet", "lookups", "crash", "partn", "dup", "drop", "rstrt", "resolved", "viol",
+		"trips", "ffails", "healed", "ghosts", "conv", "fall")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%-12s %6d %8d %8d %7d %7d %7d %7d %6d %6d %6d %8d %5d\n",
+		conv := "no"
+		if r.Converged {
+			conv = "yes"
+		}
+		fmt.Fprintf(&b, "%-12s %6d %8d %8d %7d %7d %7d %7d %6d %6d %6d %8d %5d %5d %6d %6d %6d %5s %4d\n",
 			r.Config.Name, r.Config.Operations, r.Applied, r.Observed, r.Indeterminate,
 			r.Lookups, r.Faults.Crashes+r.Faults.CrashAfters, r.Faults.Partitions,
 			r.Faults.Duplicates, r.Faults.DroppedReplies, r.Faults.Restarts,
-			r.Resolved, len(r.Violations))
+			r.Resolved, len(r.Violations),
+			r.Health.Trips, r.Health.FastFails, r.Heal.Copied+r.Heal.Freshened,
+			r.GhostsLeft, conv, r.Health.Fallbacks)
 		for _, v := range r.Violations {
 			fmt.Fprintf(&b, "    VIOLATION: %s\n", v)
 		}

@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repdir/internal/core"
+	"repdir/internal/heal"
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+)
+
+// HealConfig parameterizes the self-healing experiment.
+type HealConfig struct {
+	// Entries is the directory size seeded before measurement.
+	Entries int
+	// Ops is the number of lookups per measured phase.
+	Ops int
+	// Penalty is the simulated connect-timeout a caller pays for every
+	// message sent to the down member — the cost the circuit breaker
+	// exists to stop paying.
+	Penalty time.Duration
+	// StaleWrites is the number of updates applied while the member is
+	// down, i.e. the catch-up work the recovery phase must repair.
+	StaleWrites int
+	// PageSize and Pace tune the recovery repair (defaults 32, 2ms).
+	PageSize int
+	Pace     time.Duration
+	// Seed fixes the workload.
+	Seed int64
+}
+
+func (c HealConfig) withDefaults() HealConfig {
+	if c.Entries <= 0 {
+		c.Entries = 200
+	}
+	if c.Ops <= 0 {
+		c.Ops = 300
+	}
+	if c.Penalty <= 0 {
+		c.Penalty = 2 * time.Millisecond
+	}
+	if c.StaleWrites <= 0 {
+		c.StaleWrites = 150
+	}
+	if c.PageSize <= 0 {
+		c.PageSize = 32
+	}
+	if c.Pace <= 0 {
+		c.Pace = 2 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// RecoveryPoint is one sample of the recovery-time curve: cumulative
+// repair progress after each committed repair page.
+type RecoveryPoint struct {
+	Pages     int
+	Scanned   int
+	Copied    int
+	Freshened int
+	Elapsed   time.Duration
+}
+
+// HealResult reports the three measured phases plus the recovery curve.
+type HealResult struct {
+	Config HealConfig
+
+	// BaselineAvg is mean lookup latency with every member healthy.
+	BaselineAvg time.Duration
+	// DegradedAvg is mean lookup latency with one member down and no
+	// breaker: every quorum that selects the dead member pays Penalty
+	// before routing around it.
+	DegradedAvg time.Duration
+	// TrippedAvg is mean lookup latency over the same outage with the
+	// health tracker attached, measured after the circuit opened; only
+	// paced probe rounds still touch the dead member.
+	TrippedAvg time.Duration
+	// TripAfter is how many operations the breaker needed to open.
+	TripAfter int
+	// Probes is how many probe rounds ran during the tripped phase.
+	Probes uint64
+	// Health is the tracker's final counters.
+	Health core.HealthStats
+
+	// Recovery is the catch-up curve after the member returns; Repair
+	// and RepairTime total it.
+	Recovery   []RecoveryPoint
+	Repair     core.RepairStats
+	RepairTime time.Duration
+}
+
+// RunHeal measures what the self-healing machinery buys. One member of
+// a 3-2-2 suite "fails" such that every message to it costs Penalty
+// before failing — the connect-timeout model of a dead host. The
+// experiment measures steady-state lookup latency healthy, degraded
+// without a breaker, and degraded with the breaker open, then lets the
+// member return stale and records the paced anti-entropy catch-up
+// curve.
+func RunHeal(cfg HealConfig) (HealResult, error) {
+	cfg = cfg.withDefaults()
+	res := HealResult{Config: cfg}
+	ctx := context.Background()
+
+	names := []string{"rep0", "rep1", "rep2"}
+	var down atomic.Bool // rep2's failure switch
+	dirs := make([]rep.Directory, len(names))
+	for i, n := range names {
+		local := transport.NewLocal(rep.New(n))
+		if i == 2 {
+			dirs[i] = transport.Wrap(local, func(transport.Op) error {
+				if down.Load() {
+					time.Sleep(cfg.Penalty)
+					return transport.ErrUnavailable
+				}
+				return nil
+			})
+		} else {
+			dirs[i] = local
+		}
+	}
+	qc := quorum.NewUniform(dirs, 2, 2)
+
+	keys := make([]string, cfg.Entries)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+	}
+	seedSuite, err := core.NewSuite(qc, core.WithSelector(quorum.NewRandomSelector(qc, cfg.Seed)))
+	if err != nil {
+		return res, err
+	}
+	for _, k := range keys {
+		if err := seedSuite.Insert(ctx, k, "v1"); err != nil {
+			return res, fmt.Errorf("sim: seed %s: %w", k, err)
+		}
+	}
+
+	measure := func(s *core.Suite, rng *rand.Rand, ops int) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			k := keys[rng.Intn(len(keys))]
+			if _, found, err := s.Lookup(ctx, k); err != nil {
+				return 0, fmt.Errorf("sim: lookup %s: %w", k, err)
+			} else if !found {
+				return 0, fmt.Errorf("sim: %s vanished", k)
+			}
+		}
+		return time.Since(start) / time.Duration(ops), nil
+	}
+
+	// Phase 1: healthy baseline, no breaker involved.
+	plain, err := core.NewSuite(qc, core.WithSelector(quorum.NewRandomSelector(qc, cfg.Seed+1)))
+	if err != nil {
+		return res, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	if res.BaselineAvg, err = measure(plain, rng, cfg.Ops); err != nil {
+		return res, err
+	}
+
+	// Phase 2: rep2 down, still no breaker. Every operation whose quorum
+	// draws rep2 pays the timeout before retrying around it — each round.
+	down.Store(true)
+	if res.DegradedAvg, err = measure(plain, rng, cfg.Ops); err != nil {
+		return res, err
+	}
+
+	// Phase 3: same outage, breaker attached. ProbeAfter is set long
+	// enough that the steady state is visible between probes.
+	tracker := core.NewHealthTracker(names, core.HealthConfig{ProbeAfter: 25})
+	tripped, err := core.NewSuite(qc,
+		core.WithSelector(quorum.NewRandomSelector(qc, cfg.Seed+3)),
+		core.WithHealth(tracker))
+	if err != nil {
+		return res, err
+	}
+	for res.TripAfter = 0; tracker.State("rep2") != core.HealthDown; res.TripAfter++ {
+		if res.TripAfter > cfg.Ops {
+			return res, fmt.Errorf("sim: breaker never opened")
+		}
+		if _, _, err := tripped.Lookup(ctx, keys[rng.Intn(len(keys))]); err != nil {
+			return res, err
+		}
+	}
+	if res.TrippedAvg, err = measure(tripped, rng, cfg.Ops); err != nil {
+		return res, err
+	}
+	res.Probes = tracker.Stats().Probes
+
+	// The member misses writes while down, so recovery has real work.
+	for i := 0; i < cfg.StaleWrites; i++ {
+		k := keys[rng.Intn(len(keys))]
+		if err := tripped.Update(ctx, k, fmt.Sprintf("v2-%d", i)); err != nil {
+			return res, fmt.Errorf("sim: stale write %s: %w", k, err)
+		}
+	}
+
+	// Phase 4: the member returns; paced anti-entropy catches it up.
+	// Each committed repair page is one point on the recovery curve.
+	down.Store(false)
+	healer := heal.New(tripped, dirs, heal.Config{PageSize: cfg.PageSize, Pace: cfg.Pace})
+	start := time.Now()
+	pages := 0
+	stats, err := healer.RepairNowPaced(ctx, "rep2", func(cum core.RepairStats) {
+		pages++
+		res.Recovery = append(res.Recovery, RecoveryPoint{
+			Pages:     pages,
+			Scanned:   cum.Scanned,
+			Copied:    cum.Copied,
+			Freshened: cum.Freshened,
+			Elapsed:   time.Since(start),
+		})
+	})
+	if err != nil {
+		return res, fmt.Errorf("sim: recovery repair: %w", err)
+	}
+	res.Repair = stats
+	res.RepairTime = time.Since(start)
+	res.Health = tracker.Stats()
+	return res, nil
+}
+
+// FormatHeal renders the experiment as a text report.
+func FormatHeal(r HealResult) string {
+	var b strings.Builder
+	cfg := r.Config
+	fmt.Fprintf(&b, "Self-healing — 3-2-2 suite, %d entries, one member down with a %v per-message timeout\n\n",
+		cfg.Entries, cfg.Penalty)
+	fmt.Fprintf(&b, "  %-34s %12s\n", "phase (avg lookup latency)", "latency")
+	fmt.Fprintf(&b, "  %-34s %12v\n", "healthy baseline", r.BaselineAvg.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  %-34s %12v\n", "member down, no breaker", r.DegradedAvg.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  %-34s %12v\n", "member down, breaker open", r.TrippedAvg.Round(time.Microsecond))
+	fmt.Fprintf(&b, "\n  breaker opened after %d operations; %d probe rounds during the open phase\n",
+		r.TripAfter, r.Probes)
+	fmt.Fprintf(&b, "  health counters: %+v\n", r.Health)
+	fmt.Fprintf(&b, "\n  recovery after the member returned (%d stale writes to catch up, page size %d, %v pace):\n",
+		cfg.StaleWrites, cfg.PageSize, cfg.Pace)
+	fmt.Fprintf(&b, "  %8s %8s %8s %10s %10s\n", "page", "scanned", "copied", "freshened", "elapsed")
+	for _, p := range r.Recovery {
+		fmt.Fprintf(&b, "  %8d %8d %8d %10d %10v\n",
+			p.Pages, p.Scanned, p.Copied, p.Freshened, p.Elapsed.Round(time.Millisecond))
+	}
+	fmt.Fprintf(&b, "\n  repaired %d entries (%d copied, %d freshened) across %d entries scanned in %v\n",
+		r.Repair.Copied+r.Repair.Freshened, r.Repair.Copied, r.Repair.Freshened,
+		r.Repair.Scanned, r.RepairTime.Round(time.Millisecond))
+	return b.String()
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"sync/atomic"
 	"time"
 
@@ -185,6 +186,10 @@ type Middleware struct {
 	// Before, if non-nil, runs before each call; a non-nil error is
 	// returned to the caller without reaching the target.
 	Before func(op Op) error
+	// After, if non-nil, observes each completed call's outcome (calls
+	// blocked by Before are not reported). Health trackers hook in
+	// here to learn reachability at the transport layer.
+	After func(op Op, err error)
 	// Stats, if non-nil, receives per-operation counters.
 	Stats *CallStats
 }
@@ -209,6 +214,32 @@ func WrapStats(target rep.Directory) (*Middleware, *CallStats) {
 	}, stats
 }
 
+// HealthReporter receives per-call reachability outcomes; it is
+// satisfied by core.HealthTracker, so a tracker can be fed from the
+// middleware stack instead of (or in addition to) quorum fan-out.
+type HealthReporter interface {
+	ReportSuccess(member string)
+	ReportFailure(member string)
+}
+
+// WrapHealth builds a Middleware over a fixed target that reports every
+// call's outcome to hr: ErrUnavailable counts as a failure, any other
+// completion (errors included — a reply proves reachability) as a
+// success.
+func WrapHealth(target rep.Directory, hr HealthReporter) *Middleware {
+	name := target.Name()
+	return &Middleware{
+		Target: func() rep.Directory { return target },
+		After: func(_ Op, err error) {
+			if errors.Is(err, ErrUnavailable) {
+				hr.ReportFailure(name)
+			} else {
+				hr.ReportSuccess(name)
+			}
+		},
+	}
+}
+
 // begin runs the Before hook and opens the stats window. It returns the
 // completion closure, or an error when the hook blocked the call.
 func (m *Middleware) begin(op Op) (func(error), error) {
@@ -220,10 +251,22 @@ func (m *Middleware) begin(op Op) (func(error), error) {
 			return nil, err
 		}
 	}
-	if m.Stats == nil {
+	var end func(error)
+	if m.Stats != nil {
+		end = m.Stats.begin(op)
+	}
+	after := m.After
+	if end == nil && after == nil {
 		return func(error) {}, nil
 	}
-	return m.Stats.begin(op), nil
+	return func(err error) {
+		if end != nil {
+			end(err)
+		}
+		if after != nil {
+			after(op, err)
+		}
+	}, nil
 }
 
 // Name implements rep.Directory.

@@ -177,6 +177,109 @@ func TestCallStatsCountsBlocked(t *testing.T) {
 	}
 }
 
+func TestMiddlewareAfterSeesOutcomes(t *testing.T) {
+	boom := errors.New("blocked")
+	var mu sync.Mutex
+	type outcome struct {
+		op  Op
+		err error
+	}
+	var seen []outcome
+	m := Wrap(rep.New("A"), func(op Op) error {
+		if op == OpCoalesce {
+			return boom
+		}
+		return nil
+	})
+	m.After = func(op Op, err error) {
+		mu.Lock()
+		seen = append(seen, outcome{op, err})
+		mu.Unlock()
+	}
+
+	if err := m.Insert(ctx, 1, keyspace.New("k"), 1, "v"); err != nil {
+		t.Fatal(err)
+	}
+	// A failing call still completes — After must see its error.
+	if err := m.Insert(ctx, 2, keyspace.Low(), 1, "x"); err == nil {
+		t.Fatal("sentinel insert should fail")
+	}
+	// A call blocked by Before never reaches the target, so After must
+	// NOT fire for it (the member was not actually probed).
+	if _, err := m.Coalesce(ctx, 1, keyspace.Low(), keyspace.High(), 1); !errors.Is(err, boom) {
+		t.Fatalf("coalesce should be blocked: %v", err)
+	}
+	m.Abort(ctx, 1)
+	m.Abort(ctx, 2)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 4 {
+		t.Fatalf("after saw %d outcomes (%v), want 4", len(seen), seen)
+	}
+	if seen[0].op != OpInsert || seen[0].err != nil {
+		t.Errorf("outcome 0 = %+v, want clean insert", seen[0])
+	}
+	if seen[1].op != OpInsert || seen[1].err == nil {
+		t.Errorf("outcome 1 = %+v, want failed insert", seen[1])
+	}
+	for _, o := range seen {
+		if o.op == OpCoalesce {
+			t.Errorf("after fired for a Before-blocked call: %+v", o)
+		}
+	}
+}
+
+// countingReporter records reachability reports per member.
+type countingReporter struct {
+	mu               sync.Mutex
+	success, failure map[string]int
+}
+
+func (r *countingReporter) ReportSuccess(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.success[member]++
+}
+
+func (r *countingReporter) ReportFailure(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.failure[member]++
+}
+
+func TestWrapHealthReportsReachability(t *testing.T) {
+	rec := &countingReporter{success: map[string]int{}, failure: map[string]int{}}
+	local := NewLocal(rep.New("A"))
+	m := WrapHealth(local, rec)
+
+	// A completed call — even one returning a semantic error — proves
+	// the member reachable.
+	if err := m.Insert(ctx, 1, keyspace.New("k"), 1, "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert(ctx, 2, keyspace.Low(), 1, "x"); err == nil {
+		t.Fatal("sentinel insert should fail")
+	}
+	m.Abort(ctx, 1)
+	m.Abort(ctx, 2)
+
+	// Unavailability is the one failure class.
+	local.Crash()
+	if _, err := m.Lookup(ctx, 3, keyspace.New("k")); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("lookup on crashed member: %v", err)
+	}
+
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if rec.success["A"] != 4 {
+		t.Errorf("successes = %d, want 4 (semantic errors count as reachable)", rec.success["A"])
+	}
+	if rec.failure["A"] != 1 {
+		t.Errorf("failures = %d, want 1", rec.failure["A"])
+	}
+}
+
 // blockingDir delays Lookup until release closes, signalling entry.
 type blockingDir struct {
 	rep.Directory
