@@ -4,12 +4,22 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench chaos
+.PHONY: check vet build test race bench chaos obsdeps
 
-check: vet build race chaos
+check: vet obsdeps build race chaos
 
 vet:
 	$(GO) vet ./...
+
+# internal/obs must stay stdlib-only: it sits at the bottom of the
+# import graph (core, transport, and heal all import it), so any
+# dependency it grows is a dependency of everything.
+obsdeps:
+	@deps=$$($(GO) list -deps -f '{{if not .Standard}}{{.ImportPath}}{{end}}' repdir/internal/obs | grep -v '^repdir/internal/obs$$' || true); \
+	if [ -n "$$deps" ]; then \
+		echo "internal/obs has non-stdlib dependencies:"; echo "$$deps"; exit 1; \
+	fi
+	@echo "internal/obs is stdlib-only"
 
 build:
 	$(GO) build ./...

@@ -135,6 +135,14 @@ func TestChaosSoakDeterministic(t *testing.T) {
 		a.Converged != b.Converged || a.GhostsLeft != b.GhostsLeft {
 		t.Errorf("same seed, different runs:\n  %+v\n  %+v", a, b)
 	}
+	// Outcome accounting must balance under fault injection too: every
+	// accepted operation commits, fails, or is cancelled — nothing leaks.
+	for _, r := range []sim.ChaosResult{a, b} {
+		if got := r.Suite.Commits + r.Suite.Failures + r.Suite.Cancelled; got != r.Suite.Calls {
+			t.Errorf("accounting: commits %d + failures %d + cancelled %d != calls %d",
+				r.Suite.Commits, r.Suite.Failures, r.Suite.Cancelled, r.Suite.Calls)
+		}
+	}
 }
 
 // TestChaosConcurrentClients keeps the live-coordinator coverage the

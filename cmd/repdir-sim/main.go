@@ -10,11 +10,22 @@
 //	repdir-sim -experiment conc    # section 2 concurrency comparison
 //	repdir-sim -experiment chaos   # fault-injection soak (crash/partition/duplicate)
 //	repdir-sim -experiment heal    # circuit breaker + anti-entropy recovery curve
+//	repdir-sim -experiment traffic # live instrumented traffic with a Delete trace
 //	repdir-sim -experiment all     # everything
 //
 // The -ops flag overrides the per-run operation count (the paper used
 // 10,000 for Figure 14 and 100,000 for Figure 15); -seed fixes the
 // random workload.
+//
+// With -obs.addr the process serves its observability endpoints for
+// the whole run — Prometheus text exposition on /metrics, expvar on
+// /debug/vars, pprof under /debug/pprof/:
+//
+//	repdir-sim -experiment traffic -duration 5m -obs.addr :8080 &
+//	curl localhost:8080/metrics
+//
+// The traffic experiment registers its live suite with that endpoint;
+// -duration stretches its workload long enough to scrape mid-run.
 package main
 
 import (
@@ -23,6 +34,7 @@ import (
 	"os"
 	"time"
 
+	"repdir/internal/obs"
 	"repdir/internal/sim"
 )
 
@@ -41,9 +53,21 @@ func run(args []string) error {
 		ops        = fs.Int("ops", 0, "override operations per run (0 = paper's values)")
 		clients    = fs.Int("clients", 8, "concurrent clients for the concurrency comparison")
 		latency    = fs.Duration("latency", 200*time.Microsecond, "simulated per-message latency for the concurrency comparison")
+		obsAddr    = fs.String("obs.addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
+		duration   = fs.Duration("duration", 0, "workload length for the traffic experiment (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	registry := obs.NewRegistry()
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, registry, true)
+		if err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+		defer srv.Close()
+		fmt.Printf("[observability on http://%s/metrics]\n", srv.Addr())
 	}
 
 	runs := map[string]func() error{
@@ -175,6 +199,19 @@ func run(args []string) error {
 			fmt.Print(sim.FormatHeal(res))
 			return nil
 		},
+		"traffic": func() error {
+			res, err := sim.RunTraffic(sim.TrafficConfig{
+				Seed:     *seed,
+				Entries:  *ops,
+				Duration: *duration,
+				Registry: registry,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(sim.FormatTraffic(res))
+			return nil
+		},
 		"conc": func() error {
 			opsPerClient := *ops
 			if opsPerClient == 0 {
@@ -190,11 +227,11 @@ func run(args []string) error {
 		},
 	}
 
-	order := []string{"fig14", "fig15", "fig16", "sticky", "batch", "model", "skew", "scale", "conc", "chaos", "heal"}
+	order := []string{"fig14", "fig15", "fig16", "sticky", "batch", "model", "skew", "scale", "conc", "chaos", "heal", "traffic"}
 	if *experiment != "all" {
 		fn, ok := runs[*experiment]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want fig14, fig15, fig16, sticky, batch, model, skew, scale, conc, chaos, heal, or all)", *experiment)
+			return fmt.Errorf("unknown experiment %q (want fig14, fig15, fig16, sticky, batch, model, skew, scale, conc, chaos, heal, traffic, or all)", *experiment)
 		}
 		return timed(*experiment, fn)
 	}

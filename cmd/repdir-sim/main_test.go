@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
 
 func TestRunRejectsUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-experiment", "nope"}); err == nil {
@@ -17,6 +25,59 @@ func TestRunSmallExperiments(t *testing.T) {
 	}
 	if err := run([]string{"-experiment", "conc", "-ops", "2", "-clients", "2", "-latency", "1us"}); err != nil {
 		t.Errorf("experiment conc: %v", err)
+	}
+}
+
+// TestRunTrafficServesMetrics is the end-to-end check of the
+// observability wiring: a short traffic run with -obs.addr must serve a
+// Prometheus exposition carrying the live suite's histograms, health
+// states, and paper-metric gauges while the workload is still running.
+func TestRunTrafficServesMetrics(t *testing.T) {
+	// Reserve an ephemeral port, release it, and hand it to the flag.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-experiment", "traffic",
+			"-duration", "1s", "-ops", "30", "-obs.addr", addr})
+	}()
+
+	// Poll until the endpoint answers, then scrape it mid-run.
+	var body string
+	url := fmt.Sprintf("http://%s/metrics", addr)
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(url)
+		if err == nil {
+			b, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil && strings.Contains(string(b), "repdir_ops_total") {
+				body = string(b)
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if body == "" {
+		t.Fatal("never scraped a populated exposition")
+	}
+	for _, want := range []string{
+		"# TYPE repdir_op_latency_seconds histogram",
+		`repdir_health_state{member="rep0"}`,
+		"repdir_messages_per_op{op=",
+		"repdir_suite_events_total{event=\"commits\"}",
+		"repdir_rep_call_latency_seconds_bucket{member=\"rep0\",op=\"lookup\"",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("mid-run exposition missing %q", want)
+		}
 	}
 }
 

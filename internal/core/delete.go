@@ -75,6 +75,7 @@ func (tx *Tx) realPredecessor(ctx context.Context, x keyspace.Key) (neighbor, er
 		tx.txn.Join(m.Dir)
 	}
 	fetch := func(ctx context.Context, m quorum.Member, k keyspace.Key, fanout int) ([]rep.NeighborResult, error) {
+		tx.msgs++
 		batch, err := m.Dir.PredecessorBatch(ctx, tx.txn.ID, k, fanout)
 		if err != nil {
 			tx.noteFailure(m.Dir.Name(), err)
@@ -84,6 +85,8 @@ func (tx *Tx) realPredecessor(ctx context.Context, x keyspace.Key) (neighbor, er
 	}
 	below := func(cand, k keyspace.Key) bool { return cand.Less(k) }
 
+	sp := tx.span("pred-walk", x.Raw())
+	defer sp.End()
 	k := x
 	maxGap := version.Lowest
 	steps, rpcs := 0, 0
@@ -129,6 +132,7 @@ func (tx *Tx) realSuccessor(ctx context.Context, x keyspace.Key) (neighbor, erro
 		tx.txn.Join(m.Dir)
 	}
 	fetch := func(ctx context.Context, m quorum.Member, k keyspace.Key, fanout int) ([]rep.NeighborResult, error) {
+		tx.msgs++
 		batch, err := m.Dir.SuccessorBatch(ctx, tx.txn.ID, k, fanout)
 		if err != nil {
 			tx.noteFailure(m.Dir.Name(), err)
@@ -138,6 +142,8 @@ func (tx *Tx) realSuccessor(ctx context.Context, x keyspace.Key) (neighbor, erro
 	}
 	above := func(cand, k keyspace.Key) bool { return k.Less(cand) }
 
+	sp := tx.span("succ-walk", x.Raw())
+	defer sp.End()
 	k := x
 	maxGap := version.Lowest
 	steps, rpcs := 0, 0
@@ -206,9 +212,11 @@ func (tx *Tx) Delete(ctx context.Context, key string) error {
 	// the write quorum, copying them (with their current version and
 	// value) where missing.
 	insertions := 0
+	boundSpan := tx.span("bound-copy", key)
 	for _, m := range members {
 		tx.txn.Join(m.Dir)
 		for _, nb := range []neighbor{succ, pred} {
+			tx.msgs++
 			res, err := m.Dir.Lookup(ctx, tx.txn.ID, nb.key)
 			if err != nil {
 				tx.noteFailure(m.Dir.Name(), err)
@@ -217,6 +225,7 @@ func (tx *Tx) Delete(ctx context.Context, key string) error {
 			if res.Found {
 				continue
 			}
+			tx.msgs++
 			if err := m.Dir.Insert(ctx, tx.txn.ID, nb.key, nb.ver, nb.value); err != nil {
 				tx.noteFailure(m.Dir.Name(), err)
 				return fmt.Errorf("copy bound %s to %s: %w", nb.key, m.Dir.Name(), err)
@@ -225,6 +234,7 @@ func (tx *Tx) Delete(ctx context.Context, key string) error {
 			insertions++
 		}
 	}
+	boundSpan.End()
 
 	// Coalesce the range in each member of the quorum.
 	obs := DeleteObservation{
@@ -235,7 +245,9 @@ func (tx *Tx) Delete(ctx context.Context, key string) error {
 		SuccessorWalkSteps:   succ.steps,
 		NeighborRPCs:         pred.rpcs + succ.rpcs,
 	}
+	coalesceSpan := tx.span("coalesce", key)
 	for _, m := range members {
+		tx.msgs++
 		res, err := m.Dir.Coalesce(ctx, tx.txn.ID, pred.key, succ.key, ver.Next())
 		if err != nil {
 			tx.noteFailure(m.Dir.Name(), err)
@@ -249,6 +261,7 @@ func (tx *Tx) Delete(ctx context.Context, key string) error {
 			}
 		}
 	}
+	coalesceSpan.End()
 	tx.observations = append(tx.observations, obs)
 	return nil
 }

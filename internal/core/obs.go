@@ -1,0 +1,77 @@
+package core
+
+import (
+	"repdir/internal/obs"
+)
+
+// observerOption attaches an obs.Observer to the suite.
+type observerOption struct{ o *obs.Observer }
+
+func (o observerOption) apply(s *Suite) { s.obs = o.o }
+
+// WithObserver instruments the suite with the observability layer:
+// every operation is traced (quorum rounds, neighbor walks, 2PC phases,
+// wait-die backoffs), timed into per-operation latency histograms, and
+// message-counted (the paper's section 4 cost unit). A nil observer
+// leaves the suite uninstrumented — identical to omitting the option.
+func WithObserver(o *obs.Observer) Option { return observerOption{o: o} }
+
+// Observer returns the suite's observer, or nil when none is attached.
+func (s *Suite) Observer() *obs.Observer { return s.obs }
+
+// RegisterMetrics exposes the suite's counters — and, when attached,
+// its observer, health tracker, and read-repair queue — on reg under
+// repdir_* names for the Prometheus text endpoint.
+func (s *Suite) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterMap("repdir_suite_events_total",
+		"Cumulative suite transaction events, by event kind.",
+		"event", func() map[string]uint64 {
+			st := s.Stats()
+			return map[string]uint64{
+				"calls":                 st.Calls,
+				"commits":               st.Commits,
+				"failures":              st.Failures,
+				"cancelled":             st.Cancelled,
+				"retries":               st.Retries,
+				"dies":                  st.Dies,
+				"replica_losses":        st.ReplicaLosses,
+				"read_repair_enqueued":  st.ReadRepairEnqueued,
+				"read_repair_dropped":   st.ReadRepairDropped,
+				"read_repair_done":      st.ReadRepairDone,
+				"read_repair_failed":    st.ReadRepairFailed,
+				"read_repair_copied":    st.ReadRepairCopied,
+				"read_repair_freshened": st.ReadRepairFreshened,
+			}
+		})
+	if s.rrQueue != nil {
+		reg.Gauge("repdir_read_repair_queue_depth",
+			"Read-repair jobs waiting for the background worker.",
+			func() float64 { return float64(len(s.rrQueue)) })
+	}
+	if h := s.health; h != nil {
+		reg.GaugeMap("repdir_health_state",
+			"Member health state (1=up, 2=suspect, 3=down, 4=probation).",
+			"member", func() map[string]float64 {
+				snap := h.Snapshot()
+				out := make(map[string]float64, len(snap))
+				for name, st := range snap {
+					out[name] = float64(st)
+				}
+				return out
+			})
+		reg.CounterMap("repdir_health_events_total",
+			"Cumulative health tracker events, by event kind.",
+			"event", func() map[string]uint64 {
+				hs := h.Stats()
+				return map[string]uint64{
+					"transitions": hs.Transitions,
+					"trips":       hs.Trips,
+					"recoveries":  hs.Recoveries,
+					"probes":      hs.Probes,
+					"fast_fails":  hs.FastFails,
+					"fallbacks":   hs.Fallbacks,
+				}
+			})
+	}
+	s.obs.Register(reg)
+}

@@ -33,14 +33,23 @@ type readRepairJob struct {
 // member that fails again cannot wedge the worker.
 const readRepairTimeout = 2 * time.Second
 
-// enqueueReadRepair hands the job to the worker without blocking.
+// enqueueReadRepair hands the job to the worker without blocking. After
+// Close, jobs are refused and counted as dropped — counting them as
+// enqueued would inflate ReadRepairEnqueued with work that can never be
+// attempted, and break the DrainReadRepair accounting.
 func (s *Suite) enqueueReadRepair(job readRepairJob) {
-	select {
-	case s.rrQueue <- job:
-		s.counters.readRepairEnqueued.Add(1)
-	default:
-		s.counters.readRepairDropped.Add(1)
+	s.rrMu.RLock()
+	if !s.rrClosed {
+		select {
+		case s.rrQueue <- job:
+			s.rrMu.RUnlock()
+			s.counters.readRepairEnqueued.Add(1)
+			return
+		default:
+		}
 	}
+	s.rrMu.RUnlock()
+	s.counters.readRepairDropped.Add(1)
 }
 
 // readRepairWorker drains the queue until the suite is closed.
@@ -54,42 +63,62 @@ func (s *Suite) readRepairWorker(ctx context.Context) {
 			jctx, cancel := context.WithTimeout(ctx, readRepairTimeout)
 			stats, err := s.repairKeyOn(jctx, job.key, job.stale)
 			cancel()
+			// Record whatever was installed even when some target
+			// failed — per-target isolation in repairKeyOn means a
+			// partially successful job still did real work.
+			s.counters.readRepairCopied.Add(uint64(stats.Copied))
+			s.counters.readRepairFreshened.Add(uint64(stats.Freshened))
 			if err != nil {
 				s.counters.readRepairFailed.Add(1)
 				continue
 			}
 			s.counters.readRepairDone.Add(1)
-			s.counters.readRepairCopied.Add(uint64(stats.Copied))
-			s.counters.readRepairFreshened.Add(uint64(stats.Freshened))
 		}
 	}
 }
 
-// repairKeyOn freshens one key on the given members in a single repair
-// transaction (internal transactions never re-enqueue read repairs, so
-// a freshen that observes further staleness cannot loop on itself).
+// repairKeyOn freshens one key on each given member, one repair
+// transaction per target so a single unreachable member cannot void the
+// work done on the others (internal repair transactions never
+// re-enqueue read repairs, so a freshen that observes further staleness
+// cannot loop on itself). It returns the stats of the targets that
+// succeeded alongside the first error.
 func (s *Suite) repairKeyOn(ctx context.Context, key string, targets []rep.Directory) (RepairStats, error) {
-	var stats RepairStats
-	err := s.runTxn(ctx, true, func(tx *Tx) error {
-		stats = RepairStats{}
-		for _, target := range targets {
-			if err := repairEntry(ctx, tx, target, key, &stats); err != nil {
-				return err
+	var total RepairStats
+	var firstErr error
+	for _, target := range targets {
+		var stats RepairStats
+		err := s.runTxn(ctx, OpReadRepair, true, func(tx *Tx) error {
+			stats = RepairStats{}
+			return repairEntry(ctx, tx, target, key, &stats)
+		})
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
 			}
+			continue
 		}
-		return nil
-	})
-	return stats, err
+		total.add(stats)
+	}
+	return total, firstErr
 }
 
 // DrainReadRepair blocks until every read repair enqueued so far has
 // been attempted (or ctx expires). Intended for tests and audits that
 // need the asynchronous freshens settled before inspecting replicas.
+// After Close it returns immediately: the worker is gone, so waiting
+// for queued jobs to be attempted would spin forever.
 func (s *Suite) DrainReadRepair(ctx context.Context) error {
 	if s.rrQueue == nil {
 		return nil
 	}
 	for {
+		s.rrMu.RLock()
+		closed := s.rrClosed
+		s.rrMu.RUnlock()
+		if closed {
+			return nil
+		}
 		st := s.Stats()
 		if st.ReadRepairDone+st.ReadRepairFailed >= st.ReadRepairEnqueued {
 			return nil
@@ -102,16 +131,32 @@ func (s *Suite) DrainReadRepair(ctx context.Context) error {
 	}
 }
 
-// Close stops the suite's background read-repair worker, discarding any
-// queued jobs. It is a no-op for suites without read repair and is safe
-// to call more than once. Operations remain usable after Close; only
-// the asynchronous freshening stops.
+// Close stops the suite's background read-repair worker. Jobs still
+// queued when the worker stops are discarded and counted in
+// ReadRepairDropped, so the suite's accounting stays whole. It is a
+// no-op for suites without read repair and is safe to call more than
+// once. Operations remain usable after Close; only the asynchronous
+// freshening stops (subsequent staleness observations count as
+// dropped).
 func (s *Suite) Close() {
 	if s.rrCancel == nil {
 		return
 	}
 	s.closeOnce.Do(func() {
+		// Flip rrClosed under the write lock: once this releases, no
+		// enqueue can add to the queue, so the drain below is complete.
+		s.rrMu.Lock()
+		s.rrClosed = true
+		s.rrMu.Unlock()
 		s.rrCancel()
 		s.rrWG.Wait()
+		for {
+			select {
+			case <-s.rrQueue:
+				s.counters.readRepairDropped.Add(1)
+			default:
+				return
+			}
+		}
 	})
 }

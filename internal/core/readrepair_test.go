@@ -160,18 +160,108 @@ func TestReadRepairNoSelfLoop(t *testing.T) {
 }
 
 // TestReadRepairQueueBounds checks the lossy-queue contract: a full
-// queue drops (and counts) observations instead of blocking reads.
+// queue drops (and counts) observations instead of blocking reads. The
+// suite is built by hand with no worker, so the single-slot queue
+// cannot drain between the enqueues.
 func TestReadRepairQueueBounds(t *testing.T) {
-	ts := newReadRepairSuite(t, 1)
-	// Stop the worker so nothing drains the single-slot queue, then
-	// enqueue directly: the first fits, the second must be dropped.
-	ts.suite.Close()
-	ts.suite.enqueueReadRepair(readRepairJob{key: "a"})
-	ts.suite.enqueueReadRepair(readRepairJob{key: "b"})
-	st := ts.suite.Stats()
+	s := &Suite{rrQueue: make(chan readRepairJob, 1)}
+	s.enqueueReadRepair(readRepairJob{key: "a"})
+	s.enqueueReadRepair(readRepairJob{key: "b"})
+	st := s.Stats()
 	if st.ReadRepairEnqueued != 1 || st.ReadRepairDropped != 1 {
 		t.Errorf("stats = %+v, want 1 enqueued, 1 dropped", st)
 	}
+}
+
+// TestReadRepairCloseAccounting is the regression test for two Close
+// bugs: DrainReadRepair spun forever when jobs were still queued at
+// Close (the worker that would have attempted them is gone), and
+// enqueues arriving after Close were counted as enqueued although they
+// can never be attempted. Ordering covered: enqueue → Close → enqueue →
+// Drain. The suite is built by hand with no worker, so the queued jobs
+// deterministically outlive Close.
+func TestReadRepairCloseAccounting(t *testing.T) {
+	s := &Suite{
+		rrQueue:  make(chan readRepairJob, 4),
+		rrCancel: func() {},
+	}
+	s.enqueueReadRepair(readRepairJob{key: "a"})
+	s.enqueueReadRepair(readRepairJob{key: "b"})
+	if st := s.Stats(); st.ReadRepairEnqueued != 2 {
+		t.Fatalf("enqueued = %d, want 2", st.ReadRepairEnqueued)
+	}
+
+	// Close must discard the two queued jobs and count them dropped.
+	s.Close()
+	if st := s.Stats(); st.ReadRepairDropped != 2 {
+		t.Errorf("dropped after Close = %d, want 2", st.ReadRepairDropped)
+	}
+
+	// A post-Close observation counts as dropped, never as enqueued.
+	s.enqueueReadRepair(readRepairJob{key: "c"})
+	st := s.Stats()
+	if st.ReadRepairEnqueued != 2 || st.ReadRepairDropped != 3 {
+		t.Errorf("stats after post-Close enqueue = %+v, want 2 enqueued, 3 dropped", st)
+	}
+
+	// Drain must return promptly: done+failed (0) never catches up with
+	// enqueued (2), but the worker is gone, so there is nothing to wait
+	// for. Before the fix this spun until the context expired.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.DrainReadRepair(ctx); err != nil {
+		t.Errorf("DrainReadRepair after Close: %v", err)
+	}
+
 	// Close is idempotent.
-	ts.suite.Close()
+	s.Close()
+}
+
+// TestReadRepairPartialTargetFailure is the regression test for the
+// all-or-nothing repair bug: one job with several stale targets ran as
+// a single transaction, so one unreachable target voided (and
+// discarded the stats of) the installs on the others. Each target now
+// gets its own transaction: the healthy member is repaired and
+// counted, the partitioned one reports the error.
+func TestReadRepairPartialTargetFailure(t *testing.T) {
+	ctx := context.Background()
+	names := []string{"A", "B", "C", "D", "E"}
+	reps := make([]*rep.Rep, len(names))
+	locals := make([]*transport.Local, len(names))
+	dirs := make([]rep.Directory, len(names))
+	for i, n := range names {
+		reps[i] = rep.New(n)
+		locals[i] = transport.NewLocal(reps[i])
+		dirs[i] = locals[i]
+	}
+	cfg := quorum.NewUniform(dirs, 3, 3)
+	script := &scriptSelector{cfg: cfg}
+	s, err := NewSuite(cfg, WithSelector(script), WithMaxRetries(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := &testSuite{suite: s, reps: reps, locals: locals, script: script}
+
+	// Write k to {A, B, C}; D and E are both stale (missing copies).
+	ts.script.set([]int{0, 1, 2}, []int{0, 1, 2})
+	if err := s.Insert(ctx, "k", "v1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition D, then run one job against both stale members, the
+	// partitioned one first.
+	locals[3].Crash()
+	stats, err := s.repairKeyOn(ctx, "k", []rep.Directory{locals[3], locals[4]})
+	if err == nil {
+		t.Error("repairKeyOn with a partitioned target returned no error")
+	}
+	if stats.Copied != 1 {
+		t.Errorf("copied = %d, want 1 (the healthy target)", stats.Copied)
+	}
+	if has, ver := ts.repHas(4, "k"); !has || ver != version.V(1) {
+		t.Errorf("E after partial repair: has=%v ver=%v, want entry at version 1", has, ver)
+	}
+	if has, _ := ts.repHas(3, "k"); has {
+		t.Error("partitioned D acquired the entry")
+	}
 }

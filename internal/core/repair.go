@@ -79,7 +79,7 @@ func RepairReplicaOpts(ctx context.Context, s *Suite, target rep.Directory, opts
 		// retries never double-count.
 		var page []KV
 		var batch RepairStats
-		err := s.runTxn(ctx, true, func(tx *Tx) error {
+		err := s.runTxn(ctx, OpRepair, true, func(tx *Tx) error {
 			batch = RepairStats{}
 			var err error
 			page, err = tx.Scan(ctx, after, pageSize)
@@ -125,6 +125,7 @@ func repairEntry(ctx context.Context, tx *Tx, target rep.Directory, key string, 
 		return nil
 	}
 	tx.txn.Join(target)
+	tx.msgs++
 	have, err := target.Lookup(ctx, tx.txn.ID, k)
 	if err != nil {
 		tx.noteFailure(target.Name(), err)
@@ -138,6 +139,7 @@ func repairEntry(ctx context.Context, tx *Tx, target rep.Directory, key string, 
 	default:
 		stats.Copied++
 	}
+	tx.msgs++
 	if err := target.Insert(ctx, tx.txn.ID, k, cur.Version, cur.Value); err != nil {
 		tx.noteFailure(target.Name(), err)
 		return err

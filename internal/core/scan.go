@@ -25,7 +25,7 @@ type KV struct {
 // consistent snapshot.
 func (s *Suite) Scan(ctx context.Context, after string, limit int) ([]KV, error) {
 	var out []KV
-	err := s.RunInTxn(ctx, func(tx *Tx) error {
+	err := s.runTxn(ctx, OpScan, false, func(tx *Tx) error {
 		var err error
 		out, err = tx.Scan(ctx, after, limit)
 		return err
@@ -43,7 +43,7 @@ func (tx *Tx) Scan(ctx context.Context, after string, limit int) ([]KV, error) {
 // means "to the end".
 func (s *Suite) ScanRange(ctx context.Context, after, until string, limit int) ([]KV, error) {
 	var out []KV
-	err := s.RunInTxn(ctx, func(tx *Tx) error {
+	err := s.runTxn(ctx, OpScan, false, func(tx *Tx) error {
 		var err error
 		out, err = tx.ScanRange(ctx, after, until, limit)
 		return err
@@ -97,7 +97,7 @@ func (tx *Tx) scanBounded(ctx context.Context, after string, upper keyspace.Key,
 // is the mirror of Scan, built on the real-predecessor search.
 func (s *Suite) ScanReverse(ctx context.Context, before string, limit int) ([]KV, error) {
 	var out []KV
-	err := s.RunInTxn(ctx, func(tx *Tx) error {
+	err := s.runTxn(ctx, OpScan, false, func(tx *Tx) error {
 		var err error
 		out, err = tx.ScanReverse(ctx, before, limit)
 		return err

@@ -5,11 +5,19 @@ import "sync/atomic"
 // SuiteStats counts transaction-level events on a Suite. All fields are
 // cumulative since the suite was created.
 type SuiteStats struct {
+	// Calls is the number of operations started. Every call ends up in
+	// exactly one of Commits, Failures, or Cancelled, so
+	// Commits + Failures + Cancelled == Calls once all operations have
+	// returned.
+	Calls uint64
 	// Commits is the number of transactions that committed.
 	Commits uint64
 	// Failures is the number of operations that ultimately failed
 	// (including semantic errors like ErrKeyExists).
 	Failures uint64
+	// Cancelled is the number of operations abandoned because their
+	// context was done before an attempt could start.
+	Cancelled uint64
 	// Retries is the number of extra attempts caused by wait-die aborts
 	// or lost replicas.
 	Retries uint64
@@ -35,8 +43,10 @@ type SuiteStats struct {
 
 // suiteCounters is the mutable, atomic backing store.
 type suiteCounters struct {
+	calls               atomic.Uint64
 	commits             atomic.Uint64
 	failures            atomic.Uint64
+	cancelled           atomic.Uint64
 	retries             atomic.Uint64
 	dies                atomic.Uint64
 	replicaLosses       atomic.Uint64
@@ -51,8 +61,10 @@ type suiteCounters struct {
 // snapshot freezes the counters.
 func (c *suiteCounters) snapshot() SuiteStats {
 	return SuiteStats{
+		Calls:               c.calls.Load(),
 		Commits:             c.commits.Load(),
 		Failures:            c.failures.Load(),
+		Cancelled:           c.cancelled.Load(),
 		Retries:             c.retries.Load(),
 		Dies:                c.dies.Load(),
 		ReplicaLosses:       c.replicaLosses.Load(),

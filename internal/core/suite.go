@@ -37,6 +37,7 @@ import (
 
 	"repdir/internal/keyspace"
 	"repdir/internal/lock"
+	"repdir/internal/obs"
 	"repdir/internal/quorum"
 	"repdir/internal/rep"
 	"repdir/internal/transport"
@@ -67,6 +68,7 @@ type Suite struct {
 	fanout     int
 	parallel   bool
 	health     *HealthTracker
+	obs        *obs.Observer
 	counters   suiteCounters
 
 	// Read-repair machinery (nil/zero unless WithReadRepair).
@@ -74,6 +76,12 @@ type Suite struct {
 	rrCancel  context.CancelFunc
 	rrWG      sync.WaitGroup
 	closeOnce sync.Once
+	// rrMu orders enqueues against Close: enqueueReadRepair holds the
+	// read side while it checks rrClosed and sends, Close holds the
+	// write side while flipping rrClosed, so no job can slip into the
+	// queue after Close has drained it.
+	rrMu     sync.RWMutex
+	rrClosed bool
 }
 
 // Option configures a Suite.
@@ -212,7 +220,7 @@ func (s *Suite) Config() quorum.Config { return s.cfg }
 func (s *Suite) Lookup(ctx context.Context, key string) (string, bool, error) {
 	var value string
 	var found bool
-	err := s.RunInTxn(ctx, func(tx *Tx) error {
+	err := s.runTxn(ctx, OpLookup, false, func(tx *Tx) error {
 		var err error
 		value, found, err = tx.Lookup(ctx, key)
 		return err
@@ -222,7 +230,7 @@ func (s *Suite) Lookup(ctx context.Context, key string) (string, bool, error) {
 
 // Insert creates an entry for key. It returns ErrKeyExists if one exists.
 func (s *Suite) Insert(ctx context.Context, key, value string) error {
-	return s.RunInTxn(ctx, func(tx *Tx) error {
+	return s.runTxn(ctx, OpInsert, false, func(tx *Tx) error {
 		return tx.Insert(ctx, key, value)
 	})
 }
@@ -230,7 +238,7 @@ func (s *Suite) Insert(ctx context.Context, key, value string) error {
 // Update replaces the value of an existing entry. It returns
 // ErrKeyNotFound if the key has no entry.
 func (s *Suite) Update(ctx context.Context, key, value string) error {
-	return s.RunInTxn(ctx, func(tx *Tx) error {
+	return s.runTxn(ctx, OpUpdate, false, func(tx *Tx) error {
 		return tx.Update(ctx, key, value)
 	})
 }
@@ -238,7 +246,7 @@ func (s *Suite) Update(ctx context.Context, key, value string) error {
 // Delete removes the entry for key. It returns ErrKeyNotFound if the key
 // has no entry.
 func (s *Suite) Delete(ctx context.Context, key string) error {
-	return s.RunInTxn(ctx, func(tx *Tx) error {
+	return s.runTxn(ctx, OpDelete, false, func(tx *Tx) error {
 		return tx.Delete(ctx, key)
 	})
 }
@@ -249,14 +257,40 @@ func (s *Suite) Delete(ctx context.Context, key string) error {
 // failures, so it must be idempotent from the caller's perspective (pure
 // directory operations are).
 func (s *Suite) RunInTxn(ctx context.Context, fn func(tx *Tx) error) error {
-	return s.runTxn(ctx, false, fn)
+	return s.runTxn(ctx, OpTxn, false, fn)
 }
 
-// runTxn is RunInTxn plus the repair-transaction marker: repair
-// transactions (read repair, RepairReplica) never enqueue further read
-// repairs, so a freshen that observes more staleness cannot loop on
-// itself.
-func (s *Suite) runTxn(ctx context.Context, repairTxn bool, fn func(tx *Tx) error) error {
+// Operation labels used for traces and per-operation histograms.
+const (
+	OpLookup     = "lookup"
+	OpInsert     = "insert"
+	OpUpdate     = "update"
+	OpDelete     = "delete"
+	OpScan       = "scan"
+	OpTxn        = "txn"
+	OpRepair     = "repair"
+	OpReadRepair = "read-repair"
+)
+
+// runTxn is RunInTxn plus the operation label (for traces and
+// histograms) and the repair-transaction marker: repair transactions
+// (read repair, RepairReplica) never enqueue further read repairs, so a
+// freshen that observes more staleness cannot loop on itself.
+//
+// Every call ends up in exactly one of the commits, failures, or
+// cancelled counters, so SuiteStats always satisfies
+// Commits + Failures + Cancelled == Calls at rest.
+func (s *Suite) runTxn(ctx context.Context, op string, repairTxn bool, fn func(tx *Tx) error) (err error) {
+	s.counters.calls.Add(1)
+	trace := s.obs.StartTrace(op)
+	msgs := 0
+	if s.obs != nil {
+		start := time.Now()
+		defer func() {
+			trace.Finish(err, msgs)
+			s.obs.OpDone(op, time.Since(start), msgs, err)
+		}()
+	}
 	base := s.ids.Next()
 	exclude := make(map[string]bool)
 	var lastErr error
@@ -266,6 +300,10 @@ func (s *Suite) runTxn(ctx context.Context, repairTxn bool, fn func(tx *Tx) erro
 	}
 	for attempt := 0; attempt <= maxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
+			// The operation never got (another) attempt: it vanished from
+			// neither commits nor failures, so count it as cancelled or
+			// the Calls accounting identity would leak.
+			s.counters.cancelled.Add(1)
 			return err
 		}
 		// Each retry runs under its own attempt ID (same wait-die age),
@@ -276,19 +314,29 @@ func (s *Suite) runTxn(ctx context.Context, repairTxn bool, fn func(tx *Tx) erro
 		tx := &Tx{
 			suite:     s,
 			txn:       attemptTxn,
+			trace:     trace,
 			exclude:   exclude,
 			repairTxn: repairTxn,
+		}
+		if s.obs != nil {
+			attemptTxn.Phase = tx.observePhase
+		}
+		var retrySpan obs.SpanHandle
+		if attempt > 0 {
+			retrySpan = trace.StartSpan("retry")
 		}
 		err := fn(tx)
 		if err == nil {
 			err = tx.finish(ctx)
-			if err == nil {
-				s.counters.commits.Add(1)
-				tx.flushMetrics()
-				return nil
-			}
 		} else {
 			_ = tx.txn.Abort(ctx)
+		}
+		msgs += tx.msgs
+		retrySpan.End()
+		if err == nil {
+			s.counters.commits.Add(1)
+			tx.flushMetrics()
+			return nil
 		}
 		lastErr = err
 		if errors.Is(err, lock.ErrDie) {
@@ -310,7 +358,9 @@ func (s *Suite) runTxn(ctx context.Context, repairTxn bool, fn func(tx *Tx) erro
 		// can finish; the transaction keeps its timestamp and therefore
 		// ages toward immunity.
 		if errors.Is(err, lock.ErrDie) {
+			sp := trace.StartSpan("wait-die-backoff")
 			backoff(ctx, attempt)
+			sp.End()
 		}
 	}
 	s.counters.failures.Add(1)

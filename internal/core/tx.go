@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repdir/internal/keyspace"
+	"repdir/internal/obs"
 	"repdir/internal/quorum"
 	"repdir/internal/rep"
 	"repdir/internal/transport"
@@ -22,6 +24,13 @@ type Tx struct {
 	txn     *txn.Txn
 	exclude map[string]bool
 
+	// trace is the enclosing operation's trace (nil when the suite has
+	// no observer; every method on a nil trace no-ops). msgs counts the
+	// representative messages this attempt sent — the paper's section 4
+	// cost unit — and is folded into the operation total by runTxn.
+	trace *obs.Trace
+	msgs  int
+
 	// repairTxn marks internal repair transactions (read repair,
 	// RepairReplica), whose quorum reads must not enqueue further read
 	// repairs.
@@ -34,6 +43,31 @@ type Tx struct {
 	mutated bool
 	// observations buffers per-delete statistics until commit.
 	observations []DeleteObservation
+}
+
+// span opens a trace span named "name detail" when tracing is on; the
+// two-part form keeps the string concatenation off untraced paths. The
+// zero SpanHandle it returns otherwise is a no-op.
+func (tx *Tx) span(name, detail string) obs.SpanHandle {
+	if tx.trace == nil {
+		return obs.SpanHandle{}
+	}
+	if detail != "" {
+		name = name + " " + detail
+	}
+	return tx.trace.StartSpan(name)
+}
+
+// observePhase is the txn.Txn Phase hook: it counts the round's
+// messages, opens a 2PC span, and feeds the phase histogram.
+func (tx *Tx) observePhase(phase string, participants int) func() {
+	tx.msgs += participants
+	sp := tx.span("2pc-"+phase, "")
+	start := time.Now()
+	return func() {
+		sp.End()
+		tx.suite.obs.PhaseDone(phase, time.Since(start))
+	}
 }
 
 // noteFailure records an unavailable member, feeding the health
@@ -64,11 +98,13 @@ func (tx *Tx) finish(ctx context.Context) error {
 
 // flushMetrics reports buffered observations after a successful commit.
 func (tx *Tx) flushMetrics() {
-	if tx.suite.metrics == nil {
-		return
-	}
-	for _, obs := range tx.observations {
-		tx.suite.metrics.ObserveDelete(obs)
+	for _, o := range tx.observations {
+		if tx.suite.metrics != nil {
+			tx.suite.metrics.ObserveDelete(o)
+		}
+		tx.suite.obs.DeleteObserved(o.NeighborRPCs,
+			o.PredecessorWalkSteps+o.SuccessorWalkSteps,
+			o.GhostDeletions, o.Insertions)
 	}
 }
 
@@ -131,12 +167,14 @@ func (tx *Tx) suiteLookup(ctx context.Context, key keyspace.Key) (rep.LookupResu
 	if err != nil {
 		return rep.LookupResult{}, err
 	}
+	sp := tx.span("quorum-read", key.Raw())
 	replies := make([]rep.LookupResult, len(members))
 	errs := make([]error, len(members))
 	do := func(i int, m quorum.Member) {
 		replies[i], errs[i] = m.Dir.Lookup(ctx, tx.txn.ID, key)
 	}
 	tx.fanOut(members, do)
+	sp.End()
 	if err := tx.roundError(members, errs, "lookup", key); err != nil {
 		return rep.LookupResult{}, err
 	}
@@ -201,6 +239,7 @@ func (tx *Tx) roundError(members []quorum.Member, errs []error, verb string, key
 // suite is configured for parallel quorums. do must only write to its own
 // slot; error handling happens after the join.
 func (tx *Tx) fanOut(members []quorum.Member, do func(i int, m quorum.Member)) {
+	tx.msgs += len(members)
 	for _, m := range members {
 		tx.txn.Join(m.Dir)
 	}
@@ -261,10 +300,12 @@ func (tx *Tx) writeEntry(ctx context.Context, key keyspace.Key, ver version.V, v
 	if err != nil {
 		return err
 	}
+	sp := tx.span("quorum-write", key.Raw())
 	errs := make([]error, len(members))
 	tx.fanOut(members, func(i int, m quorum.Member) {
 		errs[i] = m.Dir.Insert(ctx, tx.txn.ID, key, ver, value)
 	})
+	sp.End()
 	if err := tx.roundError(members, errs, "insert", key); err != nil {
 		return err
 	}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repdir/internal/core"
+	"repdir/internal/obs"
 	"repdir/internal/rep"
 )
 
@@ -37,6 +38,11 @@ type Config struct {
 	Pace time.Duration
 	// RepairTimeout bounds one member's repair pass (default 1m).
 	RepairTimeout time.Duration
+	// Obs, when non-nil, traces each repair pass (one span per
+	// committed page) and feeds the "heal" latency histogram. The
+	// per-entry repair transactions are additionally observed by the
+	// suite's own observer, if it has one.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -161,12 +167,17 @@ func (h *Healer) repair(ctx context.Context, member string, progress func(core.R
 		h.mu.Unlock()
 	}()
 	h.started.Add(1)
+	start := time.Now()
+	trace := h.cfg.Obs.StartTrace("heal " + member)
+	pageSpan := trace.StartSpan("page")
 	rctx, cancel := context.WithTimeout(ctx, h.cfg.RepairTimeout)
 	defer cancel()
 	var prev core.RepairStats
 	stats, err := core.RepairReplicaOpts(rctx, h.suite, target, core.RepairOptions{
 		PageSize: h.cfg.PageSize,
 		OnPage: func(cum core.RepairStats) error {
+			pageSpan.End()
+			pageSpan = trace.StartSpan("page")
 			h.pages.Add(1)
 			h.scanned.Add(uint64(cum.Scanned - prev.Scanned))
 			h.copied.Add(uint64(cum.Copied - prev.Copied))
@@ -176,17 +187,22 @@ func (h *Healer) repair(ctx context.Context, member string, progress func(core.R
 				progress(cum)
 			}
 			if h.cfg.Pace > 0 {
+				sleep := trace.StartSpan("pace")
 				t := time.NewTimer(h.cfg.Pace)
 				defer t.Stop()
 				select {
 				case <-t.C:
 				case <-rctx.Done():
-					return rctx.Err()
 				}
+				sleep.End()
+				return rctx.Err()
 			}
 			return rctx.Err()
 		},
 	})
+	pageSpan.End()
+	trace.Finish(err, 0)
+	h.cfg.Obs.OpDone("heal", time.Since(start), 0, err)
 	if err != nil {
 		h.failed.Add(1)
 		return stats, err

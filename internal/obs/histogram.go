@@ -1,0 +1,254 @@
+// Package obs is the suite's observability layer: lightweight
+// per-operation traces, fixed log-bucket latency histograms, and a
+// Prometheus-text exposition registry, all stdlib-only (enforced by
+// `make obsdeps`). The package deliberately knows nothing about the
+// directory suite — core, transport, and heal emit into it through
+// plain values and callbacks, so obs sits at the bottom of the
+// dependency order next to keyspace and version.
+//
+// Everything here is designed to be safe to leave wired in production
+// paths: histograms are a handful of atomic adds per observation, and
+// every trace entry point is nil-receiver safe, so an unconfigured
+// suite pays only a nil check.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Bucket layout: bound i is 1µs << i, so the finite bounds run
+// 1µs, 2µs, 4µs, ... up to ~67s, plus one overflow (+Inf) bucket.
+// Powers of two keep bucketFor a single bit-length instruction and give
+// a constant relative error of at most 2× — the standard tradeoff of
+// log-bucketed latency histograms (HdrHistogram, Prometheus defaults).
+const (
+	// numFinite is the number of finite bucket bounds.
+	numFinite = 27
+	// NumBuckets counts all buckets, including the +Inf overflow.
+	NumBuckets = numFinite + 1
+)
+
+// BucketBound returns the inclusive upper bound of bucket i, or a
+// negative duration for the +Inf overflow bucket.
+func BucketBound(i int) time.Duration {
+	if i < 0 || i >= numFinite {
+		return -1
+	}
+	return time.Microsecond << i
+}
+
+// bucketFor maps a duration to its bucket index: the smallest i with
+// d <= BucketBound(i), or the overflow bucket. Negative and sub-µs
+// durations land in bucket 0.
+func bucketFor(d time.Duration) int {
+	if d <= time.Microsecond {
+		return 0
+	}
+	// Ceil to whole microseconds, then take ceil(log2).
+	us := uint64((d + time.Microsecond - 1) / time.Microsecond)
+	idx := bits.Len64(us - 1)
+	if idx >= numFinite {
+		return numFinite
+	}
+	return idx
+}
+
+// Histogram is a fixed log-bucket latency histogram. All mutators are
+// lock-free atomic adds, so one histogram can absorb observations from
+// any number of goroutines. The zero value is ready to use.
+type Histogram struct {
+	counts [NumBuckets]atomic.Uint64
+	sum    atomic.Int64 // nanoseconds
+	count  atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.counts[bucketFor(d)].Add(1)
+	h.sum.Add(int64(d))
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Because the
+// fields are read individually, a snapshot taken while observations are
+// in flight may be off by the observations that landed mid-read; the
+// per-bucket counts are each exact.
+type HistogramSnapshot struct {
+	// Count is the number of observations; Sum their total duration.
+	Count uint64
+	Sum   time.Duration
+	// Counts[i] is the number of observations in bucket i (NOT
+	// cumulative; the Prometheus renderer accumulates).
+	Counts [NumBuckets]uint64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Sum = time.Duration(h.sum.Load())
+	s.Count = h.count.Load()
+	return s
+}
+
+// Merge returns the bucket-wise sum of two snapshots (same fixed
+// layout, so merging is exact).
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	out := s
+	out.Count += o.Count
+	out.Sum += o.Sum
+	for i := range out.Counts {
+		out.Counts[i] += o.Counts[i]
+	}
+	return out
+}
+
+// Mean returns the average observed duration.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
+// bound of the bucket the quantile falls in. Observations in the
+// overflow bucket report the largest finite bound.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	// Ceiling rank: the q-quantile is the smallest observation with at
+	// least ceil(q*n) observations at or below it.
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		cum += s.Counts[i]
+		if cum >= rank {
+			if i >= numFinite {
+				return BucketBound(numFinite - 1)
+			}
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(numFinite - 1)
+}
+
+// String renders a compact summary.
+func (s HistogramSnapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50<=%v p99<=%v",
+		s.Count, s.Mean().Round(time.Microsecond),
+		s.Quantile(0.50), s.Quantile(0.99))
+}
+
+// HistogramVec is a set of histograms keyed by one label value (the
+// operation name, the 2PC phase, ...). Labels are created on first use.
+type HistogramVec struct {
+	mu sync.RWMutex
+	m  map[string]*Histogram
+}
+
+// NewHistogramVec builds an empty vector.
+func NewHistogramVec() *HistogramVec {
+	return &HistogramVec{m: make(map[string]*Histogram)}
+}
+
+// With returns the histogram for the label, creating it if needed.
+func (v *HistogramVec) With(label string) *Histogram {
+	v.mu.RLock()
+	h, ok := v.m[label]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok = v.m[label]; ok {
+		return h
+	}
+	h = &Histogram{}
+	v.m[label] = h
+	return h
+}
+
+// Labels returns the known labels, sorted.
+func (v *HistogramVec) Labels() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]string, 0, len(v.m))
+	for l := range v.m {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot copies every label's histogram.
+func (v *HistogramVec) Snapshot() map[string]HistogramSnapshot {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]HistogramSnapshot, len(v.m))
+	for l, h := range v.m {
+		out[l] = h.Snapshot()
+	}
+	return out
+}
+
+// CounterVec is a set of monotonic counters keyed by one label value.
+type CounterVec struct {
+	mu sync.RWMutex
+	m  map[string]*atomic.Uint64
+}
+
+// NewCounterVec builds an empty vector.
+func NewCounterVec() *CounterVec {
+	return &CounterVec{m: make(map[string]*atomic.Uint64)}
+}
+
+// Add increments the label's counter by n.
+func (v *CounterVec) Add(label string, n uint64) {
+	v.mu.RLock()
+	c, ok := v.m[label]
+	v.mu.RUnlock()
+	if !ok {
+		v.mu.Lock()
+		if c, ok = v.m[label]; !ok {
+			c = &atomic.Uint64{}
+			v.m[label] = c
+		}
+		v.mu.Unlock()
+	}
+	c.Add(n)
+}
+
+// Get returns the label's current count (0 for unknown labels).
+func (v *CounterVec) Get(label string) uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if c, ok := v.m[label]; ok {
+		return c.Load()
+	}
+	return 0
+}
+
+// Snapshot copies every label's count.
+func (v *CounterVec) Snapshot() map[string]uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]uint64, len(v.m))
+	for l, c := range v.m {
+		out[l] = c.Load()
+	}
+	return out
+}

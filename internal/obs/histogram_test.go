@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the log-bucket layout: bound i is 1µs<<i,
+// observations land in the smallest bucket whose bound they do not
+// exceed, and out-of-range durations land in bucket 0 / overflow.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-time.Second, 0},
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},                   // exactly bound 0
+		{time.Microsecond + time.Nanosecond, 1}, // just over bound 0
+		{2 * time.Microsecond, 1},               // exactly bound 1
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{5 * time.Microsecond, 3},
+		{time.Millisecond, 10},      // 1024µs = 1µs<<10
+		{1025 * time.Microsecond, 11},
+		{time.Microsecond << 26, numFinite - 1}, // largest finite bound
+		{time.Microsecond<<26 + time.Nanosecond, numFinite}, // overflow
+		{time.Hour, numFinite},
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.d); got != c.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	if b := BucketBound(0); b != time.Microsecond {
+		t.Errorf("BucketBound(0) = %v", b)
+	}
+	if b := BucketBound(10); b != 1024*time.Microsecond {
+		t.Errorf("BucketBound(10) = %v", b)
+	}
+	if b := BucketBound(numFinite); b >= 0 {
+		t.Errorf("overflow bucket bound = %v, want negative (+Inf)", b)
+	}
+	// Bounds strictly increase.
+	for i := 1; i < numFinite; i++ {
+		if BucketBound(i) <= BucketBound(i-1) {
+			t.Errorf("bounds not increasing at %d", i)
+		}
+	}
+}
+
+// TestHistogramObserve checks counts, sum, and mean.
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Microsecond)     // bucket 0
+	h.Observe(3 * time.Microsecond) // bucket 2
+	h.Observe(3 * time.Microsecond) // bucket 2
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != 7*time.Microsecond {
+		t.Errorf("sum = %v", s.Sum)
+	}
+	if s.Counts[0] != 1 || s.Counts[2] != 2 {
+		t.Errorf("counts = %v", s.Counts[:4])
+	}
+	if m := s.Mean(); m != 7*time.Microsecond/3 {
+		t.Errorf("mean = %v", m)
+	}
+	if q := s.Quantile(0.5); q != 4*time.Microsecond {
+		t.Errorf("p50 bound = %v, want 4µs", q)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines;
+// -race verifies the atomics, the totals verify no observation is lost.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(g*i) * time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Errorf("count = %d, want %d", s.Count, goroutines*per)
+	}
+	var bucketTotal uint64
+	for _, c := range s.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != s.Count {
+		t.Errorf("bucket total %d != count %d", bucketTotal, s.Count)
+	}
+}
+
+// TestHistogramMerge checks that merging snapshots is bucket-exact.
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Microsecond)
+	a.Observe(time.Millisecond)
+	b.Observe(time.Millisecond)
+	b.Observe(time.Second)
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Count != 4 {
+		t.Fatalf("merged count = %d", m.Count)
+	}
+	if m.Sum != time.Microsecond+2*time.Millisecond+time.Second {
+		t.Errorf("merged sum = %v", m.Sum)
+	}
+	if m.Counts[bucketFor(time.Millisecond)] != 2 {
+		t.Errorf("merged ms bucket = %d, want 2", m.Counts[bucketFor(time.Millisecond)])
+	}
+	// Merge with an empty snapshot is the identity.
+	id := a.Snapshot().Merge(HistogramSnapshot{})
+	if id != a.Snapshot() {
+		t.Error("merge with zero snapshot changed the histogram")
+	}
+}
+
+// TestHistogramVec checks lazy label creation and concurrent access.
+func TestHistogramVec(t *testing.T) {
+	v := NewHistogramVec()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				v.With("lookup").Observe(time.Microsecond)
+				v.With("insert").Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Labels(); len(got) != 2 || got[0] != "insert" || got[1] != "lookup" {
+		t.Errorf("labels = %v", got)
+	}
+	if s := v.Snapshot()["lookup"]; s.Count != 400 {
+		t.Errorf("lookup count = %d", s.Count)
+	}
+}
+
+// TestCounterVec checks lazy creation and concurrent adds.
+func TestCounterVec(t *testing.T) {
+	v := NewCounterVec()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				v.Add("ops", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Get("ops"); got != 1000 {
+		t.Errorf("ops = %d", got)
+	}
+	if got := v.Get("absent"); got != 0 {
+		t.Errorf("absent = %d", got)
+	}
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarMu serializes the check-then-publish against expvar's global
+// namespace (expvar.Publish panics on duplicates and offers no query
+// under lock).
+var expvarMu sync.Mutex
+
+// PublishExpvar publishes the registry's current samples as one expvar
+// variable (visible at /debug/vars), flattening labels into the key.
+// Publishing the same name twice is a no-op, so the call is safe from
+// re-constructed serving stacks.
+func (r *Registry) PublishExpvar(name string) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.snapshotMap() }))
+}
+
+// NewMux returns an http mux serving the observability endpoints:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/debug/vars    expvar (reg is published as "repdir")
+//	/debug/pprof   runtime profiles, when withPprof is set
+//
+// The mux is also usable as a library handler inside a larger server.
+func NewMux(reg *Registry, withPprof bool) *http.ServeMux {
+	reg.PublishExpvar("repdir")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve listens on addr (e.g. ":9100" or "127.0.0.1:0") and serves the
+// observability mux in a background goroutine.
+func Serve(addr string, reg *Registry, withPprof bool) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewMux(reg, withPprof)}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

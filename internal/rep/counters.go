@@ -44,6 +44,21 @@ func (c *counters) snapshot() Counters {
 	}
 }
 
+// Map flattens the snapshot into name→count pairs, keyed by the
+// snake_case names the metrics exposition uses.
+func (c Counters) Map() map[string]uint64 {
+	return map[string]uint64{
+		"lookups":           c.Lookups,
+		"neighbor_probes":   c.NeighborProbes,
+		"inserts":           c.Inserts,
+		"coalesces":         c.Coalesces,
+		"entries_coalesced": c.EntriesCoalesced,
+		"prepares":          c.Prepares,
+		"commits":           c.Commits,
+		"aborts":            c.Aborts,
+	}
+}
+
 // Counters returns a snapshot of the representative's operation counts.
 func (r *Rep) Counters() Counters {
 	return r.stats.snapshot()

@@ -66,4 +66,13 @@ func TestCountersTrackOperations(t *testing.T) {
 	if got := r.Counters().Aborts; got != 1 {
 		t.Errorf("aborts after abort = %d, want 1", got)
 	}
+
+	// The map form carries every field under its exposition name.
+	m := r.Counters().Map()
+	if len(m) != 8 {
+		t.Errorf("map has %d entries, want 8: %v", len(m), m)
+	}
+	if m["inserts"] != 4 || m["neighbor_probes"] != 2 || m["aborts"] != 1 {
+		t.Errorf("map = %v", m)
+	}
 }

@@ -327,6 +327,13 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	}
 	res.Suite = suite.Stats()
 	res.Health = health.Stats()
+	// Every operation the suite accepted must land in exactly one outcome
+	// column; a leak here means some return path skipped its counter.
+	if got := res.Suite.Commits + res.Suite.Failures + res.Suite.Cancelled; got != res.Suite.Calls {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"accounting: commits %d + failures %d + cancelled %d != calls %d",
+			res.Suite.Commits, res.Suite.Failures, res.Suite.Cancelled, res.Suite.Calls))
+	}
 	return res, nil
 }
 

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repdir/internal/core"
+	"repdir/internal/obs"
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+)
+
+// TrafficConfig parameterizes the live-traffic experiment: a fully
+// instrumented suite (observer, health tracker, read repair, per-member
+// call stats) driven by a mixed workload for a wall-clock duration, so
+// an operator can scrape /metrics and inspect traces against something
+// that behaves like a real deployment.
+type TrafficConfig struct {
+	// Entries is the directory size seeded before the mixed phase.
+	Entries int
+	// Duration bounds the mixed workload phase (default 2s).
+	Duration time.Duration
+	// Seed fixes the workload.
+	Seed int64
+	// Registry, when non-nil, receives every metric family the run
+	// exports (suite counters, health states, op and per-member call
+	// latency histograms, rep counters) before traffic starts — pass the
+	// registry an obs.Server is already scraping to watch the run live.
+	Registry *obs.Registry
+}
+
+func (c TrafficConfig) withDefaults() TrafficConfig {
+	if c.Entries <= 0 {
+		c.Entries = 100
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// TrafficResult reports the run's accounting plus one rendered Delete
+// trace, the per-operation observability the tables elsewhere in this
+// package summarize away.
+type TrafficResult struct {
+	Config   TrafficConfig
+	Ops      map[string]uint64
+	Suite    core.SuiteStats
+	Health   core.HealthStats
+	Messages map[string]float64
+	// ProbesPerDelete is the live counterpart of the paper's section 4
+	// neighbor-probe cost column.
+	ProbesPerDelete float64
+	// DeleteTrace is the most recent Delete's span timeline, rendered by
+	// obs.FormatTrace (empty if the workload never deleted).
+	DeleteTrace string
+}
+
+// RunTraffic drives a mixed workload against an instrumented 3-2-2
+// suite for the configured duration. All four single-key operations
+// plus scans run in a seeded random mix; read quorums rotate, so read
+// repair sees genuine staleness.
+func RunTraffic(cfg TrafficConfig) (TrafficResult, error) {
+	cfg = cfg.withDefaults()
+	res := TrafficResult{Config: cfg}
+	ctx := context.Background()
+
+	names := []string{"rep0", "rep1", "rep2"}
+	reps := make([]*rep.Rep, len(names))
+	stats := make([]*transport.CallStats, len(names))
+	dirs := make([]rep.Directory, len(names))
+	for i, n := range names {
+		reps[i] = rep.New(n)
+		dirs[i], stats[i] = transport.WrapStats(transport.NewLocal(reps[i]))
+	}
+	qc := quorum.NewUniform(dirs, 2, 2)
+
+	// A deep ring so Delete traces survive the flood of read-repair
+	// traces the background worker interleaves.
+	observer := obs.NewObserver(obs.ObserverConfig{TraceRing: 256})
+	health := core.NewHealthTracker(names, core.HealthConfig{})
+	suite, err := core.NewSuite(qc,
+		core.WithSelector(quorum.NewRandomSelector(qc, cfg.Seed)),
+		core.WithObserver(observer),
+		core.WithHealth(health),
+		core.WithReadRepair(64),
+	)
+	if err != nil {
+		return res, err
+	}
+	defer suite.Close()
+
+	if reg := cfg.Registry; reg != nil {
+		suite.RegisterMetrics(reg)
+		reg.CounterVec("repdir_rep_ops_total",
+			"Cumulative per-representative operation counts.",
+			[]string{"member", "op"}, func() []obs.Sample {
+				var out []obs.Sample
+				for i, r := range reps {
+					for op, v := range r.Counters().Map() {
+						out = append(out, obs.Sample{Labels: []string{names[i], op}, Value: float64(v)})
+					}
+				}
+				return out
+			})
+		reg.HistogramVec("repdir_rep_call_latency_seconds",
+			"Per-member transport call latency by operation.",
+			[]string{"member", "op"}, func() []obs.HistSample {
+				var out []obs.HistSample
+				for i, cs := range stats {
+					out = append(out, cs.LatencySamples(names[i])...)
+				}
+				return out
+			})
+	}
+
+	live := make([]string, cfg.Entries)
+	for i := range live {
+		live[i] = fmt.Sprintf("key-%05d", i)
+		if err := suite.Insert(ctx, live[i], "v0"); err != nil {
+			return res, fmt.Errorf("sim: traffic seed %s: %w", live[i], err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	next := cfg.Entries
+	deadline := time.Now().Add(cfg.Duration)
+	for op := 0; time.Now().Before(deadline); op++ {
+		switch r := rng.Intn(10); {
+		case r < 5: // lookups dominate, as in the paper's workload
+			k := live[rng.Intn(len(live))]
+			if _, found, err := suite.Lookup(ctx, k); err != nil {
+				return res, fmt.Errorf("sim: traffic lookup %s: %w", k, err)
+			} else if !found {
+				return res, fmt.Errorf("sim: traffic key %s vanished", k)
+			}
+		case r < 7: // update
+			k := live[rng.Intn(len(live))]
+			if err := suite.Update(ctx, k, fmt.Sprintf("v%d", op)); err != nil {
+				return res, fmt.Errorf("sim: traffic update %s: %w", k, err)
+			}
+		case r < 8: // insert a fresh key
+			k := fmt.Sprintf("key-%05d", next)
+			next++
+			if err := suite.Insert(ctx, k, fmt.Sprintf("v%d", op)); err != nil {
+				return res, fmt.Errorf("sim: traffic insert %s: %w", k, err)
+			}
+			live = append(live, k)
+		case r < 9 && len(live) > 1: // delete, keeping the set non-empty
+			i := rng.Intn(len(live))
+			k := live[i]
+			if err := suite.Delete(ctx, k); err != nil {
+				return res, fmt.Errorf("sim: traffic delete %s: %w", k, err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		default: // short scan
+			if _, err := suite.Scan(ctx, live[rng.Intn(len(live))], 8); err != nil {
+				return res, fmt.Errorf("sim: traffic scan: %w", err)
+			}
+		}
+	}
+
+	// Snapshot a Delete trace before draining: the drain's read-repair
+	// traces would otherwise push every workload trace out of the ring.
+	recent := observer.Tracer().Recent()
+	for i := len(recent) - 1; i >= 0; i-- {
+		if recent[i].Op == core.OpDelete {
+			res.DeleteTrace = obs.FormatTrace(recent[i])
+			break
+		}
+	}
+
+	dctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := suite.DrainReadRepair(dctx); err != nil {
+		return res, fmt.Errorf("sim: traffic drain: %w", err)
+	}
+
+	res.Ops = observer.OpCounts()
+	res.Suite = suite.Stats()
+	res.Health = health.Stats()
+	res.Messages = make(map[string]float64, len(res.Ops))
+	for op := range res.Ops {
+		res.Messages[op] = observer.MessagesPerOp(op)
+	}
+	res.ProbesPerDelete = observer.ProbesPerDelete()
+	return res, nil
+}
+
+// FormatTraffic renders the run as a text report: per-op throughput and
+// live messages/op, the suite's outcome accounting, and a Delete trace.
+func FormatTraffic(r TrafficResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Live traffic — instrumented 3-2-2 suite, %d seeded entries, %v mixed workload\n\n",
+		r.Config.Entries, r.Config.Duration)
+	ops := make([]string, 0, len(r.Ops))
+	for op := range r.Ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	fmt.Fprintf(&b, "  %-12s %8s %14s\n", "operation", "count", "messages/op")
+	for _, op := range ops {
+		fmt.Fprintf(&b, "  %-12s %8d %14.2f\n", op, r.Ops[op], r.Messages[op])
+	}
+	fmt.Fprintf(&b, "\n  accounting: %d calls = %d commits + %d failures + %d cancelled\n",
+		r.Suite.Calls, r.Suite.Commits, r.Suite.Failures, r.Suite.Cancelled)
+	fmt.Fprintf(&b, "  read repair: enqueued=%d done=%d copied=%d freshened=%d dropped=%d\n",
+		r.Suite.ReadRepairEnqueued, r.Suite.ReadRepairDone,
+		r.Suite.ReadRepairCopied, r.Suite.ReadRepairFreshened, r.Suite.ReadRepairDropped)
+	fmt.Fprintf(&b, "  neighbor probes per delete: %.2f (paper section 4 predicts ~2 with batching)\n",
+		r.ProbesPerDelete)
+	if r.DeleteTrace != "" {
+		fmt.Fprintf(&b, "\n  most recent delete trace:\n")
+		for _, line := range strings.Split(strings.TrimRight(r.DeleteTrace, "\n"), "\n") {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
+	}
+	return b.String()
+}

@@ -8,6 +8,7 @@ import (
 
 	"repdir/internal/keyspace"
 	"repdir/internal/lock"
+	"repdir/internal/obs"
 	"repdir/internal/rep"
 	"repdir/internal/version"
 )
@@ -62,6 +63,10 @@ type OpStats struct {
 	MaxInFlight int64
 	// Total is cumulative latency across completed calls.
 	Total time.Duration
+	// Latency is the full latency distribution of completed calls
+	// (fixed log buckets; see package obs), from which any quantile can
+	// be read — the cumulative Total alone hides tail behavior.
+	Latency obs.HistogramSnapshot
 }
 
 // Avg returns mean latency per completed call.
@@ -80,6 +85,7 @@ type opCounters struct {
 	inFlight    atomic.Int64
 	maxInFlight atomic.Int64
 	totalNanos  atomic.Int64
+	latency     obs.Histogram
 }
 
 // allOps enumerates every operation a Directory can receive.
@@ -123,9 +129,11 @@ func (s *CallStats) begin(op Op) func(error) {
 	}
 	start := time.Now()
 	return func(err error) {
+		d := time.Since(start)
 		c.inFlight.Add(-1)
 		c.calls.Add(1)
-		c.totalNanos.Add(int64(time.Since(start)))
+		c.totalNanos.Add(int64(d))
+		c.latency.Observe(d)
 		if err != nil {
 			c.errors.Add(1)
 		}
@@ -152,6 +160,7 @@ func (s *CallStats) Op(op Op) OpStats {
 		InFlight:    c.inFlight.Load(),
 		MaxInFlight: c.maxInFlight.Load(),
 		Total:       time.Duration(c.totalNanos.Load()),
+		Latency:     c.latency.Snapshot(),
 	}
 }
 
@@ -171,6 +180,23 @@ func (s *CallStats) InFlight() int64 {
 		n += c.inFlight.Load()
 	}
 	return n
+}
+
+// LatencySamples renders the per-operation latency histograms as
+// exposition samples, prefixing each sample's labels with the given
+// values (e.g. the member name). Registered via obs.Registry.
+// HistogramVec with label names prefix..., "op".
+func (s *CallStats) LatencySamples(prefix ...string) []obs.HistSample {
+	out := make([]obs.HistSample, 0, len(s.per))
+	for op, c := range s.per {
+		snap := c.latency.Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		labels := append(append([]string(nil), prefix...), string(op))
+		out = append(out, obs.HistSample{Labels: labels, Snap: snap})
+	}
+	return out
 }
 
 // Middleware adapts a representative with per-call hooks; it is the

@@ -130,6 +130,32 @@ func TestCallStatsCountsAndLatency(t *testing.T) {
 	if got := stats.Snapshot()[OpCommit].Calls; got != 1 {
 		t.Errorf("snapshot commit calls = %d", got)
 	}
+	// The latency histogram tracks the flat counters.
+	if ins.Latency.Count != ins.Calls {
+		t.Errorf("insert latency histogram count = %d, want %d", ins.Latency.Count, ins.Calls)
+	}
+	if lk.Latency.Count != 1 || lk.Latency.Sum != lk.Total {
+		t.Errorf("lookup latency histogram = %+v, want count 1 sum %v", lk.Latency, lk.Total)
+	}
+	// Only operations that saw traffic render exposition samples, each
+	// labeled member-then-op.
+	samples := stats.LatencySamples("A")
+	seen := map[string]bool{}
+	for _, s := range samples {
+		if len(s.Labels) != 2 || s.Labels[0] != "A" {
+			t.Fatalf("sample labels = %v, want [A <op>]", s.Labels)
+		}
+		if s.Snap.Count == 0 {
+			t.Errorf("empty histogram rendered for %v", s.Labels)
+		}
+		seen[s.Labels[1]] = true
+	}
+	if !seen[string(OpInsert)] || !seen[string(OpLookup)] {
+		t.Errorf("latency samples missing ops: %v", seen)
+	}
+	if seen[string(OpStatus)] {
+		t.Error("idle op rendered a latency sample")
+	}
 }
 
 func TestCallStatsInFlightGauge(t *testing.T) {

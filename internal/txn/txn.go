@@ -69,6 +69,13 @@ type Txn struct {
 	// Parallel makes the prepare, commit, and abort rounds contact
 	// participants concurrently. Set before the first Commit/Abort.
 	Parallel bool
+	// Phase, when non-nil, is called as each two-phase-commit round
+	// ("prepare", "commit", "abort") starts, with the number of
+	// participants contacted; the returned func (which may be nil) runs
+	// when the round completes. The directory suite uses it to time 2PC
+	// phases and count their messages without this package depending on
+	// the observability layer. Set before the first Commit/Abort.
+	Phase func(phase string, participants int) func()
 
 	mu           sync.Mutex
 	participants []rep.Directory
@@ -128,20 +135,34 @@ func (t *Txn) Commit(ctx context.Context) error {
 	if len(parts) == 0 {
 		return nil
 	}
-	prepErrs := t.round(ctx, parts, rep.Directory.Prepare)
+	prepErrs := t.observedRound(ctx, "prepare", parts, rep.Directory.Prepare)
 	for i, p := range parts {
 		if prepErrs[i] != nil {
 			t.abortAll(ctx, parts)
 			return fmt.Errorf("txn %d: prepare at %s: %w", t.ID, p.Name(), prepErrs[i])
 		}
 	}
-	commitErrs := t.round(ctx, parts, rep.Directory.Commit)
+	commitErrs := t.observedRound(ctx, "commit", parts, rep.Directory.Commit)
 	for i, p := range parts {
 		if commitErrs[i] != nil {
 			return fmt.Errorf("txn %d: commit at %s: %w", t.ID, p.Name(), commitErrs[i])
 		}
 	}
 	return nil
+}
+
+// observedRound is round wrapped in the Phase hook.
+func (t *Txn) observedRound(ctx context.Context, name string, parts []rep.Directory,
+	phase func(rep.Directory, context.Context, lock.TxnID) error) []error {
+	if t.Phase == nil || len(parts) == 0 {
+		return t.round(ctx, parts, phase)
+	}
+	done := t.Phase(name, len(parts))
+	errs := t.round(ctx, parts, phase)
+	if done != nil {
+		done()
+	}
+	return errs
 }
 
 // round drives one protocol phase at every participant, concurrently
@@ -186,5 +207,5 @@ func (t *Txn) Abort(ctx context.Context) error {
 
 // abortAll aborts at every participant, best effort; see Abort.
 func (t *Txn) abortAll(ctx context.Context, parts []rep.Directory) {
-	_ = t.round(ctx, parts, rep.Directory.Abort)
+	_ = t.observedRound(ctx, "abort", parts, rep.Directory.Abort)
 }
