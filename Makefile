@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench chaos obsdeps
+.PHONY: check vet build test race bench chaos crash obsdeps
 
-check: vet obsdeps build race chaos
+check: vet obsdeps build race crash chaos
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +37,15 @@ race:
 # REPDIR_CHAOS_LONG=1 for the long soak (20 seeds x 10000 ops).
 chaos:
 	$(GO) test -race -count 1 -run 'TestChaosSoak' -v .
+
+# Storage-fault gate: the crash-point harness (power loss at every byte
+# boundary of a logged workload, one flipped bit at every byte — see
+# DESIGN.md section 11) plus a short chaos soak whose storage phase
+# wipes a minority of WALs mid-run and rebuilds them from peers. The
+# soak seed doubles as the replay handle on failure.
+crash:
+	$(GO) test -count 1 -run 'TestCrashPoints' -v ./internal/fault/
+	$(GO) test -race -count 1 -run 'TestChaosSoakDeterministic' -v .
 
 # Transport + paper benchmarks (see EXPERIMENTS.md for methodology).
 bench:

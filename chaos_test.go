@@ -99,15 +99,29 @@ func TestChaosSoak(t *testing.T) {
 				t.Errorf("seed %d: circuit breaker never opened despite %d outage windows",
 					seed, res.Faults.Crashes+res.Faults.Partitions)
 			}
+			// The storage-fault phase must have run: a minority of members
+			// lost log records mid-run and came back through the
+			// rebuild-from-peers path, visible in the storage metrics the
+			// observer would export in production.
+			if res.StorageLosses == 0 || res.Rebuilds == 0 {
+				t.Errorf("seed %d: storage phase injected %d losses, completed %d rebuilds",
+					seed, res.StorageLosses, res.Rebuilds)
+			}
+			if res.Storage.Rebuilds == 0 {
+				t.Errorf("seed %d: rebuild not counted in storage metrics: %+v", seed, res.Storage)
+			}
 			t.Logf("seed %d: applied=%d observed=%d indeterminate=%d lookups=%d audited=%d "+
 				"crashes=%d partitions=%d duplicates=%d drops=%d restarts=%d resolved=%d strays=%d repcalls=%d "+
-				"trips=%d fastfails=%d probes=%d healed=%d ghosts=%d",
+				"trips=%d fastfails=%d probes=%d healed=%d ghosts=%d "+
+				"storagelost=%d recordslost=%d rebuilds=%d rebuilt=%d gaps=%d",
 				seed, res.Applied, res.Observed, res.Indeterminate, res.Lookups, res.AuditedKeys,
 				res.Faults.Crashes+res.Faults.CrashAfters, res.Faults.Partitions,
 				res.Faults.Duplicates, res.Faults.DroppedReplies, res.Faults.Restarts,
 				res.Resolved, res.StraysAborted, res.RepCalls,
 				res.Health.Trips, res.Health.FastFails, res.Health.Probes,
-				res.Heal.Copied+res.Heal.Freshened, res.GhostsLeft)
+				res.Heal.Copied+res.Heal.Freshened, res.GhostsLeft,
+				res.StorageLosses, res.RecordsLost, res.Rebuilds,
+				res.Rebuild.Copied+res.Rebuild.Freshened, res.Rebuild.Gaps)
 		})
 	}
 }
@@ -132,7 +146,9 @@ func TestChaosSoakDeterministic(t *testing.T) {
 		a.Faults != b.Faults || a.AuditedKeys != b.AuditedKeys ||
 		a.Health != b.Health || a.Heal != b.Heal ||
 		a.StraysAborted != b.StraysAborted ||
-		a.Converged != b.Converged || a.GhostsLeft != b.GhostsLeft {
+		a.Converged != b.Converged || a.GhostsLeft != b.GhostsLeft ||
+		a.StorageLosses != b.StorageLosses || a.RecordsLost != b.RecordsLost ||
+		a.Rebuilds != b.Rebuilds || a.Rebuild != b.Rebuild || a.Storage != b.Storage {
 		t.Errorf("same seed, different runs:\n  %+v\n  %+v", a, b)
 	}
 	// Outcome accounting must balance under fault injection too: every

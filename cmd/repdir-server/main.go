@@ -10,6 +10,12 @@
 // time. Without -wal the representative is volatile. A directory suite
 // is formed by pointing repdir-cli (or any client built on the library)
 // at several servers.
+//
+// The -recovery flag picks what to do with a damaged log: "strict"
+// (default) refuses to start on anything worse than a torn tail,
+// "salvage" recovers the longest valid prefix and quarantines the rest,
+// and "rebuild" additionally opens empty when even salvage fails,
+// leaving the replica to be rebuilt from its peers.
 package main
 
 import (
@@ -42,6 +48,7 @@ func run(args []string) error {
 		snapPath = fs.String("snap", "", "snapshot file for checkpoints (requires -wal)")
 		every    = fs.Duration("checkpoint", 0, "checkpoint interval (0 = never; requires -snap)")
 		fsync    = fs.String("fsync", "commit", "WAL fsync policy: commit, never, or always")
+		recovery = fs.String("recovery", "strict", "WAL recovery policy: strict, salvage, or rebuild")
 		conc     = fs.Int("concurrency", transport.DefaultPerConnConcurrency,
 			"max requests served concurrently per client connection")
 	)
@@ -58,11 +65,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	recoveryPolicy, err := rep.ParseRecoveryPolicy(*recovery)
+	if err != nil {
+		return err
+	}
 	if *conc < 1 {
 		return errors.New("-concurrency must be at least 1")
 	}
 
-	r, durability, err := buildRep(*name, *walPath, *snapPath, policy)
+	r, durability, err := buildRep(*name, *walPath, *snapPath, policy, recoveryPolicy)
 	if err != nil {
 		return err
 	}
@@ -71,6 +82,15 @@ func run(args []string) error {
 			durability.Close()
 		}
 	}()
+	if durability != nil {
+		reportRecovery(durability.Recovery())
+		// In-doubt transactions hold their locks until cooperative
+		// termination; leaving them silent would look like a hang to
+		// whoever's repair scan blocks on the locked range.
+		if ids := r.InDoubt(); len(ids) > 0 {
+			fmt.Printf("in-doubt transactions holding locks: %v — settle with repdir-cli resolve <id>\n", ids)
+		}
+	}
 
 	srv, err := transport.Serve(r, *addr, transport.WithPerConnConcurrency(*conc))
 	if err != nil {
@@ -119,11 +139,36 @@ func checkpointLoop(d *rep.Durability, every time.Duration, stop <-chan struct{}
 
 // buildRep constructs the representative: durable (snapshot + WAL) when
 // paths are configured, volatile otherwise.
-func buildRep(name, walPath, snapPath string, policy wal.SyncPolicy) (*rep.Rep, *rep.Durability, error) {
+func buildRep(name, walPath, snapPath string, policy wal.SyncPolicy, recovery rep.RecoveryPolicy) (*rep.Rep, *rep.Durability, error) {
 	if walPath == "" {
 		return rep.New(name), nil, nil
 	}
-	return rep.OpenDurable(name, walPath, snapPath, rep.WithSyncPolicy(policy))
+	return rep.OpenDurable(name, walPath, snapPath,
+		rep.WithSyncPolicy(policy), rep.WithRecovery(recovery))
+}
+
+// reportRecovery logs what OpenDurable found, loudly when it was not a
+// clean start: an operator restarting after a disk fault needs to know
+// whether writes were salvaged away and a repair is due.
+func reportRecovery(rec rep.RecoveryReport) {
+	fmt.Printf("recovered %d WAL records under the %s policy (snapshot loaded: %v)\n",
+		rec.WALRecords, rec.Policy, rec.SnapshotLoaded)
+	if rec.SnapshotCorrupt {
+		fmt.Fprintln(os.Stderr, "repdir-server: snapshot failed verification; recovered from the WAL alone")
+	}
+	if rec.Salvage != nil {
+		fmt.Fprintf(os.Stderr, "repdir-server: WAL damage: %s (tail preserved at %s)\n",
+			rec.Salvage.Error(), rec.Salvage.SidecarPath)
+	}
+	if rec.Rebuilt {
+		fmt.Fprintln(os.Stderr, "repdir-server: opened empty after unrecoverable damage; rebuild from peers before serving reads")
+	}
+	if rec.NeedsRepair {
+		fmt.Fprintln(os.Stderr, "repdir-server: acknowledged writes may be missing; reconcile against peers")
+	}
+	for _, w := range rec.Warnings {
+		fmt.Fprintln(os.Stderr, "repdir-server: recovery:", w)
+	}
 }
 
 // parseSyncPolicy maps the -fsync flag to a wal.SyncPolicy.

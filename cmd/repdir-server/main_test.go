@@ -7,11 +7,12 @@ import (
 
 	"repdir/internal/keyspace"
 	"repdir/internal/lock"
+	"repdir/internal/rep"
 	"repdir/internal/wal"
 )
 
 func TestBuildRepVolatile(t *testing.T) {
-	r, d, err := buildRep("vol", "", "", wal.SyncOnCommit)
+	r, d, err := buildRep("vol", "", "", wal.SyncOnCommit, rep.RecoverStrict)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestBuildRepRecoversFromWAL(t *testing.T) {
 	snapPath := filepath.Join(dir, "rep.snap")
 
 	// First life: write one committed entry and checkpoint.
-	r1, d1, err := buildRep("persist", walPath, snapPath, wal.SyncOnCommit)
+	r1, d1, err := buildRep("persist", walPath, snapPath, wal.SyncOnCommit, rep.RecoverStrict)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestBuildRepRecoversFromWAL(t *testing.T) {
 	d1.Close()
 
 	// Second life: the entry survives via the snapshot.
-	r2, d2, err := buildRep("persist", walPath, snapPath, wal.SyncOnCommit)
+	r2, d2, err := buildRep("persist", walPath, snapPath, wal.SyncOnCommit, rep.RecoverStrict)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,10 +67,13 @@ func TestRunFlagValidation(t *testing.T) {
 	if err := run([]string{"-checkpoint", "5m", "-wal", "/tmp/x.wal"}); err == nil {
 		t.Error("-checkpoint without -snap should fail")
 	}
+	if err := run([]string{"-recovery", "optimistic"}); err == nil {
+		t.Error("unknown -recovery policy should fail")
+	}
 }
 
 func TestBuildRepRejectsBadPath(t *testing.T) {
-	if _, _, err := buildRep("x", t.TempDir(), "", wal.SyncOnCommit); err == nil {
+	if _, _, err := buildRep("x", t.TempDir(), "", wal.SyncOnCommit, rep.RecoverStrict); err == nil {
 		t.Error("opening a directory as a WAL should fail")
 	}
 }

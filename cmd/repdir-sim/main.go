@@ -10,6 +10,7 @@
 //	repdir-sim -experiment conc    # section 2 concurrency comparison
 //	repdir-sim -experiment chaos   # fault-injection soak (crash/partition/duplicate)
 //	repdir-sim -experiment heal    # circuit breaker + anti-entropy recovery curve
+//	repdir-sim -experiment storage # crash points, salvage recovery curve, rebuild throughput
 //	repdir-sim -experiment traffic # live instrumented traffic with a Delete trace
 //	repdir-sim -experiment all     # everything
 //
@@ -212,6 +213,14 @@ func run(args []string) error {
 			fmt.Print(sim.FormatTraffic(res))
 			return nil
 		},
+		"storage": func() error {
+			res, err := sim.RunStorage(sim.StorageConfig{Seed: *seed, Commits: *ops})
+			if err != nil {
+				return err
+			}
+			fmt.Print(sim.FormatStorage(res))
+			return nil
+		},
 		"conc": func() error {
 			opsPerClient := *ops
 			if opsPerClient == 0 {
@@ -227,11 +236,11 @@ func run(args []string) error {
 		},
 	}
 
-	order := []string{"fig14", "fig15", "fig16", "sticky", "batch", "model", "skew", "scale", "conc", "chaos", "heal", "traffic"}
+	order := []string{"fig14", "fig15", "fig16", "sticky", "batch", "model", "skew", "scale", "conc", "chaos", "heal", "storage", "traffic"}
 	if *experiment != "all" {
 		fn, ok := runs[*experiment]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want fig14, fig15, fig16, sticky, batch, model, skew, scale, conc, chaos, heal, traffic, or all)", *experiment)
+			return fmt.Errorf("unknown experiment %q (want fig14, fig15, fig16, sticky, batch, model, skew, scale, conc, chaos, heal, storage, traffic, or all)", *experiment)
 		}
 		return timed(*experiment, fn)
 	}

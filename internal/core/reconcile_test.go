@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repdir/internal/rep"
+	"repdir/internal/version"
+)
+
+// loseStorage models replica i coming back from a disk failure with
+// nothing: a fresh representative in recovering mode takes its place.
+func (ts *testSuite) loseStorage(i int) *rep.Rep {
+	fresh := rep.New(ts.reps[i].Name())
+	fresh.SetRecovering(true)
+	ts.reps[i] = fresh
+	ts.locals[i].Replace(fresh)
+	return fresh
+}
+
+// TestReconcileRebuildsLostReplica wipes one replica of a fully
+// replicated suite and rebuilds it from its peers: afterwards its entry
+// dump — values, versions, and gap versions — must match a healthy
+// replica byte for byte.
+func TestReconcileRebuildsLostReplica(t *testing.T) {
+	ctx := context.Background()
+	ts := newRandomSuite(t, []string{"A", "B", "C"}, 2, 3, 404)
+	s := ts.suite
+
+	for i := 0; i < 10; i++ {
+		if err := s.Insert(ctx, fmt.Sprintf("k%02d", i), "v1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, key := range []string{"k03", "k07"} {
+		if err := s.Delete(ctx, key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Update(ctx, "k01", "v2"); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := ts.loseStorage(0)
+
+	// While it rebuilds, the suite still serves reads around it.
+	if _, found, err := s.Lookup(ctx, "k01"); err != nil || !found {
+		t.Fatalf("lookup during rebuild: %v %v", found, err)
+	}
+	if _, err := fresh.Lookup(ctx, 999, fresh.Dump()[0].Key); !errors.Is(err, rep.ErrRecovering) {
+		t.Fatalf("direct read on recovering replica = %v", err)
+	}
+
+	stats, err := ReconcileReplica(ctx, s, ts.locals[0], RepairOptions{PageSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Copied != 8 {
+		t.Errorf("Copied = %d, want 8 current entries", stats.Copied)
+	}
+	if stats.Gaps == 0 {
+		t.Error("no gap segments reconciled")
+	}
+	fresh.SetRecovering(false)
+
+	// Full physical agreement with a healthy replica (writes went to all
+	// three, so B holds exactly the current state).
+	a, b := ts.reps[0].Dump(), ts.reps[1].Dump()
+	if len(a) != len(b) {
+		t.Fatalf("entry counts differ after reconcile: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Key.Equal(b[i].Key) || a[i].Version != b[i].Version ||
+			a[i].Value != b[i].Value || a[i].GapAfter != b[i].GapAfter {
+			t.Errorf("entry %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+
+	// Idempotency: a second pass finds nothing to do.
+	again, err := ReconcileReplica(ctx, s, ts.locals[0], RepairOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Copied != 0 || again.Freshened != 0 {
+		t.Errorf("second reconcile did work: %+v", again)
+	}
+}
+
+// TestReconcileRestoresDeletionDominance is the quorum-intersection
+// poison scenario: a delete acknowledged by {A, B} lives only in their
+// gap versions; C still holds the ghost. If A then loses its storage,
+// a future read quorum {A, C} contains no replica that remembers the
+// deletion — unless the rebuild restores A's gap versions, which is
+// exactly what ReconcileReplica (unlike plain RepairReplica) does.
+func TestReconcileRestoresDeletionDominance(t *testing.T) {
+	ctx := context.Background()
+	ts := newScriptedSuite(t, []string{"A", "B", "C"}, 2, 2)
+	s := ts.suite
+	ts.prepopulate(t, "k")
+
+	// Delete k with quorum {A, B}: their gap versions now dominate the
+	// ghost k@1 that C keeps.
+	ts.script.set([]int{0, 1}, []int{0, 1})
+	if err := s.Delete(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A forgets everything.
+	fresh := ts.loseStorage(0)
+
+	// Rebuild A from a read quorum that must include B (C alone cannot
+	// vouch for the deletion).
+	ts.script.set([]int{1, 2}, []int{1, 2})
+	stats, err := ReconcileReplica(ctx, s, ts.locals[0], RepairOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Gaps == 0 {
+		t.Fatal("reconcile installed no gap versions")
+	}
+	fresh.SetRecovering(false)
+
+	// The poisoned quorum: {A, C}. C offers the ghost k@1; A must beat
+	// it with the reconciled gap version, or the deletion resurrects.
+	ts.script.set([]int{0, 2}, []int{0, 2})
+	if _, found, err := s.Lookup(ctx, "k"); err != nil {
+		t.Fatal(err)
+	} else if found {
+		t.Fatal("deleted key resurrected through a rebuilt replica: gap versions were not restored")
+	}
+
+	// And A must not hold the ghost physically either.
+	if has, _ := ts.repHas(0, "k"); has {
+		t.Error("ghost entry installed on rebuilt replica")
+	}
+	// Its gap version dominates the ghost.
+	for _, e := range ts.reps[0].Dump() {
+		if e.Key.IsLow() && e.GapAfter < version.V(2) {
+			t.Errorf("rebuilt gap version %d does not dominate ghost", e.GapAfter)
+		}
+	}
+}
+
+// TestRepairEntryToleratesRecoveringTarget: the plain per-key repair
+// path must install unconditionally when the target refuses reads.
+func TestRepairEntryToleratesRecoveringTarget(t *testing.T) {
+	ctx := context.Background()
+	ts := newRandomSuite(t, []string{"A", "B", "C"}, 2, 3, 17)
+	s := ts.suite
+	for i := 0; i < 5; i++ {
+		if err := s.Insert(ctx, fmt.Sprintf("r%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh := ts.loseStorage(2)
+	stats, err := RepairReplica(ctx, s, ts.locals[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Copied != 5 {
+		t.Errorf("Copied = %d, want 5", stats.Copied)
+	}
+	fresh.SetRecovering(false)
+	for i := 0; i < 5; i++ {
+		if has, _ := ts.repHas(2, fmt.Sprintf("r%d", i)); !has {
+			t.Errorf("r%d missing after repair of recovering target", i)
+		}
+	}
+}

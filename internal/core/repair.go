@@ -2,13 +2,15 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repdir/internal/keyspace"
 	"repdir/internal/rep"
+	"repdir/internal/version"
 )
 
-// RepairStats reports what RepairReplica did.
+// RepairStats reports what RepairReplica or ReconcileReplica did.
 type RepairStats struct {
 	// Scanned is the number of current entries examined.
 	Scanned int
@@ -18,6 +20,10 @@ type RepairStats struct {
 	// Freshened is the number of entries whose stale version/value on
 	// the target was overwritten with the current one.
 	Freshened int
+	// Gaps is the number of gap segments whose current version was
+	// installed on the target (ReconcileReplica only; RepairReplica
+	// leaves gap versions alone).
+	Gaps int
 }
 
 // add folds another batch of repair work into the totals.
@@ -25,6 +31,7 @@ func (s *RepairStats) add(o RepairStats) {
 	s.Scanned += o.Scanned
 	s.Copied += o.Copied
 	s.Freshened += o.Freshened
+	s.Gaps += o.Gaps
 }
 
 // DefaultRepairPageSize is the per-transaction page size RepairReplica
@@ -111,6 +118,136 @@ func RepairReplicaOpts(ctx context.Context, s *Suite, target rep.Directory, opts
 	}
 }
 
+// ReconcileReplica makes the target fully current: every current entry
+// installed at its current version and value, every ghost purged, and —
+// unlike RepairReplica — every gap version brought up to the quorum
+// maximum. It is the rebuild path for a replica that lost storage: such
+// a replica forgot not only entries but deletions, and a deletion lives
+// only in gap versions, so copying entries alone would leave the
+// replica answering version.Lowest for gaps it once knew dominated.
+//
+// The reconcile walks the keyspace left to right with the Figure 12
+// real-successor search, which already folds the quorum-maximum gap
+// version over every range it crosses. For each segment between
+// adjacent current entries it installs the upper entry on the target
+// (versioned install, idempotent) and then coalesces the segment on the
+// target with that maximum gap version — purging any ghosts the target
+// still holds and installing a gap version that dominates everything
+// ever deleted in the segment, because a read quorum said so under
+// range locks. Versions are never invented, only copied.
+//
+// Segments are paged PageSize per transaction, so the directory is
+// never locked wholesale; OnPage is the pacing hook, as in
+// RepairReplicaOpts. Safe to run while the suite is live, including
+// against a target in recovering mode (its reads bounce, its writes
+// land).
+func ReconcileReplica(ctx context.Context, s *Suite, target rep.Directory, opts RepairOptions) (RepairStats, error) {
+	pageSize := opts.PageSize
+	if pageSize <= 0 {
+		pageSize = DefaultRepairPageSize
+	}
+	var stats RepairStats
+	after := keyspace.Low()
+	for {
+		var batch RepairStats
+		var next keyspace.Key
+		done := false
+		err := s.runTxn(ctx, OpRepair, true, func(tx *Tx) error {
+			batch = RepairStats{}
+			done = false
+			k := after
+			for segs := 0; segs < pageSize; segs++ {
+				nb, err := tx.realSuccessor(ctx, k)
+				if err != nil {
+					return err
+				}
+				if err := reconcileSegment(ctx, tx, target, k, nb, &batch); err != nil {
+					return err
+				}
+				if nb.key.IsHigh() {
+					done = true
+					return nil
+				}
+				k = nb.key
+			}
+			next = k
+			return nil
+		})
+		if err != nil {
+			return stats, fmt.Errorf("core: reconcile %s: %w", target.Name(), err)
+		}
+		stats.add(batch)
+		if opts.OnPage != nil {
+			if err := opts.OnPage(stats); err != nil {
+				return stats, err
+			}
+		}
+		if done {
+			return stats, nil
+		}
+		after = next
+	}
+}
+
+// reconcileSegment brings one segment (lo, nb.key] up to date on the
+// target: the upper bounding entry installed if nb.key is a real entry,
+// then the segment coalesced at the walk's quorum-maximum gap version.
+func reconcileSegment(ctx context.Context, tx *Tx, target rep.Directory, lo keyspace.Key, nb neighbor, stats *RepairStats) error {
+	tx.txn.Join(target)
+	if !nb.key.IsHigh() {
+		batch := RepairStats{}
+		if err := repairInstall(ctx, tx, target, nb.key, nb.ver, nb.value, &batch); err != nil {
+			return err
+		}
+		stats.add(batch)
+	}
+	tx.msgs++
+	if _, err := target.Coalesce(ctx, tx.txn.ID, lo, nb.key, nb.maxGap); err != nil {
+		if errors.Is(err, rep.ErrMissingBound) {
+			// lo vanished from the target since we installed it — a
+			// concurrent Delete coalesced it away. That delete's own
+			// coalesce already installed a dominating gap version across
+			// this segment on the target, so skipping ours loses nothing.
+			return nil
+		}
+		tx.noteFailure(target.Name(), err)
+		return err
+	}
+	tx.mutated = true
+	stats.Gaps++
+	return nil
+}
+
+// repairInstall performs the shared versioned-install step: look up what
+// the target holds (treating a recovering target as holding nothing)
+// and install (ver, value) if it is newer.
+func repairInstall(ctx context.Context, tx *Tx, target rep.Directory, k keyspace.Key, ver version.V, value string, stats *RepairStats) error {
+	stats.Scanned++
+	tx.msgs++
+	have, err := target.Lookup(ctx, tx.txn.ID, k)
+	if errors.Is(err, rep.ErrRecovering) {
+		have = rep.LookupResult{}
+	} else if err != nil {
+		tx.noteFailure(target.Name(), err)
+		return err
+	}
+	switch {
+	case have.Found && have.Version >= ver:
+		return nil
+	case have.Found:
+		stats.Freshened++
+	default:
+		stats.Copied++
+	}
+	tx.msgs++
+	if err := target.Insert(ctx, tx.txn.ID, k, ver, value); err != nil {
+		tx.noteFailure(target.Name(), err)
+		return err
+	}
+	tx.mutated = true
+	return nil
+}
+
 // repairEntry reconciles one key on the target within the transaction.
 func repairEntry(ctx context.Context, tx *Tx, target rep.Directory, key string, stats *RepairStats) error {
 	stats.Scanned++
@@ -127,7 +264,12 @@ func repairEntry(ctx context.Context, tx *Tx, target rep.Directory, key string, 
 	tx.txn.Join(target)
 	tx.msgs++
 	have, err := target.Lookup(ctx, tx.txn.ID, k)
-	if err != nil {
+	if errors.Is(err, rep.ErrRecovering) {
+		// The target refuses reads while it rebuilds, but accepts
+		// writes. Treat it as holding nothing: the versioned install
+		// below is idempotent, so installing unconditionally is safe.
+		have = rep.LookupResult{}
+	} else if err != nil {
 		tx.noteFailure(target.Name(), err)
 		return err
 	}

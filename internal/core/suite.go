@@ -391,6 +391,7 @@ func backoff(ctx context.Context, attempt int) {
 func retryable(err error) bool {
 	return errors.Is(err, lock.ErrDie) ||
 		errors.Is(err, transport.ErrUnavailable) ||
+		errors.Is(err, rep.ErrRecovering) ||
 		errors.Is(err, rep.ErrTxnDecided) ||
 		errors.Is(err, rep.ErrUnknownTxn)
 }

@@ -70,10 +70,18 @@ func (tx *Tx) observePhase(phase string, participants int) func() {
 	}
 }
 
+// isUnavailable reports whether an error means the member cannot serve
+// this round: unreachable over the transport, or alive but refusing
+// reads while it rebuilds lost storage (rep.ErrRecovering). Both are
+// handled the same way — exclude the member and retry elsewhere.
+func isUnavailable(err error) bool {
+	return errors.Is(err, transport.ErrUnavailable) || errors.Is(err, rep.ErrRecovering)
+}
+
 // noteFailure records an unavailable member, feeding the health
 // tracker (every path that loses a member passes through here).
 func (tx *Tx) noteFailure(name string, err error) {
-	if !errors.Is(err, transport.ErrUnavailable) {
+	if !isUnavailable(err) {
 		return
 	}
 	if tx.failed == nil {
@@ -224,7 +232,10 @@ func (tx *Tx) roundError(members []quorum.Member, errs []error, verb string, key
 		}
 		// Any reply at all — even an error like a wait-die kill — proves
 		// the member reachable; only unavailability counts against it.
-		if h != nil && !errors.Is(errs[i], transport.ErrUnavailable) {
+		// ErrRecovering is deliberate refusal, not unreachability, but it
+		// still must not feed ReportSuccess: a recovering member should
+		// not look healthy to read routing.
+		if h != nil && !isUnavailable(errs[i]) {
 			h.ReportSuccess(m.Dir.Name())
 		}
 		tx.noteFailure(m.Dir.Name(), errs[i])

@@ -1,0 +1,40 @@
+package fault
+
+import "testing"
+
+// TestCrashPoints runs the crash-point harness: power loss at every
+// byte boundary of a logged workload, plus a single-bit flip at every
+// byte, must always recover to an acknowledged state.
+func TestCrashPoints(t *testing.T) {
+	report, err := RunCrashPoints(CrashConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TruncationPoints != int(report.WALBytes)+1 {
+		t.Errorf("tried %d truncation points over %d bytes", report.TruncationPoints, report.WALBytes)
+	}
+	if report.BitFlipPoints != int(report.WALBytes) {
+		t.Errorf("tried %d bit-flip points over %d bytes", report.BitFlipPoints, report.WALBytes)
+	}
+	// The strict policy must have refused at least the mid-log flips,
+	// and the salvage policy must have flagged repairs for them.
+	if report.StrictRefusals == 0 {
+		t.Error("no strict refusals: mid-log corruption went unnoticed")
+	}
+	if report.SalvagedOpens == 0 {
+		t.Error("no salvaged opens: salvage policy never flagged repair")
+	}
+	t.Logf("crash-point report: %+v", report)
+}
+
+// TestCrashPointsShort covers a non-default configuration: fewer
+// commits and a strided bit-flip pass.
+func TestCrashPointsShort(t *testing.T) {
+	report, err := RunCrashPoints(CrashConfig{Dir: t.TempDir(), Commits: 3, FlipStride: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Commits != 3 {
+		t.Errorf("commits = %d, want 3", report.Commits)
+	}
+}

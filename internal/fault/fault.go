@@ -111,6 +111,8 @@ type Stats struct {
 	DroppedReplies, Duplicates uint64
 	// Restarts counts recoveries from the write-ahead log.
 	Restarts uint64
+	// StorageLosses counts storage failures injected with LoseStorage.
+	StorageLosses uint64
 }
 
 // Member is a fault-injecting rep.Directory middleware. The zero value
@@ -119,14 +121,16 @@ type Member struct {
 	name string
 	plan Plan
 
-	mu         sync.Mutex
-	rng        *rand.Rand
-	target     rep.Directory
-	restart    func() (rep.Directory, error)
-	down       int
-	lost       bool // down window opened by a crash: restart must rebuild
-	restartErr error
-	stats      Stats
+	mu             sync.Mutex
+	rng            *rand.Rand
+	target         rep.Directory
+	restart        func() (rep.Directory, error)
+	wipe           func(frac float64) int // damage the log's tail (LoseStorage)
+	down           int
+	lost           bool // down window opened by a crash: restart must rebuild
+	pendingRebuild bool // storage was lost: recovering mode until RebuildDone
+	restartErr     error
+	stats          Stats
 }
 
 var _ rep.Directory = (*Member)(nil)
@@ -154,6 +158,13 @@ func NewRecovering(name string, plan Plan, seed int64) (*Member, *wal.MemoryLog)
 	m := NewMember(name, rep.New(name, rep.WithLog(log)), func() (rep.Directory, error) {
 		return rep.Recover(name, log.Records(), rep.WithLog(log))
 	}, plan, seed)
+	m.wipe = func(frac float64) int {
+		n := int(float64(len(log.Records())) * frac)
+		if n < 1 {
+			n = 1
+		}
+		return log.DropTail(n)
+	}
 	return m, log
 }
 
@@ -250,6 +261,15 @@ func (m *Member) restartLocked() {
 	m.lost = false
 	m.restartErr = nil
 	m.stats.Restarts++
+	if m.pendingRebuild {
+		// The log this incarnation replayed is damaged: it may have
+		// forgotten acknowledged writes, including deletions that live
+		// only in gap versions. Its answers must not reach quorums until
+		// a rebuild from peers reconciles it (RebuildDone).
+		if rr, ok := t.(interface{ SetRecovering(bool) }); ok {
+			rr.SetRecovering(true)
+		}
+	}
 }
 
 // crashAfterCall crashes the member after it executed a call.
@@ -333,6 +353,53 @@ func (m *Member) Crash() {
 	defer m.mu.Unlock()
 	if m.down == 0 {
 		m.crashLocked()
+	}
+}
+
+// LoseStorage injects a storage failure: a deterministic fraction of
+// the member's log tail is destroyed and the member crashes. When its
+// down window ends (or Heal runs) it restarts from the damaged log in
+// recovering mode — reads bounce with rep.ErrRecovering, because the
+// restarted state may have forgotten acknowledged writes, including
+// deletions that live only in gap versions — and stays that way until
+// RebuildDone after a rebuild-from-peers pass (heal.Healer.Rebuild)
+// has reconciled it. Returns how many log records were destroyed; a
+// member built without a log (NewMember with no wipe path) returns 0
+// and injects nothing.
+func (m *Member) LoseStorage() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.wipe == nil || m.restart == nil {
+		return 0
+	}
+	dropped := m.wipe(0.25 + 0.75*m.rng.Float64())
+	m.pendingRebuild = true
+	m.stats.StorageLosses++
+	if m.down == 0 {
+		m.crashLocked()
+		m.stats.Crashes-- // counted as a storage loss, not a plain crash
+	} else {
+		m.lost = true // whatever the window was, the restart must replay
+	}
+	return dropped
+}
+
+// NeedsRebuild reports that a LoseStorage injection has not yet been
+// answered by RebuildDone.
+func (m *Member) NeedsRebuild() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pendingRebuild
+}
+
+// RebuildDone clears recovering mode after a successful rebuild: the
+// member serves reads again.
+func (m *Member) RebuildDone() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pendingRebuild = false
+	if rr, ok := m.target.(interface{ SetRecovering(bool) }); ok {
+		rr.SetRecovering(false)
 	}
 }
 

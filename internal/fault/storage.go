@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+
+	"repdir/internal/wal"
+)
+
+// Injected storage errors. They are package-level sentinels rather than
+// syscall errnos so tests can match them with errors.Is without a
+// platform dependency; semantically ErrNoSpace is ENOSPC and ErrIO is
+// EIO.
+var (
+	// ErrNoSpace is returned by a write that fails having written
+	// nothing, like a full disk.
+	ErrNoSpace = errors.New("fault: no space left on device")
+	// ErrIO is returned by failed fsyncs and by torn writes, like a
+	// device error: some, all, or none of the data may be durable.
+	ErrIO = errors.New("fault: input/output error")
+)
+
+// StoragePlan parameterizes a FaultFile's fault schedule. Probabilities
+// are per operation; an all-zero plan injects nothing.
+type StoragePlan struct {
+	// PFsyncFail is the chance a Sync returns ErrIO without reaching the
+	// underlying file — previously written data is in an unknown
+	// durability state, exactly what a failed fsync means.
+	PFsyncFail float64
+	// PWriteErr is the chance a Write returns ErrNoSpace having written
+	// nothing (a full disk fails atomically at the syscall boundary).
+	PWriteErr float64
+	// PTornWrite is the chance a Write persists only a prefix, cut at a
+	// byte boundary drawn uniformly in [0, len), then returns ErrIO —
+	// the on-disk signature of losing power mid-write.
+	PTornWrite float64
+	// PBitFlip is the chance a Write lands in full but with one bit
+	// flipped at a uniformly drawn position, and reports success —
+	// silent corruption that only a checksum can catch later.
+	PBitFlip float64
+	// Seed drives the decision stream; a FaultFile's behaviour is a pure
+	// function of (Seed, operation sequence).
+	Seed int64
+}
+
+// StorageStats counts what a FaultFile injected.
+type StorageStats struct {
+	// Writes and Syncs count operations observed (including failed ones).
+	Writes, Syncs uint64
+	// WriteErrs, TornWrites, BitFlips, and FsyncFails count injections.
+	WriteErrs, TornWrites, BitFlips, FsyncFails uint64
+	// BytesWritten counts bytes that reached the underlying file;
+	// BytesTorn counts bytes a torn write discarded.
+	BytesWritten, BytesTorn uint64
+}
+
+// FaultFile wraps a wal.File with a deterministic storage-fault
+// schedule: fsync failures, write failures, torn writes, and silent bit
+// flips, drawn per operation from a seeded stream. It slots between a
+// wal.FileLog and the disk (wal.NewFileLog(NewFaultFile(f, plan))), so
+// the log above it experiences storage faults without knowing.
+type FaultFile struct {
+	mu    sync.Mutex
+	f     wal.File
+	plan  StoragePlan
+	rng   *rand.Rand
+	stats StorageStats
+}
+
+var _ wal.File = (*FaultFile)(nil)
+
+// NewFaultFile wraps f with the plan's fault schedule.
+func NewFaultFile(f wal.File, plan StoragePlan) *FaultFile {
+	return &FaultFile{f: f, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Write implements wal.File, injecting write faults per the plan.
+func (ff *FaultFile) Write(p []byte) (int, error) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	ff.stats.Writes++
+	roll := ff.rng.Float64()
+	switch {
+	case roll < ff.plan.PWriteErr:
+		ff.stats.WriteErrs++
+		return 0, ErrNoSpace
+	case roll < ff.plan.PWriteErr+ff.plan.PTornWrite && len(p) > 0:
+		cut := ff.rng.Intn(len(p))
+		ff.stats.TornWrites++
+		ff.stats.BytesTorn += uint64(len(p) - cut)
+		n, err := ff.f.Write(p[:cut])
+		ff.stats.BytesWritten += uint64(n)
+		if err != nil {
+			return n, err
+		}
+		return n, ErrIO
+	case roll < ff.plan.PWriteErr+ff.plan.PTornWrite+ff.plan.PBitFlip && len(p) > 0:
+		flipped := make([]byte, len(p))
+		copy(flipped, p)
+		pos := ff.rng.Intn(len(flipped))
+		flipped[pos] ^= 1 << ff.rng.Intn(8)
+		ff.stats.BitFlips++
+		n, err := ff.f.Write(flipped)
+		ff.stats.BytesWritten += uint64(n)
+		return n, err
+	}
+	n, err := ff.f.Write(p)
+	ff.stats.BytesWritten += uint64(n)
+	return n, err
+}
+
+// Sync implements wal.File, injecting fsync failures per the plan.
+func (ff *FaultFile) Sync() error {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	ff.stats.Syncs++
+	if ff.rng.Float64() < ff.plan.PFsyncFail {
+		ff.stats.FsyncFails++
+		return ErrIO
+	}
+	return ff.f.Sync()
+}
+
+// Truncate implements wal.File; truncation is never faulted (it is the
+// salvage path's own repair step).
+func (ff *FaultFile) Truncate(size int64) error {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.f.Truncate(size)
+}
+
+// Close implements wal.File.
+func (ff *FaultFile) Close() error {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.f.Close()
+}
+
+// Quiesce zeroes the plan, stopping all future injection.
+func (ff *FaultFile) Quiesce() {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	ff.plan = StoragePlan{Seed: ff.plan.Seed}
+}
+
+// Stats returns a snapshot of the injection counters.
+func (ff *FaultFile) Stats() StorageStats {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.stats
+}

@@ -66,6 +66,9 @@ type Stats struct {
 	// Scanned, Copied, Freshened total the entry work across all
 	// passes; Pages counts committed repair transactions.
 	Scanned, Copied, Freshened, Pages uint64
+	// Rebuilds counts full rebuild-from-peers passes (Rebuild); Gaps
+	// totals the gap segments those passes reconciled.
+	Rebuilds, Gaps uint64
 }
 
 // Healer repairs recovered members in the background. Construct with
@@ -93,6 +96,8 @@ type Healer struct {
 	copied    atomic.Uint64
 	freshened atomic.Uint64
 	pages     atomic.Uint64
+	rebuilds  atomic.Uint64
+	gaps      atomic.Uint64
 }
 
 // New builds a healer over the suite for the given repair targets
@@ -235,6 +240,76 @@ func (h *Healer) RepairNowPaced(ctx context.Context, member string, onPage func(
 	return h.repair(ctx, member, onPage)
 }
 
+// Rebuild runs one synchronous full reconcile of member — the
+// rebuild-from-peers path for a replica that lost its storage. Beyond
+// what a repair pass does, a rebuild purges ghosts and installs current
+// gap versions via core.ReconcileReplica, so the member ends fully
+// current: a replica that forgot acknowledged deletions gets them back
+// (they live only in gap versions, which plain repair never touches).
+// The caller flips the member out of recovering mode afterwards
+// (rep.Rep.SetRecovering(false)) once the rebuild returns cleanly.
+func (h *Healer) Rebuild(ctx context.Context, member string) (core.RepairStats, error) {
+	target, ok := h.targets[member]
+	if !ok {
+		return core.RepairStats{}, fmt.Errorf("heal: unknown member %q", member)
+	}
+	h.mu.Lock()
+	if h.pending[member] {
+		h.mu.Unlock()
+		return core.RepairStats{}, fmt.Errorf("heal: repair of %q already pending", member)
+	}
+	h.pending[member] = true
+	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		delete(h.pending, member)
+		h.mu.Unlock()
+	}()
+	h.started.Add(1)
+	h.rebuilds.Add(1)
+	h.cfg.Obs.RebuildStarted()
+	start := time.Now()
+	trace := h.cfg.Obs.StartTrace("rebuild " + member)
+	pageSpan := trace.StartSpan("page")
+	rctx, cancel := context.WithTimeout(ctx, h.cfg.RepairTimeout)
+	defer cancel()
+	var prev core.RepairStats
+	stats, err := core.ReconcileReplica(rctx, h.suite, target, core.RepairOptions{
+		PageSize: h.cfg.PageSize,
+		OnPage: func(cum core.RepairStats) error {
+			pageSpan.End()
+			pageSpan = trace.StartSpan("page")
+			h.pages.Add(1)
+			h.scanned.Add(uint64(cum.Scanned - prev.Scanned))
+			h.copied.Add(uint64(cum.Copied - prev.Copied))
+			h.freshened.Add(uint64(cum.Freshened - prev.Freshened))
+			h.gaps.Add(uint64(cum.Gaps - prev.Gaps))
+			h.cfg.Obs.RebuildProgress((cum.Copied + cum.Freshened) - (prev.Copied + prev.Freshened))
+			prev = cum
+			if h.cfg.Pace > 0 {
+				sleep := trace.StartSpan("pace")
+				t := time.NewTimer(h.cfg.Pace)
+				defer t.Stop()
+				select {
+				case <-t.C:
+				case <-rctx.Done():
+				}
+				sleep.End()
+			}
+			return rctx.Err()
+		},
+	})
+	pageSpan.End()
+	trace.Finish(err, 0)
+	h.cfg.Obs.OpDone("rebuild", time.Since(start), 0, err)
+	if err != nil {
+		h.failed.Add(1)
+		return stats, err
+	}
+	h.completed.Add(1)
+	return stats, nil
+}
+
 // ErrNotConverged reports that Converge's pass budget ran out while
 // repairs were still finding work — only possible when the suite is
 // being mutated concurrently.
@@ -292,5 +367,7 @@ func (h *Healer) Stats() Stats {
 		Copied:    h.copied.Load(),
 		Freshened: h.freshened.Load(),
 		Pages:     h.pages.Load(),
+		Rebuilds:  h.rebuilds.Load(),
+		Gaps:      h.gaps.Load(),
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"repdir/internal/core"
 	"repdir/internal/keyspace"
+	"repdir/internal/obs"
 	"repdir/internal/quorum"
 	"repdir/internal/rep"
 	"repdir/internal/transport"
@@ -198,6 +199,69 @@ func TestHealerConverge(t *testing.T) {
 	}
 	if again.Copied != 0 || again.Freshened != 0 {
 		t.Errorf("second converge found work: %+v", again)
+	}
+}
+
+// TestHealerRebuild wipes C entirely — fresh empty representative in
+// recovering mode, as rep.OpenDurable produces under RecoverRebuild —
+// and checks that Rebuild restores both the current entries and the
+// deletion knowledge (gap versions) plain repair would miss, with the
+// work visible in healer stats and storage metrics.
+func TestHealerRebuild(t *testing.T) {
+	ctx := context.Background()
+	f := newFixture(t)
+	var keys []string
+	for i := 0; i < 6; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		if err := f.suite.Insert(ctx, k, "v"); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	if err := f.suite.Delete(ctx, "k03"); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := rep.New("C")
+	fresh.SetRecovering(true)
+	f.reps[2] = fresh
+	f.locals[2].Replace(fresh)
+
+	o := obs.NewObserver(obs.ObserverConfig{NoTrace: true})
+	h := New(f.suite, f.dirs, Config{PageSize: 2, Obs: o})
+	stats, err := h.Rebuild(ctx, "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Copied != 5 {
+		t.Errorf("Copied = %d, want 5 current entries", stats.Copied)
+	}
+	if stats.Gaps == 0 {
+		t.Error("rebuild reconciled no gap segments")
+	}
+	fresh.SetRecovering(false)
+
+	for _, k := range keys {
+		want := k != "k03"
+		if f.has(2, k) != want {
+			t.Errorf("after rebuild, has(C, %s) = %v, want %v", k, !want, want)
+		}
+	}
+
+	st := h.Stats()
+	if st.Rebuilds != 1 || st.Started != 1 || st.Completed != 1 {
+		t.Errorf("stats = %+v, want one completed rebuild", st)
+	}
+	if st.Gaps == 0 || st.Copied != 5 || st.Pages == 0 {
+		t.Errorf("stats = %+v, want gap/copy/page work recorded", st)
+	}
+	ss := o.Storage()
+	if ss.Rebuilds != 1 || ss.RebuildEntries != 5 {
+		t.Errorf("storage stats = %+v, want 1 rebuild with 5 entries", ss)
+	}
+
+	if _, err := h.Rebuild(ctx, "nobody"); err == nil {
+		t.Error("Rebuild accepted an unknown member")
 	}
 }
 

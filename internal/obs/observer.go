@@ -45,6 +45,34 @@ type Observer struct {
 	walkSteps       atomic.Uint64
 	ghostDeletions  atomic.Uint64
 	boundInsertions atomic.Uint64
+
+	// Storage-fault counters: what recovery salvaged, what it gave up
+	// on, and how far rebuild-from-peers has gotten.
+	walSalvages       atomic.Uint64
+	salvagedRecords   atomic.Uint64
+	quarantinedBytes  atomic.Uint64
+	snapshotFallbacks atomic.Uint64
+	rebuilds          atomic.Uint64
+	rebuildEntries    atomic.Uint64
+}
+
+// StorageStats is a snapshot of the storage-fault counters.
+type StorageStats struct {
+	// Salvages counts WAL recoveries that stopped before a clean EOF
+	// and quarantined a tail.
+	Salvages uint64
+	// SalvagedRecords counts records recovered by those salvages.
+	SalvagedRecords uint64
+	// QuarantinedBytes counts unreadable tail bytes moved to sidecars.
+	QuarantinedBytes uint64
+	// SnapshotFallbacks counts corrupt snapshots abandoned in favor of
+	// WAL-only recovery.
+	SnapshotFallbacks uint64
+	// Rebuilds counts replicas that opened empty and were rebuilt from
+	// a quorum of peers.
+	Rebuilds uint64
+	// RebuildEntries counts entries installed on rebuilding replicas.
+	RebuildEntries uint64
 }
 
 // NewObserver builds an observer.
@@ -113,6 +141,60 @@ func (o *Observer) DeleteObserved(neighborProbes, walkSteps, ghostDeletions, bou
 	o.walkSteps.Add(uint64(walkSteps))
 	o.ghostDeletions.Add(uint64(ghostDeletions))
 	o.boundInsertions.Add(uint64(boundInsertions))
+}
+
+// SalvageObserved records one WAL salvage: how many records survived
+// and how many tail bytes were quarantined.
+func (o *Observer) SalvageObserved(records int, quarantined int64) {
+	if o == nil {
+		return
+	}
+	o.walSalvages.Add(1)
+	o.salvagedRecords.Add(uint64(records))
+	if quarantined > 0 {
+		o.quarantinedBytes.Add(uint64(quarantined))
+	}
+}
+
+// SnapshotFallback records one corrupt snapshot abandoned for WAL-only
+// recovery.
+func (o *Observer) SnapshotFallback() {
+	if o == nil {
+		return
+	}
+	o.snapshotFallbacks.Add(1)
+}
+
+// RebuildStarted records one replica opening empty for rebuild from
+// peers.
+func (o *Observer) RebuildStarted() {
+	if o == nil {
+		return
+	}
+	o.rebuilds.Add(1)
+}
+
+// RebuildProgress records entries installed on a rebuilding replica.
+func (o *Observer) RebuildProgress(entries int) {
+	if o == nil || entries <= 0 {
+		return
+	}
+	o.rebuildEntries.Add(uint64(entries))
+}
+
+// Storage returns a snapshot of the storage-fault counters.
+func (o *Observer) Storage() StorageStats {
+	if o == nil {
+		return StorageStats{}
+	}
+	return StorageStats{
+		Salvages:          o.walSalvages.Load(),
+		SalvagedRecords:   o.salvagedRecords.Load(),
+		QuarantinedBytes:  o.quarantinedBytes.Load(),
+		SnapshotFallbacks: o.snapshotFallbacks.Load(),
+		Rebuilds:          o.rebuilds.Load(),
+		RebuildEntries:    o.rebuildEntries.Load(),
+	}
 }
 
 // OpLatency returns the latency histogram snapshot for one operation.
@@ -231,6 +313,24 @@ func (o *Observer) Register(reg *Registry) {
 	reg.Gauge("repdir_neighbor_probes_per_delete",
 		"Mean neighbor probes per committed Delete (Figure 12 message count).",
 		o.ProbesPerDelete)
+	reg.Counter("repdir_storage_salvages_total",
+		"WAL recoveries that stopped before a clean EOF and quarantined a tail.",
+		o.walSalvages.Load)
+	reg.Counter("repdir_storage_salvaged_records_total",
+		"Valid records recovered by WAL salvage scans.",
+		o.salvagedRecords.Load)
+	reg.Counter("repdir_storage_quarantined_bytes_total",
+		"Unreadable WAL tail bytes moved to quarantine sidecars.",
+		o.quarantinedBytes.Load)
+	reg.Counter("repdir_storage_snapshot_fallbacks_total",
+		"Corrupt snapshots abandoned in favor of WAL-only recovery.",
+		o.snapshotFallbacks.Load)
+	reg.Counter("repdir_storage_rebuilds_total",
+		"Replicas opened empty and rebuilt from a quorum of peers.",
+		o.rebuilds.Load)
+	reg.Counter("repdir_storage_rebuild_entries_total",
+		"Entries installed on rebuilding replicas by rebuild-from-peers.",
+		o.rebuildEntries.Load)
 	if o.tracer != nil {
 		reg.Counter("repdir_traces_finished_total",
 			"Operation traces completed.", o.tracer.Finished)

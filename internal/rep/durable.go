@@ -1,14 +1,19 @@
 package rep
 
 import (
-	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 
 	"repdir/internal/btree"
+	"repdir/internal/obs"
 	"repdir/internal/wal"
 )
 
@@ -16,30 +21,59 @@ import (
 // caller should retry once the representative quiesces.
 var ErrBusy = errors.New("rep: transactions in flight")
 
-// snapshotFile is the on-disk snapshot format: the full entry dump
-// (sentinels and gap versions included) plus the LSN of the last
-// write-ahead-log record the snapshot covers.
+// ErrSnapshotCorrupt is wrapped by ReadSnapshot when a snapshot file
+// exists but is truncated or fails its checksum. OpenDurable treats it
+// as recoverable whenever the write-ahead log alone can rebuild state.
+var ErrSnapshotCorrupt = errors.New("rep: snapshot corrupt")
+
+// snapshotFile is the snapshot payload: the full entry dump (sentinels
+// and gap versions included) plus the LSN of the last write-ahead-log
+// record the snapshot covers.
 type snapshotFile struct {
 	Name    string
 	LastLSN uint64
 	Entries []btree.Entry
 }
 
-// WriteSnapshot atomically writes a snapshot file (temp file + rename).
+// Snapshot container format, version 2: a 12-byte header — magic,
+// payload length, CRC32C over header and payload — then the gob
+// payload. Legacy snapshots (bare gob) remain readable: a gob stream
+// can never start with 0xF7 (that prefix byte would announce a 9-byte
+// integer), so the magic is unambiguous.
+var snapMagic = [4]byte{0xF7, 'S', 'N', '2'}
+
+const snapHeaderLen = 12
+
+var snapCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteSnapshot atomically writes a checksummed snapshot file: temp
+// file, fsync, rename, then fsync of the parent directory so the
+// rename itself survives power loss on journaled filesystems.
 func WriteSnapshot(path, name string, lastLSN uint64, entries []btree.Entry) error {
-	tmp, err := os.CreateTemp(dirOf(path), ".snap-*")
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(snapshotFile{Name: name, LastLSN: lastLSN, Entries: entries}); err != nil {
+		return fmt.Errorf("rep: snapshot encode: %w", err)
+	}
+	head := make([]byte, snapHeaderLen)
+	copy(head, snapMagic[:])
+	binary.BigEndian.PutUint32(head[4:8], uint32(payload.Len()))
+	crc := crc32.Update(0, snapCRC, head[:8])
+	crc = crc32.Update(crc, snapCRC, payload.Bytes())
+	binary.BigEndian.PutUint32(head[8:12], crc)
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snap-*")
 	if err != nil {
 		return fmt.Errorf("rep: snapshot temp: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	w := bufio.NewWriter(tmp)
-	if err := gob.NewEncoder(w).Encode(snapshotFile{Name: name, LastLSN: lastLSN, Entries: entries}); err != nil {
+	if _, err := tmp.Write(head); err != nil {
 		tmp.Close()
-		return fmt.Errorf("rep: snapshot encode: %w", err)
+		return fmt.Errorf("rep: snapshot write: %w", err)
 	}
-	if err := w.Flush(); err != nil {
+	if _, err := tmp.Write(payload.Bytes()); err != nil {
 		tmp.Close()
-		return fmt.Errorf("rep: snapshot flush: %w", err)
+		return fmt.Errorf("rep: snapshot write: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
@@ -51,38 +85,44 @@ func WriteSnapshot(path, name string, lastLSN uint64, entries []btree.Entry) err
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("rep: snapshot rename: %w", err)
 	}
-	return nil
+	return wal.SyncDir(dir)
 }
 
-// ReadSnapshot loads a snapshot file. A missing file is not an error; it
-// returns ok = false.
+// ReadSnapshot loads a snapshot file, verifying its checksum when it
+// carries one (legacy bare-gob snapshots are still accepted). A missing
+// file is not an error; it returns ok = false. A file that exists but
+// is truncated or damaged returns an error wrapping ErrSnapshotCorrupt,
+// which OpenDurable downgrades to a WAL-only recovery when possible.
 func ReadSnapshot(path string) (name string, lastLSN uint64, entries []btree.Entry, ok bool, err error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return "", 0, nil, false, nil
 		}
 		return "", 0, nil, false, fmt.Errorf("rep: open snapshot %q: %w", path, err)
 	}
-	defer f.Close()
+	payload := data
+	if len(data) >= 4 && bytes.Equal(data[:4], snapMagic[:]) {
+		if len(data) < snapHeaderLen {
+			return "", 0, nil, false, fmt.Errorf("%w: %q: truncated header (%d bytes)", ErrSnapshotCorrupt, path, len(data))
+		}
+		n := binary.BigEndian.Uint32(data[4:8])
+		if int64(n) != int64(len(data)-snapHeaderLen) {
+			return "", 0, nil, false, fmt.Errorf("%w: %q: header claims %d payload bytes, file holds %d",
+				ErrSnapshotCorrupt, path, n, len(data)-snapHeaderLen)
+		}
+		crc := crc32.Update(0, snapCRC, data[:8])
+		crc = crc32.Update(crc, snapCRC, data[snapHeaderLen:])
+		if crc != binary.BigEndian.Uint32(data[8:12]) {
+			return "", 0, nil, false, fmt.Errorf("%w: %q: checksum mismatch", ErrSnapshotCorrupt, path)
+		}
+		payload = data[snapHeaderLen:]
+	}
 	var snap snapshotFile
-	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&snap); err != nil {
-		return "", 0, nil, false, fmt.Errorf("rep: decode snapshot %q: %w", path, err)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return "", 0, nil, false, fmt.Errorf("%w: %q: %v", ErrSnapshotCorrupt, path, err)
 	}
 	return snap.Name, snap.LastLSN, snap.Entries, true, nil
-}
-
-// dirOf returns the directory containing path, defaulting to ".".
-func dirOf(path string) string {
-	for i := len(path) - 1; i >= 0; i-- {
-		if path[i] == '/' {
-			if i == 0 {
-				return "/"
-			}
-			return path[:i]
-		}
-	}
-	return "."
 }
 
 // seedStore replaces the representative's store with snapshot entries.
@@ -114,27 +154,87 @@ func (r *Rep) checkpointState() ([]btree.Entry, uint64, error) {
 	return r.store.Entries(), lastLSN, nil
 }
 
-// Durability manages a representative's on-disk state: a write-ahead log
-// plus periodic snapshots that bound recovery time and log growth.
-//
-// Crash safety relies on LSNs: the snapshot records the last log sequence
-// number it covers, and recovery replays only newer committed records. A
-// crash between snapshot and log truncation is therefore harmless — the
-// stale prefix is skipped by LSN, not by file position.
-type Durability struct {
-	mu       sync.Mutex
-	rep      *Rep
-	log      *wal.FileLog
-	walPath  string
-	snapPath string
-	closed   bool
+// RecoveryPolicy selects how OpenDurable responds to storage damage
+// beyond an ordinary torn tail (which every policy quarantines and
+// rides through, since a crash mid-append is normal operation).
+type RecoveryPolicy int
+
+const (
+	// RecoverStrict (the default) refuses to open over mid-log
+	// corruption or an unrecoverable snapshot: acknowledged writes may
+	// be missing, and an operator must choose to degrade.
+	RecoverStrict RecoveryPolicy = iota
+	// RecoverSalvage opens with the longest valid log prefix,
+	// quarantining the damaged tail and flagging NeedsRepair so an
+	// anti-entropy pass can re-fetch what was lost.
+	RecoverSalvage
+	// RecoverRebuild goes further: when salvage cannot produce usable
+	// state, the damaged files are archived and the replica opens
+	// empty, in recovering mode (reads bounce with ErrRecovering),
+	// expecting a rebuild from a quorum of peers.
+	RecoverRebuild
+)
+
+// String names the policy as accepted by ParseRecoveryPolicy.
+func (p RecoveryPolicy) String() string {
+	switch p {
+	case RecoverStrict:
+		return "strict"
+	case RecoverSalvage:
+		return "salvage"
+	case RecoverRebuild:
+		return "rebuild"
+	default:
+		return fmt.Sprintf("RecoveryPolicy(%d)", int(p))
+	}
+}
+
+// ParseRecoveryPolicy parses a policy name (for command-line flags).
+func ParseRecoveryPolicy(s string) (RecoveryPolicy, error) {
+	switch strings.ToLower(s) {
+	case "strict":
+		return RecoverStrict, nil
+	case "salvage":
+		return RecoverSalvage, nil
+	case "rebuild":
+		return RecoverRebuild, nil
+	default:
+		return RecoverStrict, fmt.Errorf("rep: unknown recovery policy %q (want strict, salvage, or rebuild)", s)
+	}
+}
+
+// RecoveryReport describes what OpenDurable found and did.
+type RecoveryReport struct {
+	// Policy is the recovery policy that governed the open.
+	Policy RecoveryPolicy
+	// SnapshotLoaded is true when a snapshot seeded the store.
+	SnapshotLoaded bool
+	// SnapshotCorrupt is true when a snapshot existed but failed its
+	// checksum or decode and was abandoned.
+	SnapshotCorrupt bool
+	// Salvage carries the WAL corruption report when the log scan
+	// stopped before a clean EOF (torn tail or worse); nil otherwise.
+	Salvage *wal.CorruptionReport
+	// WALRecords is the number of log records recovered.
+	WALRecords int
+	// Rebuilt is true when the replica opened empty, its damaged files
+	// archived, awaiting a rebuild from peers.
+	Rebuilt bool
+	// NeedsRepair is true when acknowledged writes may be missing: the
+	// replica should be reconciled against its peers before it is
+	// trusted. Always true when Rebuilt.
+	NeedsRepair bool
+	// Warnings are human-readable notes about degraded recovery steps.
+	Warnings []string
 }
 
 // DurableOption configures OpenDurable.
 type DurableOption func(*durableConfig)
 
 type durableConfig struct {
-	policy wal.SyncPolicy
+	policy   wal.SyncPolicy
+	recovery RecoveryPolicy
+	obs      *obs.Observer
 }
 
 // WithSyncPolicy selects when the write-ahead log fsyncs (default
@@ -145,34 +245,131 @@ func WithSyncPolicy(p wal.SyncPolicy) DurableOption {
 	return func(c *durableConfig) { c.policy = p }
 }
 
+// WithRecovery selects the recovery policy (default RecoverStrict).
+func WithRecovery(p RecoveryPolicy) DurableOption {
+	return func(c *durableConfig) { c.recovery = p }
+}
+
+// WithDurableObserver wires recovery events (salvages, quarantined
+// bytes, snapshot fallbacks, rebuilds) into an observer's storage
+// counters. A nil observer is fine.
+func WithDurableObserver(o *obs.Observer) DurableOption {
+	return func(c *durableConfig) { c.obs = o }
+}
+
 // OpenDurable opens (or creates) a durable representative: snapshot
 // loaded if present, write-ahead log replayed on top, log reopened for
 // appending with monotone LSNs.
+//
+// Storage damage is handled per the recovery policy. A torn log tail —
+// the ordinary signature of a crash mid-append — is quarantined and
+// truncated under every policy. Mid-log corruption, a corrupt
+// snapshot the WAL cannot cover for, or a damaged length prefix are
+// errors under RecoverStrict, a degraded-but-open state under
+// RecoverSalvage, and under RecoverRebuild cause the replica to
+// archive the damaged files and open empty in recovering mode (reads
+// return ErrRecovering) so a rebuild from peers can repopulate it.
+// The Recovery method of the returned Durability reports what
+// happened.
 func OpenDurable(name, walPath, snapPath string, opts ...DurableOption) (*Rep, *Durability, error) {
 	var cfg durableConfig
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	report := RecoveryReport{Policy: cfg.recovery}
+
 	var (
 		seed    []btree.Entry
 		lastLSN uint64
 	)
 	if snapPath != "" {
 		snapName, lsn, entries, ok, err := ReadSnapshot(snapPath)
-		if err != nil {
-			return nil, nil, err
-		}
-		if ok {
+		switch {
+		case err == nil && ok:
 			if snapName != name {
 				return nil, nil, fmt.Errorf("rep: snapshot %q belongs to %q, not %q", snapPath, snapName, name)
 			}
 			seed, lastLSN = entries, lsn
+			report.SnapshotLoaded = true
+		case err == nil:
+			// No snapshot; WAL-only recovery is the normal fresh path.
+		case errors.Is(err, ErrSnapshotCorrupt):
+			report.SnapshotCorrupt = true
+			report.Warnings = append(report.Warnings,
+				fmt.Sprintf("snapshot abandoned: %v", err))
+			cfg.obs.SnapshotFallback()
+		default:
+			return nil, nil, err
 		}
 	}
-	records, err := wal.ReadFileLog(walPath)
-	if err != nil && !errors.Is(err, os.ErrNotExist) {
-		return nil, nil, err
+
+	records, salvage, err := wal.ScanFileLog(walPath)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			return nil, nil, err
+		}
+		records, salvage = nil, nil
 	}
+	rebuild := false
+	if salvage != nil {
+		report.Salvage = salvage
+		quarantine := salvage.Cause.Torn()
+		if !salvage.Cause.Torn() {
+			// Bytes the log had acknowledged are unreadable; what
+			// follows them is lost even if intact.
+			switch cfg.recovery {
+			case RecoverSalvage:
+				quarantine = true
+				report.NeedsRepair = true
+			case RecoverRebuild:
+				rebuild = true // archiveCorrupt moves the log whole
+			default:
+				// Refuse with the file untouched: strict means only an
+				// operator's explicit policy choice may discard
+				// acknowledged bytes, so the refusal must leave the
+				// damage in place for the salvage open to act on.
+				return nil, nil, fmt.Errorf("rep: open %s: %w", name, salvage)
+			}
+		}
+		if quarantine {
+			if err := wal.Quarantine(walPath, salvage); err != nil {
+				return nil, nil, err
+			}
+			cfg.obs.SalvageObserved(salvage.Records, salvage.QuarantinedBytes)
+			if report.NeedsRepair {
+				report.Warnings = append(report.Warnings,
+					fmt.Sprintf("log salvaged: %v; acknowledged writes may be missing", salvage))
+			}
+		}
+	}
+
+	if report.SnapshotCorrupt {
+		// WAL-only recovery covers for the snapshot only if the log
+		// still reaches back to the beginning of history — a checkpoint
+		// truncation would have moved records only the snapshot held.
+		if len(records) > 0 && records[0].LSN == 1 {
+			report.Warnings = append(report.Warnings, "recovering from WAL alone")
+		} else if cfg.recovery == RecoverRebuild {
+			rebuild = true
+		} else {
+			return nil, nil, fmt.Errorf("rep: open %s: snapshot corrupt and WAL does not cover it (policy %s)",
+				name, cfg.recovery)
+		}
+	}
+
+	if rebuild {
+		if err := archiveCorrupt(walPath, snapPath); err != nil {
+			return nil, nil, err
+		}
+		seed, lastLSN, records = nil, 0, nil
+		report.SnapshotLoaded = false
+		report.Rebuilt = true
+		report.NeedsRepair = true
+		report.Warnings = append(report.Warnings, "local state unusable; opening empty for rebuild from peers")
+		cfg.obs.RebuildStarted()
+	}
+	report.WALRecords = len(records)
+
 	maxLSN := lastLSN
 	for _, rec := range records {
 		if rec.LSN > maxLSN {
@@ -199,8 +396,50 @@ func OpenDurable(name, walPath, snapPath string, opts ...DurableOption) (*Rep, *
 		log.Close()
 		return nil, nil, fmt.Errorf("rep: recover %s: %w", name, err)
 	}
-	return r, &Durability{rep: r, log: log, walPath: walPath, snapPath: snapPath}, nil
+	if report.Rebuilt {
+		// Everything this replica once knew is gone: gap versions are
+		// version.Lowest again, so its answers would lose every quorum
+		// version comparison they should win. Reads bounce until a
+		// rebuild (heal.Healer.Rebuild) reconciles it and clears this.
+		r.SetRecovering(true)
+	}
+	return r, &Durability{rep: r, log: log, walPath: walPath, snapPath: snapPath, recovery: report}, nil
 }
+
+// archiveCorrupt moves unusable storage aside (".corrupt" suffixes)
+// rather than deleting it, preserving the evidence for forensics while
+// freeing the live paths for a fresh log.
+func archiveCorrupt(walPath, snapPath string) error {
+	if err := os.Rename(walPath, walPath+".corrupt"); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("rep: archive %q: %w", walPath, err)
+	}
+	if snapPath != "" {
+		if err := os.Rename(snapPath, snapPath+".corrupt"); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("rep: archive %q: %w", snapPath, err)
+		}
+	}
+	return wal.SyncDir(filepath.Dir(walPath))
+}
+
+// Durability manages a representative's on-disk state: a write-ahead log
+// plus periodic snapshots that bound recovery time and log growth.
+//
+// Crash safety relies on LSNs: the snapshot records the last log sequence
+// number it covers, and recovery replays only newer committed records. A
+// crash between snapshot and log truncation is therefore harmless — the
+// stale prefix is skipped by LSN, not by file position.
+type Durability struct {
+	mu       sync.Mutex
+	rep      *Rep
+	log      *wal.FileLog
+	walPath  string
+	snapPath string
+	recovery RecoveryReport
+	closed   bool
+}
+
+// Recovery reports what OpenDurable found and did.
+func (d *Durability) Recovery() RecoveryReport { return d.recovery }
 
 // Checkpoint writes a snapshot of the current committed state and then
 // truncates the write-ahead log. It fails with ErrBusy while transactions

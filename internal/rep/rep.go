@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repdir/internal/btree"
 	"repdir/internal/interval"
@@ -56,6 +57,15 @@ var (
 	// operated here, or a crash wiped its volatile state — in both
 	// cases committing would silently lose its writes.
 	ErrUnknownTxn = errors.New("rep: prepare of unknown transaction")
+	// ErrRecovering is returned by read operations while the
+	// representative is rebuilding lost storage from its peers. A
+	// replica that forgot acknowledged writes must not serve reads —
+	// its stale versions (and, worse, its version.Lowest gap versions)
+	// would poison quorum version comparisons — but it keeps accepting
+	// writes so the rebuild itself and concurrent client traffic can
+	// install entries. The suite treats this error like an unavailable
+	// member and reads around it.
+	ErrRecovering = errors.New("rep: replica recovering from storage loss")
 )
 
 // LookupResult is the reply to Lookup. When Found is false, Version is
@@ -146,6 +156,10 @@ type Rep struct {
 	outcomes map[lock.TxnID]bool // decided 2PC participants: true = committed
 	log      wal.Log
 	stats    counters
+
+	// recovering gates reads while lost storage is rebuilt from peers;
+	// see ErrRecovering.
+	recovering atomic.Bool
 }
 
 var _ Directory = (*Rep)(nil)
@@ -202,9 +216,29 @@ func Recover(name string, records []wal.Record, opts ...Option) (*Rep, error) {
 // Name returns the representative's identifier.
 func (r *Rep) Name() string { return r.name }
 
+// SetRecovering marks (or clears) the replica as rebuilding from peers.
+// While set, read operations return ErrRecovering; writes, prepares,
+// and commits proceed so repair traffic and concurrent client writes
+// can land.
+func (r *Rep) SetRecovering(v bool) { r.recovering.Store(v) }
+
+// Recovering reports whether reads are gated by a storage rebuild.
+func (r *Rep) Recovering() bool { return r.recovering.Load() }
+
+// readable bounces reads while the replica is rebuilding.
+func (r *Rep) readable() error {
+	if r.recovering.Load() {
+		return fmt.Errorf("%w: %s", ErrRecovering, r.name)
+	}
+	return nil
+}
+
 // Lookup implements Directory. Sentinel keys are always present.
 // Locks RepLookup(key, key).
 func (r *Rep) Lookup(ctx context.Context, txn lock.TxnID, key keyspace.Key) (LookupResult, error) {
+	if err := r.readable(); err != nil {
+		return LookupResult{}, err
+	}
 	if err := r.locks.Acquire(ctx, txn, lock.ModeLookup, interval.Point(key)); err != nil {
 		return LookupResult{}, err
 	}
@@ -233,6 +267,9 @@ func (r *Rep) Lookup(ctx context.Context, txn lock.TxnID, key keyspace.Key) (Loo
 func (r *Rep) Predecessor(ctx context.Context, txn lock.TxnID, key keyspace.Key) (NeighborResult, error) {
 	if key.IsLow() {
 		return NeighborResult{}, fmt.Errorf("%w: predecessor of LOW", ErrNoNeighbor)
+	}
+	if err := r.readable(); err != nil {
+		return NeighborResult{}, err
 	}
 	r.stats.neighborProbes.Add(1)
 	var lockedLo keyspace.Key
@@ -272,6 +309,9 @@ func (r *Rep) Predecessor(ctx context.Context, txn lock.TxnID, key keyspace.Key)
 func (r *Rep) Successor(ctx context.Context, txn lock.TxnID, key keyspace.Key) (NeighborResult, error) {
 	if key.IsHigh() {
 		return NeighborResult{}, fmt.Errorf("%w: successor of HIGH", ErrNoNeighbor)
+	}
+	if err := r.readable(); err != nil {
+		return NeighborResult{}, err
 	}
 	r.stats.neighborProbes.Add(1)
 	var lockedHi keyspace.Key

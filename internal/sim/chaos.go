@@ -13,6 +13,7 @@ import (
 	"repdir/internal/fault"
 	"repdir/internal/heal"
 	"repdir/internal/model"
+	"repdir/internal/obs"
 	"repdir/internal/quorum"
 	"repdir/internal/rep"
 	"repdir/internal/transport"
@@ -43,6 +44,11 @@ type ChaosConfig struct {
 	// Parallel enables parallel quorum fan-out and parallel two-phase
 	// commit rounds (default true, so races are exercised under -race).
 	Parallel *bool
+	// StorageFaults enables the midpoint storage-fault phase (default
+	// true): a minority of members lose part of their logs, restart in
+	// recovering mode, and are rebuilt from their peers while the
+	// workload keeps running.
+	StorageFaults *bool
 	// OpTimeout bounds each operation; in-doubt transactions can hold
 	// locks until the between-ops resolution pass, and wait-die kills
 	// conflicting younger transactions quickly, so this is a backstop
@@ -69,6 +75,10 @@ func (c ChaosConfig) withDefaults() ChaosConfig {
 	if c.Parallel == nil {
 		t := true
 		c.Parallel = &t
+	}
+	if c.StorageFaults == nil {
+		t := true
+		c.StorageFaults = &t
 	}
 	if c.OpTimeout == 0 {
 		c.OpTimeout = 5 * time.Second
@@ -114,6 +124,15 @@ type ChaosResult struct {
 	Health core.HealthStats
 	// Heal is the total work of the post-run convergence phase.
 	Heal core.RepairStats
+	// StorageLosses counts members whose logs the storage-fault phase
+	// damaged; RecordsLost totals the log records destroyed; Rebuilds
+	// counts completed rebuild-from-peers passes.
+	StorageLosses, RecordsLost, Rebuilds int
+	// Rebuild is the total work of those rebuild passes.
+	Rebuild core.RepairStats
+	// Storage is the run's storage-recovery metric counters (the same
+	// counters a production observer would export).
+	Storage obs.StorageStats
 	// Converged reports that after the healer finished, every replica
 	// physically held every current entry at an identical (version,
 	// value), with any leftover ghosts (GhostsLeft) provably harmless
@@ -168,11 +187,24 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		return res, err
 	}
 
+	// One healer serves both the midpoint rebuild phase and the post-run
+	// convergence phase; its observer carries the storage metrics.
+	observer := obs.NewObserver(obs.ObserverConfig{NoTrace: true})
+	healer := heal.New(suite, dirs, heal.Config{Obs: observer})
+
 	spec := model.NewSequential()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	key := func() string { return fmt.Sprintf("k%04d", rng.Intn(cfg.Keys)) }
 
 	for op := 0; op < cfg.Operations; op++ {
+		// Midpoint storage-fault phase: a minority of members lose part
+		// of their logs and must come back through the rebuild-from-peers
+		// path while the suite keeps serving around them.
+		if *cfg.StorageFaults && op == cfg.Operations/2 {
+			if err := storagePhase(injector, healer, &res); err != nil {
+				return res, fmt.Errorf("sim: chaos %s: %w", cfg.Name, err)
+			}
+		}
 		// Settle any in-doubt two-phase commits left by crashes before
 		// the next operation; between operations no coordinator is
 		// live, so cooperative termination is safe.
@@ -280,7 +312,6 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	// not-present).
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	healer := heal.New(suite, dirs, heal.Config{})
 	conv, err := healer.Converge(ctx)
 	res.Heal = conv
 	if err != nil {
@@ -319,7 +350,9 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		res.Faults.DroppedReplies += s.DroppedReplies
 		res.Faults.Duplicates += s.Duplicates
 		res.Faults.Restarts += s.Restarts
+		res.Faults.StorageLosses += s.StorageLosses
 	}
+	res.Storage = observer.Storage()
 	for _, cs := range stats {
 		for _, os := range cs.Snapshot() {
 			res.RepCalls += os.Calls
@@ -335,6 +368,69 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 			res.Suite.Commits, res.Suite.Failures, res.Suite.Cancelled, res.Suite.Calls))
 	}
 	return res, nil
+}
+
+// storagePhase corrupts a minority of members' logs mid-run and drives
+// each through restart-in-recovering-mode and a synchronous rebuild
+// from its peers. Quorum intersection tolerates a minority rebuilding,
+// so the workload around this phase keeps completing against the rest.
+func storagePhase(injector *fault.Injector, healer *heal.Healer, res *ChaosResult) error {
+	members := injector.Members()
+	minority := (len(members) - 1) / 2
+	if minority < 1 {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for _, m := range members[:minority] {
+		res.RecordsLost += m.LoseStorage()
+		res.StorageLosses++
+	}
+	for _, m := range members[:minority] {
+		var lastErr error
+		for attempt := 0; ; attempt++ {
+			if attempt >= 50 {
+				return fmt.Errorf("storage phase: rebuild of %s would not complete: %w", m.Name(), lastErr)
+			}
+			// End every open window — the operator-intervention analogue:
+			// the victim restarts from its damaged log in recovering mode
+			// (refusing reads until rebuilt), everyone else comes back
+			// intact, so this rebuild attempt can assemble read quorums
+			// instead of waiting out call-counted fault windows. Fresh
+			// windows the plan opens mid-attempt fail that attempt; the
+			// next one heals them again.
+			if err := injector.Heal(); err != nil {
+				return fmt.Errorf("storage phase: %w", err)
+			}
+			// A damaged log may have forgotten prepares and aborts:
+			// settle in-doubt transactions and sweep stray locks so the
+			// rebuild's repair transactions are not blocked behind them.
+			// No coordinator is live between workload operations, so both
+			// sweeps are safe here.
+			if _, err := injector.Resolve(ctx); err != nil {
+				return err
+			}
+			if _, err := injector.AbortStrays(ctx); err != nil {
+				return err
+			}
+			st, err := healer.Rebuild(ctx, m.Name())
+			if err != nil {
+				if ctx.Err() != nil {
+					return fmt.Errorf("storage phase: rebuild %s: %w", m.Name(), err)
+				}
+				lastErr = err
+				continue // transient faults from live members; retry
+			}
+			res.Rebuilds++
+			res.Rebuild.Scanned += st.Scanned
+			res.Rebuild.Copied += st.Copied
+			res.Rebuild.Freshened += st.Freshened
+			res.Rebuild.Gaps += st.Gaps
+			m.RebuildDone()
+			break
+		}
+	}
+	return nil
 }
 
 // auditConvergence checks physical replica agreement after the healer
@@ -438,21 +534,21 @@ func RunChaosSeeds(base ChaosConfig, seeds []int64) ([]ChaosResult, error) {
 func FormatChaos(title string, results []ChaosResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", title)
-	fmt.Fprintf(&b, "%-12s %6s %8s %8s %7s %7s %7s %7s %6s %6s %6s %8s %5s %5s %6s %6s %6s %5s %4s\n",
+	fmt.Fprintf(&b, "%-12s %6s %8s %8s %7s %7s %7s %7s %6s %6s %6s %8s %5s %5s %6s %6s %6s %5s %4s %5s %6s\n",
 		"run", "ops", "applied", "observe", "indet", "lookups", "crash", "partn", "dup", "drop", "rstrt", "resolved", "viol",
-		"trips", "ffails", "healed", "ghosts", "conv", "fall")
+		"trips", "ffails", "healed", "ghosts", "conv", "fall", "slost", "rebld")
 	for _, r := range results {
 		conv := "no"
 		if r.Converged {
 			conv = "yes"
 		}
-		fmt.Fprintf(&b, "%-12s %6d %8d %8d %7d %7d %7d %7d %6d %6d %6d %8d %5d %5d %6d %6d %6d %5s %4d\n",
+		fmt.Fprintf(&b, "%-12s %6d %8d %8d %7d %7d %7d %7d %6d %6d %6d %8d %5d %5d %6d %6d %6d %5s %4d %5d %6d\n",
 			r.Config.Name, r.Config.Operations, r.Applied, r.Observed, r.Indeterminate,
 			r.Lookups, r.Faults.Crashes+r.Faults.CrashAfters, r.Faults.Partitions,
 			r.Faults.Duplicates, r.Faults.DroppedReplies, r.Faults.Restarts,
 			r.Resolved, len(r.Violations),
 			r.Health.Trips, r.Health.FastFails, r.Heal.Copied+r.Heal.Freshened,
-			r.GhostsLeft, conv, r.Health.Fallbacks)
+			r.GhostsLeft, conv, r.Health.Fallbacks, r.StorageLosses, r.Rebuilds)
 		for _, v := range r.Violations {
 			fmt.Fprintf(&b, "    VIOLATION: %s\n", v)
 		}

@@ -46,6 +46,22 @@ func (l *Local) Restart() {
 	l.down = false
 }
 
+// Replace swaps the wrapped representative — modeling a machine that
+// came back from a failure with different local state, e.g. an empty
+// representative after its storage was lost and archived.
+func (l *Local) Replace(target rep.Directory) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.target = target
+}
+
+// dir returns the current wrapped representative.
+func (l *Local) dir() rep.Directory {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.target
+}
+
 // SetLatency adds a fixed delay to every call.
 func (l *Local) SetLatency(d time.Duration) {
 	l.mu.Lock()
@@ -81,14 +97,14 @@ func (l *Local) pre(ctx context.Context) error {
 }
 
 // Name implements rep.Directory.
-func (l *Local) Name() string { return l.target.Name() }
+func (l *Local) Name() string { return l.dir().Name() }
 
 // Lookup implements rep.Directory.
 func (l *Local) Lookup(ctx context.Context, txn lock.TxnID, key keyspace.Key) (rep.LookupResult, error) {
 	if err := l.pre(ctx); err != nil {
 		return rep.LookupResult{}, err
 	}
-	return l.target.Lookup(ctx, txn, key)
+	return l.dir().Lookup(ctx, txn, key)
 }
 
 // Predecessor implements rep.Directory.
@@ -96,7 +112,7 @@ func (l *Local) Predecessor(ctx context.Context, txn lock.TxnID, key keyspace.Ke
 	if err := l.pre(ctx); err != nil {
 		return rep.NeighborResult{}, err
 	}
-	return l.target.Predecessor(ctx, txn, key)
+	return l.dir().Predecessor(ctx, txn, key)
 }
 
 // Successor implements rep.Directory.
@@ -104,7 +120,7 @@ func (l *Local) Successor(ctx context.Context, txn lock.TxnID, key keyspace.Key)
 	if err := l.pre(ctx); err != nil {
 		return rep.NeighborResult{}, err
 	}
-	return l.target.Successor(ctx, txn, key)
+	return l.dir().Successor(ctx, txn, key)
 }
 
 // PredecessorBatch implements rep.Directory.
@@ -112,7 +128,7 @@ func (l *Local) PredecessorBatch(ctx context.Context, txn lock.TxnID, key keyspa
 	if err := l.pre(ctx); err != nil {
 		return nil, err
 	}
-	return l.target.PredecessorBatch(ctx, txn, key, max)
+	return l.dir().PredecessorBatch(ctx, txn, key, max)
 }
 
 // SuccessorBatch implements rep.Directory.
@@ -120,7 +136,7 @@ func (l *Local) SuccessorBatch(ctx context.Context, txn lock.TxnID, key keyspace
 	if err := l.pre(ctx); err != nil {
 		return nil, err
 	}
-	return l.target.SuccessorBatch(ctx, txn, key, max)
+	return l.dir().SuccessorBatch(ctx, txn, key, max)
 }
 
 // Insert implements rep.Directory.
@@ -128,7 +144,7 @@ func (l *Local) Insert(ctx context.Context, txn lock.TxnID, key keyspace.Key, ve
 	if err := l.pre(ctx); err != nil {
 		return err
 	}
-	return l.target.Insert(ctx, txn, key, ver, value)
+	return l.dir().Insert(ctx, txn, key, ver, value)
 }
 
 // Coalesce implements rep.Directory.
@@ -136,7 +152,7 @@ func (l *Local) Coalesce(ctx context.Context, txn lock.TxnID, lo, hi keyspace.Ke
 	if err := l.pre(ctx); err != nil {
 		return rep.CoalesceResult{}, err
 	}
-	return l.target.Coalesce(ctx, txn, lo, hi, ver)
+	return l.dir().Coalesce(ctx, txn, lo, hi, ver)
 }
 
 // Prepare implements rep.Directory.
@@ -144,7 +160,7 @@ func (l *Local) Prepare(ctx context.Context, txn lock.TxnID) error {
 	if err := l.pre(ctx); err != nil {
 		return err
 	}
-	return l.target.Prepare(ctx, txn)
+	return l.dir().Prepare(ctx, txn)
 }
 
 // Commit implements rep.Directory.
@@ -152,7 +168,7 @@ func (l *Local) Commit(ctx context.Context, txn lock.TxnID) error {
 	if err := l.pre(ctx); err != nil {
 		return err
 	}
-	return l.target.Commit(ctx, txn)
+	return l.dir().Commit(ctx, txn)
 }
 
 // Abort implements rep.Directory.
@@ -160,7 +176,7 @@ func (l *Local) Abort(ctx context.Context, txn lock.TxnID) error {
 	if err := l.pre(ctx); err != nil {
 		return err
 	}
-	return l.target.Abort(ctx, txn)
+	return l.dir().Abort(ctx, txn)
 }
 
 // Status implements rep.Directory.
@@ -168,5 +184,5 @@ func (l *Local) Status(ctx context.Context, txn lock.TxnID) (rep.TxnStatus, erro
 	if err := l.pre(ctx); err != nil {
 		return 0, err
 	}
-	return l.target.Status(ctx, txn)
+	return l.dir().Status(ctx, txn)
 }

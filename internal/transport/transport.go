@@ -41,6 +41,7 @@ const (
 	codeUnavailable
 	codeTxnDecided
 	codeUnknownTxn
+	codeRecovering
 	codeOther
 )
 
@@ -65,6 +66,8 @@ func encodeError(err error) (code, string) {
 		return codeTxnDecided, err.Error()
 	case errors.Is(err, rep.ErrUnknownTxn):
 		return codeUnknownTxn, err.Error()
+	case errors.Is(err, rep.ErrRecovering):
+		return codeRecovering, err.Error()
 	default:
 		return codeOther, err.Error()
 	}
@@ -91,6 +94,8 @@ func decodeError(c code, msg string) error {
 		return fmt.Errorf("%w (remote: %s)", rep.ErrTxnDecided, msg)
 	case codeUnknownTxn:
 		return fmt.Errorf("%w (remote: %s)", rep.ErrUnknownTxn, msg)
+	case codeRecovering:
+		return fmt.Errorf("%w (remote: %s)", rep.ErrRecovering, msg)
 	default:
 		return errors.New(msg)
 	}

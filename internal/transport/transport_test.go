@@ -27,6 +27,11 @@ func TestErrorCodesRoundTrip(t *testing.T) {
 		{"bad range", rep.ErrBadRange, rep.ErrBadRange},
 		{"no neighbor", rep.ErrNoNeighbor, rep.ErrNoNeighbor},
 		{"unavailable", ErrUnavailable, ErrUnavailable},
+		{"txn decided", rep.ErrTxnDecided, rep.ErrTxnDecided},
+		{"unknown txn", rep.ErrUnknownTxn, rep.ErrUnknownTxn},
+		// A rebuilding replica bounces reads with ErrRecovering; the suite
+		// only routes around it if the identity survives the wire.
+		{"recovering", fmt.Errorf("read: %w", rep.ErrRecovering), rep.ErrRecovering},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -133,6 +138,18 @@ func newServerClient(t *testing.T) (*rep.Rep, *Server, *Client) {
 	}
 	t.Cleanup(func() { c.Close() })
 	return r, srv, c
+}
+
+func TestTCPRecoveringIdentitySurvives(t *testing.T) {
+	r, _, c := newServerClient(t)
+	r.SetRecovering(true)
+	if _, err := c.Lookup(ctx, 1, keyspace.New("k")); !errors.Is(err, rep.ErrRecovering) {
+		t.Fatalf("lookup against a recovering rep = %v; want ErrRecovering so the suite routes around it", err)
+	}
+	r.SetRecovering(false)
+	if _, err := c.Lookup(ctx, 2, keyspace.New("k")); err != nil {
+		t.Fatalf("lookup after recovery = %v", err)
+	}
 }
 
 func TestTCPFullOperationSurface(t *testing.T) {

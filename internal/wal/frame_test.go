@@ -1,0 +1,316 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repdir/internal/keyspace"
+)
+
+// appendV1Frame writes a legacy (length prefix + gob, no checksum)
+// frame, byte-identical to what the v1 writer produced.
+func appendV1Frame(t *testing.T, path string, r Record) {
+	t.Helper()
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(r); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var head [4]byte
+	binary.BigEndian.PutUint32(head[:], uint32(payload.Len()))
+	if _, err := f.Write(head[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(payload.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV1FixtureStillReadable reads an on-disk log written by the v1
+// (pre-checksum) code, checked in as a fixture — the migration
+// guarantee that upgrading the binary does not orphan existing logs.
+func TestV1FixtureStillReadable(t *testing.T) {
+	records, err := ReadFileLog(filepath.Join("testdata", "v1.wal"))
+	if err != nil {
+		t.Fatalf("v1 fixture unreadable: %v", err)
+	}
+	if len(records) != 8 {
+		t.Fatalf("read %d records from v1 fixture, want 8", len(records))
+	}
+	if records[0].Kind != KindInsert || records[0].Key.Raw() != "alpha" ||
+		records[0].Version != 3 || records[0].Value != "a" {
+		t.Errorf("first fixture record = %+v", records[0])
+	}
+	if records[7].Kind != KindPrepare || records[7].Txn != 3 {
+		t.Errorf("last fixture record = %+v", records[7])
+	}
+	for i, r := range records {
+		if r.LSN != uint64(i+1) {
+			t.Errorf("record %d LSN = %d", i, r.LSN)
+		}
+	}
+	// The analysis machinery must see the same history: txns 1 and 2
+	// committed, txn 3 in doubt.
+	a, err := Analyze(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Outcomes[1] || !a.Outcomes[2] {
+		t.Errorf("outcomes = %v, want txns 1 and 2 committed", a.Outcomes)
+	}
+	if _, ok := a.InDoubt[3]; !ok {
+		t.Errorf("txn 3 should be in doubt, got %v", a.InDoubt)
+	}
+}
+
+// TestMixedVersionLog appends v2 frames after v1 frames — the shape of
+// any log that lived across the upgrade — and reads them as one stream.
+func TestMixedVersionLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mixed.wal")
+	appendV1Frame(t, path, Record{LSN: 1, Kind: KindInsert, Txn: 1, Key: keyspace.New("a"), Value: "v"})
+	appendV1Frame(t, path, Record{LSN: 2, Kind: KindCommit, Txn: 1})
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.StartAt(3)
+	if err := l.Append(Record{Kind: KindInsert, Txn: 2, Key: keyspace.New("b"), Value: "w"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Kind: KindCommit, Txn: 2}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	got, err := ReadFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[3].LSN != 4 || got[2].Key.Raw() != "b" {
+		t.Fatalf("mixed log read = %+v", got)
+	}
+}
+
+// corpus writes a small committed workload and returns its bytes.
+func corpus(t *testing.T, dir string) (string, []Record) {
+	t.Helper()
+	path := filepath.Join(dir, "log.wal")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Kind: KindInsert, Txn: 1, Key: keyspace.New("a"), Version: 1, Value: "one"},
+		{Kind: KindCommit, Txn: 1},
+		{Kind: KindInsert, Txn: 2, Key: keyspace.New("b"), Version: 2, Value: "two"},
+		{Kind: KindPrepare, Txn: 2},
+		{Kind: KindCommit, Txn: 2},
+		{Kind: KindInsert, Txn: 3, Key: keyspace.New("c"), Version: 3, Value: "three"},
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, recs
+}
+
+// TestReadFileLogBoundsFrameLength: a corrupted length prefix must be
+// rejected before allocation, not drive a multi-gigabyte make.
+func TestReadFileLogBoundsFrameLength(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "huge.wal")
+	// A v1-style header claiming ~4 GiB, then a few bytes.
+	if err := os.WriteFile(path, []byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFileLog(path); err == nil {
+		t.Fatal("absurd length prefix should be an error")
+	}
+	records, report, err := SalvageFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 0 || report == nil || report.Cause != CauseBadLength {
+		t.Fatalf("salvage = %d records, report %+v", len(records), report)
+	}
+}
+
+// TestSalvageBitFlip flips one bit mid-log: ReadFileLog must error,
+// SalvageFileLog must recover the prefix, quarantine the tail, and
+// truncate the log so future appends land after the valid prefix.
+func TestSalvageBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := corpus(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit inside the payload of an interior frame (walking the
+	// v2 headers to find it), so the CRC — not a length check — is what
+	// catches it.
+	var off, pos int
+	for frame := 0; ; frame++ {
+		payloadLen := int(binary.BigEndian.Uint32(data[off+4 : off+8]))
+		if frame == 3 {
+			pos = off + frameHeaderLen + payloadLen/2
+			break
+		}
+		off += frameHeaderLen + payloadLen
+	}
+	data[pos] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := ReadFileLog(path); err == nil {
+		t.Fatal("mid-log corruption must fail the strict reader")
+	}
+
+	records, report, err := SalvageFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report == nil {
+		t.Fatal("salvage of a corrupt log must produce a report")
+	}
+	if report.Cause != CauseBadCRC {
+		t.Errorf("cause = %v, want bad-crc", report.Cause)
+	}
+	if report.Records != len(records) {
+		t.Errorf("report.Records = %d, salvaged %d", report.Records, len(records))
+	}
+	if len(records) > 0 && report.LastLSN != records[len(records)-1].LSN {
+		t.Errorf("report.LastLSN = %d", report.LastLSN)
+	}
+	// Quarantine: tail preserved byte-for-byte, log truncated to prefix.
+	tail, err := os.ReadFile(report.SidecarPath)
+	if err != nil {
+		t.Fatalf("sidecar: %v", err)
+	}
+	if !bytes.Equal(tail, data[report.Offset:]) {
+		t.Error("sidecar does not hold the corrupt tail")
+	}
+	if report.QuarantinedBytes != int64(len(tail)) {
+		t.Errorf("QuarantinedBytes = %d, want %d", report.QuarantinedBytes, len(tail))
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != report.Offset {
+		t.Errorf("log size after salvage = %d, want %d", info.Size(), report.Offset)
+	}
+	// The salvaged log must now be clean, and appendable.
+	again, rep2, err := SalvageFileLog(path)
+	if err != nil || rep2 != nil {
+		t.Fatalf("second salvage: %d records, report %+v, err %v", len(again), rep2, err)
+	}
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.StartAt(report.LastLSN + 1)
+	if err := l.Append(Record{Kind: KindCommit, Txn: 9}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	final, err := ReadFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final) != len(records)+1 || final[len(final)-1].Txn != 9 {
+		t.Fatalf("post-salvage append lost: %+v", final)
+	}
+}
+
+// TestSalvageEveryTruncationPoint cuts the log at every byte boundary:
+// salvage must always return a prefix of the written records, never an
+// error, never a record that was not written.
+func TestSalvageEveryTruncationPoint(t *testing.T) {
+	dir := t.TempDir()
+	path, want := corpus(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		p := filepath.Join(dir, "cut.wal")
+		if err := os.WriteFile(p, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		records, report, err := SalvageFileLog(p)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		for i, r := range records {
+			if r.Kind != want[i].Kind || r.Txn != want[i].Txn || r.Value != want[i].Value {
+				t.Fatalf("cut %d: record %d = %+v, want %+v", cut, i, r, want[i])
+			}
+		}
+		if cut == len(data) {
+			if report != nil {
+				t.Fatalf("full log salvaged with report %+v", report)
+			}
+			if len(records) != len(want) {
+				t.Fatalf("full log: %d records", len(records))
+			}
+		} else if report == nil && len(records) != len(want[:len(records)]) {
+			t.Fatalf("cut %d: no report but %d records", cut, len(records))
+		}
+	}
+}
+
+// TestSalvageCleanLogUntouched: a healthy log must salvage with no
+// report, no sidecar, no truncation.
+func TestSalvageCleanLogUntouched(t *testing.T) {
+	dir := t.TempDir()
+	path, want := corpus(t, dir)
+	before, _ := os.Stat(path)
+	records, report, err := SalvageFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report != nil {
+		t.Fatalf("clean log produced report %+v", report)
+	}
+	if len(records) != len(want) {
+		t.Fatalf("clean salvage: %d records, want %d", len(records), len(want))
+	}
+	after, _ := os.Stat(path)
+	if before.Size() != after.Size() {
+		t.Error("clean salvage changed the file")
+	}
+	if _, err := os.Stat(path + ".quarantine"); !os.IsNotExist(err) {
+		t.Error("clean salvage wrote a sidecar")
+	}
+}
+
+// TestCorruptionCauseString covers the names used in reports and logs.
+func TestCorruptionCauseString(t *testing.T) {
+	for c, want := range map[CorruptionCause]string{
+		CauseNone:           "none",
+		CauseTornHeader:     "torn-header",
+		CauseTornPayload:    "torn-payload",
+		CauseBadLength:      "bad-length",
+		CauseBadCRC:         "bad-crc",
+		CauseDecode:         "bad-payload",
+		CorruptionCause(42): "CorruptionCause(42)",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), got, want)
+		}
+	}
+	if !CauseTornHeader.Torn() || !CauseTornPayload.Torn() || CauseBadCRC.Torn() {
+		t.Error("Torn misclassifies causes")
+	}
+}

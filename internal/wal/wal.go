@@ -13,9 +13,6 @@ package wal
 
 import (
 	"bufio"
-	"bytes"
-	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -136,6 +133,24 @@ func (l *MemoryLog) Records() []Record {
 	return out
 }
 
+// DropTail discards the last n records, simulating storage that lost
+// its most recent writes (the in-memory analogue of a truncated or
+// salvaged file log — recovery sees a strict prefix of history). LSNs
+// keep counting from where they were, exactly as a salvaged FileLog
+// reopened with StartAt does. It returns how many records were dropped.
+func (l *MemoryLog) DropTail(n int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > len(l.records) {
+		n = len(l.records)
+	}
+	if n <= 0 {
+		return 0
+	}
+	l.records = l.records[:len(l.records)-n]
+	return n
+}
+
 // SyncPolicy controls when FileLog forces appended records to stable
 // storage (fsync). Flushing the bufio writer alone only hands bytes to
 // the OS; without an fsync a machine crash can lose records the log
@@ -172,12 +187,24 @@ func (p SyncPolicy) String() string {
 	}
 }
 
-// FileLog appends records to a file. Each record is a length-prefixed
-// frame containing a self-contained gob encoding, so a log can be
-// reopened for appending and a torn trailing frame is detectable.
+// File is the storage handle a FileLog writes through. *os.File
+// satisfies it; the fault-injection harness wraps one to impose fsync
+// failures, short (torn) writes, ENOSPC, and bit flips underneath an
+// otherwise-real log.
+type File interface {
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// FileLog appends records to a file as checksummed v2 frames (see
+// frame.go), so a log can be reopened for appending and recovery can
+// distinguish every record that was fully written from torn or
+// corrupted bytes.
 type FileLog struct {
 	mu     sync.Mutex
-	f      *os.File
+	f      File
 	w      *bufio.Writer
 	next   uint64
 	policy SyncPolicy
@@ -197,7 +224,14 @@ func OpenFileLog(path string) (*FileLog, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %q: %w", path, err)
 	}
-	return &FileLog{f: f, w: bufio.NewWriter(f)}, nil
+	return NewFileLog(f), nil
+}
+
+// NewFileLog builds a log over an already-open append-positioned file
+// handle. Most callers want OpenFileLog; this entry point exists so a
+// fault-injecting File wrapper can sit between the log and the disk.
+func NewFileLog(f File) *FileLog {
+	return &FileLog{f: f, w: bufio.NewWriter(f)}
 }
 
 // SetSyncPolicy selects when appends fsync.
@@ -274,17 +308,12 @@ func (l *FileLog) Append(r Record) error {
 	}
 	l.next++
 	r.LSN = l.next
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
-		return fmt.Errorf("wal: encode: %w", err)
+	frame, err := encodeFrame(r)
+	if err != nil {
+		return err
 	}
-	var frame [4]byte
-	binary.BigEndian.PutUint32(frame[:], uint32(buf.Len()))
-	if _, err := l.w.Write(frame[:]); err != nil {
+	if _, err := l.w.Write(frame); err != nil {
 		return fmt.Errorf("wal: write frame: %w", err)
-	}
-	if _, err := l.w.Write(buf.Bytes()); err != nil {
-		return fmt.Errorf("wal: write payload: %w", err)
 	}
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: flush: %w", err)
@@ -323,35 +352,20 @@ func (l *FileLog) Close() error {
 	return l.f.Close()
 }
 
-// ReadFileLog decodes every record in a log file. A trailing partial
-// frame (torn write during a crash) is tolerated and truncated; a corrupt
-// frame in the middle of the log is an error.
+// ReadFileLog decodes every record in a log file, v1 and v2 frames
+// alike. A trailing partial frame (torn write during a crash) is
+// tolerated; a corrupt frame in the middle of the log — bad length,
+// failed checksum, undecodable payload — is an error. Use
+// SalvageFileLog to recover the valid prefix of a damaged log instead.
 func ReadFileLog(path string) ([]Record, error) {
-	f, err := os.Open(path)
+	records, report, err := scanFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("wal: open %q: %w", path, err)
+		return nil, err
 	}
-	defer f.Close()
-	r := bufio.NewReader(f)
-	var out []Record
-	for {
-		var frame [4]byte
-		if _, err := io.ReadFull(r, frame[:]); err != nil {
-			// EOF here is a clean end; a short read is a torn frame
-			// header — either way everything before it is intact.
-			return out, nil
-		}
-		payload := make([]byte, binary.BigEndian.Uint32(frame[:]))
-		if _, err := io.ReadFull(r, payload); err != nil {
-			// Torn payload: drop the partial trailing record.
-			return out, nil
-		}
-		var rec Record
-		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
-			return out, fmt.Errorf("wal: corrupt record %d in %q: %w", len(out), path, err)
-		}
-		out = append(out, rec)
+	if report.Cause == CauseNone || report.Cause.Torn() {
+		return records, nil
 	}
+	return records, &report
 }
 
 // FilterAfter returns the records with LSN strictly greater than lsn —
