@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench chaos crash obsdeps
+.PHONY: check vet build test race bench benchall benchsmoke chaos crash obsdeps
 
-check: vet obsdeps build race crash chaos
+check: vet obsdeps build race crash chaos benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -47,6 +47,24 @@ crash:
 	$(GO) test -count 1 -run 'TestCrashPoints' -v ./internal/fault/
 	$(GO) test -race -count 1 -run 'TestChaosSoakDeterministic' -v .
 
-# Transport + paper benchmarks (see EXPERIMENTS.md for methodology).
+# Transport + quorum benchmarks, recorded machine-readably: runs the
+# wire-codec and quorum-round suite with -benchmem and rewrites the
+# BENCH_transport.json ledger (schema: bench/ns_op/bytes_op/allocs_op/
+# date/git_rev per entry; see EXPERIMENTS.md for methodology).
+TRANSPORT_BENCH = 'BenchmarkTCP|BenchmarkWire'
 bench:
+	$(GO) test -run xxx -bench $(TRANSPORT_BENCH) -benchmem -benchtime 2s \
+		./internal/transport | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_transport.json
+
+# CI smoke for the benchmark plumbing: same benchmarks at -benchtime=10x
+# (numbers meaningless, schema real), written to a scratch ledger and
+# schema-validated. Never gates on the measured values.
+benchsmoke:
+	$(GO) test -run xxx -bench $(TRANSPORT_BENCH) -benchmem -benchtime 10x \
+		./internal/transport | $(GO) run ./cmd/benchjson -out /tmp/BENCH_smoke.json
+	$(GO) run ./cmd/benchjson -validate /tmp/BENCH_smoke.json
+	$(GO) run ./cmd/benchjson -validate BENCH_transport.json
+
+# Every benchmark in the repo (paper figures included), human-readable.
+benchall:
 	$(GO) test -run xxx -bench . -benchtime 1s ./...

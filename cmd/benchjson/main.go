@@ -1,0 +1,199 @@
+// Command benchjson turns `go test -bench -benchmem` output into the
+// machine-readable benchmark ledger the repo keeps at
+// BENCH_transport.json:
+//
+//	go test -run xxx -bench 'TCP|Wire' -benchmem ./internal/transport | \
+//	    benchjson -out BENCH_transport.json
+//
+// Each benchmark line becomes one JSON entry:
+//
+//	{"bench": "...", "ns_op": 2805.0, "bytes_op": 411, "allocs_op": 9,
+//	 "date": "2026-08-08", "git_rev": "a019e82"}
+//
+// The output file is a JSON array sorted by benchmark name, rewritten
+// wholesale on every run so the ledger always describes one revision.
+// The -validate mode parses an existing ledger and checks the schema
+// without gating on the numbers — the CI smoke path, where benchmarks
+// run with -benchtime=10x and the values mean nothing:
+//
+//	benchjson -validate BENCH_transport.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one benchmark measurement. The field set is the repo's
+// benchmark-ledger schema; -validate enforces it.
+type Entry struct {
+	Bench    string  `json:"bench"`
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  int64   `json:"bytes_op"`
+	AllocsOp int64   `json:"allocs_op"`
+	Date     string  `json:"date"`
+	GitRev   string  `json:"git_rev"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	var (
+		out      = fs.String("out", "BENCH_transport.json", "ledger file to write")
+		rev      = fs.String("rev", "", "git revision to stamp entries with (default: git rev-parse --short HEAD)")
+		date     = fs.String("date", "", "date to stamp entries with, YYYY-MM-DD (default: today)")
+		validate = fs.String("validate", "", "validate an existing ledger file and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *validate != "" {
+		n, err := validateLedger(*validate)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d entries, schema ok\n", *validate, n)
+		return nil
+	}
+
+	if *date == "" {
+		*date = time.Now().Format("2006-01-02")
+	} else if _, err := time.Parse("2006-01-02", *date); err != nil {
+		return fmt.Errorf("-date: %w", err)
+	}
+	if *rev == "" {
+		gitOut, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+		if err != nil {
+			return fmt.Errorf("resolving git revision (pass -rev to override): %w", err)
+		}
+		*rev = strings.TrimSpace(string(gitOut))
+	}
+
+	entries, err := parseBench(os.Stdin, *date, *rev)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin (run go test -bench with -benchmem)")
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Bench < entries[j].Bench })
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(entries); err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d entries at %s\n", *out, len(entries), *rev)
+	return nil
+}
+
+// parseBench extracts benchmark result lines. The format is the fixed
+// testing-package shape: name, iterations, then value/unit pairs —
+//
+//	BenchmarkTCPSingleConn/binary/workers=64-8  430738  2805 ns/op  411 B/op  9 allocs/op
+//
+// Lines without ns/op (headers, PASS, ok) are skipped. The trailing
+// -GOMAXPROCS suffix is stripped from names so ledgers diff cleanly
+// across machines.
+func parseBench(r io.Reader, date, rev string) ([]Entry, error) {
+	var entries []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		e := Entry{Bench: stripProcs(f[0]), Date: date, GitRev: rev}
+		seen := false
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad value %q", f[0], f[i])
+			}
+			switch f[i+1] {
+			case "ns/op":
+				e.NsOp, seen = v, true
+			case "B/op":
+				e.BytesOp = int64(v)
+			case "allocs/op":
+				e.AllocsOp = int64(v)
+			}
+		}
+		if !seen {
+			continue
+		}
+		entries = append(entries, e)
+	}
+	return entries, sc.Err()
+}
+
+// stripProcs removes the trailing -N GOMAXPROCS marker go test appends
+// to benchmark names.
+func stripProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// validateLedger checks that file parses as a non-empty array of
+// schema-complete entries. Values are not gated: the smoke path runs
+// benchmarks far too briefly for the numbers to mean anything.
+func validateLedger(file string) (int, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return 0, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var entries []Entry
+	if err := dec.Decode(&entries); err != nil {
+		return 0, fmt.Errorf("%s: %w", file, err)
+	}
+	if len(entries) == 0 {
+		return 0, fmt.Errorf("%s: empty ledger", file)
+	}
+	for i, e := range entries {
+		if e.Bench == "" {
+			return 0, fmt.Errorf("%s: entry %d: empty bench name", file, i)
+		}
+		if e.NsOp <= 0 {
+			return 0, fmt.Errorf("%s: %s: ns_op %v out of range", file, e.Bench, e.NsOp)
+		}
+		if e.BytesOp < 0 || e.AllocsOp < 0 {
+			return 0, fmt.Errorf("%s: %s: negative memory stats", file, e.Bench)
+		}
+		if _, err := time.Parse("2006-01-02", e.Date); err != nil {
+			return 0, fmt.Errorf("%s: %s: bad date %q", file, e.Bench, e.Date)
+		}
+		if e.GitRev == "" {
+			return 0, fmt.Errorf("%s: %s: empty git_rev", file, e.Bench)
+		}
+	}
+	return len(entries), nil
+}

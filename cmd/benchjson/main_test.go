@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repdir/internal/transport
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkTCPSingleConn/gob/workers=64-8         	   77652	     15457 ns/op	    1034 B/op	      28 allocs/op
+BenchmarkTCPSingleConn/binary/workers=64-8      	  430738	      2805 ns/op	     411 B/op	       9 allocs/op
+BenchmarkWireEncodeRequest-8                    	48807843	        24.50 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repdir/internal/transport	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	entries, err := parseBench(strings.NewReader(sampleBench), "2026-08-08", "abc1234")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("got %d entries, want 3: %+v", len(entries), entries)
+	}
+	e := entries[1]
+	if e.Bench != "BenchmarkTCPSingleConn/binary/workers=64" {
+		t.Errorf("bench name: %q (GOMAXPROCS suffix must be stripped)", e.Bench)
+	}
+	if e.NsOp != 2805 || e.BytesOp != 411 || e.AllocsOp != 9 {
+		t.Errorf("values: %+v", e)
+	}
+	if frac := entries[2].NsOp; frac != 24.50 {
+		t.Errorf("fractional ns/op: %v", frac)
+	}
+	if e.Date != "2026-08-08" || e.GitRev != "abc1234" {
+		t.Errorf("stamps: %+v", e)
+	}
+}
+
+func TestValidateLedger(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	os.WriteFile(good, []byte(`[
+  {"bench": "BenchmarkX", "ns_op": 12.5, "bytes_op": 0, "allocs_op": 0,
+   "date": "2026-08-08", "git_rev": "abc1234"}
+]`), 0o644)
+	if n, err := validateLedger(good); err != nil || n != 1 {
+		t.Fatalf("good ledger: n=%d err=%v", n, err)
+	}
+
+	for name, body := range map[string]string{
+		"empty":     `[]`,
+		"zero_ns":   `[{"bench": "B", "ns_op": 0, "bytes_op": 0, "allocs_op": 0, "date": "2026-08-08", "git_rev": "a"}]`,
+		"no_name":   `[{"bench": "", "ns_op": 1, "bytes_op": 0, "allocs_op": 0, "date": "2026-08-08", "git_rev": "a"}]`,
+		"bad_date":  `[{"bench": "B", "ns_op": 1, "bytes_op": 0, "allocs_op": 0, "date": "soon", "git_rev": "a"}]`,
+		"no_rev":    `[{"bench": "B", "ns_op": 1, "bytes_op": 0, "allocs_op": 0, "date": "2026-08-08", "git_rev": ""}]`,
+		"extra_key": `[{"bench": "B", "ns_op": 1, "bytes_op": 0, "allocs_op": 0, "date": "2026-08-08", "git_rev": "a", "mb_s": 3}]`,
+	} {
+		f := filepath.Join(dir, name+".json")
+		os.WriteFile(f, []byte(body), 0o644)
+		if _, err := validateLedger(f); err == nil {
+			t.Errorf("%s: validation passed, want error", name)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"repdir/internal/obs"
 	"repdir/internal/rep"
 	"repdir/internal/transport"
 	"repdir/internal/wal"
@@ -51,6 +52,7 @@ func run(args []string) error {
 		recovery = fs.String("recovery", "strict", "WAL recovery policy: strict, salvage, or rebuild")
 		conc     = fs.Int("concurrency", transport.DefaultPerConnConcurrency,
 			"max requests served concurrently per client connection")
+		obsAddr = fs.String("obs.addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,6 +99,19 @@ func run(args []string) error {
 		return err
 	}
 	defer srv.Close()
+	if *obsAddr != "" {
+		registry := obs.NewRegistry()
+		// Wire traffic (frames, batching factor, payload bytes) joins the
+		// representative's own op counters on the metrics endpoint.
+		srv.WireStats().Register(registry, "server")
+		registerRepMetrics(registry, r, *name)
+		osrv, err := obs.Serve(*obsAddr, registry, true)
+		if err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+		defer osrv.Close()
+		fmt.Printf("[observability on http://%s/metrics]\n", osrv.Addr())
+	}
 	fmt.Printf("representative %s serving on %s (%d entries)\n", *name, srv.Addr(), r.Len())
 
 	stop := make(chan struct{})
@@ -169,6 +184,20 @@ func reportRecovery(rec rep.RecoveryReport) {
 	for _, w := range rec.Warnings {
 		fmt.Fprintln(os.Stderr, "repdir-server: recovery:", w)
 	}
+}
+
+// registerRepMetrics exposes the representative's cumulative operation
+// counters alongside the wire stats.
+func registerRepMetrics(reg *obs.Registry, r *rep.Rep, name string) {
+	reg.CounterVec("repdir_rep_ops_total",
+		"Cumulative per-representative operation counts.",
+		[]string{"member", "op"}, func() []obs.Sample {
+			var out []obs.Sample
+			for op, v := range r.Counters().Map() {
+				out = append(out, obs.Sample{Labels: []string{name, op}, Value: float64(v)})
+			}
+			return out
+		})
 }
 
 // parseSyncPolicy maps the -fsync flag to a wal.SyncPolicy.

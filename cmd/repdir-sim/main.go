@@ -12,6 +12,7 @@
 //	repdir-sim -experiment heal    # circuit breaker + anti-entropy recovery curve
 //	repdir-sim -experiment storage # crash points, salvage recovery curve, rebuild throughput
 //	repdir-sim -experiment traffic # live instrumented traffic with a Delete trace
+//	repdir-sim -experiment wire    # transport codec comparison (gob vs binary, batching)
 //	repdir-sim -experiment all     # everything
 //
 // The -ops flag overrides the per-run operation count (the paper used
@@ -221,6 +222,14 @@ func run(args []string) error {
 			fmt.Print(sim.FormatStorage(res))
 			return nil
 		},
+		"wire": func() error {
+			res, err := sim.RunWire(sim.WireConfig{Seed: *seed, Ops: *ops, Workers: *clients})
+			if err != nil {
+				return err
+			}
+			fmt.Print(sim.FormatWire(res))
+			return nil
+		},
 		"conc": func() error {
 			opsPerClient := *ops
 			if opsPerClient == 0 {
@@ -236,11 +245,11 @@ func run(args []string) error {
 		},
 	}
 
-	order := []string{"fig14", "fig15", "fig16", "sticky", "batch", "model", "skew", "scale", "conc", "chaos", "heal", "storage", "traffic"}
+	order := []string{"fig14", "fig15", "fig16", "sticky", "batch", "model", "skew", "scale", "conc", "chaos", "heal", "storage", "traffic", "wire"}
 	if *experiment != "all" {
 		fn, ok := runs[*experiment]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want fig14, fig15, fig16, sticky, batch, model, skew, scale, conc, chaos, heal, storage, traffic, or all)", *experiment)
+			return fmt.Errorf("unknown experiment %q (want fig14, fig15, fig16, sticky, batch, model, skew, scale, conc, chaos, heal, storage, traffic, wire, or all)", *experiment)
 		}
 		return timed(*experiment, fn)
 	}

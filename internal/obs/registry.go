@@ -26,12 +26,13 @@ type HistSample struct {
 }
 
 // family is one registered metric family. Exactly one of collect /
-// collectHist is set, depending on kind.
+// collectHist / collectSize is set, depending on kind.
 type family struct {
 	name, help, kind string
 	labels           []string
 	collect          func() []Sample
 	collectHist      func() []HistSample
+	collectSize      func() []SizeSample
 }
 
 // Registry collects metric families and renders them in the Prometheus
@@ -190,6 +191,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
 		if f.kind == "histogram" {
+			if f.collectSize != nil {
+				samples := f.collectSize()
+				sort.Slice(samples, func(i, j int) bool {
+					return labelLess(samples[i].Labels, samples[j].Labels)
+				})
+				for _, s := range samples {
+					writeSizeHistogram(bw, f, s)
+				}
+				continue
+			}
 			samples := f.collectHist()
 			sort.Slice(samples, func(i, j int) bool {
 				return labelLess(samples[i].Labels, samples[j].Labels)
@@ -229,6 +240,24 @@ func writeHistogram(w io.Writer, f family, s HistSample) {
 	fmt.Fprintf(w, "%s_count%s %d\n", f.name, ls, s.Snap.Count)
 }
 
+// writeSizeHistogram renders one unitless histogram sample: cumulative
+// buckets with integer le bounds, then _sum and _count.
+func writeSizeHistogram(w io.Writer, f family, s SizeSample) {
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		cum += s.Snap.Counts[i]
+		le := "+Inf"
+		if b := SizeBucketBound(i); b >= 0 {
+			le = strconv.FormatInt(b, 10)
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+			labelString(f.labels, s.Labels, "le", le), cum)
+	}
+	ls := labelString(f.labels, s.Labels, "", "")
+	fmt.Fprintf(w, "%s_sum%s %d\n", f.name, ls, s.Snap.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name, ls, s.Snap.Count)
+}
+
 // labelLess orders label value slices lexicographically.
 func labelLess(a, b []string) bool {
 	for i := 0; i < len(a) && i < len(b); i++ {
@@ -256,6 +285,14 @@ func (r *Registry) snapshotMap() map[string]any {
 	out := make(map[string]any)
 	for _, f := range families {
 		if f.kind == "histogram" {
+			if f.collectSize != nil {
+				for _, s := range f.collectSize() {
+					ls := labelString(f.labels, s.Labels, "", "")
+					out[f.name+ls+"_count"] = s.Snap.Count
+					out[f.name+ls+"_sum"] = s.Snap.Sum
+				}
+				continue
+			}
 			for _, s := range f.collectHist() {
 				ls := labelString(f.labels, s.Labels, "", "")
 				out[f.name+ls+"_count"] = s.Snap.Count

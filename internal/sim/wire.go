@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"repdir/internal/core"
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+)
+
+// WireConfig parameterizes the transport-codec experiment: one 3-2-2
+// suite per codec mode, served over real loopback TCP, driven by
+// concurrent workers so the binary framer's group commit sees the
+// cross-transaction traffic it batches.
+type WireConfig struct {
+	// Ops is the total operation count per codec mode.
+	Ops int
+	// Workers is the number of concurrent clients per mode.
+	Workers int
+	// Seed fixes each worker's operation mix.
+	Seed int64
+}
+
+func (c WireConfig) withDefaults() WireConfig {
+	if c.Ops <= 0 {
+		c.Ops = 4000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// WireMode is one row of the codec comparison.
+type WireMode struct {
+	Codec      string
+	Ops        int
+	Elapsed    time.Duration
+	Throughput float64 // operations per second
+	// Frame accounting summed over the suite's member connections
+	// (client side, both directions). Zero for the gob rows: the gob
+	// stream has no frames to count.
+	Frames, Msgs, Bytes uint64
+	// MsgsPerFrame is the realized batching factor (1.0 = no
+	// coalescing ever happened).
+	MsgsPerFrame float64
+}
+
+// WireResult is the full comparison: the same workload through the gob
+// codec, the binary codec with batching pinned off, and the binary
+// codec with group commit.
+type WireResult struct {
+	Config WireConfig
+	Modes  []WireMode
+}
+
+// RunWire measures what the wire format and fan-out batching are worth
+// end to end: identical seeded workloads against identical 3-2-2
+// suites over loopback TCP, varying only the codec the member
+// connections speak. Workers mix quorum reads with updates to their
+// own keys, so concurrent rounds overlap at the shared member
+// connections — the layer where the binary framer coalesces them.
+func RunWire(cfg WireConfig) (WireResult, error) {
+	cfg = cfg.withDefaults()
+	res := WireResult{Config: cfg}
+	modes := []struct {
+		codec string
+		opts  []transport.DialOption
+	}{
+		{"gob", []transport.DialOption{transport.WithGobProtocol()}},
+		{"binary/nobatch", []transport.DialOption{transport.WithMaxBatch(1)}},
+		{"binary", nil},
+	}
+	for _, m := range modes {
+		row, err := runWireMode(cfg, m.codec, m.opts)
+		if err != nil {
+			return res, fmt.Errorf("sim: wire %s: %w", m.codec, err)
+		}
+		res.Modes = append(res.Modes, row)
+	}
+	return res, nil
+}
+
+func runWireMode(cfg WireConfig, codec string, opts []transport.DialOption) (WireMode, error) {
+	ctx := context.Background()
+	const members = 3
+
+	servers := make([]*transport.Server, members)
+	clients := make([]*transport.Client, members)
+	defer func() {
+		for _, c := range clients {
+			if c != nil {
+				c.Close()
+			}
+		}
+		for _, s := range servers {
+			if s != nil {
+				s.Close()
+			}
+		}
+	}()
+	dirs := make([]rep.Directory, members)
+	for i := range dirs {
+		srv, err := transport.Serve(rep.New(fmt.Sprintf("rep%d", i)), "127.0.0.1:0",
+			transport.WithPerConnConcurrency(4*cfg.Workers))
+		if err != nil {
+			return WireMode{}, err
+		}
+		servers[i] = srv
+		c, err := transport.Dial(srv.Addr(), opts...)
+		if err != nil {
+			return WireMode{}, err
+		}
+		clients[i] = c
+		dirs[i] = c
+	}
+
+	suite, err := core.NewSuite(quorum.NewUniform(dirs, 2, 2),
+		core.WithParallelQuorum(true))
+	if err != nil {
+		return WireMode{}, err
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		if err := suite.Insert(ctx, fmt.Sprintf("key-%03d", w), "0"); err != nil {
+			return WireMode{}, err
+		}
+	}
+
+	perWorker := cfg.Ops / cfg.Workers
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Workers)
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			key := fmt.Sprintf("key-%03d", w)
+			for i := 0; i < perWorker; i++ {
+				var err error
+				// Lookup-heavy, as in the paper's workload; updates stay
+				// on the worker's own key so wait-die aborts never
+				// confound the codec comparison.
+				if rng.Intn(10) < 8 {
+					_, _, err = suite.Lookup(ctx, key)
+				} else {
+					err = suite.Update(ctx, key, fmt.Sprintf("%d", i))
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return WireMode{}, err
+	}
+	elapsed := time.Since(start)
+
+	row := WireMode{
+		Codec:      codec,
+		Ops:        perWorker * cfg.Workers,
+		Elapsed:    elapsed,
+		Throughput: float64(perWorker*cfg.Workers) / elapsed.Seconds(),
+	}
+	for _, c := range clients {
+		sent, recv := c.WireStats().Sent(), c.WireStats().Recv()
+		row.Frames += sent.Frames + recv.Frames
+		row.Msgs += sent.Msgs + recv.Msgs
+		row.Bytes += sent.Bytes + recv.Bytes
+	}
+	if row.Frames > 0 {
+		row.MsgsPerFrame = float64(row.Msgs) / float64(row.Frames)
+	}
+	return row, nil
+}
+
+// FormatWire renders the codec comparison table.
+func FormatWire(r WireResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Transport codec comparison — 3-2-2 suite over loopback TCP, %d ops, %d workers:\n",
+		r.Config.Ops, r.Config.Workers)
+	fmt.Fprintf(&b, "  %-15s  %10s  %9s  %10s  %12s  %9s\n",
+		"codec", "ops/sec", "elapsed", "frames", "msgs/frame", "bytes/op")
+	var base float64
+	for i, m := range r.Modes {
+		frames, batch, bytesPerOp := "-", "-", "-"
+		if m.Frames > 0 {
+			frames = fmt.Sprintf("%d", m.Frames)
+			batch = fmt.Sprintf("%.2f", m.MsgsPerFrame)
+			bytesPerOp = fmt.Sprintf("%.0f", float64(m.Bytes)/float64(m.Ops))
+		}
+		speedup := ""
+		if i == 0 {
+			base = m.Throughput
+		} else if base > 0 {
+			speedup = fmt.Sprintf("  (%.1fx vs gob)", m.Throughput/base)
+		}
+		fmt.Fprintf(&b, "  %-15s  %10.0f  %9s  %10s  %12s  %9s%s\n",
+			m.Codec, m.Throughput, m.Elapsed.Round(time.Millisecond),
+			frames, batch, bytesPerOp, speedup)
+	}
+	return b.String()
+}

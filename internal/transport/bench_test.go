@@ -11,6 +11,7 @@ import (
 	"repdir/internal/keyspace"
 	"repdir/internal/lock"
 	"repdir/internal/rep"
+	"repdir/internal/version"
 )
 
 // BenchmarkLocalLookup measures the in-process transport overhead.
@@ -137,6 +138,269 @@ func benchTCPQuorum(b *testing.B, workers int) {
 		}()
 	}
 	wg.Wait()
+}
+
+// nopDir answers every operation instantly with zero values. Quorum
+// benchmarks over it measure pure transport cost: codec CPU, framing,
+// and syscalls, with no directory or lock-manager time mixed in.
+type nopDir struct{ name string }
+
+var _ rep.Directory = nopDir{}
+
+func (d nopDir) Name() string { return d.name }
+func (d nopDir) Lookup(context.Context, lock.TxnID, keyspace.Key) (rep.LookupResult, error) {
+	return rep.LookupResult{Found: true, Version: 1, Value: "v"}, nil
+}
+func (d nopDir) Predecessor(context.Context, lock.TxnID, keyspace.Key) (rep.NeighborResult, error) {
+	return rep.NeighborResult{Key: keyspace.Low(), Version: 1}, nil
+}
+func (d nopDir) Successor(context.Context, lock.TxnID, keyspace.Key) (rep.NeighborResult, error) {
+	return rep.NeighborResult{Key: keyspace.High(), Version: 1}, nil
+}
+func (d nopDir) PredecessorBatch(context.Context, lock.TxnID, keyspace.Key, int) ([]rep.NeighborResult, error) {
+	return nil, nil
+}
+func (d nopDir) SuccessorBatch(context.Context, lock.TxnID, keyspace.Key, int) ([]rep.NeighborResult, error) {
+	return nil, nil
+}
+func (d nopDir) Insert(context.Context, lock.TxnID, keyspace.Key, version.V, string) error {
+	return nil
+}
+func (d nopDir) Coalesce(context.Context, lock.TxnID, keyspace.Key, keyspace.Key, version.V) (rep.CoalesceResult, error) {
+	return rep.CoalesceResult{}, nil
+}
+func (d nopDir) Prepare(context.Context, lock.TxnID) error              { return nil }
+func (d nopDir) Commit(context.Context, lock.TxnID) error               { return nil }
+func (d nopDir) Abort(context.Context, lock.TxnID) error                { return nil }
+func (d nopDir) Status(context.Context, lock.TxnID) (rep.TxnStatus, error) { return 0, nil }
+
+// benchQuorumRound is the codec comparison harness: one round = a
+// 3-member Lookup fan-out plus a 3-member Abort fan-out (6 messages),
+// with `workers` rounds in flight over the same single connection per
+// member. Members answer instantly (nopDir), so ns/op is transport
+// cost — exactly what the gob→binary migration targets.
+func benchQuorumRound(b *testing.B, workers int, dialOpts ...DialOption) {
+	const members = 3
+	ctx := context.Background()
+	clients := make([]*Client, members)
+	for i := range clients {
+		srv, err := Serve(nopDir{name: fmt.Sprintf("m%d", i)}, "127.0.0.1:0", WithPerConnConcurrency(4*workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		c, err := Dial(srv.Addr(), dialOpts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	key := keyspace.New("k")
+	// Mirror core's fanOut: leader leg inline, goroutines for the rest.
+	fanOut := func(do func(c *Client) error) {
+		var wg sync.WaitGroup
+		for i := 1; i < len(clients); i++ {
+			wg.Add(1)
+			go func(c *Client) {
+				defer wg.Done()
+				if err := do(c); err != nil {
+					b.Error(err)
+				}
+			}(clients[i])
+		}
+		if err := do(clients[0]); err != nil {
+			b.Error(err)
+		}
+		wg.Wait()
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := next.Add(1)
+				if n > int64(b.N) {
+					return
+				}
+				id := lock.TxnID(n)
+				fanOut(func(c *Client) error {
+					_, err := c.Lookup(ctx, id, key)
+					return err
+				})
+				fanOut(func(c *Client) error {
+					return c.Abort(ctx, id)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkTCPQuorumRound is the acceptance benchmark for the binary
+// codec: same machine, same harness, three codecs. "gob" is the
+// pre-codec baseline, "binary_nobatch" isolates the codec win
+// (every message in its own frame), "binary" adds group-commit
+// batching on top.
+func BenchmarkTCPQuorumRound(b *testing.B) {
+	const workers = 16
+	b.Run("gob", func(b *testing.B) {
+		benchQuorumRound(b, workers, WithGobProtocol())
+	})
+	b.Run("binary_nobatch", func(b *testing.B) {
+		benchQuorumRound(b, workers, WithMaxBatch(1))
+	})
+	b.Run("binary", func(b *testing.B) {
+		benchQuorumRound(b, workers)
+	})
+}
+
+// benchSingleConn saturates ONE client connection with pipelined
+// lookups from `workers` goroutines — the "single-connection
+// throughput" number the codec migration is judged on.
+func benchSingleConn(b *testing.B, workers int, dialOpts ...DialOption) {
+	srv, err := Serve(nopDir{name: "s"}, "127.0.0.1:0", WithPerConnConcurrency(4*workers))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr(), dialOpts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	key := keyspace.New("k")
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := next.Add(1)
+				if n > int64(b.N) {
+					return
+				}
+				if _, err := c.Lookup(ctx, lock.TxnID(n), key); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkTCPSingleConn sweeps codec × concurrency on one connection.
+func BenchmarkTCPSingleConn(b *testing.B) {
+	for _, workers := range []int{16, 64, 128} {
+		b.Run(fmt.Sprintf("gob/workers=%d", workers), func(b *testing.B) {
+			benchSingleConn(b, workers, WithGobProtocol())
+		})
+		b.Run(fmt.Sprintf("binary_nobatch/workers=%d", workers), func(b *testing.B) {
+			benchSingleConn(b, workers, WithMaxBatch(1))
+		})
+		b.Run(fmt.Sprintf("binary/workers=%d", workers), func(b *testing.B) {
+			benchSingleConn(b, workers)
+		})
+	}
+}
+
+// BenchmarkWireEncodeRequest measures the raw codec encode path.
+func BenchmarkWireEncodeRequest(b *testing.B) {
+	req := request{ID: 42, Op: opInsert, Txn: 7, Key: keyspace.New("some/key"), Version: 12, Value: "payload-value"}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = appendRequest(buf[:0], &req)
+	}
+	_ = buf
+}
+
+// BenchmarkWireDecodeResponse measures the raw codec decode path.
+func BenchmarkWireDecodeResponse(b *testing.B) {
+	resp := response{ID: 42, Op: opLookup, Code: codeOK, Found: true, Version: 12, Value: "payload-value"}
+	buf := appendResponse(nil, &resp)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := wireReader{buf: buf}
+		var got response
+		if err := r.readResponse(&got); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestEncodeZeroAlloc pins the codec's steady-state allocation behavior:
+// encoding any request or response into a reused buffer must not
+// allocate, and decoding messages whose fields need no owned copies
+// (the whole 2PC surface) must not allocate either. String-bearing
+// decodes (keys, values) pay exactly their materialization — that cost
+// is the rep API's, not the codec's.
+func TestEncodeZeroAlloc(t *testing.T) {
+	reqs := wireRequestVariants()
+	resps := wireResponseVariants()
+	buf := make([]byte, 0, 4096)
+	if n := testing.AllocsPerRun(100, func() {
+		buf = buf[:0]
+		for i := range reqs {
+			buf = appendRequest(buf, &reqs[i])
+		}
+		for i := range resps {
+			buf = appendResponse(buf, &resps[i])
+		}
+	}); n != 0 {
+		t.Errorf("encode path allocates %.1f times per run, want 0", n)
+	}
+
+	twoPC := []request{
+		{ID: 1, Op: opPrepare, Txn: 2},
+		{ID: 3, Op: opCommit, Txn: 4},
+		{ID: 5, Op: opAbort, Txn: 6},
+		{ID: 7, Op: opStatus, Txn: 8},
+	}
+	var pcBuf []byte
+	for i := range twoPC {
+		pcBuf = appendRequest(pcBuf, &twoPC[i])
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		r := wireReader{buf: pcBuf}
+		var req request
+		for r.remaining() > 0 {
+			if err := r.readRequest(&req); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}); n != 0 {
+		t.Errorf("2PC request decode allocates %.1f times per run, want 0", n)
+	}
+
+	pcResps := []response{
+		{ID: 1, Op: opPrepare}, {ID: 3, Op: opCommit},
+		{ID: 5, Op: opAbort}, {ID: 7, Op: opStatus, TxnStatus: 1},
+	}
+	var prBuf []byte
+	for i := range pcResps {
+		prBuf = appendResponse(prBuf, &pcResps[i])
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		r := wireReader{buf: prBuf}
+		var resp response
+		for r.remaining() > 0 {
+			if err := r.readResponse(&resp); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}); n != 0 {
+		t.Errorf("2PC response decode allocates %.1f times per run, want 0", n)
+	}
 }
 
 // BenchmarkTCPQuorumSerial is the old client's ceiling: one quorum

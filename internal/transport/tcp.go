@@ -1,9 +1,11 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -15,7 +17,9 @@ import (
 	"repdir/internal/version"
 )
 
-// op is the wire operation code.
+// op is the wire operation code. The numeric values are the binary
+// codec's one-byte message tags (see wire.go) — part of the on-wire
+// contract; do not renumber.
 type op int
 
 const (
@@ -33,6 +37,12 @@ const (
 	opName
 )
 
+// Protocol names, as reported by Client.Protocol.
+const (
+	ProtoBinary = "binary"
+	ProtoGob    = "gob"
+)
+
 // request is the single wire request shape. ID matches the request to
 // its response: the connection is multiplexed, so responses may return
 // in any order.
@@ -48,9 +58,11 @@ type request struct {
 }
 
 // response is the single wire response shape. ID echoes the request it
-// answers.
+// answers; Op echoes the request op so the binary decoder knows which
+// result fields follow (gob carries field names and ignores it).
 type response struct {
 	ID          uint64
+	Op          op
 	Code        code
 	Msg         string
 	Found       bool
@@ -67,6 +79,11 @@ type response struct {
 // DefaultPerConnConcurrency bounds how many requests from one connection
 // a server runs at once when WithPerConnConcurrency is not given.
 const DefaultPerConnConcurrency = 32
+
+// negotiateTimeout bounds the preamble exchange after a dial, so a
+// server that accepts but never answers cannot hang the caller beyond
+// its context.
+const negotiateTimeout = 10 * time.Second
 
 // ServerOption configures Serve.
 type ServerOption func(*Server)
@@ -93,12 +110,26 @@ func WithPerConnConcurrency(n int) ServerOption {
 	}
 }
 
+// WithGobOnly makes the server behave like a pre-codec build: every
+// connection is served with gob and a binary preamble is rejected (the
+// gob decoder chokes on it and the connection closes), which is exactly
+// what a new client negotiating against an old server experiences. Used
+// by the mixed-version tests and available for staged rollbacks.
+func WithGobOnly() ServerOption {
+	return func(s *Server) { s.gobOnly = true }
+}
+
 // Server exposes one representative over TCP. Each connection has one
 // decode loop, but every request is dispatched to its own goroutine
 // (bounded by the per-connection concurrency limit), so a request stuck
 // waiting for a lock does not head-of-line-block later requests on the
-// same connection. Responses are serialized through a per-connection
-// write mutex and matched to requests by ID.
+// same connection. Responses are matched to requests by ID; on the
+// binary protocol they group-commit through a frameWriter, on gob they
+// serialize through a per-connection write mutex.
+//
+// Protocol selection is per connection: a connection whose first byte
+// is the binary preamble speaks the binary codec, anything else is
+// served with gob (see wire.go for the preamble rationale).
 type Server struct {
 	dir rep.Directory
 	ln  net.Listener
@@ -113,6 +144,16 @@ type Server struct {
 	callTimeout time.Duration
 	// perConn bounds concurrent dispatch per connection.
 	perConn int
+	// gobOnly disables the binary codec (legacy-server mode).
+	gobOnly bool
+	// stats aggregates binary-codec frame traffic across connections.
+	stats WireStats
+
+	// Shared per-op deadline context, refreshed coarsely (see opCtx).
+	ctxMu     sync.Mutex
+	opCtxVal  context.Context
+	opCtxStop context.CancelFunc
+	opCtxBorn time.Time
 }
 
 // Serve starts a server for dir on addr (e.g. "127.0.0.1:0"). Close must
@@ -140,6 +181,10 @@ func Serve(dir rep.Directory, addr string, opts ...ServerOption) (*Server, error
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// WireStats returns the server's binary-codec traffic counters. Gob
+// connections do not contribute.
+func (s *Server) WireStats() *WireStats { return &s.stats }
+
 // Close stops accepting, closes every connection, and waits for handler
 // goroutines to exit.
 func (s *Server) Close() error {
@@ -155,6 +200,12 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
+	s.ctxMu.Lock()
+	if s.opCtxStop != nil {
+		s.opCtxStop()
+		s.opCtxVal, s.opCtxStop = nil, nil
+	}
+	s.ctxMu.Unlock()
 	return err
 }
 
@@ -178,6 +229,8 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// serveConn sniffs the protocol from the connection's first byte and
+// runs the matching serve loop.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -186,41 +239,145 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	var (
-		wmu      sync.Mutex
-		handlers sync.WaitGroup
-	)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	if !s.gobOnly {
+		first, err := br.Peek(1)
+		if err != nil {
+			return
+		}
+		if first[0] == preambleByte {
+			s.serveConnBinary(conn, br)
+			return
+		}
+	}
+	s.serveConnGob(conn, br)
+}
+
+// serveConnBinary answers the preamble and then decodes multi-message
+// frames, dispatching each request to its own bounded goroutine.
+// Responses group-commit through a frameWriter, so replies to a batch
+// of concurrent requests coalesce into few frames.
+func (s *Server) serveConnBinary(conn net.Conn, br *bufio.Reader) {
+	var pre [2]byte
+	if _, err := io.ReadFull(br, pre[:]); err != nil || pre[1] == 0 {
+		return
+	}
+	ver := pre[1]
+	if ver > wireVersion {
+		ver = wireVersion
+	}
+	if _, err := conn.Write([]byte{preambleByte, ver}); err != nil {
+		return
+	}
+	// A failed response write leaves the stream corrupt mid-frame; close
+	// the connection so the client's in-flight calls fail fast instead
+	// of waiting out their timeouts.
+	fw := newFrameWriter(conn, 0, 0, &s.stats, func(error) { conn.Close() })
+	// Long-lived worker pool: a channel handoff costs a fraction of a
+	// goroutine spawn, and the pool size is the same per-connection
+	// concurrency bound the sem used to enforce — when every worker is
+	// busy the decode loop blocks, applying backpressure to the client.
+	work := make(chan request)
+	var handlers sync.WaitGroup
 	// Outstanding handlers may still be mid-operation when the decode
 	// loop exits; wait for them before tearing the connection down so
 	// their (failing) writes never race the close.
 	defer handlers.Wait()
-	sem := make(chan struct{}, s.perConn)
+	defer close(work)
+	for i := 0; i < s.perConn; i++ {
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			for req := range work {
+				resp := s.handle(&req)
+				_ = fw.enqueue(func(b []byte) []byte { return appendResponse(b, &resp) })
+			}
+		}()
+	}
+	for {
+		buf, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		r := wireReader{buf: buf}
+		msgs := 0
+		for r.remaining() > 0 {
+			var req request
+			if err := r.readRequest(&req); err != nil {
+				putFrameBuf(buf)
+				return
+			}
+			msgs++
+			work <- req
+		}
+		s.stats.noteRecv(len(buf), msgs)
+		putFrameBuf(buf)
+	}
+}
+
+// serveConnGob is the legacy per-message gob loop.
+func (s *Server) serveConnGob(conn net.Conn, br *bufio.Reader) {
+	dec := gob.NewDecoder(br)
+	enc := gob.NewEncoder(conn)
+	var wmu sync.Mutex
+	work := make(chan request)
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	defer close(work)
+	for i := 0; i < s.perConn; i++ {
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			for req := range work {
+				resp := s.handle(&req)
+				wmu.Lock()
+				err := enc.Encode(resp)
+				wmu.Unlock()
+				if err != nil {
+					// A failed encode poisons the shared gob stream: every
+					// later response would hit a corrupt encoder state and
+					// the client would hang until its call timeouts. Close
+					// the connection so in-flight calls fail fast.
+					conn.Close()
+				}
+			}
+		}()
+	}
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
-		sem <- struct{}{}
-		handlers.Add(1)
-		go func(req request) {
-			defer handlers.Done()
-			defer func() { <-sem }()
-			resp := s.handle(req)
-			resp.ID = req.ID
-			wmu.Lock()
-			// An encode error means the connection broke; the decode
-			// loop is failing in parallel, so just drop the response.
-			_ = enc.Encode(resp)
-			wmu.Unlock()
-		}(req)
+		work <- req
 	}
 }
 
-func (s *Server) handle(req request) response {
-	ctx, cancel := context.WithTimeout(context.Background(), s.callTimeout)
-	defer cancel()
+// opCtx returns a context carrying the call-timeout deadline. One
+// timer context is shared by every request arriving within a refresh
+// interval (callTimeout/8, capped at 1s), so the steady-state cost per
+// request is a mutex and a clock read instead of a timer create/stop
+// pair — which profiles as ~10% of a saturated server's CPU. The
+// tradeoff: a request may observe a deadline up to one interval shorter
+// than callTimeout. Superseded contexts are not cancelled (requests may
+// still hold them); their timers lapse at their own deadlines.
+func (s *Server) opCtx() context.Context {
+	refresh := s.callTimeout / 8
+	if refresh > time.Second {
+		refresh = time.Second
+	}
+	now := time.Now()
+	s.ctxMu.Lock()
+	if s.opCtxVal == nil || now.Sub(s.opCtxBorn) > refresh {
+		s.opCtxVal, s.opCtxStop = context.WithTimeout(context.Background(), s.callTimeout)
+		s.opCtxBorn = now
+	}
+	ctx := s.opCtxVal
+	s.ctxMu.Unlock()
+	return ctx
+}
+
+func (s *Server) handle(req *request) response {
+	ctx := s.opCtx()
 	txn := lock.TxnID(req.Txn)
 	var resp response
 	var err error
@@ -260,6 +417,8 @@ func (s *Server) handle(req request) response {
 	default:
 		err = fmt.Errorf("transport: unknown op %d", req.Op)
 	}
+	resp.ID = req.ID
+	resp.Op = req.Op
 	resp.Code, resp.Msg = encodeError(err)
 	return resp
 }
@@ -277,26 +436,58 @@ type callResult struct {
 	err  error
 }
 
-// clientConn is one live multiplexed connection: a shared gob encoder
-// guarded by a write mutex, and an in-flight table mapping request IDs
-// to the channels of the callers awaiting their responses. A single
-// reader goroutine (readLoop) demultiplexes responses by ID.
+// clientConn is one live multiplexed connection speaking one protocol:
+// binary (requests group-commit through a frameWriter) or gob (a shared
+// encoder guarded by a write mutex). Either way, an in-flight table maps
+// request IDs to the channels of the callers awaiting their responses,
+// and a single reader goroutine (readLoop) demultiplexes responses by
+// ID.
 type clientConn struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	wmu  sync.Mutex
+	conn  net.Conn
+	proto string
+
+	// Binary protocol: the group-commit frame writer.
+	fw *frameWriter
+	// Gob protocol: shared encoder behind a write mutex.
+	enc *gob.Encoder
+	wmu sync.Mutex
+
+	stats *WireStats
 
 	imu      sync.Mutex
 	inflight map[uint64]chan callResult
 	broken   bool
 }
 
-func newClientConn(conn net.Conn) *clientConn {
-	return &clientConn{
+func newClientConn(conn net.Conn, proto, addr string, window time.Duration, maxBatch int, stats *WireStats) *clientConn {
+	cc := &clientConn{
 		conn:     conn,
-		enc:      gob.NewEncoder(conn),
+		proto:    proto,
+		stats:    stats,
 		inflight: make(map[uint64]chan callResult),
 	}
+	if proto == ProtoBinary {
+		cc.fw = newFrameWriter(conn, window, maxBatch, stats, func(err error) {
+			cc.fail(fmt.Errorf("%w: send to %s: %v", ErrUnavailable, addr, err))
+		})
+	} else {
+		cc.enc = gob.NewEncoder(conn)
+	}
+	return cc
+}
+
+// send writes one request on the connection's protocol. On the binary
+// path a write failure tears the connection down via the frameWriter's
+// error hook; on gob the caller must do it (a failed encode poisons the
+// shared stream either way).
+func (cc *clientConn) send(req *request) error {
+	if cc.fw != nil {
+		return cc.fw.enqueue(func(b []byte) []byte { return appendRequest(b, req) })
+	}
+	cc.wmu.Lock()
+	err := cc.enc.Encode(req)
+	cc.wmu.Unlock()
+	return err
 }
 
 // register claims an ID slot; it fails if the connection already broke.
@@ -357,6 +548,10 @@ func (cc *clientConn) isBroken() bool {
 // readLoop decodes responses and hands each to its caller until the
 // connection dies, then fails whatever is still in flight.
 func (cc *clientConn) readLoop(addr string) {
+	if cc.proto == ProtoBinary {
+		cc.readLoopBinary(addr)
+		return
+	}
 	dec := gob.NewDecoder(cc.conn)
 	for {
 		var resp response
@@ -365,6 +560,67 @@ func (cc *clientConn) readLoop(addr string) {
 			return
 		}
 		cc.complete(resp)
+	}
+}
+
+// readLoopBinary reads response frames, decoding and demuxing every
+// message in each.
+func (cc *clientConn) readLoopBinary(addr string) {
+	br := bufio.NewReaderSize(cc.conn, 64<<10)
+	for {
+		buf, err := readFrame(br)
+		if err != nil {
+			cc.fail(fmt.Errorf("%w: receive from %s: %v", ErrUnavailable, addr, err))
+			return
+		}
+		r := wireReader{buf: buf}
+		msgs := 0
+		for r.remaining() > 0 {
+			var resp response
+			if err := r.readResponse(&resp); err != nil {
+				putFrameBuf(buf)
+				cc.fail(fmt.Errorf("%w: receive from %s: %v", ErrUnavailable, addr, err))
+				return
+			}
+			msgs++
+			cc.complete(resp)
+		}
+		cc.stats.noteRecv(len(buf), msgs)
+		putFrameBuf(buf)
+	}
+}
+
+// DialOption configures Dial.
+type DialOption func(*Client)
+
+// WithGobProtocol pins the client to the legacy gob codec, skipping the
+// binary preamble entirely — what a pre-codec client build does. Used by
+// the mixed-version tests and the gob benchmark baselines.
+func WithGobProtocol() DialOption {
+	return func(c *Client) { c.gobOnly = true }
+}
+
+// WithBatchWindow makes the flush leader linger for d after picking up
+// a batch, letting more concurrent requests coalesce into the same
+// frame at the cost of up to d of added latency. The default (0) adds
+// no latency: batching then comes only from requests arriving while a
+// write syscall is in flight.
+func WithBatchWindow(d time.Duration) DialOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.window = d
+		}
+	}
+}
+
+// WithMaxBatch caps how many requests coalesce into one frame
+// (0 = unbounded). WithMaxBatch(1) pins every request to its own frame,
+// which is how the unbatched benchmark baseline is measured.
+func WithMaxBatch(n int) DialOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.maxBatch = n
+		}
 	}
 }
 
@@ -378,11 +634,23 @@ func (cc *clientConn) readLoop(addr string) {
 // connection fails all in-flight calls with ErrUnavailable and is
 // redialed on the next call, with exponential backoff between failed
 // dial attempts.
+//
+// A new connection offers the binary codec via a one-byte preamble; a
+// server that rejects it (a pre-codec build) makes the client downgrade
+// to gob, remember the choice, and redial — so mixed-version pairs
+// interoperate in both directions (see wire.go).
 type Client struct {
 	addr   string
 	nextID atomic.Uint64
 
+	// window and maxBatch tune the frameWriter; gobOnly pins the legacy
+	// codec (set by option, or stickily after a failed negotiation).
+	window   time.Duration
+	maxBatch int
+	stats    WireStats
+
 	mu       sync.Mutex
+	gobOnly  bool
 	cc       *clientConn
 	dialing  chan struct{}
 	nextDial time.Time
@@ -393,8 +661,11 @@ type Client struct {
 var _ rep.Directory = (*Client)(nil)
 
 // Dial connects to a representative server and fetches its name.
-func Dial(addr string) (*Client, error) {
+func Dial(addr string, opts ...DialOption) (*Client, error) {
 	c := &Client{addr: addr}
+	for _, opt := range opts {
+		opt(c)
+	}
 	resp, err := c.call(context.Background(), request{Op: opName})
 	if err != nil {
 		return nil, err
@@ -404,6 +675,24 @@ func Dial(addr string) (*Client, error) {
 	c.mu.Unlock()
 	return c, nil
 }
+
+// Protocol reports the wire codec in use: ProtoBinary or ProtoGob. With
+// no live connection it reports what the next dial will offer.
+func (c *Client) Protocol() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cc != nil {
+		return c.cc.proto
+	}
+	if c.gobOnly {
+		return ProtoGob
+	}
+	return ProtoBinary
+}
+
+// WireStats returns the client's binary-codec traffic counters,
+// accumulated across redials. Gob connections do not contribute.
+func (c *Client) WireStats() *WireStats { return &c.stats }
 
 // Close drops the connection, failing any in-flight calls with
 // ErrUnavailable. The client remains usable: the next call redials.
@@ -428,6 +717,42 @@ func (c *Client) dropConn(cc *clientConn) {
 		c.cc = nil
 	}
 	c.mu.Unlock()
+}
+
+// dialAndNegotiate dials and, unless the client is pinned to gob,
+// offers the binary codec. A server that answers the preamble gets a
+// binary connection; one that closes instead (a pre-codec build whose
+// gob decoder choked on the preamble) triggers a sticky downgrade: the
+// client remembers gob and redials speaking it. A wrong downgrade — a
+// flaky network eating the reply — costs only performance, because
+// every new server still serves gob connections.
+func (c *Client) dialAndNegotiate(ctx context.Context, useGob bool) (net.Conn, string, error) {
+	conn, err := (&net.Dialer{}).DialContext(ctx, "tcp", c.addr)
+	if err != nil || useGob {
+		return conn, ProtoGob, err
+	}
+	deadline := time.Now().Add(negotiateTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	_ = conn.SetDeadline(deadline)
+	var reply [2]byte
+	if _, err := conn.Write([]byte{preambleByte, wireVersion}); err == nil {
+		_, err = io.ReadFull(conn, reply[:])
+	}
+	if err != nil || reply[0] != preambleByte || reply[1] == 0 || reply[1] > wireVersion {
+		conn.Close()
+		if ctx.Err() != nil {
+			return nil, "", ctx.Err()
+		}
+		c.mu.Lock()
+		c.gobOnly = true
+		c.mu.Unlock()
+		conn, err := (&net.Dialer{}).DialContext(ctx, "tcp", c.addr)
+		return conn, ProtoGob, err
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return conn, ProtoBinary, nil
 }
 
 // ensureConn returns a live connection, dialing when needed. Exactly one
@@ -469,8 +794,9 @@ func (c *Client) ensureConn(ctx context.Context) (*clientConn, error) {
 			continue
 		}
 		c.dialing = make(chan struct{})
+		useGob := c.gobOnly
 		c.mu.Unlock()
-		conn, err := (&net.Dialer{}).DialContext(ctx, "tcp", c.addr)
+		conn, proto, err := c.dialAndNegotiate(ctx, useGob)
 		c.mu.Lock()
 		close(c.dialing)
 		c.dialing = nil
@@ -489,7 +815,7 @@ func (c *Client) ensureConn(ctx context.Context) (*clientConn, error) {
 		}
 		c.wait = 0
 		c.nextDial = time.Time{}
-		cc := newClientConn(conn)
+		cc := newClientConn(conn, proto, c.addr, c.window, c.maxBatch, &c.stats)
 		c.cc = cc
 		go func() {
 			cc.readLoop(c.addr)
@@ -498,6 +824,14 @@ func (c *Client) ensureConn(ctx context.Context) (*clientConn, error) {
 		c.mu.Unlock()
 		return cc, nil
 	}
+}
+
+// resultChanPool recycles the per-call result channels. A channel is
+// returned to the pool only after its call received from it (so it is
+// provably empty); abandoned calls leak their channel to the garbage
+// collector instead, because a late response may still be sent into it.
+var resultChanPool = sync.Pool{
+	New: func() any { return make(chan callResult, 1) },
 }
 
 // call performs one request/response exchange on the multiplexed
@@ -510,7 +844,7 @@ func (c *Client) call(ctx context.Context, req request) (response, error) {
 			return response{}, err
 		}
 		req.ID = c.nextID.Add(1)
-		ch := make(chan callResult, 1)
+		ch := resultChanPool.Get().(chan callResult)
 		if !cc.register(req.ID, ch) {
 			// The connection broke between ensureConn and register;
 			// retry once on a fresh dial, then give up.
@@ -520,18 +854,23 @@ func (c *Client) call(ctx context.Context, req request) (response, error) {
 			}
 			return response{}, fmt.Errorf("%w: %s: connection reset", ErrUnavailable, c.addr)
 		}
-		cc.wmu.Lock()
-		err = cc.enc.Encode(req)
-		cc.wmu.Unlock()
-		if err != nil {
-			// A failed write poisons the gob stream for every user of the
-			// connection, not just this call.
-			cc.fail(fmt.Errorf("%w: send to %s: %v", ErrUnavailable, c.addr, err))
-			c.dropConn(cc)
+		if err := cc.send(&req); err != nil {
+			cc.unregister(req.ID)
+			if cc.proto == ProtoGob {
+				// A failed write poisons the gob stream for every user of
+				// the connection, not just this call. (The binary path's
+				// frameWriter already tore the connection down, unless the
+				// failure was local to this one message.)
+				cc.fail(fmt.Errorf("%w: send to %s: %v", ErrUnavailable, c.addr, err))
+			}
+			if cc.isBroken() {
+				c.dropConn(cc)
+			}
 			return response{}, fmt.Errorf("%w: send to %s: %v", ErrUnavailable, c.addr, err)
 		}
 		select {
 		case r := <-ch:
+			resultChanPool.Put(ch)
 			if r.err != nil {
 				return response{}, r.err
 			}
