@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench benchall benchsmoke chaos crash obsdeps
+.PHONY: check vet build test race bench benchall benchshard benchsmoke chaos crash shard obsdeps
 
-check: vet obsdeps build race crash chaos benchsmoke
+check: vet obsdeps build race shard crash chaos benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +38,16 @@ race:
 chaos:
 	$(GO) test -race -count 1 -run 'TestChaosSoak' -v .
 
+# Sharding gate: the router/suite equivalence suite (every traversal op
+# against the same data through a router and through one suite must
+# agree, split points placed on, between, and outside the keys), a
+# moment of split-placement fuzzing, and the sharded chaos soak driving
+# cross-shard transactions and Count checks under fault injection.
+shard:
+	$(GO) test -race -count 1 -run 'TestEquivalence|TestMap|TestRouter|TestCrossShard|TestManyShards|TestCountConsistent' -v ./internal/shard/
+	$(GO) test -run xxx -fuzz FuzzSplitPlacement -fuzztime 10s ./internal/shard/
+	$(GO) test -race -count 1 -run 'TestChaosSoakSharded|TestChaosShardedDeterministic' -v .
+
 # Storage-fault gate: the crash-point harness (power loss at every byte
 # boundary of a logged workload, one flipped bit at every byte — see
 # DESIGN.md section 11) plus a short chaos soak whose storage phase
@@ -56,6 +66,14 @@ bench:
 	$(GO) test -run xxx -bench $(TRANSPORT_BENCH) -benchmem -benchtime 2s \
 		./internal/transport | tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_transport.json
 
+# Shard-scaling measurement, recorded machine-readably: the repdir-sim
+# shard experiment (aggregate write throughput at 1/2/4/8 shards under a
+# serialized per-replica service time) rewrites the BENCH_shard.json
+# ledger. The 4-shard point is expected to stay >= 2x the 1-shard point.
+benchshard:
+	$(GO) run ./cmd/repdir-sim -experiment shard | tee /dev/stderr | \
+		$(GO) run ./cmd/benchjson -out BENCH_shard.json
+
 # CI smoke for the benchmark plumbing: same benchmarks at -benchtime=10x
 # (numbers meaningless, schema real), written to a scratch ledger and
 # schema-validated. Never gates on the measured values.
@@ -64,6 +82,7 @@ benchsmoke:
 		./internal/transport | $(GO) run ./cmd/benchjson -out /tmp/BENCH_smoke.json
 	$(GO) run ./cmd/benchjson -validate /tmp/BENCH_smoke.json
 	$(GO) run ./cmd/benchjson -validate BENCH_transport.json
+	$(GO) run ./cmd/benchjson -validate BENCH_shard.json
 
 # Every benchmark in the repo (paper figures included), human-readable.
 benchall:

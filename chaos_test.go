@@ -126,6 +126,99 @@ func TestChaosSoak(t *testing.T) {
 	}
 }
 
+// TestChaosSoakSharded drives the soak through a 4-shard router
+// instead of a bare suite: per-shard fault injectors and suites behind
+// shard.Router, a workload widened with cross-shard transactional
+// upserts, cooperative termination running across the union of all
+// shards' members (a cross-shard in-doubt transaction needs every
+// participant for a safe decision), and periodic sharded Counts checked
+// against the sequential model's [min, max] bounds — the torn-cut
+// detector for the router's one-transaction stitching.
+func TestChaosSoakSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	seeds := []int64{1, 2, 3}
+	if *chaosSeed != 0 {
+		seeds = []int64{*chaosSeed}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(strconv.FormatInt(seed, 10), func(t *testing.T) {
+			res, err := sim.RunChaos(sim.ChaosConfig{Seed: seed, Shards: 4, Operations: 800})
+			if err != nil {
+				t.Fatalf("seed %d: %v\nreplay: go test -run TestChaosSoakSharded -chaos.seed=%d", seed, err, seed)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+			if len(res.Violations) > 0 {
+				t.Errorf("replay: go test -run TestChaosSoakSharded -chaos.seed=%d", seed)
+			}
+			// The sharded machinery must actually have been exercised.
+			if res.Applied == 0 {
+				t.Errorf("seed %d: no operation ever applied", seed)
+			}
+			if res.AuditedKeys == 0 {
+				t.Errorf("seed %d: audit checked no keys", seed)
+			}
+			if res.CrossShardTxns == 0 {
+				t.Errorf("seed %d: no transaction ever spanned shards", seed)
+			}
+			if res.Counts == 0 {
+				t.Errorf("seed %d: no Count was ever checked against the model", seed)
+			}
+			total := res.Faults.Crashes + res.Faults.CrashAfters + res.Faults.Partitions +
+				res.Faults.Duplicates + res.Faults.DroppedReplies
+			if total == 0 {
+				t.Errorf("seed %d: fault injectors injected nothing", seed)
+			}
+			if !res.Converged {
+				t.Errorf("seed %d: replicas did not converge after healing", seed)
+			}
+			if res.StorageLosses == 0 || res.Rebuilds == 0 {
+				t.Errorf("seed %d: storage phase injected %d losses, completed %d rebuilds",
+					seed, res.StorageLosses, res.Rebuilds)
+			}
+			t.Logf("seed %d: applied=%d observed=%d indeterminate=%d lookups=%d audited=%d "+
+				"counts=%d countfails=%d xshard=%d crashes=%d partitions=%d restarts=%d "+
+				"resolved=%d strays=%d healed=%d ghosts=%d rebuilds=%d",
+				seed, res.Applied, res.Observed, res.Indeterminate, res.Lookups, res.AuditedKeys,
+				res.Counts, res.CountFailures, res.CrossShardTxns,
+				res.Faults.Crashes+res.Faults.CrashAfters, res.Faults.Partitions, res.Faults.Restarts,
+				res.Resolved, res.StraysAborted, res.Heal.Copied+res.Heal.Freshened,
+				res.GhostsLeft, res.Rebuilds)
+		})
+	}
+}
+
+// TestChaosShardedDeterministic replays one sharded seed twice and
+// requires identical results, so printed sharded seeds replay too.
+func TestChaosShardedDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	cfg := sim.ChaosConfig{Seed: 17, Shards: 2, Operations: 400}
+	a, err := sim.RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Applied != b.Applied || a.Observed != b.Observed ||
+		a.Indeterminate != b.Indeterminate || a.Lookups != b.Lookups ||
+		a.Counts != b.Counts || a.CountFailures != b.CountFailures ||
+		a.CrossShardTxns != b.CrossShardTxns ||
+		a.Faults != b.Faults || a.AuditedKeys != b.AuditedKeys ||
+		a.Health != b.Health || a.Heal != b.Heal ||
+		a.StraysAborted != b.StraysAborted ||
+		a.Converged != b.Converged || a.GhostsLeft != b.GhostsLeft {
+		t.Errorf("same sharded seed, different runs:\n  %+v\n  %+v", a, b)
+	}
+}
+
 // TestChaosSoakDeterministic replays one seed twice and requires
 // identical results — the property that makes printed seeds replayable.
 func TestChaosSoakDeterministic(t *testing.T) {

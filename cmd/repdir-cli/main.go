@@ -4,6 +4,15 @@
 //	repdir-cli -replicas 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003 \
 //	           -r 2 -w 2 lookup somekey
 //
+// With -splits the keyspace is sharded: each split key is the inclusive
+// lower bound of the next shard, -replicas takes one ';'-separated
+// replica group per shard, and every subcommand is routed through the
+// shard router instead of a single suite:
+//
+//	repdir-cli -splits m \
+//	           -replicas '127.0.0.1:7001,127.0.0.1:7002;127.0.0.1:8001,127.0.0.1:8002' \
+//	           scan
+//
 // Subcommands:
 //
 //	lookup <key>          print the entry's value, if any
@@ -38,9 +47,21 @@ import (
 	"repdir/internal/lock"
 	"repdir/internal/quorum"
 	"repdir/internal/rep"
+	"repdir/internal/shard"
 	"repdir/internal/transport"
 	"repdir/internal/txn"
 )
+
+// directory is the client-facing surface the subcommands need; both a
+// single *core.Suite and a *shard.Router satisfy it, so the command
+// logic is indifferent to whether -splits sharded the keyspace.
+type directory interface {
+	Lookup(ctx context.Context, key string) (string, bool, error)
+	Insert(ctx context.Context, key, value string) error
+	Update(ctx context.Context, key, value string) error
+	Delete(ctx context.Context, key string) error
+	Scan(ctx context.Context, after string, limit int) ([]core.KV, error)
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -58,6 +79,8 @@ func run(args []string) error {
 		w        = fs.Int("w", 2, "write quorum size (votes)")
 		timeout  = fs.Duration("timeout", 10*time.Second, "per-operation timeout")
 		parallel = fs.Bool("parallel", true, "issue quorum messages concurrently")
+		splits   = fs.String("splits", "",
+			"comma-separated shard split keys; with N splits, -replicas takes N+1 ';'-separated replica groups")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,7 +90,11 @@ func run(args []string) error {
 		return errors.New("missing subcommand (lookup, insert, update, delete, bench)")
 	}
 
-	suite, dirs, closeAll, err := connect(strings.Split(*replicas, ","), *r, *w, *parallel)
+	groups, splitKeys, err := parseTopology(*replicas, *splits)
+	if err != nil {
+		return err
+	}
+	dir, suites, dirs, closeAll, err := connect(groups, splitKeys, *r, *w, *parallel)
 	if err != nil {
 		return err
 	}
@@ -81,7 +108,7 @@ func run(args []string) error {
 		if len(rest) != 1 {
 			return errors.New("usage: lookup <key>")
 		}
-		value, found, err := suite.Lookup(ctx, rest[0])
+		value, found, err := dir.Lookup(ctx, rest[0])
 		if err != nil {
 			return err
 		}
@@ -95,17 +122,17 @@ func run(args []string) error {
 		if len(rest) != 2 {
 			return errors.New("usage: insert <key> <value>")
 		}
-		return suite.Insert(ctx, rest[0], rest[1])
+		return dir.Insert(ctx, rest[0], rest[1])
 	case "update":
 		if len(rest) != 2 {
 			return errors.New("usage: update <key> <value>")
 		}
-		return suite.Update(ctx, rest[0], rest[1])
+		return dir.Update(ctx, rest[0], rest[1])
 	case "delete":
 		if len(rest) != 1 {
 			return errors.New("usage: delete <key>")
 		}
-		return suite.Delete(ctx, rest[0])
+		return dir.Delete(ctx, rest[0])
 	case "scan":
 		after := ""
 		limit := 0
@@ -119,7 +146,7 @@ func run(args []string) error {
 			}
 			limit = n
 		}
-		entries, err := suite.Scan(ctx, after, limit)
+		entries, err := dir.Scan(ctx, after, limit)
 		if err != nil {
 			return err
 		}
@@ -136,6 +163,10 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("bad transaction id %q", rest[0])
 		}
+		// dirs spans every shard's replicas: a cross-shard transaction's
+		// participants are spread over the groups, and resolving against
+		// a subset could abort a prepared participant whose sibling
+		// committed in a shard the resolver never consulted.
 		res, err := txn.Resolve(ctx, lock.TxnID(id), dirs)
 		if err != nil {
 			return err
@@ -151,12 +182,29 @@ func run(args []string) error {
 		if len(rest) != 1 {
 			return errors.New("usage: repair <addr>")
 		}
-		target, err := transport.Dial(strings.TrimSpace(rest[0]))
+		addr := strings.TrimSpace(rest[0])
+		// A replica holds only its own shard's range, so the repair
+		// source must be the suite whose group the address belongs to.
+		owner := suites[0]
+		if len(suites) > 1 {
+			owner = nil
+			for i, g := range groups {
+				for _, a := range g {
+					if a == addr {
+						owner = suites[i]
+					}
+				}
+			}
+			if owner == nil {
+				return fmt.Errorf("repair target %s is not in any -replicas group", addr)
+			}
+		}
+		target, err := transport.Dial(addr)
 		if err != nil {
 			return err
 		}
 		defer target.Close()
-		stats, err := core.RepairReplica(ctx, suite, target)
+		stats, err := core.RepairReplica(ctx, owner, target)
 		if err != nil {
 			return err
 		}
@@ -171,7 +219,7 @@ func run(args []string) error {
 		if err != nil || n < 1 {
 			return fmt.Errorf("bad cycle count %q", rest[0])
 		}
-		return bench(suite, n, *timeout)
+		return bench(dir, n, *timeout)
 	case "load":
 		if len(rest) != 2 {
 			return errors.New("usage: load <clients> <duration>")
@@ -184,7 +232,7 @@ func run(args []string) error {
 		if err != nil || dur <= 0 {
 			return fmt.Errorf("bad duration %q", rest[1])
 		}
-		return load(strings.Split(*replicas, ","), *r, *w, *parallel, clients, dur, *timeout)
+		return load(groups, splitKeys, *r, *w, *parallel, clients, dur, *timeout)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
@@ -196,7 +244,7 @@ func run(args []string) error {
 // transport.Client serializes calls per connection, so sharing one
 // between concurrent transactions would head-of-line block a
 // transaction's control messages behind another's lock waits.
-func load(addrs []string, r, w int, parallel bool, clients int, dur, opTimeout time.Duration) error {
+func load(groups [][]string, splitKeys []string, r, w int, parallel bool, clients int, dur, opTimeout time.Duration) error {
 	var (
 		ok       atomic.Uint64
 		failures atomic.Uint64
@@ -211,19 +259,21 @@ func load(addrs []string, r, w int, parallel bool, clients int, dur, opTimeout t
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			suite, _, closeAll, err := connect(addrs, r, w, parallel)
+			dir, suites, _, closeAll, err := connect(groups, splitKeys, r, w, parallel)
 			if err != nil {
 				errCh <- err
 				return
 			}
 			defer closeAll()
 			defer func() {
-				st := suite.Stats()
 				statsMu.Lock()
-				total.Commits += st.Commits
-				total.Retries += st.Retries
-				total.Dies += st.Dies
-				total.ReplicaLosses += st.ReplicaLosses
+				for _, suite := range suites {
+					st := suite.Stats()
+					total.Commits += st.Commits
+					total.Retries += st.Retries
+					total.Dies += st.Dies
+					total.ReplicaLosses += st.ReplicaLosses
+				}
 				statsMu.Unlock()
 			}()
 			rng := rand.New(rand.NewSource(int64(c) + start.UnixNano()))
@@ -233,14 +283,14 @@ func load(addrs []string, r, w int, parallel bool, clients int, dur, opTimeout t
 				var err error
 				switch rng.Intn(4) {
 				case 0, 1:
-					_, _, err = suite.Lookup(ctx, key)
+					_, _, err = dir.Lookup(ctx, key)
 				case 2:
-					err = suite.Update(ctx, key, fmt.Sprintf("v%d", i))
+					err = dir.Update(ctx, key, fmt.Sprintf("v%d", i))
 					if errors.Is(err, core.ErrKeyNotFound) {
-						err = suite.Insert(ctx, key, fmt.Sprintf("v%d", i))
+						err = dir.Insert(ctx, key, fmt.Sprintf("v%d", i))
 					}
 				case 3:
-					err = suite.Delete(ctx, key)
+					err = dir.Delete(ctx, key)
 					if errors.Is(err, core.ErrKeyNotFound) {
 						err = nil
 					}
@@ -268,51 +318,102 @@ func load(addrs []string, r, w int, parallel bool, clients int, dur, opTimeout t
 	return nil
 }
 
-// connect dials every representative and builds the suite client.
-func connect(addrs []string, r, w int, parallel bool) (*core.Suite, []rep.Directory, func(), error) {
+// parseTopology splits -replicas into per-shard address groups. Without
+// -splits the whole flag is one comma-separated group; with N split keys
+// it must hold exactly N+1 groups separated by ';'.
+func parseTopology(replicas, splits string) (groups [][]string, splitKeys []string, err error) {
+	if splits != "" {
+		for _, s := range strings.Split(splits, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				splitKeys = append(splitKeys, s)
+			}
+		}
+	}
+	for _, g := range strings.Split(replicas, ";") {
+		var addrs []string
+		for _, a := range strings.Split(g, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) > 0 {
+			groups = append(groups, addrs)
+		}
+	}
+	if len(groups) != len(splitKeys)+1 {
+		return nil, nil, fmt.Errorf("-splits names %d key(s), so -replicas must hold %d ';'-separated group(s), got %d",
+			len(splitKeys), len(splitKeys)+1, len(groups))
+	}
+	return groups, splitKeys, nil
+}
+
+// connect dials every representative, builds one suite per replica
+// group, and — when -splits sharded the keyspace — a router over them.
+// dirs collects every dialed replica across all groups, the participant
+// set cooperative termination needs.
+func connect(groups [][]string, splitKeys []string, r, w int, parallel bool) (directory, []*core.Suite, []rep.Directory, func(), error) {
 	var clients []*transport.Client
 	closeAll := func() {
 		for _, c := range clients {
 			c.Close()
 		}
 	}
-	dirs := make([]rep.Directory, 0, len(addrs))
-	for _, addr := range addrs {
-		addr = strings.TrimSpace(addr)
-		if addr == "" {
-			continue
-		}
-		c, err := transport.Dial(addr)
-		if err != nil {
-			closeAll()
-			return nil, nil, nil, fmt.Errorf("dial %s: %w", addr, err)
-		}
-		clients = append(clients, c)
-		dirs = append(dirs, c)
-	}
-	suite, err := core.NewSuite(quorum.NewUniform(dirs, r, w), core.WithParallelQuorum(parallel))
-	if err != nil {
+	fail := func(err error) (directory, []*core.Suite, []rep.Directory, func(), error) {
 		closeAll()
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
-	return suite, dirs, closeAll, nil
+	var (
+		suites  []*core.Suite
+		allDirs []rep.Directory
+	)
+	for _, addrs := range groups {
+		dirs := make([]rep.Directory, 0, len(addrs))
+		for _, addr := range addrs {
+			c, err := transport.Dial(addr)
+			if err != nil {
+				return fail(fmt.Errorf("dial %s: %w", addr, err))
+			}
+			clients = append(clients, c)
+			dirs = append(dirs, c)
+			allDirs = append(allDirs, c)
+		}
+		suite, err := core.NewSuite(quorum.NewUniform(dirs, r, w), core.WithParallelQuorum(parallel))
+		if err != nil {
+			return fail(err)
+		}
+		suites = append(suites, suite)
+	}
+	if len(suites) == 1 {
+		return suites[0], suites, allDirs, closeAll, nil
+	}
+	m, err := shard.NewMap(splitKeys...)
+	if err != nil {
+		return fail(err)
+	}
+	router, err := shard.NewRouter(m, suites,
+		shard.WithIDSource(txn.NewIDSource(1023)),
+		shard.WithParallelStitch(parallel))
+	if err != nil {
+		return fail(err)
+	}
+	return router, suites, allDirs, closeAll, nil
 }
 
-// bench times n insert+lookup+delete cycles against the live suite.
-func bench(suite *core.Suite, n int, timeout time.Duration) error {
+// bench times n insert+lookup+delete cycles against the live directory.
+func bench(dir directory, n int, timeout time.Duration) error {
 	start := time.Now()
 	for i := 0; i < n; i++ {
 		ctx, cancel := context.WithTimeout(context.Background(), timeout)
 		key := fmt.Sprintf("bench-%d-%d", start.UnixNano(), i)
-		if err := suite.Insert(ctx, key, "x"); err != nil {
+		if err := dir.Insert(ctx, key, "x"); err != nil {
 			cancel()
 			return fmt.Errorf("cycle %d insert: %w", i, err)
 		}
-		if _, found, err := suite.Lookup(ctx, key); err != nil || !found {
+		if _, found, err := dir.Lookup(ctx, key); err != nil || !found {
 			cancel()
 			return fmt.Errorf("cycle %d lookup: found=%v err=%v", i, found, err)
 		}
-		if err := suite.Delete(ctx, key); err != nil {
+		if err := dir.Delete(ctx, key); err != nil {
 			cancel()
 			return fmt.Errorf("cycle %d delete: %w", i, err)
 		}

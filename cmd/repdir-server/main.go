@@ -16,6 +16,15 @@
 // "salvage" recovers the longest valid prefix and quarantines the rest,
 // and "rebuild" additionally opens empty when even salvage fails,
 // leaving the replica to be rebuilt from its peers.
+//
+// -name and -addr accept comma-separated lists of equal length to serve
+// several representatives from one process — e.g. one member of every
+// shard of a sharded deployment on a single host:
+//
+//	repdir-server -name s0r0,s1r0 -addr 127.0.0.1:7001,127.0.0.1:8001
+//
+// In that mode -wal and -snap, when set, are templates that must
+// contain %s, expanded with each representative's name.
 package main
 
 import (
@@ -24,6 +33,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -43,10 +54,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("repdir-server", flag.ContinueOnError)
 	var (
-		name     = fs.String("name", "rep", "representative name (must be unique within a suite)")
-		addr     = fs.String("addr", "127.0.0.1:7001", "listen address")
-		walPath  = fs.String("wal", "", "write-ahead log file (empty = volatile)")
-		snapPath = fs.String("snap", "", "snapshot file for checkpoints (requires -wal)")
+		name     = fs.String("name", "rep", "representative name, or comma-separated names to serve several (must be unique within a suite)")
+		addr     = fs.String("addr", "127.0.0.1:7001", "listen address, or comma-separated addresses matching -name")
+		walPath  = fs.String("wal", "", "write-ahead log file (empty = volatile; %s template with multiple -name entries)")
+		snapPath = fs.String("snap", "", "snapshot file for checkpoints (requires -wal; %s template with multiple -name entries)")
 		every    = fs.Duration("checkpoint", 0, "checkpoint interval (0 = never; requires -snap)")
 		fsync    = fs.String("fsync", "commit", "WAL fsync policy: commit, never, or always")
 		recovery = fs.String("recovery", "strict", "WAL recovery policy: strict, salvage, or rebuild")
@@ -75,36 +86,75 @@ func run(args []string) error {
 		return errors.New("-concurrency must be at least 1")
 	}
 
-	r, durability, err := buildRep(*name, *walPath, *snapPath, policy, recoveryPolicy)
-	if err != nil {
-		return err
+	names := splitList(*name)
+	addrs := splitList(*addr)
+	if len(names) == 0 {
+		return errors.New("-name must list at least one representative")
 	}
-	defer func() {
-		if durability != nil {
-			durability.Close()
-		}
-	}()
-	if durability != nil {
-		reportRecovery(durability.Recovery())
-		// In-doubt transactions hold their locks until cooperative
-		// termination; leaving them silent would look like a hang to
-		// whoever's repair scan blocks on the locked range.
-		if ids := r.InDoubt(); len(ids) > 0 {
-			fmt.Printf("in-doubt transactions holding locks: %v — settle with repdir-cli resolve <id>\n", ids)
-		}
+	if len(names) != len(addrs) {
+		return fmt.Errorf("-name lists %d representative(s) but -addr lists %d address(es)",
+			len(names), len(addrs))
+	}
+	multi := len(names) > 1
+	if multi && *walPath != "" && !strings.Contains(*walPath, "%s") {
+		return errors.New("-wal must contain %s when serving multiple representatives")
+	}
+	if multi && *snapPath != "" && !strings.Contains(*snapPath, "%s") {
+		return errors.New("-snap must contain %s when serving multiple representatives")
 	}
 
-	srv, err := transport.Serve(r, *addr, transport.WithPerConnConcurrency(*conc))
-	if err != nil {
-		return err
+	reps := make([]*rep.Rep, len(names))
+	durables := make([]*rep.Durability, len(names))
+	servers := make([]*transport.Server, len(names))
+	for i, nm := range names {
+		wp, sp := *walPath, *snapPath
+		if multi {
+			if wp != "" {
+				wp = fmt.Sprintf(wp, nm)
+			}
+			if sp != "" {
+				sp = fmt.Sprintf(sp, nm)
+			}
+		}
+		r, durability, err := buildRep(nm, wp, sp, policy, recoveryPolicy)
+		if err != nil {
+			return fmt.Errorf("%s: %w", nm, err)
+		}
+		if durability != nil {
+			defer durability.Close()
+			reportRecovery(nm, durability.Recovery())
+			// In-doubt transactions hold their locks until cooperative
+			// termination; leaving them silent would look like a hang to
+			// whoever's repair scan blocks on the locked range.
+			if ids := r.InDoubt(); len(ids) > 0 {
+				fmt.Printf("%s: in-doubt transactions holding locks: %v — settle with repdir-cli resolve <id>\n", nm, ids)
+			}
+		}
+		srv, err := transport.Serve(r, addrs[i], transport.WithPerConnConcurrency(*conc))
+		if err != nil {
+			return fmt.Errorf("%s: %w", nm, err)
+		}
+		defer srv.Close()
+		reps[i], durables[i], servers[i] = r, durability, srv
+		fmt.Printf("representative %s serving on %s (%d entries)\n", nm, srv.Addr(), r.Len())
 	}
-	defer srv.Close()
+
 	if *obsAddr != "" {
 		registry := obs.NewRegistry()
 		// Wire traffic (frames, batching factor, payload bytes) joins the
-		// representative's own op counters on the metrics endpoint.
-		srv.WireStats().Register(registry, "server")
-		registerRepMetrics(registry, r, *name)
+		// representatives' own op counters on the metrics endpoint. A
+		// single-rep server keeps the historical "server" endpoint label;
+		// hosting several, each rep labels its own samples.
+		wire := make(map[string]*transport.WireStats, len(servers))
+		for i, srv := range servers {
+			ep := "server"
+			if multi {
+				ep = names[i]
+			}
+			wire[ep] = srv.WireStats()
+		}
+		transport.RegisterWireStats(registry, wire)
+		registerRepMetrics(registry, reps, names)
 		osrv, err := obs.Serve(*obsAddr, registry, true)
 		if err != nil {
 			return fmt.Errorf("obs: %w", err)
@@ -112,29 +162,49 @@ func run(args []string) error {
 		defer osrv.Close()
 		fmt.Printf("[observability on http://%s/metrics]\n", osrv.Addr())
 	}
-	fmt.Printf("representative %s serving on %s (%d entries)\n", *name, srv.Addr(), r.Len())
 
 	stop := make(chan struct{})
-	done := make(chan struct{})
-	go checkpointLoop(durability, *every, stop, done)
+	var cp sync.WaitGroup
+	for _, d := range durables {
+		if d == nil {
+			continue
+		}
+		cp.Add(1)
+		go func(d *rep.Durability) {
+			defer cp.Done()
+			checkpointLoop(d, *every, stop)
+		}(d)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	close(stop)
-	<-done
-	c := r.Counters()
-	fmt.Printf("shutting down: %d lookups, %d neighbor probes, %d inserts, "+
-		"%d coalesces (%d entries), %d prepares, %d commits, %d aborts\n",
-		c.Lookups, c.NeighborProbes, c.Inserts,
-		c.Coalesces, c.EntriesCoalesced, c.Prepares, c.Commits, c.Aborts)
+	cp.Wait()
+	for i, r := range reps {
+		c := r.Counters()
+		fmt.Printf("shutting down %s: %d lookups, %d neighbor probes, %d inserts, "+
+			"%d coalesces (%d entries), %d prepares, %d commits, %d aborts\n",
+			names[i], c.Lookups, c.NeighborProbes, c.Inserts,
+			c.Coalesces, c.EntriesCoalesced, c.Prepares, c.Commits, c.Aborts)
+	}
 	return nil
+}
+
+// splitList parses a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
 }
 
 // checkpointLoop periodically checkpoints a durable representative; a
 // busy representative is simply retried on the next tick.
-func checkpointLoop(d *rep.Durability, every time.Duration, stop <-chan struct{}, done chan<- struct{}) {
-	defer close(done)
+func checkpointLoop(d *rep.Durability, every time.Duration, stop <-chan struct{}) {
 	if d == nil || every <= 0 {
 		return
 	}
@@ -165,36 +235,38 @@ func buildRep(name, walPath, snapPath string, policy wal.SyncPolicy, recovery re
 // reportRecovery logs what OpenDurable found, loudly when it was not a
 // clean start: an operator restarting after a disk fault needs to know
 // whether writes were salvaged away and a repair is due.
-func reportRecovery(rec rep.RecoveryReport) {
-	fmt.Printf("recovered %d WAL records under the %s policy (snapshot loaded: %v)\n",
-		rec.WALRecords, rec.Policy, rec.SnapshotLoaded)
+func reportRecovery(name string, rec rep.RecoveryReport) {
+	fmt.Printf("%s: recovered %d WAL records under the %s policy (snapshot loaded: %v)\n",
+		name, rec.WALRecords, rec.Policy, rec.SnapshotLoaded)
 	if rec.SnapshotCorrupt {
-		fmt.Fprintln(os.Stderr, "repdir-server: snapshot failed verification; recovered from the WAL alone")
+		fmt.Fprintf(os.Stderr, "repdir-server: %s: snapshot failed verification; recovered from the WAL alone\n", name)
 	}
 	if rec.Salvage != nil {
-		fmt.Fprintf(os.Stderr, "repdir-server: WAL damage: %s (tail preserved at %s)\n",
-			rec.Salvage.Error(), rec.Salvage.SidecarPath)
+		fmt.Fprintf(os.Stderr, "repdir-server: %s: WAL damage: %s (tail preserved at %s)\n",
+			name, rec.Salvage.Error(), rec.Salvage.SidecarPath)
 	}
 	if rec.Rebuilt {
-		fmt.Fprintln(os.Stderr, "repdir-server: opened empty after unrecoverable damage; rebuild from peers before serving reads")
+		fmt.Fprintf(os.Stderr, "repdir-server: %s: opened empty after unrecoverable damage; rebuild from peers before serving reads\n", name)
 	}
 	if rec.NeedsRepair {
-		fmt.Fprintln(os.Stderr, "repdir-server: acknowledged writes may be missing; reconcile against peers")
+		fmt.Fprintf(os.Stderr, "repdir-server: %s: acknowledged writes may be missing; reconcile against peers\n", name)
 	}
 	for _, w := range rec.Warnings {
-		fmt.Fprintln(os.Stderr, "repdir-server: recovery:", w)
+		fmt.Fprintf(os.Stderr, "repdir-server: %s: recovery: %s\n", name, w)
 	}
 }
 
-// registerRepMetrics exposes the representative's cumulative operation
-// counters alongside the wire stats.
-func registerRepMetrics(reg *obs.Registry, r *rep.Rep, name string) {
+// registerRepMetrics exposes every hosted representative's cumulative
+// operation counters alongside the wire stats.
+func registerRepMetrics(reg *obs.Registry, reps []*rep.Rep, names []string) {
 	reg.CounterVec("repdir_rep_ops_total",
 		"Cumulative per-representative operation counts.",
 		[]string{"member", "op"}, func() []obs.Sample {
 			var out []obs.Sample
-			for op, v := range r.Counters().Map() {
-				out = append(out, obs.Sample{Labels: []string{name, op}, Value: float64(v)})
+			for i, r := range reps {
+				for op, v := range r.Counters().Map() {
+					out = append(out, obs.Sample{Labels: []string{names[i], op}, Value: float64(v)})
+				}
 			}
 			return out
 		})

@@ -13,6 +13,7 @@
 //	repdir-sim -experiment storage # crash points, salvage recovery curve, rebuild throughput
 //	repdir-sim -experiment traffic # live instrumented traffic with a Delete trace
 //	repdir-sim -experiment wire    # transport codec comparison (gob vs binary, batching)
+//	repdir-sim -experiment shard   # keyspace sharding: write throughput at 1/2/4/8 shards
 //	repdir-sim -experiment all     # everything
 //
 // The -ops flag overrides the per-run operation count (the paper used
@@ -230,6 +231,18 @@ func run(args []string) error {
 			fmt.Print(sim.FormatWire(res))
 			return nil
 		},
+		"shard": func() error {
+			opsPerClient := *ops
+			if opsPerClient == 0 {
+				opsPerClient = 400
+			}
+			points, err := sim.RunShardScaling([]int{1, 2, 4, 8}, *clients, opsPerClient, *latency)
+			if err != nil {
+				return err
+			}
+			fmt.Print(sim.FormatShardScaling(points, *latency))
+			return nil
+		},
 		"conc": func() error {
 			opsPerClient := *ops
 			if opsPerClient == 0 {
@@ -245,11 +258,11 @@ func run(args []string) error {
 		},
 	}
 
-	order := []string{"fig14", "fig15", "fig16", "sticky", "batch", "model", "skew", "scale", "conc", "chaos", "heal", "storage", "traffic", "wire"}
+	order := []string{"fig14", "fig15", "fig16", "sticky", "batch", "model", "skew", "scale", "shard", "conc", "chaos", "heal", "storage", "traffic", "wire"}
 	if *experiment != "all" {
 		fn, ok := runs[*experiment]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want fig14, fig15, fig16, sticky, batch, model, skew, scale, conc, chaos, heal, storage, traffic, wire, or all)", *experiment)
+			return fmt.Errorf("unknown experiment %q (want fig14, fig15, fig16, sticky, batch, model, skew, scale, shard, conc, chaos, heal, storage, traffic, wire, or all)", *experiment)
 		}
 		return timed(*experiment, fn)
 	}

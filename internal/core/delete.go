@@ -65,6 +65,13 @@ func (c *chain) next(ctx context.Context, k keyspace.Key, fanout int,
 // into maxGap, which is what lets DirSuiteDelete assign the coalesced gap
 // a version dominating everything in the range.
 func (tx *Tx) realPredecessor(ctx context.Context, x keyspace.Key) (neighbor, error) {
+	// The LOW sentinel has no predecessor. Answer locally instead of
+	// probing: DirRepPredecessor(LOW) draws rep.ErrNoNeighbor from every
+	// member, which would make the domain edge indistinguishable from a
+	// failed search to callers that fall through to a neighboring shard.
+	if x.IsLow() {
+		return neighbor{key: x, ver: version.Lowest, maxGap: version.Lowest}, nil
+	}
 	members, err := tx.readQuorum()
 	if err != nil {
 		return neighbor{}, err
@@ -122,6 +129,10 @@ func (tx *Tx) realPredecessor(ctx context.Context, x keyspace.Key) (neighbor, er
 
 // realSuccessor is the mirror image of realPredecessor.
 func (tx *Tx) realSuccessor(ctx context.Context, x keyspace.Key) (neighbor, error) {
+	// Mirror of realPredecessor's edge guard: HIGH has no successor.
+	if x.IsHigh() {
+		return neighbor{key: x, ver: version.Lowest, maxGap: version.Lowest}, nil
+	}
 	members, err := tx.readQuorum()
 	if err != nil {
 		return neighbor{}, err

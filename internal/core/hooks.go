@@ -1,0 +1,63 @@
+// Hooks for layers that coordinate transactions across several suites —
+// today the shard router (internal/shard), which runs one two-phase
+// commit spanning a core.Tx per touched shard. The hooks expose exactly
+// what an external coordinator needs and nothing else: binding a Tx to a
+// caller-owned txn.Txn, reading the per-attempt outcome (mutated,
+// failed members, message count), and reusing the suite's retry
+// classification and backoff so router retries behave like suite
+// retries.
+package core
+
+import (
+	"context"
+
+	"repdir/internal/txn"
+)
+
+// AttachTx binds a new Tx on s to the externally managed transaction t.
+// The caller owns t's lifecycle: it must call t.Commit or t.Abort itself
+// (representatives the Tx touches join t automatically), and it must
+// discard the Tx afterwards. Operations on the Tx honor the exclude set
+// like a suite-managed attempt would; pass the same (mutable) map across
+// attempts so failed members accumulate. exclude may be nil.
+//
+// Member names must be unique across every suite attached to the same
+// transaction: the transaction dedups participants by name, so a name
+// collision would silently drop one suite's representative from
+// two-phase commit.
+func (s *Suite) AttachTx(t *txn.Txn, exclude map[string]bool) *Tx {
+	return &Tx{suite: s, txn: t, exclude: exclude}
+}
+
+// Mutated reports whether any operation on the Tx wrote representative
+// state. A coordinator commits when any attached Tx mutated and may
+// release a fully read-only transaction with an abort, exactly as
+// suite-managed transactions do.
+func (tx *Tx) Mutated() bool { return tx.mutated }
+
+// FailedMembers returns the representatives that became unavailable
+// during this attempt, for folding into the next attempt's exclusions.
+func (tx *Tx) FailedMembers() []string {
+	if len(tx.failed) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(tx.failed))
+	for name := range tx.failed {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Messages returns how many representative messages this attempt has
+// sent — the paper's section 4 cost unit.
+func (tx *Tx) Messages() int { return tx.msgs }
+
+// Retryable reports whether an error from a suite or Tx operation is
+// worth re-running under a fresh attempt ID: wait-die kills, lost
+// replicas, recovering replicas, and externally decided attempts.
+// Semantic errors and quorum-collection failures are final.
+func Retryable(err error) bool { return retryable(err) }
+
+// Backoff waits briefly before a wait-die retry, linearly with the
+// attempt number (capped at 2ms), returning early if ctx is cancelled.
+func Backoff(ctx context.Context, attempt int) { backoff(ctx, attempt) }

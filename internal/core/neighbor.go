@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+
+	"repdir/internal/keyspace"
+)
+
+// Successor returns the current entry with the smallest key strictly
+// greater than after, running one atomic transaction. found == false
+// means the directory holds no such entry — the search reached the HIGH
+// sentinel — which is a definitive answer, not a failure. An error means
+// the search itself failed (no quorum, transport loss, retries
+// exhausted) and says nothing about whether a successor exists; callers
+// stitching across shards must not treat it as "empty".
+//
+// Pass after = "" to get the minimum entry.
+func (s *Suite) Successor(ctx context.Context, after string) (KV, bool, error) {
+	var kv KV
+	var found bool
+	err := s.runTxn(ctx, OpSuccessor, false, func(tx *Tx) error {
+		var err error
+		kv, found, err = tx.SuccessorKey(ctx, lowerBound(after))
+		return err
+	})
+	return kv, found, err
+}
+
+// Predecessor is the mirror of Successor: the current entry with the
+// largest key strictly less than before, or found == false when none
+// exists (the search reached the LOW sentinel). Pass before = "" to get
+// the maximum entry.
+func (s *Suite) Predecessor(ctx context.Context, before string) (KV, bool, error) {
+	var kv KV
+	var found bool
+	err := s.runTxn(ctx, OpPredecessor, false, func(tx *Tx) error {
+		var err error
+		kv, found, err = tx.PredecessorKey(ctx, upperBound(before))
+		return err
+	})
+	return kv, found, err
+}
+
+// SuccessorKey is the transactional, Key-typed form of Suite.Successor.
+// Asking for the successor of High() (or the predecessor of Low() in
+// PredecessorKey) is answered locally as found == false with no
+// representative probes.
+func (tx *Tx) SuccessorKey(ctx context.Context, after keyspace.Key) (KV, bool, error) {
+	nb, err := tx.realSuccessor(ctx, after)
+	if err != nil {
+		return KV{}, false, err
+	}
+	if nb.key.IsHigh() {
+		return KV{}, false, nil
+	}
+	return KV{Key: nb.key.Raw(), Value: nb.value}, true, nil
+}
+
+// PredecessorKey is the transactional, Key-typed form of
+// Suite.Predecessor.
+func (tx *Tx) PredecessorKey(ctx context.Context, before keyspace.Key) (KV, bool, error) {
+	nb, err := tx.realPredecessor(ctx, before)
+	if err != nil {
+		return KV{}, false, err
+	}
+	if nb.key.IsLow() {
+		return KV{}, false, nil
+	}
+	return KV{Key: nb.key.Raw(), Value: nb.value}, true, nil
+}

@@ -35,7 +35,7 @@ func (s *Suite) Scan(ctx context.Context, after string, limit int) ([]KV, error)
 
 // Scan is the transactional form of Suite.Scan.
 func (tx *Tx) Scan(ctx context.Context, after string, limit int) ([]KV, error) {
-	return tx.scanBounded(ctx, after, keyspace.High(), limit)
+	return tx.ScanSpan(ctx, lowerBound(after), keyspace.High(), limit)
 }
 
 // ScanRange returns up to limit current entries with after < key <
@@ -53,11 +53,7 @@ func (s *Suite) ScanRange(ctx context.Context, after, until string, limit int) (
 
 // ScanRange is the transactional form of Suite.ScanRange.
 func (tx *Tx) ScanRange(ctx context.Context, after, until string, limit int) ([]KV, error) {
-	upper := keyspace.High()
-	if until != "" {
-		upper = keyspace.New(until)
-	}
-	return tx.scanBounded(ctx, after, upper, limit)
+	return tx.ScanSpan(ctx, lowerBound(after), upperBound(until), limit)
 }
 
 // ScanPrefix returns the entries whose keys are tuple-encoded extensions
@@ -66,29 +62,62 @@ func (tx *Tx) ScanRange(ctx context.Context, after, until string, limit int) ([]
 // keyspace.EncodeTuple.
 func (s *Suite) ScanPrefix(ctx context.Context, limit int, components ...string) ([]KV, error) {
 	after, upper := keyspace.TuplePrefixRange(components...)
-	return s.ScanRange(ctx, after.Raw(), upper.Raw(), limit)
+	var out []KV
+	err := s.runTxn(ctx, OpScan, false, func(tx *Tx) error {
+		var err error
+		out, err = tx.ScanSpan(ctx, after, upper, limit)
+		return err
+	})
+	return out, err
 }
 
-// scanBounded walks real successors from after (exclusive) up to upper
-// (exclusive).
-func (tx *Tx) scanBounded(ctx context.Context, after string, upper keyspace.Key, limit int) ([]KV, error) {
-	k := keyspace.Low()
-	if after != "" {
-		k = keyspace.New(after)
-	}
+// ScanSpan is ScanRange with Key-typed bounds: Low() and High() are the
+// explicit "unbounded" markers, so a routing layer can compose per-shard
+// subspans without the string API's ""-means-unbounded convention (under
+// which a genuine minimal bound and "no bound" are indistinguishable).
+// Both bounds are exclusive.
+func (tx *Tx) ScanSpan(ctx context.Context, after, until keyspace.Key, limit int) ([]KV, error) {
 	var out []KV
-	for limit <= 0 || len(out) < limit {
+	err := tx.walkSpan(ctx, after, until, limit, func(nb neighbor) {
+		out = append(out, KV{Key: nb.key.Raw(), Value: nb.value})
+	})
+	return out, err
+}
+
+// walkSpan walks real successors from after (exclusive) up to until
+// (exclusive), calling visit for each current entry, at most limit times
+// when limit > 0.
+func (tx *Tx) walkSpan(ctx context.Context, after, until keyspace.Key, limit int, visit func(neighbor)) error {
+	if !after.Less(until) {
+		// Empty span: after == until (or inverted bounds) admits no key
+		// with after < key < until. Return before the first successor
+		// probe — probing would read-lock keys beyond the requested
+		// range and, at after == HIGH, ask representatives for the
+		// successor of the maximum key.
+		return nil
+	}
+	k := after
+	seen := 0
+	for limit <= 0 || seen < limit {
 		succ, err := tx.realSuccessor(ctx, k)
 		if err != nil {
-			return nil, fmt.Errorf("scan after %s: %w", k, err)
+			return fmt.Errorf("scan after %s: %w", k, err)
 		}
-		if succ.key.IsHigh() || !succ.key.Less(upper) {
+		if succ.key.IsHigh() || !succ.key.Less(until) {
 			break
 		}
-		out = append(out, KV{Key: succ.key.Raw(), Value: succ.value})
+		// Each step must strictly advance. A violation means a
+		// representative served a successor at or below the probe key —
+		// revisiting it would double-count the entry (and loop forever
+		// with limit <= 0), so fail the scan instead.
+		if !k.Less(succ.key) {
+			return fmt.Errorf("core: scan after %s: successor %s did not advance", k, succ.key)
+		}
+		visit(succ)
+		seen++
 		k = succ.key
 	}
-	return out, nil
+	return nil
 }
 
 // ScanReverse returns up to limit current entries with keys strictly
@@ -107,10 +136,19 @@ func (s *Suite) ScanReverse(ctx context.Context, before string, limit int) ([]KV
 
 // ScanReverse is the transactional form of Suite.ScanReverse.
 func (tx *Tx) ScanReverse(ctx context.Context, before string, limit int) ([]KV, error) {
-	k := keyspace.High()
-	if before != "" {
-		k = keyspace.New(before)
+	return tx.ScanReverseSpan(ctx, upperBound(before), limit)
+}
+
+// ScanReverseSpan is ScanReverse with a Key-typed bound (High() =
+// unbounded). A before at or below every stored key — including Low()
+// itself — returns empty with no error and no representative probes.
+func (tx *Tx) ScanReverseSpan(ctx context.Context, before keyspace.Key, limit int) ([]KV, error) {
+	if before.IsLow() {
+		// Nothing lies below the LOW sentinel; probing would ask for
+		// the predecessor of the minimum key.
+		return nil, nil
 	}
+	k := before
 	var out []KV
 	for limit <= 0 || len(out) < limit {
 		pred, err := tx.realPredecessor(ctx, k)
@@ -120,19 +158,62 @@ func (tx *Tx) ScanReverse(ctx context.Context, before string, limit int) ([]KV, 
 		if pred.key.IsLow() {
 			break
 		}
+		// Mirror of walkSpan's guard: each step must strictly descend.
+		if !pred.key.Less(k) {
+			return nil, fmt.Errorf("core: scan before %s: predecessor %s did not advance", k, pred.key)
+		}
 		out = append(out, KV{Key: pred.key.Raw(), Value: pred.value})
 		k = pred.key
 	}
 	return out, nil
 }
 
-// Count returns the number of current entries, scanning the whole
-// directory in one transaction. Intended for small directories and
-// audits; it costs one real-successor search per entry.
+// Count returns the number of current entries as one atomic transaction.
+// The whole keyspace is read-locked for the duration (strict two-phase
+// locking), so the total is quorum-consistent: entries installed by
+// concurrent writers or read-repair freshens either commit before the
+// count (and are locked out of changing mid-walk) or after it — never
+// half-observed. Intended for small directories and audits; it costs one
+// real-successor search per entry.
 func (s *Suite) Count(ctx context.Context) (int, error) {
-	entries, err := s.Scan(ctx, "", 0)
-	if err != nil {
-		return 0, err
+	var n int
+	err := s.runTxn(ctx, OpCount, false, func(tx *Tx) error {
+		var err error
+		n, err = tx.Count(ctx)
+		return err
+	})
+	return n, err
+}
+
+// Count is the transactional form of Suite.Count.
+func (tx *Tx) Count(ctx context.Context) (int, error) {
+	return tx.CountSpan(ctx, keyspace.Low(), keyspace.High())
+}
+
+// CountSpan counts current entries with after < key < until without
+// materializing them. The strict-advance guard in walkSpan is what makes
+// the total trustworthy: no key can be visited (and so counted) twice,
+// even if a representative serves an anomalous successor during a
+// concurrent read-repair install.
+func (tx *Tx) CountSpan(ctx context.Context, after, until keyspace.Key) (int, error) {
+	n := 0
+	err := tx.walkSpan(ctx, after, until, 0, func(neighbor) { n++ })
+	return n, err
+}
+
+// lowerBound maps the string API's "" convention to an explicit key:
+// empty means "from the beginning".
+func lowerBound(after string) keyspace.Key {
+	if after == "" {
+		return keyspace.Low()
 	}
-	return len(entries), nil
+	return keyspace.New(after)
+}
+
+// upperBound maps "" to "to the end".
+func upperBound(until string) keyspace.Key {
+	if until == "" {
+		return keyspace.High()
+	}
+	return keyspace.New(until)
 }

@@ -262,14 +262,17 @@ func (s *Suite) RunInTxn(ctx context.Context, fn func(tx *Tx) error) error {
 
 // Operation labels used for traces and per-operation histograms.
 const (
-	OpLookup     = "lookup"
-	OpInsert     = "insert"
-	OpUpdate     = "update"
-	OpDelete     = "delete"
-	OpScan       = "scan"
-	OpTxn        = "txn"
-	OpRepair     = "repair"
-	OpReadRepair = "read-repair"
+	OpLookup      = "lookup"
+	OpInsert      = "insert"
+	OpUpdate      = "update"
+	OpDelete      = "delete"
+	OpScan        = "scan"
+	OpCount       = "count"
+	OpPredecessor = "predecessor"
+	OpSuccessor   = "successor"
+	OpTxn         = "txn"
+	OpRepair      = "repair"
+	OpReadRepair  = "read-repair"
 )
 
 // runTxn is RunInTxn plus the operation label (for traces and

@@ -177,6 +177,28 @@ func (s *Sequential) Get(key string) (value string, present bool, level Certaint
 	return st.value, st.present, st.level
 }
 
+// CountBounds returns the bounds the specification places on the
+// directory's live-entry count: min counts keys certainly present
+// (Full present or PresenceOnly), max additionally counts every key
+// whose last mutation failed ambiguously and so may or may not exist.
+// A Count observed between operations of a sequential driver must fall
+// inside [min, max]; once every key has been re-anchored (e.g. by the
+// final audit) the bounds collapse to an exact expected count.
+func (s *Sequential) CountBounds() (min, max int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.keys {
+		switch {
+		case st.level == Unknown:
+			max++
+		case st.present:
+			min++
+			max++
+		}
+	}
+	return min, max
+}
+
 // Keys lists every key the specification has seen, sorted.
 func (s *Sequential) Keys() []string {
 	s.mu.Lock()

@@ -1,0 +1,56 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// FuzzSplitPlacement drives arbitrary split-point placements (relative
+// to an arbitrary keyset) through the equivalence check: whatever the
+// placement — on keys, between keys, outside the key range, adjacent
+// splits with empty shards between — the router must return exactly the
+// single-suite result.
+//
+// Each input byte pair contributes one key (low nibble-ish) and one
+// split candidate, keeping the state space small enough that the fuzzer
+// finds collisions between keys and splits quickly.
+func FuzzSplitPlacement(f *testing.F) {
+	f.Add([]byte{0x10, 0x32, 0x54})
+	f.Add([]byte{0x00, 0x01, 0x11, 0xff})
+	f.Add([]byte{0xaa, 0xbb})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 8 {
+			t.Skip()
+		}
+		keySet := map[string]bool{}
+		splitSet := map[string]bool{}
+		for i, b := range data {
+			k := fmt.Sprintf("k%02d", int(b&0x0f))
+			s := fmt.Sprintf("k%02d", int(b>>4)&0x0f)
+			if b>>4&1 == 0 {
+				s += "x" // fall between keys half the time
+			}
+			if i%2 == 0 || len(splitSet) == 0 {
+				keySet[k] = true
+			}
+			splitSet[s] = true
+			if len(splitSet) > 4 {
+				break
+			}
+		}
+		var splits []string
+		for s := range splitSet {
+			splits = append(splits, s)
+		}
+		sort.Strings(splits)
+
+		p := newPair(t, splits, 1)
+		var probes []string
+		for k := range keySet {
+			p.insert(t, k, "v-"+k)
+			probes = append(probes, k)
+		}
+		checkOrderedOps(t, p, append(probes, splits...))
+	})
+}

@@ -1,0 +1,77 @@
+package shard
+
+import (
+	"testing"
+
+	"repdir/internal/keyspace"
+)
+
+func TestMapOwnership(t *testing.T) {
+	m, err := NewMap("f", "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Shards(); got != 3 {
+		t.Fatalf("Shards = %d, want 3", got)
+	}
+	cases := []struct {
+		key  keyspace.Key
+		want int
+	}{
+		{keyspace.Low(), 0},
+		{keyspace.New("a"), 0},
+		{keyspace.New("ezzz"), 0},
+		{keyspace.New("f"), 1}, // split key belongs to the right shard
+		{keyspace.New("fa"), 1},
+		{keyspace.New("lzzz"), 1},
+		{keyspace.New("m"), 2},
+		{keyspace.New("z"), 2},
+		{keyspace.High(), 2},
+	}
+	for _, tc := range cases {
+		if got := m.Owner(tc.key); got != tc.want {
+			t.Fatalf("Owner(%s) = %d, want %d", tc.key, got, tc.want)
+		}
+	}
+
+	// Range bounds are consistent with ownership: Lo inclusive, Hi
+	// exclusive.
+	for i := 0; i < m.Shards(); i++ {
+		lo, hi := m.Lo(i), m.Hi(i)
+		if !lo.IsLow() && m.Owner(lo) != i {
+			t.Fatalf("Owner(Lo(%d)=%s) = %d", i, lo, m.Owner(lo))
+		}
+		if !hi.IsHigh() && m.Owner(hi) != i+1 {
+			t.Fatalf("Owner(Hi(%d)=%s) = %d", i, hi, m.Owner(hi))
+		}
+	}
+	if !m.Lo(0).IsLow() || !m.Hi(2).IsHigh() {
+		t.Fatalf("edge bounds not sentinels: %s / %s", m.Lo(0), m.Hi(2))
+	}
+}
+
+func TestMapSingleShard(t *testing.T) {
+	m, err := NewMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Shards() != 1 {
+		t.Fatalf("Shards = %d, want 1", m.Shards())
+	}
+	if m.Owner(keyspace.New("anything")) != 0 {
+		t.Fatal("single shard must own every key")
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	for _, splits := range [][]string{
+		{""},
+		{"b", "a"},
+		{"a", "a"},
+		{"a", "b", "b"},
+	} {
+		if _, err := NewMap(splits...); err == nil {
+			t.Fatalf("NewMap(%q) accepted invalid splits", splits)
+		}
+	}
+}

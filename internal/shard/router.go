@@ -1,0 +1,341 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repdir/internal/core"
+	"repdir/internal/keyspace"
+	"repdir/internal/lock"
+	"repdir/internal/txn"
+)
+
+// Router serves the directory API over a sharded keyspace: one
+// core.Suite per range of the Map. It is safe for concurrent use.
+//
+// Point operations (Lookup, Insert, Update, Delete) are delegated to the
+// owning suite, which runs them with its own retry loop and counters.
+// Ordered operations (Scan and friends, Count, Predecessor, Successor)
+// and RunInTxn run as router transactions: one txn.Txn shared by a
+// core.Tx per touched shard, committed with a single two-phase commit,
+// so a cross-shard result is as atomic as a single-suite one.
+type Router struct {
+	m          *Map
+	suites     []*core.Suite
+	ids        *txn.IDSource
+	maxRetries int
+	parallel   bool
+	stats      *routerStats
+}
+
+// Option configures a Router.
+type Option interface {
+	apply(*Router)
+}
+
+type idsOption struct{ ids *txn.IDSource }
+
+func (o idsOption) apply(r *Router) { r.ids = o.ids }
+
+// WithIDSource sets the transaction ID source for router transactions.
+// It must use a node tag distinct from every suite's own source, so
+// wait-die ages order consistently across router and suite transactions.
+func WithIDSource(ids *txn.IDSource) Option { return idsOption{ids: ids} }
+
+type retriesOption struct{ n int }
+
+func (o retriesOption) apply(r *Router) { r.maxRetries = o.n }
+
+// WithMaxRetries bounds how many times a router transaction is retried
+// after a wait-die abort or a lost replica (default 256, matching
+// core.Suite).
+func WithMaxRetries(n int) Option { return retriesOption{n: n} }
+
+type parallelOption struct{ on bool }
+
+func (o parallelOption) apply(r *Router) { r.parallel = o.on }
+
+// WithParallelStitch makes unlimited scans and counts fetch their
+// per-shard parts concurrently (one goroutine per shard; each shard's
+// core.Tx stays single-goroutine) and runs the shared transaction's 2PC
+// rounds in parallel. The default is sequential, which keeps simulations
+// deterministic.
+func WithParallelStitch(on bool) Option { return parallelOption{on: on} }
+
+// nextRouterNode mirrors core's per-suite node tagging: routers count
+// down from the top of the 10-bit node-tag range while suites count up
+// from the bottom, so default-constructed routers and suites in one
+// process get distinct wait-die node tags.
+var nextRouterNode atomic.Uint32
+
+// NewRouter builds a router over suites, one per shard of m, in range
+// order. Representative names must be unique across all suites: the
+// shared cross-shard transaction identifies two-phase-commit
+// participants by name, so a collision would silently drop one shard's
+// representative from the commit protocol.
+func NewRouter(m *Map, suites []*core.Suite, opts ...Option) (*Router, error) {
+	if m == nil {
+		return nil, errors.New("shard: nil map")
+	}
+	if len(suites) != m.Shards() {
+		return nil, fmt.Errorf("shard: map has %d shards but %d suites given", m.Shards(), len(suites))
+	}
+	seen := make(map[string]int)
+	for i, s := range suites {
+		if s == nil {
+			return nil, fmt.Errorf("shard: suite %d is nil", i)
+		}
+		for _, member := range s.Config().Members {
+			name := member.Dir.Name()
+			if prev, dup := seen[name]; dup {
+				return nil, fmt.Errorf("shard: representative %q serves both shard %d and shard %d",
+					name, prev, i)
+			}
+			seen[name] = i
+		}
+	}
+	r := &Router{
+		m:          m,
+		suites:     suites,
+		maxRetries: 256,
+		stats:      newRouterStats(m.Shards()),
+	}
+	for _, op := range opts {
+		op.apply(r)
+	}
+	if r.ids == nil {
+		r.ids = txn.NewIDSource(uint16(1<<10 - 1 - nextRouterNode.Add(1)%512))
+	}
+	return r, nil
+}
+
+// Map returns the router's shard map.
+func (r *Router) Map() *Map { return r.m }
+
+// Suites returns the per-shard suites in range order. Callers must not
+// mutate the slice.
+func (r *Router) Suites() []*core.Suite { return r.suites }
+
+// Close shuts down every suite's background machinery.
+func (r *Router) Close() {
+	for _, s := range r.suites {
+		s.Close()
+	}
+}
+
+// ownerOf validates a user key and returns its owning shard index.
+func (r *Router) ownerOf(key string) (int, error) {
+	if key == "" {
+		return 0, errors.New("shard: empty key")
+	}
+	return r.m.Owner(keyspace.New(key)), nil
+}
+
+// Lookup returns the value stored under key and whether an entry exists.
+func (r *Router) Lookup(ctx context.Context, key string) (string, bool, error) {
+	i, err := r.ownerOf(key)
+	if err != nil {
+		return "", false, err
+	}
+	value, found, err := r.suites[i].Lookup(ctx, key)
+	r.stats.point(i, core.OpLookup, err)
+	return value, found, err
+}
+
+// Insert creates an entry for key in its owning shard.
+func (r *Router) Insert(ctx context.Context, key, value string) error {
+	i, err := r.ownerOf(key)
+	if err != nil {
+		return err
+	}
+	err = r.suites[i].Insert(ctx, key, value)
+	r.stats.point(i, core.OpInsert, err)
+	return err
+}
+
+// Update replaces the value of an existing entry.
+func (r *Router) Update(ctx context.Context, key, value string) error {
+	i, err := r.ownerOf(key)
+	if err != nil {
+		return err
+	}
+	err = r.suites[i].Update(ctx, key, value)
+	r.stats.point(i, core.OpUpdate, err)
+	return err
+}
+
+// Delete removes the entry for key.
+func (r *Router) Delete(ctx context.Context, key string) error {
+	i, err := r.ownerOf(key)
+	if err != nil {
+		return err
+	}
+	err = r.suites[i].Delete(ctx, key)
+	r.stats.point(i, core.OpDelete, err)
+	return err
+}
+
+// Scan returns up to limit current entries with keys strictly greater
+// than after, ascending, across all shards, as one atomic cross-shard
+// transaction.
+func (r *Router) Scan(ctx context.Context, after string, limit int) ([]core.KV, error) {
+	var out []core.KV
+	err := r.runTxn(ctx, core.OpScan, func(x *Txn) error {
+		var err error
+		out, err = x.Scan(ctx, after, limit)
+		return err
+	})
+	return out, err
+}
+
+// ScanRange returns up to limit current entries with after < key <
+// until, ascending. An empty until means "to the end".
+func (r *Router) ScanRange(ctx context.Context, after, until string, limit int) ([]core.KV, error) {
+	var out []core.KV
+	err := r.runTxn(ctx, core.OpScan, func(x *Txn) error {
+		var err error
+		out, err = x.ScanRange(ctx, after, until, limit)
+		return err
+	})
+	return out, err
+}
+
+// ScanReverse returns up to limit current entries with keys strictly
+// less than before, descending. Pass before = "" to scan from the end.
+func (r *Router) ScanReverse(ctx context.Context, before string, limit int) ([]core.KV, error) {
+	var out []core.KV
+	err := r.runTxn(ctx, core.OpScan, func(x *Txn) error {
+		var err error
+		out, err = x.ScanReverse(ctx, before, limit)
+		return err
+	})
+	return out, err
+}
+
+// ScanPrefix returns the entries whose keys are tuple-encoded extensions
+// of the given prefix components (see keyspace.EncodeTuple), in order.
+func (r *Router) ScanPrefix(ctx context.Context, limit int, components ...string) ([]core.KV, error) {
+	var out []core.KV
+	err := r.runTxn(ctx, core.OpScan, func(x *Txn) error {
+		var err error
+		out, err = x.ScanPrefix(ctx, limit, components...)
+		return err
+	})
+	return out, err
+}
+
+// Count returns the total number of current entries across all shards.
+// Every shard is counted inside the same transaction — one consistent
+// cut across the whole sharded directory — so concurrent writers and
+// read-repair installs can never be half-counted.
+func (r *Router) Count(ctx context.Context) (int, error) {
+	var n int
+	err := r.runTxn(ctx, core.OpCount, func(x *Txn) error {
+		var err error
+		n, err = x.Count(ctx)
+		return err
+	})
+	return n, err
+}
+
+// Successor returns the current entry with the smallest key strictly
+// greater than after, searching the owning shard first and falling
+// through to higher shards while each returns a definitive "no
+// successor". found == false means no shard holds one; errors are
+// search failures and never imply emptiness.
+func (r *Router) Successor(ctx context.Context, after string) (core.KV, bool, error) {
+	var kv core.KV
+	var found bool
+	err := r.runTxn(ctx, core.OpSuccessor, func(x *Txn) error {
+		var err error
+		kv, found, err = x.Successor(ctx, after)
+		return err
+	})
+	return kv, found, err
+}
+
+// Predecessor is the mirror of Successor, falling through to lower
+// shards. Pass before = "" for the maximum entry.
+func (r *Router) Predecessor(ctx context.Context, before string) (core.KV, bool, error) {
+	var kv core.KV
+	var found bool
+	err := r.runTxn(ctx, core.OpPredecessor, func(x *Txn) error {
+		var err error
+		kv, found, err = x.Predecessor(ctx, before)
+		return err
+	})
+	return kv, found, err
+}
+
+// RunInTxn runs fn as one atomic cross-shard transaction: every
+// operation on the Txn, whichever shards it lands on, commits together
+// through a single two-phase commit or has no effect. fn may be
+// re-executed after wait-die aborts or replica failures and must be
+// idempotent from the caller's perspective.
+func (r *Router) RunInTxn(ctx context.Context, fn func(x *Txn) error) error {
+	return r.runTxn(ctx, core.OpTxn, fn)
+}
+
+// runTxn is the router's retry loop, mirroring core.Suite.runTxn: each
+// attempt runs under its own attempt ID (same wait-die age), failed
+// members accumulate into per-shard exclusion sets, and wait-die victims
+// back off linearly. The shared txn.Txn is committed when any shard
+// mutated and aborted (releasing read locks) otherwise.
+func (r *Router) runTxn(ctx context.Context, op string, fn func(x *Txn) error) error {
+	start := time.Now()
+	base := r.ids.Next()
+	excludes := make([]map[string]bool, len(r.suites))
+	for i := range excludes {
+		excludes[i] = make(map[string]bool)
+	}
+	maxAttempts := r.maxRetries
+	if maxAttempts >= txn.MaxAttempts {
+		maxAttempts = txn.MaxAttempts - 1
+	}
+	var lastErr error
+	for attempt := 0; attempt <= maxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			r.stats.done(op, time.Since(start), 0, attempt, err)
+			return err
+		}
+		t := txn.New(txn.AttemptID(base, attempt))
+		t.Parallel = r.parallel
+		x := &Txn{r: r, t: t, txs: make([]*core.Tx, len(r.suites)), excludes: excludes}
+		err := fn(x)
+		if err == nil {
+			if x.mutated() {
+				err = t.Commit(ctx)
+			} else {
+				err = t.Abort(ctx)
+			}
+		} else {
+			_ = t.Abort(ctx)
+		}
+		if err == nil {
+			r.stats.done(op, time.Since(start), x.fanout(), attempt, nil)
+			return nil
+		}
+		lastErr = err
+		if !core.Retryable(err) {
+			r.stats.done(op, time.Since(start), x.fanout(), attempt, err)
+			return err
+		}
+		for i, tx := range x.txs {
+			if tx == nil {
+				continue
+			}
+			for _, name := range tx.FailedMembers() {
+				excludes[i][name] = true
+			}
+		}
+		if errors.Is(err, lock.ErrDie) {
+			core.Backoff(ctx, attempt)
+		}
+	}
+	err := fmt.Errorf("%w: %v", core.ErrRetriesExhausted, lastErr)
+	r.stats.done(op, time.Since(start), 0, maxAttempts+1, err)
+	return err
+}

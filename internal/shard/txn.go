@@ -1,0 +1,395 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repdir/internal/core"
+	"repdir/internal/keyspace"
+	"repdir/internal/txn"
+)
+
+// Txn is one cross-shard transaction: a core.Tx per touched shard, all
+// bound to the same underlying txn.Txn so every representative touched —
+// on any shard — participates in one two-phase commit. Like core.Tx, a
+// Txn's operations are not safe for concurrent use by the caller; the
+// router's own parallel stitching keeps each shard's Tx on a single
+// goroutine.
+type Txn struct {
+	r        *Router
+	t        *txn.Txn
+	excludes []map[string]bool
+
+	// mu guards lazy Tx creation; parallel stitching instantiates
+	// several shards' transactions concurrently.
+	mu  sync.Mutex
+	txs []*core.Tx
+}
+
+// shardTx returns shard i's transaction, binding one on first use.
+func (x *Txn) shardTx(i int) *core.Tx {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.txs[i] == nil {
+		x.txs[i] = x.r.suites[i].AttachTx(x.t, x.excludes[i])
+	}
+	return x.txs[i]
+}
+
+// mutated reports whether any shard's transaction wrote state.
+func (x *Txn) mutated() bool {
+	for _, tx := range x.txs {
+		if tx != nil && tx.Mutated() {
+			return true
+		}
+	}
+	return false
+}
+
+// fanout counts the shards this transaction touched.
+func (x *Txn) fanout() int {
+	n := 0
+	for _, tx := range x.txs {
+		if tx != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Lookup reads key from its owning shard within the transaction.
+func (x *Txn) Lookup(ctx context.Context, key string) (string, bool, error) {
+	i, err := x.r.ownerOf(key)
+	if err != nil {
+		return "", false, err
+	}
+	return x.shardTx(i).Lookup(ctx, key)
+}
+
+// Insert creates an entry for key in its owning shard.
+func (x *Txn) Insert(ctx context.Context, key, value string) error {
+	i, err := x.r.ownerOf(key)
+	if err != nil {
+		return err
+	}
+	return x.shardTx(i).Insert(ctx, key, value)
+}
+
+// Update replaces the value of an existing entry.
+func (x *Txn) Update(ctx context.Context, key, value string) error {
+	i, err := x.r.ownerOf(key)
+	if err != nil {
+		return err
+	}
+	return x.shardTx(i).Update(ctx, key, value)
+}
+
+// Delete removes the entry for key.
+func (x *Txn) Delete(ctx context.Context, key string) error {
+	i, err := x.r.ownerOf(key)
+	if err != nil {
+		return err
+	}
+	return x.shardTx(i).Delete(ctx, key)
+}
+
+// Scan returns up to limit entries with keys strictly greater than
+// after, ascending across all shards.
+func (x *Txn) Scan(ctx context.Context, after string, limit int) ([]core.KV, error) {
+	return x.scanSpan(ctx, lower(after), keyspace.High(), limit)
+}
+
+// ScanRange returns up to limit entries with after < key < until.
+func (x *Txn) ScanRange(ctx context.Context, after, until string, limit int) ([]core.KV, error) {
+	return x.scanSpan(ctx, lower(after), upper(until), limit)
+}
+
+// ScanPrefix returns the entries whose keys extend the tuple-encoded
+// prefix, in order.
+func (x *Txn) ScanPrefix(ctx context.Context, limit int, components ...string) ([]core.KV, error) {
+	after, until := keyspace.TuplePrefixRange(components...)
+	return x.scanSpan(ctx, after, until, limit)
+}
+
+// span is the slice of one shard a bounded traversal must visit, with
+// the requested bounds translated into the shard's local terms: a bound
+// outside the shard's range becomes the local "unbounded" sentinel.
+type span struct {
+	shard        int
+	after, until keyspace.Key
+}
+
+// subspans intersects the requested (after, until) span with each
+// shard's range, in ascending shard order. A shard whose range does not
+// intersect the span — including the case where until falls exactly on
+// the shard's lower split point — contributes no part, which is what
+// keeps a boundary key from being consulted (and possibly returned)
+// twice.
+func (x *Txn) subspans(after, until keyspace.Key) []span {
+	m := x.r.m
+	var parts []span
+	for i := 0; i < m.Shards(); i++ {
+		lo, hi := m.Lo(i), m.Hi(i)
+		// No key k in [lo, hi) can satisfy after < k < until when the
+		// span starts at or beyond the shard's end, or ends at or below
+		// its start.
+		if !after.Less(hi) || !lo.Less(until) {
+			continue
+		}
+		p := span{shard: i, after: after, until: until}
+		if p.after.Less(lo) {
+			p.after = keyspace.Low()
+		}
+		if !p.until.Less(hi) {
+			p.until = keyspace.High()
+		}
+		parts = append(parts, p)
+	}
+	return parts
+}
+
+// scanSpan stitches a forward scan. The shard ranges are disjoint and
+// ordered, so concatenating per-shard pages in shard order is the k-way
+// merge; stitchForward verifies the strict global ordering as it goes.
+func (x *Txn) scanSpan(ctx context.Context, after, until keyspace.Key, limit int) ([]core.KV, error) {
+	if !after.Less(until) {
+		return nil, nil
+	}
+	parts := x.subspans(after, until)
+	if limit > 0 {
+		// Limited scans visit shards in range order and stop as soon as
+		// the page fills, so lower shards satisfy the limit without
+		// read-locking higher ones.
+		var out []core.KV
+		for _, p := range parts {
+			page, err := x.shardTx(p.shard).ScanSpan(ctx, p.after, p.until, limit-len(out))
+			if err != nil {
+				return nil, err
+			}
+			if out, err = stitchForward(out, page); err != nil {
+				return nil, err
+			}
+			if len(out) >= limit {
+				break
+			}
+		}
+		return out, nil
+	}
+	pages := make([][]core.KV, len(parts))
+	err := x.gather(len(parts), func(j int) error {
+		var err error
+		pages[j], err = x.shardTx(parts[j].shard).ScanSpan(ctx, parts[j].after, parts[j].until, 0)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []core.KV
+	for _, page := range pages {
+		if out, err = stitchForward(out, page); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ScanReverse returns up to limit entries with keys strictly less than
+// before, descending across all shards.
+func (x *Txn) ScanReverse(ctx context.Context, before string, limit int) ([]core.KV, error) {
+	return x.scanReverseSpan(ctx, upper(before), limit)
+}
+
+func (x *Txn) scanReverseSpan(ctx context.Context, before keyspace.Key, limit int) ([]core.KV, error) {
+	if before.IsLow() {
+		return nil, nil
+	}
+	m := x.r.m
+	type rpart struct {
+		shard  int
+		before keyspace.Key
+	}
+	var parts []rpart
+	for i := m.Shards() - 1; i >= 0; i-- {
+		lo, hi := m.Lo(i), m.Hi(i)
+		if !lo.Less(before) {
+			// Every key in this shard is at or above before.
+			continue
+		}
+		p := rpart{shard: i, before: before}
+		if !before.Less(hi) {
+			// before at or beyond the shard's end: locally unbounded.
+			p.before = keyspace.High()
+		}
+		parts = append(parts, p)
+	}
+	if limit > 0 {
+		var out []core.KV
+		for _, p := range parts {
+			page, err := x.shardTx(p.shard).ScanReverseSpan(ctx, p.before, limit-len(out))
+			if err != nil {
+				return nil, err
+			}
+			if out, err = stitchReverse(out, page); err != nil {
+				return nil, err
+			}
+			if len(out) >= limit {
+				break
+			}
+		}
+		return out, nil
+	}
+	pages := make([][]core.KV, len(parts))
+	err := x.gather(len(parts), func(j int) error {
+		var err error
+		pages[j], err = x.shardTx(parts[j].shard).ScanReverseSpan(ctx, parts[j].before, 0)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []core.KV
+	for _, page := range pages {
+		if out, err = stitchReverse(out, page); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Count totals every shard's entries within this transaction: one
+// consistent cut across the whole sharded directory, so entries being
+// installed by concurrent writers or read-repair freshens are either in
+// every shard's count or in none.
+func (x *Txn) Count(ctx context.Context) (int, error) {
+	counts := make([]int, len(x.r.suites))
+	err := x.gather(len(counts), func(j int) error {
+		var err error
+		counts[j], err = x.shardTx(j).Count(ctx)
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total, nil
+}
+
+// Successor finds the first entry above after, starting in the owning
+// shard and falling through to higher shards. The fallthrough relies on
+// the core distinction between "definitively no successor here" (found
+// == false, keep going) and a failed search (error, surfaced): without
+// it a down shard would silently vanish from the traversal.
+func (x *Txn) Successor(ctx context.Context, after string) (core.KV, bool, error) {
+	k := lower(after)
+	m := x.r.m
+	start := m.Owner(k)
+	for i := start; i < m.Shards(); i++ {
+		probe := k
+		if i != start {
+			// Every key in a higher shard lies above after.
+			probe = keyspace.Low()
+		}
+		kv, found, err := x.shardTx(i).SuccessorKey(ctx, probe)
+		if err != nil {
+			return core.KV{}, false, err
+		}
+		if found {
+			return kv, true, nil
+		}
+	}
+	return core.KV{}, false, nil
+}
+
+// Predecessor is the mirror of Successor, falling through to lower
+// shards.
+func (x *Txn) Predecessor(ctx context.Context, before string) (core.KV, bool, error) {
+	k := upper(before)
+	m := x.r.m
+	start := m.Owner(k)
+	for i := start; i >= 0; i-- {
+		probe := k
+		if i != start {
+			probe = keyspace.High()
+		}
+		kv, found, err := x.shardTx(i).PredecessorKey(ctx, probe)
+		if err != nil {
+			return core.KV{}, false, err
+		}
+		if found {
+			return kv, true, nil
+		}
+	}
+	return core.KV{}, false, nil
+}
+
+// gather runs do(0..n-1), concurrently when the router is configured for
+// parallel stitching. Each index must touch a distinct shard: the
+// per-shard core.Tx is single-goroutine.
+func (x *Txn) gather(n int, do func(j int) error) error {
+	if !x.r.parallel || n < 2 {
+		for j := 0; j < n; j++ {
+			if err := do(j); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for j := 1; j < n; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			errs[j] = do(j)
+		}(j)
+	}
+	errs[0] = do(0)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stitchForward appends page to acc, verifying the strict ascending
+// order across the shard boundary. A violation means two shards returned
+// overlapping keys — a duplicated boundary key or a misrouted write —
+// and the scan fails rather than return a corrupt merge.
+func stitchForward(acc, page []core.KV) ([]core.KV, error) {
+	if len(acc) > 0 && len(page) > 0 && page[0].Key <= acc[len(acc)-1].Key {
+		return nil, fmt.Errorf("shard: stitched scan out of order: %q then %q (boundary key served by two shards?)",
+			acc[len(acc)-1].Key, page[0].Key)
+	}
+	return append(acc, page...), nil
+}
+
+// stitchReverse is the descending mirror of stitchForward.
+func stitchReverse(acc, page []core.KV) ([]core.KV, error) {
+	if len(acc) > 0 && len(page) > 0 && page[0].Key >= acc[len(acc)-1].Key {
+		return nil, fmt.Errorf("shard: stitched reverse scan out of order: %q then %q (boundary key served by two shards?)",
+			acc[len(acc)-1].Key, page[0].Key)
+	}
+	return append(acc, page...), nil
+}
+
+// lower maps the string API's "" to "from the beginning".
+func lower(after string) keyspace.Key {
+	if after == "" {
+		return keyspace.Low()
+	}
+	return keyspace.New(after)
+}
+
+// upper maps "" to "to the end".
+func upper(until string) keyspace.Key {
+	if until == "" {
+		return keyspace.High()
+	}
+	return keyspace.New(until)
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 	"time"
 
@@ -12,10 +13,12 @@ import (
 	"repdir/internal/core"
 	"repdir/internal/fault"
 	"repdir/internal/heal"
+	"repdir/internal/lock"
 	"repdir/internal/model"
 	"repdir/internal/obs"
 	"repdir/internal/quorum"
 	"repdir/internal/rep"
+	"repdir/internal/shard"
 	"repdir/internal/transport"
 	"repdir/internal/txn"
 )
@@ -27,10 +30,19 @@ import (
 // (model.Sequential). The whole run — workload and fault schedule — is
 // a deterministic function of Seed.
 type ChaosConfig struct {
-	// Name labels the run; empty defaults to "chaos-<seed>".
+	// Name labels the run; empty defaults to "chaos-<seed>" (with a
+	// "-<shards>s" suffix when sharded).
 	Name string
-	// Replicas, R, W describe the suite (defaults 3-2-2).
+	// Replicas, R, W describe each suite (defaults 3-2-2).
 	Replicas, R, W int
+	// Shards is the number of keyspace shards (default 1). With one
+	// shard the workload drives a bare core.Suite, exactly as earlier
+	// harness versions did. With more, one suite per shard sits behind a
+	// shard.Router whose split points divide the key universe evenly,
+	// every shard gets its own fault injector, and the workload gains
+	// cross-shard transactional upserts plus periodic Count-vs-model
+	// assertions that would catch a router stitching a torn cut.
+	Shards int
 	// Operations is the number of workload operations (default 1000).
 	Operations int
 	// Keys is the size of the key universe; small universes maximize
@@ -41,13 +53,15 @@ type ChaosConfig struct {
 	// Plan is the fault schedule; the zero value means
 	// fault.DefaultPlan().
 	Plan fault.Plan
-	// Parallel enables parallel quorum fan-out and parallel two-phase
-	// commit rounds (default true, so races are exercised under -race).
+	// Parallel enables parallel quorum fan-out, parallel two-phase
+	// commit rounds, and (when sharded) parallel stitching (default
+	// true, so races are exercised under -race).
 	Parallel *bool
 	// StorageFaults enables the midpoint storage-fault phase (default
 	// true): a minority of members lose part of their logs, restart in
 	// recovering mode, and are rebuilt from their peers while the
-	// workload keeps running.
+	// workload keeps running. When sharded, every shard goes through the
+	// phase.
 	StorageFaults *bool
 	// OpTimeout bounds each operation; in-doubt transactions can hold
 	// locks until the between-ops resolution pass, and wait-die kills
@@ -62,6 +76,9 @@ type ChaosConfig struct {
 func (c ChaosConfig) withDefaults() ChaosConfig {
 	if c.Replicas == 0 {
 		c.Replicas, c.R, c.W = 3, 2, 2
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
 	}
 	if c.Operations == 0 {
 		c.Operations = 1000
@@ -87,7 +104,11 @@ func (c ChaosConfig) withDefaults() ChaosConfig {
 		c.MaxRetries = 32
 	}
 	if c.Name == "" {
-		c.Name = fmt.Sprintf("chaos-%d", c.Seed)
+		if c.Shards > 1 {
+			c.Name = fmt.Sprintf("chaos-%d-%ds", c.Seed, c.Shards)
+		} else {
+			c.Name = fmt.Sprintf("chaos-%d", c.Seed)
+		}
 	}
 	return c
 }
@@ -103,6 +124,15 @@ type ChaosResult struct {
 	// FailedLookups counts lookups that returned an error (no check
 	// possible).
 	FailedLookups int
+	// Counts is the number of Count observations checked against the
+	// specification's [min, max] bounds — periodic mid-run checks plus
+	// the exact post-audit check. CountFailures counts mid-run Count
+	// calls that failed under active fault windows (tolerated: a failed
+	// count asserts nothing).
+	Counts, CountFailures int
+	// CrossShardTxns is the router's tally of transactions that touched
+	// two or more shards; zero when Shards <= 1.
+	CrossShardTxns uint64
 	// Resolved counts in-doubt participants driven to a decision by the
 	// between-ops and post-run resolution passes.
 	Resolved int
@@ -111,16 +141,17 @@ type ChaosResult struct {
 	// abandoned while its member was unreachable cannot deliver its
 	// Abort there).
 	StraysAborted int
-	// Fault totals over all members.
+	// Fault totals over all members of all shards.
 	Faults fault.Stats
-	// Suite-level transaction counters.
+	// Suite-level transaction counters, summed over shards.
 	Suite core.SuiteStats
 	// RepCalls is the total number of representative calls observed by
 	// the transport.WrapStats layer stacked over the fault members.
 	RepCalls uint64
 	// AuditedKeys is how many keys the final audit checked.
 	AuditedKeys int
-	// Health is the suite's circuit-breaker activity over the run.
+	// Health is the circuit-breaker activity over the run, summed over
+	// shards.
 	Health core.HealthStats
 	// Heal is the total work of the post-run convergence phase.
 	Heal core.RepairStats
@@ -147,6 +178,185 @@ type ChaosResult struct {
 	Violations []string
 }
 
+// chaosDirectory is the client surface the workload drives: a bare
+// *core.Suite when Shards == 1, a *shard.Router otherwise. Both present
+// the same directory API.
+type chaosDirectory interface {
+	Lookup(ctx context.Context, key string) (string, bool, error)
+	Insert(ctx context.Context, key, value string) error
+	Update(ctx context.Context, key, value string) error
+	Delete(ctx context.Context, key string) error
+	Count(ctx context.Context) (int, error)
+}
+
+// chaosHarness is the built topology of one soak: per-shard fault
+// injectors, suites, and healers, plus the router (nil when unsharded)
+// and the directory facade the workload drives.
+type chaosHarness struct {
+	injectors []*fault.Injector
+	suites    []*core.Suite
+	healths   []*core.HealthTracker
+	healers   []*heal.Healer
+	stats     []*transport.CallStats
+	allDirs   []rep.Directory // every member of every shard
+	observer  *obs.Observer
+	router    *shard.Router
+	dir       chaosDirectory
+}
+
+// buildChaosHarness constructs the per-shard machinery. With one shard
+// the member names, seeds, and ID-source node are exactly what earlier
+// single-suite harness versions used, so old replay seeds stay valid.
+func buildChaosHarness(cfg ChaosConfig) (*chaosHarness, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("sim: chaos %s: invalid shard count %d", cfg.Name, cfg.Shards)
+	}
+	if cfg.Shards > 1 && cfg.Keys < cfg.Shards {
+		return nil, fmt.Errorf("sim: chaos %s: %d shards need at least %d keys, have %d",
+			cfg.Name, cfg.Shards, cfg.Shards, cfg.Keys)
+	}
+	h := &chaosHarness{observer: obs.NewObserver(obs.ObserverConfig{NoTrace: true})}
+	for i := 0; i < cfg.Shards; i++ {
+		names := make([]string, cfg.Replicas)
+		for j := range names {
+			if cfg.Shards == 1 {
+				names[j] = fmt.Sprintf("rep%d", j)
+			} else {
+				names[j] = fmt.Sprintf("s%dr%d", i, j)
+			}
+		}
+		// Distinct per-shard fault streams; shard 0 keeps the historical
+		// seed so unsharded runs replay identically.
+		injector := fault.NewInjector(names, cfg.Plan, cfg.Seed+int64(i)*104729)
+		h.injectors = append(h.injectors, injector)
+
+		// Stack call counters over the fault members: the same middleware
+		// layering a production deployment would use for observability.
+		dirs := make([]rep.Directory, cfg.Replicas)
+		for j, m := range injector.Members() {
+			var cs *transport.CallStats
+			dirs[j], cs = transport.WrapStats(m)
+			h.stats = append(h.stats, cs)
+		}
+		h.allDirs = append(h.allDirs, dirs...)
+
+		// Health-tracked membership: the breaker skips members inside
+		// unavailability windows after a few failures, probing them back
+		// in on a paced schedule. All tracker updates happen on the
+		// driver goroutine (fan-out outcomes are folded sequentially
+		// after each round), so the soak stays a pure function of the
+		// seed.
+		health := core.NewHealthTracker(names, core.HealthConfig{ProbeAfter: 4})
+		h.healths = append(h.healths, health)
+		qcfg := quorum.NewUniform(dirs, cfg.R, cfg.W)
+		suite, err := core.NewSuite(qcfg,
+			core.WithIDSource(txn.NewIDSource(uint16(i))),
+			core.WithSelector(quorum.NewRandomSelector(qcfg, cfg.Seed+1+int64(i))),
+			core.WithMaxRetries(cfg.MaxRetries),
+			core.WithParallelQuorum(*cfg.Parallel),
+			core.WithHealth(health),
+		)
+		if err != nil {
+			return nil, err
+		}
+		h.suites = append(h.suites, suite)
+
+		// One healer per shard serves both the midpoint rebuild phase and
+		// the post-run convergence phase; the shared observer carries the
+		// storage metrics.
+		h.healers = append(h.healers, heal.New(suite, dirs, heal.Config{Obs: h.observer}))
+	}
+
+	if cfg.Shards == 1 {
+		h.dir = h.suites[0]
+		return h, nil
+	}
+	// Split the key universe evenly: shard i owns keys with index in
+	// [i*Keys/Shards, (i+1)*Keys/Shards).
+	splits := make([]string, cfg.Shards-1)
+	for i := range splits {
+		splits[i] = fmt.Sprintf("k%04d", (i+1)*cfg.Keys/cfg.Shards)
+	}
+	m, err := shard.NewMap(splits...)
+	if err != nil {
+		return nil, err
+	}
+	// Node tag 1023 keeps router transactions' wait-die ages distinct
+	// from every suite's (suites use their shard index).
+	h.router, err = shard.NewRouter(m, h.suites,
+		shard.WithIDSource(txn.NewIDSource(1023)),
+		shard.WithMaxRetries(cfg.MaxRetries),
+		shard.WithParallelStitch(*cfg.Parallel),
+	)
+	if err != nil {
+		return nil, err
+	}
+	h.dir = h.router
+	return h, nil
+}
+
+// allInDoubt returns the union of every shard's in-doubt transactions,
+// sorted for deterministic resolution order.
+func (h *chaosHarness) allInDoubt() []lock.TxnID {
+	if len(h.injectors) == 1 {
+		return h.injectors[0].InDoubt()
+	}
+	seen := make(map[lock.TxnID]bool)
+	var out []lock.TxnID
+	for _, in := range h.injectors {
+		for _, id := range in.InDoubt() {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// resolve runs cooperative termination across every shard at once. A
+// cross-shard transaction's participants live under different
+// injectors, and a safe decision needs all of them: resolving with one
+// shard's members alone could abort that shard's prepared participant
+// while another shard's had already committed. Single-shard harnesses
+// delegate to the injector unchanged.
+func (h *chaosHarness) resolve(ctx context.Context) (finished int, err error) {
+	if len(h.injectors) == 1 {
+		return h.injectors[0].Resolve(ctx)
+	}
+	for _, id := range h.allInDoubt() {
+		res, rerr := txn.Resolve(ctx, id, h.allDirs)
+		finished += len(res.Finished)
+		if rerr == nil {
+			continue
+		}
+		if errors.Is(rerr, txn.ErrUnresolvable) || errors.Is(rerr, transport.ErrUnavailable) {
+			continue // some participant is down; retry on a later pass
+		}
+		if err == nil {
+			err = fmt.Errorf("sim: resolve txn %d: %w", id, rerr)
+		}
+	}
+	return finished, err
+}
+
+// abortStrays sweeps stray locks on every shard. Presumed abort is a
+// per-participant decision (an unprepared participant can never be part
+// of a committed transaction, cross-shard or not), so the per-injector
+// sweep stays sound under sharding.
+func (h *chaosHarness) abortStrays(ctx context.Context) (int, error) {
+	total := 0
+	for _, in := range h.injectors {
+		n, err := in.AbortStrays(ctx)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
 // RunChaos executes one deterministic chaos soak and returns its
 // result. Violations are reported in the result, not as an error; the
 // error covers harness failures (quorum misconfiguration, a member that
@@ -155,60 +365,38 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	cfg = cfg.withDefaults()
 	res := ChaosResult{Config: cfg}
 
-	names := make([]string, cfg.Replicas)
-	for i := range names {
-		names[i] = fmt.Sprintf("rep%d", i)
-	}
-	injector := fault.NewInjector(names, cfg.Plan, cfg.Seed)
-
-	// Stack call counters over the fault members: the same middleware
-	// layering a production deployment would use for observability.
-	dirs := make([]rep.Directory, cfg.Replicas)
-	stats := make([]*transport.CallStats, cfg.Replicas)
-	for i, m := range injector.Members() {
-		dirs[i], stats[i] = transport.WrapStats(m)
-	}
-
-	// Health-tracked membership: the breaker skips members inside
-	// unavailability windows after a few failures, probing them back in
-	// on a paced schedule. All tracker updates happen on the driver
-	// goroutine (fan-out outcomes are folded sequentially after each
-	// round), so the soak stays a pure function of the seed.
-	health := core.NewHealthTracker(names, core.HealthConfig{ProbeAfter: 4})
-	qcfg := quorum.NewUniform(dirs, cfg.R, cfg.W)
-	suite, err := core.NewSuite(qcfg,
-		core.WithIDSource(txn.NewIDSource(0)),
-		core.WithSelector(quorum.NewRandomSelector(qcfg, cfg.Seed+1)),
-		core.WithMaxRetries(cfg.MaxRetries),
-		core.WithParallelQuorum(*cfg.Parallel),
-		core.WithHealth(health),
-	)
+	h, err := buildChaosHarness(cfg)
 	if err != nil {
 		return res, err
 	}
 
-	// One healer serves both the midpoint rebuild phase and the post-run
-	// convergence phase; its observer carries the storage metrics.
-	observer := obs.NewObserver(obs.ObserverConfig{NoTrace: true})
-	healer := heal.New(suite, dirs, heal.Config{Obs: observer})
-
 	spec := model.NewSequential()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	key := func() string { return fmt.Sprintf("k%04d", rng.Intn(cfg.Keys)) }
+	// The sharded workload widens the op mix with cross-shard
+	// transactional upserts; the unsharded mix (and its rng stream) is
+	// unchanged from earlier harness versions.
+	opKinds := 10
+	if cfg.Shards > 1 {
+		opKinds = 12
+	}
 
 	for op := 0; op < cfg.Operations; op++ {
-		// Midpoint storage-fault phase: a minority of members lose part
-		// of their logs and must come back through the rebuild-from-peers
-		// path while the suite keeps serving around them.
+		// Midpoint storage-fault phase: in every shard, a minority of
+		// members lose part of their logs and must come back through the
+		// rebuild-from-peers path while the suite keeps serving around
+		// them.
 		if *cfg.StorageFaults && op == cfg.Operations/2 {
-			if err := storagePhase(injector, healer, &res); err != nil {
-				return res, fmt.Errorf("sim: chaos %s: %w", cfg.Name, err)
+			for i := range h.suites {
+				if err := storagePhase(h, i, &res); err != nil {
+					return res, fmt.Errorf("sim: chaos %s: %w", cfg.Name, err)
+				}
 			}
 		}
 		// Settle any in-doubt two-phase commits left by crashes before
 		// the next operation; between operations no coordinator is
 		// live, so cooperative termination is safe.
-		if n, rerr := injector.Resolve(context.Background()); true {
+		if n, rerr := h.resolve(context.Background()); true {
 			res.Resolved += n
 			if rerr != nil {
 				return res, rerr
@@ -218,9 +406,9 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.OpTimeout)
 		k := key()
 		val := fmt.Sprintf("v%d", op)
-		switch rng.Intn(10) {
+		switch rng.Intn(opKinds) {
 		case 0, 1, 2: // insert
-			err := suite.Insert(ctx, k, val)
+			err := h.dir.Insert(ctx, k, val)
 			switch {
 			case err == nil:
 				spec.Applied(k, val, true)
@@ -233,7 +421,7 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 				res.Indeterminate++
 			}
 		case 3, 4: // update
-			err := suite.Update(ctx, k, val)
+			err := h.dir.Update(ctx, k, val)
 			switch {
 			case err == nil:
 				spec.Applied(k, val, true)
@@ -248,7 +436,7 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 				res.Indeterminate++
 			}
 		case 5, 6: // delete
-			err := suite.Delete(ctx, k)
+			err := h.dir.Delete(ctx, k)
 			switch {
 			case err == nil:
 				spec.Applied(k, "", false)
@@ -260,8 +448,40 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 				spec.Indeterminate(k)
 				res.Indeterminate++
 			}
+		case 10, 11: // cross-shard transactional upsert (sharded only)
+			k2 := key()
+			err := h.router.RunInTxn(ctx, func(x *shard.Txn) error {
+				for _, kk := range []string{k, k2} {
+					_, found, err := x.Lookup(ctx, kk)
+					if err != nil {
+						return err
+					}
+					if found {
+						if err := x.Update(ctx, kk, val); err != nil {
+							return err
+						}
+					} else if err := x.Insert(ctx, kk, val); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err == nil {
+				// Atomic: both keys now certainly hold val.
+				spec.Applied(k, val, true)
+				spec.Applied(k2, val, true)
+				res.Applied++
+			} else {
+				// Atomic even in failure — either both keys got val or
+				// neither did — but which of the two happened is unknown.
+				spec.Indeterminate(k)
+				if k2 != k {
+					spec.Indeterminate(k2)
+				}
+				res.Indeterminate++
+			}
 		default: // lookup
-			got, found, err := suite.Lookup(ctx, k)
+			got, found, err := h.dir.Lookup(ctx, k)
 			if err != nil {
 				res.FailedLookups++
 			} else {
@@ -272,23 +492,72 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 			}
 		}
 		cancel()
+
+		// Periodic Count-vs-model assertion: a Count between operations
+		// of the sequential driver must land inside the specification's
+		// bounds. Under sharding this is the torn-cut detector — a
+		// router counting shards outside one consistent transaction
+		// could observe half of a cross-shard upsert and drift outside
+		// the bounds. Counting needs to read-lock the whole keyspace,
+		// so first checkpoint the topology the way an operator would:
+		// end open fault windows, settle in-doubt commits, and sweep
+		// stray locks — a count attempted mid-outage just times out and
+		// asserts nothing. The plan reopens fresh windows with the very
+		// next calls, so the chaos resumes immediately. Failures are
+		// still tolerated (a window can reopen mid-count).
+		if (op+1)%250 == 0 {
+			var n int
+			cerr := errors.New("count never attempted")
+			for try := 0; try < 3 && cerr != nil; try++ {
+				for _, in := range h.injectors {
+					if err := in.Heal(); err != nil {
+						return res, err
+					}
+				}
+				if rn, rerr := h.resolve(context.Background()); true {
+					res.Resolved += rn
+					if rerr != nil {
+						return res, rerr
+					}
+				}
+				strays, err := h.abortStrays(context.Background())
+				if err != nil {
+					return res, fmt.Errorf("sim: chaos %s: %w", cfg.Name, err)
+				}
+				res.StraysAborted += strays
+				cctx, ccancel := context.WithTimeout(context.Background(), cfg.OpTimeout)
+				n, cerr = h.dir.Count(cctx)
+				ccancel()
+			}
+			if cerr != nil {
+				res.CountFailures++
+			} else {
+				res.Counts++
+				if lo, hi := spec.CountBounds(); n < lo || n > hi {
+					res.Violations = append(res.Violations, fmt.Sprintf(
+						"op %d: count %d outside specification bounds [%d, %d]", op, n, lo, hi))
+				}
+			}
+		}
 	}
 
 	// Quiesce: stop injecting, heal every window (restarting crashed
 	// members from their logs), and settle every remaining in-doubt
 	// transaction — every coordinator is finished now.
-	for _, m := range injector.Members() {
-		m.Quiesce()
+	for _, in := range h.injectors {
+		for _, m := range in.Members() {
+			m.Quiesce()
+		}
+		if err := in.Heal(); err != nil {
+			return res, err
+		}
 	}
-	if err := injector.Heal(); err != nil {
-		return res, err
-	}
-	for pass := 0; len(injector.InDoubt()) > 0; pass++ {
+	for pass := 0; len(h.allInDoubt()) > 0; pass++ {
 		if pass > 10 {
 			return res, fmt.Errorf("sim: chaos %s: in-doubt transactions would not settle: %v",
-				cfg.Name, injector.InDoubt())
+				cfg.Name, h.allInDoubt())
 		}
-		n, rerr := injector.Resolve(context.Background())
+		n, rerr := h.resolve(context.Background())
 		res.Resolved += n
 		if rerr != nil {
 			return res, rerr
@@ -298,39 +567,49 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	// member was unreachable never delivered their Abort there, and an
 	// unprepared transaction holds its locks until one arrives. Every
 	// coordinator is finished now, so presumed abort applies.
-	strays, err := injector.AbortStrays(context.Background())
+	strays, err := h.abortStrays(context.Background())
 	if err != nil {
 		return res, fmt.Errorf("sim: chaos %s: %w", cfg.Name, err)
 	}
-	res.StraysAborted = strays
+	res.StraysAborted += strays
 
-	// Convergence phase: the healer drives every replica to full
-	// agreement — each current entry installed everywhere at its
+	// Convergence phase: per shard, the healer drives every replica to
+	// full agreement — each current entry installed everywhere at its
 	// current version — then the agreement is verified against the
 	// replicas' physical contents. Ghost entries may remain, but each
 	// must be provably dominated (a quorum lookup of its key must say
-	// not-present).
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	// not-present). The budget covers the whole phase — convergence,
+	// audit, final count — and scales with shard count, since each
+	// shard converges and audits in turn; a loaded CI machine running
+	// the suite alongside other packages must not turn slow into failed.
+	ctx, cancel := context.WithTimeout(context.Background(),
+		time.Duration(len(h.suites))*30*time.Second)
 	defer cancel()
-	conv, err := healer.Converge(ctx)
-	res.Heal = conv
-	if err != nil {
-		return res, fmt.Errorf("sim: chaos %s: convergence: %w", cfg.Name, err)
+	convOK := true
+	for i := range h.suites {
+		conv, err := h.healers[i].Converge(ctx)
+		addRepairStats(&res.Heal, conv)
+		if err != nil {
+			return res, fmt.Errorf("sim: chaos %s: convergence: %w", cfg.Name, err)
+		}
+		convViolations, ghosts, err := auditConvergence(ctx, h.suites[i], h.injectors[i])
+		if err != nil {
+			return res, fmt.Errorf("sim: chaos %s: %w", cfg.Name, err)
+		}
+		res.GhostsLeft += ghosts
+		if len(convViolations) > 0 {
+			convOK = false
+			res.Violations = append(res.Violations, convViolations...)
+		}
 	}
-	convViolations, ghosts, err := auditConvergence(ctx, suite, injector)
-	if err != nil {
-		return res, fmt.Errorf("sim: chaos %s: %w", cfg.Name, err)
-	}
-	res.GhostsLeft = ghosts
-	res.Converged = len(convViolations) == 0
-	res.Violations = append(res.Violations, convViolations...)
+	res.Converged = convOK
 
 	// Final audit: every touched key must agree with the specification.
 	// Keys left uncertain by ambiguous failures are re-anchored by the
 	// first read and must at least read stably on the second.
 	for _, k := range spec.Keys() {
 		for pass := 0; pass < 2; pass++ {
-			got, found, err := suite.Lookup(ctx, k)
+			got, found, err := h.dir.Lookup(ctx, k)
 			if err != nil {
 				return res, fmt.Errorf("sim: chaos %s: audit lookup %s: %w", cfg.Name, k, err)
 			}
@@ -340,41 +619,100 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		}
 		res.AuditedKeys++
 	}
-
-	for _, s := range injector.Stats() {
-		res.Faults.Calls += s.Calls
-		res.Faults.Rejected += s.Rejected
-		res.Faults.Crashes += s.Crashes
-		res.Faults.CrashAfters += s.CrashAfters
-		res.Faults.Partitions += s.Partitions
-		res.Faults.DroppedReplies += s.DroppedReplies
-		res.Faults.Duplicates += s.Duplicates
-		res.Faults.Restarts += s.Restarts
-		res.Faults.StorageLosses += s.StorageLosses
+	// Post-audit the specification is fully anchored, so its count
+	// bounds collapse and Count must match exactly — across every
+	// shard, stitched by the router when sharded.
+	finalCount, err := h.dir.Count(ctx)
+	if err != nil {
+		return res, fmt.Errorf("sim: chaos %s: final count: %w", cfg.Name, err)
 	}
-	res.Storage = observer.Storage()
-	for _, cs := range stats {
+	res.Counts++
+	if lo, hi := spec.CountBounds(); finalCount < lo || finalCount > hi {
+		res.Violations = append(res.Violations, fmt.Sprintf(
+			"final count %d != specification count [%d, %d]", finalCount, lo, hi))
+	}
+
+	for _, in := range h.injectors {
+		for _, s := range in.Stats() {
+			res.Faults.Calls += s.Calls
+			res.Faults.Rejected += s.Rejected
+			res.Faults.Crashes += s.Crashes
+			res.Faults.CrashAfters += s.CrashAfters
+			res.Faults.Partitions += s.Partitions
+			res.Faults.DroppedReplies += s.DroppedReplies
+			res.Faults.Duplicates += s.Duplicates
+			res.Faults.Restarts += s.Restarts
+			res.Faults.StorageLosses += s.StorageLosses
+		}
+	}
+	res.Storage = h.observer.Storage()
+	for _, cs := range h.stats {
 		for _, os := range cs.Snapshot() {
 			res.RepCalls += os.Calls
 		}
 	}
-	res.Suite = suite.Stats()
-	res.Health = health.Stats()
-	// Every operation the suite accepted must land in exactly one outcome
-	// column; a leak here means some return path skipped its counter.
-	if got := res.Suite.Commits + res.Suite.Failures + res.Suite.Cancelled; got != res.Suite.Calls {
-		res.Violations = append(res.Violations, fmt.Sprintf(
-			"accounting: commits %d + failures %d + cancelled %d != calls %d",
-			res.Suite.Commits, res.Suite.Failures, res.Suite.Cancelled, res.Suite.Calls))
+	for i, s := range h.suites {
+		st := s.Stats()
+		addSuiteStats(&res.Suite, st)
+		// Every operation a suite accepted must land in exactly one
+		// outcome column; a leak means some return path skipped its
+		// counter. (Router transactions attach to suites without going
+		// through their counters, so the identity holds per suite.)
+		if got := st.Commits + st.Failures + st.Cancelled; got != st.Calls {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"accounting: shard %d: commits %d + failures %d + cancelled %d != calls %d",
+				i, st.Commits, st.Failures, st.Cancelled, st.Calls))
+		}
+		addHealthStats(&res.Health, h.healths[i].Stats())
+	}
+	if h.router != nil {
+		res.CrossShardTxns = h.router.Stats().CrossShard
 	}
 	return res, nil
 }
 
-// storagePhase corrupts a minority of members' logs mid-run and drives
-// each through restart-in-recovering-mode and a synchronous rebuild
-// from its peers. Quorum intersection tolerates a minority rebuilding,
-// so the workload around this phase keeps completing against the rest.
-func storagePhase(injector *fault.Injector, healer *heal.Healer, res *ChaosResult) error {
+// addSuiteStats folds one suite's counters into a total.
+func addSuiteStats(dst *core.SuiteStats, s core.SuiteStats) {
+	dst.Calls += s.Calls
+	dst.Commits += s.Commits
+	dst.Failures += s.Failures
+	dst.Cancelled += s.Cancelled
+	dst.Retries += s.Retries
+	dst.Dies += s.Dies
+	dst.ReplicaLosses += s.ReplicaLosses
+	dst.ReadRepairEnqueued += s.ReadRepairEnqueued
+	dst.ReadRepairDropped += s.ReadRepairDropped
+	dst.ReadRepairDone += s.ReadRepairDone
+	dst.ReadRepairFailed += s.ReadRepairFailed
+	dst.ReadRepairCopied += s.ReadRepairCopied
+	dst.ReadRepairFreshened += s.ReadRepairFreshened
+}
+
+// addHealthStats folds one tracker's counters into a total.
+func addHealthStats(dst *core.HealthStats, s core.HealthStats) {
+	dst.Transitions += s.Transitions
+	dst.Trips += s.Trips
+	dst.Recoveries += s.Recoveries
+	dst.Probes += s.Probes
+	dst.FastFails += s.FastFails
+	dst.Fallbacks += s.Fallbacks
+}
+
+// addRepairStats folds one repair pass into a total.
+func addRepairStats(dst *core.RepairStats, s core.RepairStats) {
+	dst.Scanned += s.Scanned
+	dst.Copied += s.Copied
+	dst.Freshened += s.Freshened
+	dst.Gaps += s.Gaps
+}
+
+// storagePhase corrupts a minority of one shard's members' logs mid-run
+// and drives each through restart-in-recovering-mode and a synchronous
+// rebuild from its peers. Quorum intersection tolerates a minority
+// rebuilding, so the workload around this phase keeps completing
+// against the rest.
+func storagePhase(h *chaosHarness, shardIdx int, res *ChaosResult) error {
+	injector, healer := h.injectors[shardIdx], h.healers[shardIdx]
 	members := injector.Members()
 	minority := (len(members) - 1) / 2
 	if minority < 1 {
@@ -392,25 +730,29 @@ func storagePhase(injector *fault.Injector, healer *heal.Healer, res *ChaosResul
 			if attempt >= 50 {
 				return fmt.Errorf("storage phase: rebuild of %s would not complete: %w", m.Name(), lastErr)
 			}
-			// End every open window — the operator-intervention analogue:
-			// the victim restarts from its damaged log in recovering mode
-			// (refusing reads until rebuilt), everyone else comes back
-			// intact, so this rebuild attempt can assemble read quorums
-			// instead of waiting out call-counted fault windows. Fresh
-			// windows the plan opens mid-attempt fail that attempt; the
-			// next one heals them again.
-			if err := injector.Heal(); err != nil {
-				return fmt.Errorf("storage phase: %w", err)
+			// End every open window, in every shard — the
+			// operator-intervention analogue: the victim restarts from
+			// its damaged log in recovering mode (refusing reads until
+			// rebuilt), everyone else comes back intact, so this rebuild
+			// attempt can assemble read quorums instead of waiting out
+			// call-counted fault windows, and cross-shard in-doubt
+			// transactions can reach every participant. Fresh windows
+			// the plan opens mid-attempt fail that attempt; the next one
+			// heals them again.
+			for _, in := range h.injectors {
+				if err := in.Heal(); err != nil {
+					return fmt.Errorf("storage phase: %w", err)
+				}
 			}
 			// A damaged log may have forgotten prepares and aborts:
 			// settle in-doubt transactions and sweep stray locks so the
 			// rebuild's repair transactions are not blocked behind them.
 			// No coordinator is live between workload operations, so both
 			// sweeps are safe here.
-			if _, err := injector.Resolve(ctx); err != nil {
+			if _, err := h.resolve(ctx); err != nil {
 				return err
 			}
-			if _, err := injector.AbortStrays(ctx); err != nil {
+			if _, err := h.abortStrays(ctx); err != nil {
 				return err
 			}
 			st, err := healer.Rebuild(ctx, m.Name())
@@ -422,10 +764,7 @@ func storagePhase(injector *fault.Injector, healer *heal.Healer, res *ChaosResul
 				continue // transient faults from live members; retry
 			}
 			res.Rebuilds++
-			res.Rebuild.Scanned += st.Scanned
-			res.Rebuild.Copied += st.Copied
-			res.Rebuild.Freshened += st.Freshened
-			res.Rebuild.Gaps += st.Gaps
+			addRepairStats(&res.Rebuild, st)
 			m.RebuildDone()
 			break
 		}
@@ -534,21 +873,22 @@ func RunChaosSeeds(base ChaosConfig, seeds []int64) ([]ChaosResult, error) {
 func FormatChaos(title string, results []ChaosResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", title)
-	fmt.Fprintf(&b, "%-12s %6s %8s %8s %7s %7s %7s %7s %6s %6s %6s %8s %5s %5s %6s %6s %6s %5s %4s %5s %6s\n",
+	fmt.Fprintf(&b, "%-14s %6s %8s %8s %7s %7s %7s %7s %6s %6s %6s %8s %5s %5s %6s %6s %6s %5s %4s %5s %6s %6s %6s\n",
 		"run", "ops", "applied", "observe", "indet", "lookups", "crash", "partn", "dup", "drop", "rstrt", "resolved", "viol",
-		"trips", "ffails", "healed", "ghosts", "conv", "fall", "slost", "rebld")
+		"trips", "ffails", "healed", "ghosts", "conv", "fall", "slost", "rebld", "counts", "xshard")
 	for _, r := range results {
 		conv := "no"
 		if r.Converged {
 			conv = "yes"
 		}
-		fmt.Fprintf(&b, "%-12s %6d %8d %8d %7d %7d %7d %7d %6d %6d %6d %8d %5d %5d %6d %6d %6d %5s %4d %5d %6d\n",
+		fmt.Fprintf(&b, "%-14s %6d %8d %8d %7d %7d %7d %7d %6d %6d %6d %8d %5d %5d %6d %6d %6d %5s %4d %5d %6d %6d %6d\n",
 			r.Config.Name, r.Config.Operations, r.Applied, r.Observed, r.Indeterminate,
 			r.Lookups, r.Faults.Crashes+r.Faults.CrashAfters, r.Faults.Partitions,
 			r.Faults.Duplicates, r.Faults.DroppedReplies, r.Faults.Restarts,
 			r.Resolved, len(r.Violations),
 			r.Health.Trips, r.Health.FastFails, r.Heal.Copied+r.Heal.Freshened,
-			r.GhostsLeft, conv, r.Health.Fallbacks, r.StorageLosses, r.Rebuilds)
+			r.GhostsLeft, conv, r.Health.Fallbacks, r.StorageLosses, r.Rebuilds,
+			r.Counts, r.CrossShardTxns)
 		for _, v := range r.Violations {
 			fmt.Fprintf(&b, "    VIOLATION: %s\n", v)
 		}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repdir/internal/core"
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+	"repdir/internal/shard"
+	"repdir/internal/transport"
+	"repdir/internal/txn"
+)
+
+// ShardScalingPoint is one row of the shard-scaling experiment.
+type ShardScalingPoint struct {
+	Shards     int
+	Clients    int
+	Operations int
+	Elapsed    time.Duration
+	// Throughput is successful update operations per second, aggregated
+	// across all clients and shards.
+	Throughput float64
+	// NsPerOp is Elapsed divided by Operations, the benchmark-ledger
+	// form of the same measurement.
+	NsPerOp float64
+	// WaitDieAborts sums wait-die events over every shard's suite.
+	WaitDieAborts uint64
+}
+
+// serializedDir wraps a representative so every call first waits its
+// turn for the server's single thread and then charges a fixed service
+// time. transport.Local's latency knob sleeps concurrently — a hundred
+// overlapping calls all finish after ~one delay — which models wire
+// latency but makes every suite look infinitely wide. A real
+// representative burns CPU per message, so its capacity is the
+// bottleneck sharding exists to multiply; holding a mutex across the
+// sleep makes each replica a unit-capacity server and lets the scaling
+// curve measure added capacity rather than host parallelism.
+func serializedDir(target rep.Directory, service time.Duration) rep.Directory {
+	var mu sync.Mutex
+	return &transport.Middleware{
+		Target: func() rep.Directory { return target },
+		Before: func(transport.Op) error {
+			mu.Lock()
+			time.Sleep(service)
+			mu.Unlock()
+			return nil
+		},
+	}
+}
+
+// RunShardScaling measures aggregate write throughput as the keyspace
+// is split over more replica suites. Every configuration serves the
+// same key universe and the same closed-loop client population; each
+// client updates a disjoint stripe of keys spread evenly across the
+// whole keyspace, so with S shards the stripes land on every shard and
+// the offered load divides S ways. Each replica charges a serialized
+// per-message service time (see serializedDir), so a single 3-replica
+// suite saturates at its message rate and additional shards add
+// capacity the way additional servers would.
+func RunShardScaling(shardCounts []int, clients, opsPerClient int, service time.Duration) ([]ShardScalingPoint, error) {
+	ctx := context.Background()
+	keys := clients * 8
+	var out []ShardScalingPoint
+	for _, shards := range shardCounts {
+		if shards < 1 || keys < shards {
+			return nil, fmt.Errorf("sim: shard scaling: bad shard count %d for %d keys", shards, keys)
+		}
+		suites := make([]*core.Suite, shards)
+		for i := range suites {
+			dirs := make([]rep.Directory, 3)
+			for j := range dirs {
+				dirs[j] = serializedDir(
+					transport.NewLocal(rep.New(fmt.Sprintf("s%dr%d", i, j))), service)
+			}
+			cfg := quorum.NewUniform(dirs, 2, 2)
+			suite, err := core.NewSuite(cfg,
+				core.WithIDSource(txn.NewIDSource(uint16(i))),
+				core.WithParallelQuorum(true))
+			if err != nil {
+				return nil, err
+			}
+			suites[i] = suite
+		}
+		splits := make([]string, shards-1)
+		for i := range splits {
+			splits[i] = fmt.Sprintf("k%04d", (i+1)*keys/shards)
+		}
+		m, err := shard.NewMap(splits...)
+		if err != nil {
+			return nil, err
+		}
+		router, err := shard.NewRouter(m, suites,
+			shard.WithIDSource(txn.NewIDSource(1023)),
+			shard.WithParallelStitch(true))
+		if err != nil {
+			return nil, err
+		}
+
+		for n := 0; n < keys; n++ {
+			if err := router.Insert(ctx, fmt.Sprintf("k%04d", n), "0"); err != nil {
+				return nil, err
+			}
+		}
+
+		var wg sync.WaitGroup
+		errCh := make(chan error, clients)
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				// Client c owns keys c, c+clients, c+2*clients, ... — a
+				// stripe that crosses every shard boundary, so no client
+				// is pinned to one shard and no two clients conflict.
+				for i := 0; i < opsPerClient; i++ {
+					k := fmt.Sprintf("k%04d", c+(i%8)*clients)
+					if err := router.Update(ctx, k, fmt.Sprintf("%d", i)); err != nil {
+						errCh <- fmt.Errorf("client %d: %w", c, err)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errCh)
+		if err := <-errCh; err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		total := clients * opsPerClient
+		var dies uint64
+		for _, s := range suites {
+			dies += s.Stats().Dies
+		}
+		out = append(out, ShardScalingPoint{
+			Shards:        shards,
+			Clients:       clients,
+			Operations:    total,
+			Elapsed:       elapsed,
+			Throughput:    float64(total) / elapsed.Seconds(),
+			NsPerOp:       float64(elapsed.Nanoseconds()) / float64(total),
+			WaitDieAborts: dies,
+		})
+	}
+	return out, nil
+}
+
+// FormatShardScaling renders the scaling table followed by the same
+// measurements as testing-package benchmark lines, which `repdir-sim
+// -experiment shard | benchjson -out BENCH_shard.json` turns into the
+// committed ledger (benchjson skips the table rows).
+func FormatShardScaling(points []ShardScalingPoint, service time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b,
+		"Shard scaling — disjoint-stripe updates, 3-2-2 suites, serialized %v per replica message\n",
+		service)
+	fmt.Fprintf(&b, "%10s%10s%12s%12s%16s%12s%14s\n",
+		"shards", "clients", "ops", "elapsed", "ops/sec", "speedup", "wait-die")
+	base := 0.0
+	for _, p := range points {
+		if base == 0 {
+			base = p.Throughput
+		}
+		fmt.Fprintf(&b, "%10d%10d%12d%12s%16.0f%11.2fx%14d\n",
+			p.Shards, p.Clients, p.Operations, p.Elapsed.Round(time.Millisecond),
+			p.Throughput, p.Throughput/base, p.WaitDieAborts)
+	}
+	for _, p := range points {
+		fmt.Fprintf(&b, "BenchmarkShardWrites/shards=%d \t%8d\t%12.0f ns/op\n",
+			p.Shards, p.Operations, p.NsPerOp)
+	}
+	return b.String()
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -129,45 +130,82 @@ func (s *WireStats) Register(reg *obs.Registry, endpoint string) {
 	if s == nil {
 		return
 	}
+	RegisterWireStats(reg, map[string]*WireStats{endpoint: s})
+}
+
+// RegisterWireStats exposes several endpoints' wire counters and
+// histograms under one set of repdir_wire_* families, one endpoint
+// label value each. A registry panics on duplicate family names, so a
+// process with multiple transports (say, one server per shard member it
+// hosts) must register them together rather than calling Register once
+// per transport.
+func RegisterWireStats(reg *obs.Registry, stats map[string]*WireStats) {
+	endpoints := make([]string, 0, len(stats))
+	for ep, s := range stats {
+		if s != nil {
+			endpoints = append(endpoints, ep)
+		}
+	}
+	sort.Strings(endpoints)
 	reg.CounterVec("repdir_wire_frames_total",
 		"Wire frames carried by the binary transport codec.",
 		[]string{"endpoint", "dir"}, func() []obs.Sample {
-			return []obs.Sample{
-				{Labels: []string{endpoint, "tx"}, Value: float64(s.framesSent.Load())},
-				{Labels: []string{endpoint, "rx"}, Value: float64(s.framesRecv.Load())},
+			var out []obs.Sample
+			for _, ep := range endpoints {
+				s := stats[ep]
+				out = append(out,
+					obs.Sample{Labels: []string{ep, "tx"}, Value: float64(s.framesSent.Load())},
+					obs.Sample{Labels: []string{ep, "rx"}, Value: float64(s.framesRecv.Load())})
 			}
+			return out
 		})
 	reg.CounterVec("repdir_wire_bytes_total",
 		"Wire frame payload bytes carried by the binary transport codec.",
 		[]string{"endpoint", "dir"}, func() []obs.Sample {
-			return []obs.Sample{
-				{Labels: []string{endpoint, "tx"}, Value: float64(s.bytesSent.Load())},
-				{Labels: []string{endpoint, "rx"}, Value: float64(s.bytesRecv.Load())},
+			var out []obs.Sample
+			for _, ep := range endpoints {
+				s := stats[ep]
+				out = append(out,
+					obs.Sample{Labels: []string{ep, "tx"}, Value: float64(s.bytesSent.Load())},
+					obs.Sample{Labels: []string{ep, "rx"}, Value: float64(s.bytesRecv.Load())})
 			}
+			return out
 		})
 	reg.CounterVec("repdir_wire_messages_total",
 		"Request/response messages carried by the binary transport codec.",
 		[]string{"endpoint", "dir"}, func() []obs.Sample {
-			return []obs.Sample{
-				{Labels: []string{endpoint, "tx"}, Value: float64(s.msgsSent.Load())},
-				{Labels: []string{endpoint, "rx"}, Value: float64(s.msgsRecv.Load())},
+			var out []obs.Sample
+			for _, ep := range endpoints {
+				s := stats[ep]
+				out = append(out,
+					obs.Sample{Labels: []string{ep, "tx"}, Value: float64(s.msgsSent.Load())},
+					obs.Sample{Labels: []string{ep, "rx"}, Value: float64(s.msgsRecv.Load())})
 			}
+			return out
 		})
 	reg.SizeHistogramVec("repdir_wire_frame_bytes",
 		"Distribution of frame payload sizes in bytes.",
 		[]string{"endpoint", "dir"}, func() []obs.SizeSample {
-			return []obs.SizeSample{
-				{Labels: []string{endpoint, "tx"}, Snap: s.frameBytesTx.Snapshot()},
-				{Labels: []string{endpoint, "rx"}, Snap: s.frameBytesRx.Snapshot()},
+			var out []obs.SizeSample
+			for _, ep := range endpoints {
+				s := stats[ep]
+				out = append(out,
+					obs.SizeSample{Labels: []string{ep, "tx"}, Snap: s.frameBytesTx.Snapshot()},
+					obs.SizeSample{Labels: []string{ep, "rx"}, Snap: s.frameBytesRx.Snapshot()})
 			}
+			return out
 		})
 	reg.SizeHistogramVec("repdir_wire_batch_size",
 		"Distribution of messages coalesced per frame.",
 		[]string{"endpoint", "dir"}, func() []obs.SizeSample {
-			return []obs.SizeSample{
-				{Labels: []string{endpoint, "tx"}, Snap: s.batchTx.Snapshot()},
-				{Labels: []string{endpoint, "rx"}, Snap: s.batchRx.Snapshot()},
+			var out []obs.SizeSample
+			for _, ep := range endpoints {
+				s := stats[ep]
+				out = append(out,
+					obs.SizeSample{Labels: []string{ep, "tx"}, Snap: s.batchTx.Snapshot()},
+					obs.SizeSample{Labels: []string{ep, "rx"}, Snap: s.batchRx.Snapshot()})
 			}
+			return out
 		})
 }
 
