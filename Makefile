@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench benchall benchshard benchsmoke chaos crash shard obsdeps
+.PHONY: check vet build test race bench benchall benchshard benchsmoke chaos crash shard reconfig obsdeps
 
-check: vet obsdeps build race shard crash chaos benchsmoke
+check: vet obsdeps build race shard crash chaos reconfig benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -56,6 +56,15 @@ shard:
 crash:
 	$(GO) test -count 1 -run 'TestCrashPoints' -v ./internal/fault/
 	$(GO) test -race -count 1 -run 'TestChaosSoakDeterministic' -v .
+
+# Reconfiguration gate: the epoch-fencing/joint-transition unit suite,
+# the membership-churn chaos soaks (three online reconfigurations —
+# add, add-witness, remove+reweight — racing the fault schedule, with
+# a fenced stale-client probe after every switch), and the churn
+# determinism replay. Failing soak seeds replay with -chaos.seed=N.
+reconfig:
+	$(GO) test -race -count 1 ./internal/reconfig/
+	$(GO) test -race -count 1 -run 'TestChaosSoakChurn|TestChaosChurnDeterministic' -v .
 
 # Transport + quorum benchmarks, recorded machine-readably: runs the
 # wire-codec and quorum-round suite with -benchmem and rewrites the

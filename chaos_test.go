@@ -254,6 +254,166 @@ func TestChaosSoakDeterministic(t *testing.T) {
 	}
 }
 
+// TestChaosSoakChurn layers membership churn over the soak: at three
+// seed-scheduled points the run reconfigures online — adds a full
+// member, adds a zero-data witness, then removes the newcomer while
+// reweighting a survivor — all through the epoch-fenced two-phase
+// protocol, racing the same crash/partition/storage-loss schedule.
+// After every switch the harness probes that a client still holding
+// the superseded configuration is fenced with rep.ErrStaleEpoch, and
+// the final audit runs against the membership actually in force.
+func TestChaosSoakChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	churn := true
+	seeds := []int64{1, 2, 3}
+	if *chaosSeed != 0 {
+		seeds = []int64{*chaosSeed}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(strconv.FormatInt(seed, 10), func(t *testing.T) {
+			res, err := sim.RunChaos(sim.ChaosConfig{Seed: seed, Operations: 800, Churn: &churn})
+			if err != nil {
+				t.Fatalf("seed %d: %v\nreplay: go test -run TestChaosSoakChurn -chaos.seed=%d", seed, err, seed)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+			if len(res.Violations) > 0 {
+				t.Errorf("replay: go test -run TestChaosSoakChurn -chaos.seed=%d", seed)
+			}
+			// All three scheduled reconfigurations must have completed,
+			// each a two-phase (joint, then stable) transition: epoch 1
+			// from Init plus two per step.
+			if res.Reconfigs != 3 {
+				t.Errorf("seed %d: %d reconfigurations completed, want 3", seed, res.Reconfigs)
+			}
+			if res.Epochs != 7 {
+				t.Errorf("seed %d: final epoch %d, want 7 (init + 3 joint transitions)", seed, res.Epochs)
+			}
+			if len(res.ChurnEvents) != 3 {
+				t.Errorf("seed %d: churn events %v, want 3", seed, res.ChurnEvents)
+			}
+			// The no-mixing invariant must have been asserted live: every
+			// switch fenced the old configuration's client.
+			if res.StaleProbes != 3 {
+				t.Errorf("seed %d: %d stale-epoch probes fenced, want 3", seed, res.StaleProbes)
+			}
+			if res.Reconfig.Epochs != 7 {
+				t.Errorf("seed %d: observer counted %d epoch advances, want 7", seed, res.Reconfig.Epochs)
+			}
+			if res.Reconfig.StaleRejections == 0 {
+				t.Errorf("seed %d: no stale-epoch rejection ever counted", seed)
+			}
+			// The witness must actually have served read-quorum votes
+			// after joining (workload plus final audit reads).
+			if res.Reconfig.WitnessVotes == 0 {
+				t.Errorf("seed %d: witness never served a read-quorum vote", seed)
+			}
+			// The usual soak guarantees still hold under churn.
+			if res.Applied == 0 {
+				t.Errorf("seed %d: no operation ever applied", seed)
+			}
+			if res.AuditedKeys == 0 {
+				t.Errorf("seed %d: audit checked no keys", seed)
+			}
+			if !res.Converged {
+				t.Errorf("seed %d: replicas did not converge after healing", seed)
+			}
+			total := res.Faults.Crashes + res.Faults.CrashAfters + res.Faults.Partitions +
+				res.Faults.Duplicates + res.Faults.DroppedReplies
+			if total == 0 {
+				t.Errorf("seed %d: fault injector injected nothing", seed)
+			}
+			t.Logf("seed %d: applied=%d observed=%d indeterminate=%d audited=%d "+
+				"reconfigs=%d epoch=%d staleprobes=%d stalerejects=%d witnessvotes=%d "+
+				"crashes=%d partitions=%d restarts=%d healed=%d ghosts=%d\nevents: %v",
+				seed, res.Applied, res.Observed, res.Indeterminate, res.AuditedKeys,
+				res.Reconfigs, res.Epochs, res.StaleProbes,
+				res.Reconfig.StaleRejections, res.Reconfig.WitnessVotes,
+				res.Faults.Crashes+res.Faults.CrashAfters, res.Faults.Partitions,
+				res.Faults.Restarts, res.Heal.Copied+res.Heal.Freshened, res.GhostsLeft,
+				res.ChurnEvents)
+		})
+	}
+}
+
+// TestChaosSoakChurnSharded runs the churn schedule on every shard of
+// a two-shard router: reconfigurations go through the managers while
+// the workload keeps driving the router, whose suites are swapped
+// under a lock as epochs advance.
+func TestChaosSoakChurnSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	churn := true
+	seed := int64(2)
+	if *chaosSeed != 0 {
+		seed = *chaosSeed
+	}
+	res, err := sim.RunChaos(sim.ChaosConfig{Seed: seed, Shards: 2, Operations: 800, Churn: &churn})
+	if err != nil {
+		t.Fatalf("seed %d: %v\nreplay: go test -run TestChaosSoakChurnSharded -chaos.seed=%d", seed, err, seed)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("seed %d: %s", seed, v)
+	}
+	if res.Reconfigs != 6 {
+		t.Errorf("seed %d: %d reconfigurations completed, want 6 (3 per shard)", seed, res.Reconfigs)
+	}
+	if res.Epochs != 14 {
+		t.Errorf("seed %d: summed final epochs %d, want 14 (7 per shard)", seed, res.Epochs)
+	}
+	if res.StaleProbes != 6 {
+		t.Errorf("seed %d: %d stale-epoch probes fenced, want 6", seed, res.StaleProbes)
+	}
+	if res.CrossShardTxns == 0 {
+		t.Errorf("seed %d: no transaction ever spanned shards", seed)
+	}
+	if !res.Converged {
+		t.Errorf("seed %d: replicas did not converge after healing", seed)
+	}
+	t.Logf("seed %d: applied=%d audited=%d xshard=%d reconfigs=%d epochs=%d "+
+		"staleprobes=%d witnessvotes=%d\nevents: %v",
+		seed, res.Applied, res.AuditedKeys, res.CrossShardTxns, res.Reconfigs,
+		res.Epochs, res.StaleProbes, res.Reconfig.WitnessVotes, res.ChurnEvents)
+}
+
+// TestChaosChurnDeterministic replays one churn seed twice and
+// requires identical results — the reconfiguration schedule, the
+// epochs reached, and every fence probe included — so printed churn
+// seeds replay like any other soak.
+func TestChaosChurnDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak")
+	}
+	churn := true
+	cfg := sim.ChaosConfig{Seed: 9, Operations: 400, Churn: &churn}
+	a, err := sim.RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.RunChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Applied != b.Applied || a.Observed != b.Observed ||
+		a.Indeterminate != b.Indeterminate || a.Lookups != b.Lookups ||
+		a.Faults != b.Faults || a.AuditedKeys != b.AuditedKeys ||
+		a.Health != b.Health || a.Heal != b.Heal ||
+		a.StraysAborted != b.StraysAborted ||
+		a.Converged != b.Converged || a.GhostsLeft != b.GhostsLeft ||
+		a.Reconfigs != b.Reconfigs || a.Epochs != b.Epochs ||
+		a.StaleProbes != b.StaleProbes {
+		t.Errorf("same churn seed, different runs:\n  %+v\n  %+v", a, b)
+	}
+	if fmt.Sprint(a.ChurnEvents) != fmt.Sprint(b.ChurnEvents) {
+		t.Errorf("same churn seed, different schedules:\n  %v\n  %v", a.ChurnEvents, b.ChurnEvents)
+	}
+}
+
 // TestChaosConcurrentClients keeps the live-coordinator coverage the
 // deterministic soak cannot provide: several clients race each other
 // (each owning a disjoint key range) while a chaos goroutine crashes

@@ -24,6 +24,19 @@
 //	                      two-phase commit (coordinator crashed)
 //	repair <addr>         copy/freshen all current entries onto the
 //	                      replica at addr (read-repair after an outage)
+//	reconfig show         print the replicated configuration record
+//	reconfig init         write the initial record (epoch 1) from the
+//	                      -replicas/-r/-w seed configuration
+//	reconfig add <addr> <votes> <r> <w> [witness]
+//	                      add a member (zero-data witness with the
+//	                      trailing keyword) and move to quorums r/w via
+//	                      an epoch-fenced joint transition
+//	reconfig remove <name> <r> <w>
+//	                      remove a member and move to quorums r/w
+//	reconfig reweight <name> <votes> <r> <w>
+//	                      change a member's votes and move to quorums r/w
+//	reconfig finish       complete a joint transition a crashed
+//	                      reconfiguration left behind
 //	bench  <n>            time n insert+lookup+delete cycles
 //	load   <clients> <duration>
 //	                      mixed read/write load from concurrent clients,
@@ -46,6 +59,7 @@ import (
 	"repdir/internal/core"
 	"repdir/internal/lock"
 	"repdir/internal/quorum"
+	"repdir/internal/reconfig"
 	"repdir/internal/rep"
 	"repdir/internal/shard"
 	"repdir/internal/transport"
@@ -211,6 +225,11 @@ func run(args []string) error {
 		fmt.Printf("repaired %s: %d entries scanned, %d copied, %d freshened\n",
 			target.Name(), stats.Scanned, stats.Copied, stats.Freshened)
 		return nil
+	case "reconfig":
+		if len(groups) > 1 {
+			return errors.New("reconfig operates on a single replica group (no -splits)")
+		}
+		return reconfigCmd(ctx, suites[0], rest)
 	case "bench":
 		if len(rest) != 1 {
 			return errors.New("usage: bench <n>")
@@ -384,6 +403,32 @@ func connect(groups [][]string, splitKeys []string, r, w int, parallel bool) (di
 		suites = append(suites, suite)
 	}
 	if len(suites) == 1 {
+		// Reconfigured clusters fence unversioned (epoch-0) clients, so a
+		// single-group client must check for a configuration record and,
+		// when one exists, operate through a manager that carries — and
+		// keeps refreshed — the recorded epoch. The -replicas flag is then
+		// only the bootstrap connection set.
+		resolver := reconfig.ResolverFunc(func(spec reconfig.MemberSpec) (rep.Directory, error) {
+			if spec.Addr == "" {
+				return nil, fmt.Errorf("member %s has no recorded address", spec.Name)
+			}
+			c, err := transport.Dial(spec.Addr)
+			if err != nil {
+				return nil, err
+			}
+			clients = append(clients, c)
+			return c, nil
+		})
+		if m, err := reconfig.NewManager(suites[0].Config(), reconfig.WithResolver(resolver)); err == nil {
+			rctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			rec, rerr := m.Refresh(rctx)
+			cancel()
+			if rerr == nil && rec.Epoch != 0 {
+				suites[0].Close()
+				return m, []*core.Suite{m.Suite()}, allDirs, closeAll, nil
+			}
+			m.Suite().Close()
+		}
 		return suites[0], suites, allDirs, closeAll, nil
 	}
 	m, err := shard.NewMap(splitKeys...)
@@ -397,6 +442,165 @@ func connect(groups [][]string, splitKeys []string, r, w int, parallel bool) (di
 		return fail(err)
 	}
 	return router, suites, allDirs, closeAll, nil
+}
+
+// reconfigCmd drives the epoch-fenced membership verbs against a
+// single replica group. The -replicas/-r/-w flags are only the seed
+// connection set: once a record exists, the replicated record is
+// authoritative and the manager adopts it before doing anything.
+func reconfigCmd(ctx context.Context, suite *core.Suite, rest []string) error {
+	if len(rest) == 0 {
+		return errors.New("usage: reconfig show|init|add|remove|reweight|finish ...")
+	}
+	var dialed []*transport.Client
+	defer func() {
+		for _, c := range dialed {
+			c.Close()
+		}
+	}()
+	// Members joined in earlier epochs are known to the record by name
+	// and address, not to this process: the resolver dials them.
+	resolver := reconfig.ResolverFunc(func(spec reconfig.MemberSpec) (rep.Directory, error) {
+		if spec.Addr == "" {
+			return nil, fmt.Errorf("member %s has no recorded address", spec.Name)
+		}
+		c, err := transport.Dial(spec.Addr)
+		if err != nil {
+			return nil, err
+		}
+		dialed = append(dialed, c)
+		return c, nil
+	})
+	// Seed at epoch 0 regardless of what the connection-time adoption
+	// stamped on the suite: a versioned seed would make the manager trust
+	// its own (address-less) rendering of the configuration over the
+	// stored record, and the next written record would drop the dial
+	// addresses remote members are resolved by. With an unversioned seed
+	// the first Refresh adopts the stored record verbatim.
+	seedCfg := suite.Config()
+	seedCfg.Epoch = 0
+	m, err := reconfig.NewManager(seedCfg, reconfig.WithResolver(resolver))
+	if err != nil {
+		return err
+	}
+	defer m.Suite().Close()
+
+	printRecord := func(rec reconfig.Record) {
+		fmt.Printf("epoch %d (%s): R=%d W=%d\n", rec.Epoch, rec.Phase, rec.Current.R, rec.Current.W)
+		for _, spec := range rec.Current.Members {
+			kind := "member"
+			if spec.Witness {
+				kind = "witness"
+			}
+			fmt.Printf("  %-12s %s votes=%d addr=%s\n", spec.Name, kind, spec.Votes, spec.Addr)
+		}
+		if rec.Old != nil {
+			fmt.Printf("  (transition from R=%d W=%d, %d member(s); run 'reconfig finish' if it stalls)\n",
+				rec.Old.R, rec.Old.W, len(rec.Old.Members))
+		}
+	}
+	quorums := func(rs, ws string) (int, int, error) {
+		r, err := strconv.Atoi(rs)
+		if err != nil || r < 1 {
+			return 0, 0, fmt.Errorf("bad read quorum %q", rs)
+		}
+		w, err := strconv.Atoi(ws)
+		if err != nil || w < 1 {
+			return 0, 0, fmt.Errorf("bad write quorum %q", ws)
+		}
+		return r, w, nil
+	}
+
+	switch verb, rest := rest[0], rest[1:]; verb {
+	case "show":
+		rec, err := m.Refresh(ctx)
+		if errors.Is(err, reconfig.ErrNoRecord) {
+			fmt.Println("no configuration record; run 'reconfig init'")
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		printRecord(rec)
+		return nil
+	case "init":
+		rec, err := m.Init(ctx)
+		if err != nil {
+			return err
+		}
+		printRecord(rec)
+		return nil
+	case "add":
+		if len(rest) != 4 && !(len(rest) == 5 && rest[4] == "witness") {
+			return errors.New("usage: reconfig add <addr> <votes> <r> <w> [witness]")
+		}
+		votes, err := strconv.Atoi(rest[1])
+		if err != nil || votes < 1 {
+			return fmt.Errorf("bad votes %q", rest[1])
+		}
+		r, w, err := quorums(rest[2], rest[3])
+		if err != nil {
+			return err
+		}
+		addr := strings.TrimSpace(rest[0])
+		c, err := transport.Dial(addr)
+		if err != nil {
+			return fmt.Errorf("dial %s: %w", addr, err)
+		}
+		dialed = append(dialed, c)
+		rec, err := m.Reconfigure(ctx, reconfig.Change{
+			Add: []reconfig.Addition{{Dir: c, Votes: votes, Witness: len(rest) == 5, Addr: addr}},
+			R:   r, W: w,
+		})
+		if err != nil {
+			return err
+		}
+		printRecord(rec)
+		return nil
+	case "remove":
+		if len(rest) != 3 {
+			return errors.New("usage: reconfig remove <name> <r> <w>")
+		}
+		r, w, err := quorums(rest[1], rest[2])
+		if err != nil {
+			return err
+		}
+		rec, err := m.Reconfigure(ctx, reconfig.Change{Remove: []string{rest[0]}, R: r, W: w})
+		if err != nil {
+			return err
+		}
+		printRecord(rec)
+		return nil
+	case "reweight":
+		if len(rest) != 4 {
+			return errors.New("usage: reconfig reweight <name> <votes> <r> <w>")
+		}
+		votes, err := strconv.Atoi(rest[1])
+		if err != nil || votes < 1 {
+			return fmt.Errorf("bad votes %q", rest[1])
+		}
+		r, w, err := quorums(rest[2], rest[3])
+		if err != nil {
+			return err
+		}
+		rec, err := m.Reconfigure(ctx, reconfig.Change{
+			Reweight: map[string]int{rest[0]: votes}, R: r, W: w,
+		})
+		if err != nil {
+			return err
+		}
+		printRecord(rec)
+		return nil
+	case "finish":
+		rec, err := m.CompleteTransition(ctx)
+		if err != nil {
+			return err
+		}
+		printRecord(rec)
+		return nil
+	default:
+		return fmt.Errorf("unknown reconfig verb %q", verb)
+	}
 }
 
 // bench times n insert+lookup+delete cycles against the live directory.

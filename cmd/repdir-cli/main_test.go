@@ -112,6 +112,61 @@ func TestCLILoad(t *testing.T) {
 	}
 }
 
+// TestCLIReconfig drives the membership verbs end to end over live
+// servers: init the record, add a fourth member and a witness, show,
+// reweight, remove — and verify data operations keep working through
+// every epoch (the client adopts the record instead of being fenced).
+func TestCLIReconfig(t *testing.T) {
+	addrs := startSuiteAddrs(t)
+	base := []string{"-replicas", strings.Join(addrs, ","), "-r", "2", "-w", "2"}
+
+	srvD, err := transport.Serve(rep.New("D"), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srvD.Close() })
+	srvW, err := transport.Serve(rep.New("W", rep.AsWitness()), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srvW.Close() })
+
+	steps := [][]string{
+		append(base, "insert", "host1", "10.0.0.1"),
+		append(base, "reconfig", "show"), // no record yet: informational, not an error
+		append(base, "reconfig", "init"),
+		append(base, "lookup", "host1"), // epoch-1 cluster still serves adopted clients
+		append(base, "reconfig", "add", srvD.Addr(), "1", "2", "3"),
+		append(base, "insert", "host2", "10.0.0.2"),
+		append(base, "reconfig", "add", srvW.Addr(), "1", "2", "4", "witness"),
+		append(base, "reconfig", "show"),
+		append(base, "lookup", "host2"),
+		append(base, "reconfig", "reweight", "A", "2", "3", "4"),
+		append(base, "reconfig", "remove", "D", "2", "4"),
+		append(base, "reconfig", "finish"), // nothing pending: idempotent
+		append(base, "scan"),
+		append(base, "delete", "host1"),
+	}
+	for i, args := range steps {
+		if err := run(args); err != nil {
+			t.Fatalf("step %d run(%v): %v", i, args[len(base):], err)
+		}
+	}
+
+	for _, bad := range [][]string{
+		append(base, "reconfig"),
+		append(base, "reconfig", "frobnicate"),
+		append(base, "reconfig", "add", "127.0.0.1:1", "1", "2", "2"),
+		append(base, "reconfig", "add", srvD.Addr(), "zero", "2", "2"),
+		append(base, "reconfig", "remove", "nobody", "2", "2"),
+		append(base, "reconfig", "reweight", "A", "2", "0", "2"),
+	} {
+		if err := run(bad); err == nil {
+			t.Errorf("run(%v) should fail", bad[len(base):])
+		}
+	}
+}
+
 func TestCLIErrorsWhenNoServer(t *testing.T) {
 	err := run([]string{"-replicas", "127.0.0.1:1", "lookup", "x"})
 	if err == nil {

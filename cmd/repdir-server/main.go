@@ -25,6 +25,11 @@
 //
 // In that mode -wal and -snap, when set, are templates that must
 // contain %s, expanded with each representative's name.
+//
+// -witness lists the -name entries to run as zero-data witnesses:
+// they vote and track entry/gap versions but store no values, the
+// cheap tie-breakers that `repdir-cli reconfig add <addr> ... witness`
+// enrolls into a suite.
 package main
 
 import (
@@ -64,6 +69,7 @@ func run(args []string) error {
 		conc     = fs.Int("concurrency", transport.DefaultPerConnConcurrency,
 			"max requests served concurrently per client connection")
 		obsAddr = fs.String("obs.addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
+		witness = fs.String("witness", "", "comma-separated -name entries to run as zero-data witnesses (votes and versions, no values)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,6 +108,20 @@ func run(args []string) error {
 	if multi && *snapPath != "" && !strings.Contains(*snapPath, "%s") {
 		return errors.New("-snap must contain %s when serving multiple representatives")
 	}
+	witnesses := make(map[string]bool)
+	for _, wn := range splitList(*witness) {
+		found := false
+		for _, nm := range names {
+			if nm == wn {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("-witness names %q, which is not in -name", wn)
+		}
+		witnesses[wn] = true
+	}
 
 	reps := make([]*rep.Rep, len(names))
 	durables := make([]*rep.Durability, len(names))
@@ -116,7 +136,7 @@ func run(args []string) error {
 				sp = fmt.Sprintf(sp, nm)
 			}
 		}
-		r, durability, err := buildRep(nm, wp, sp, policy, recoveryPolicy)
+		r, durability, err := buildRep(nm, wp, sp, policy, recoveryPolicy, witnesses[nm])
 		if err != nil {
 			return fmt.Errorf("%s: %w", nm, err)
 		}
@@ -136,7 +156,11 @@ func run(args []string) error {
 		}
 		defer srv.Close()
 		reps[i], durables[i], servers[i] = r, durability, srv
-		fmt.Printf("representative %s serving on %s (%d entries)\n", nm, srv.Addr(), r.Len())
+		role := "representative"
+		if witnesses[nm] {
+			role = "witness"
+		}
+		fmt.Printf("%s %s serving on %s (%d entries)\n", role, nm, srv.Addr(), r.Len())
 	}
 
 	if *obsAddr != "" {
@@ -223,13 +247,19 @@ func checkpointLoop(d *rep.Durability, every time.Duration, stop <-chan struct{}
 }
 
 // buildRep constructs the representative: durable (snapshot + WAL) when
-// paths are configured, volatile otherwise.
-func buildRep(name, walPath, snapPath string, policy wal.SyncPolicy, recovery rep.RecoveryPolicy) (*rep.Rep, *rep.Durability, error) {
+// paths are configured, volatile otherwise. A witness stores (and logs)
+// versions but no values.
+func buildRep(name, walPath, snapPath string, policy wal.SyncPolicy, recovery rep.RecoveryPolicy, witness bool) (*rep.Rep, *rep.Durability, error) {
+	var repOpts []rep.Option
+	if witness {
+		repOpts = append(repOpts, rep.AsWitness())
+	}
 	if walPath == "" {
-		return rep.New(name), nil, nil
+		return rep.New(name, repOpts...), nil, nil
 	}
 	return rep.OpenDurable(name, walPath, snapPath,
-		rep.WithSyncPolicy(policy), rep.WithRecovery(recovery))
+		rep.WithSyncPolicy(policy), rep.WithRecovery(recovery),
+		rep.WithRepOptions(repOpts...))
 }
 
 // reportRecovery logs what OpenDurable found, loudly when it was not a

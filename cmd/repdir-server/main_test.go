@@ -12,7 +12,7 @@ import (
 )
 
 func TestBuildRepVolatile(t *testing.T) {
-	r, d, err := buildRep("vol", "", "", wal.SyncOnCommit, rep.RecoverStrict)
+	r, d, err := buildRep("vol", "", "", wal.SyncOnCommit, rep.RecoverStrict, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func TestBuildRepRecoversFromWAL(t *testing.T) {
 	snapPath := filepath.Join(dir, "rep.snap")
 
 	// First life: write one committed entry and checkpoint.
-	r1, d1, err := buildRep("persist", walPath, snapPath, wal.SyncOnCommit, rep.RecoverStrict)
+	r1, d1, err := buildRep("persist", walPath, snapPath, wal.SyncOnCommit, rep.RecoverStrict, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestBuildRepRecoversFromWAL(t *testing.T) {
 	d1.Close()
 
 	// Second life: the entry survives via the snapshot.
-	r2, d2, err := buildRep("persist", walPath, snapPath, wal.SyncOnCommit, rep.RecoverStrict)
+	r2, d2, err := buildRep("persist", walPath, snapPath, wal.SyncOnCommit, rep.RecoverStrict, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,9 +60,55 @@ func TestBuildRepRecoversFromWAL(t *testing.T) {
 	r2.Commit(ctx, 2)
 }
 
+func TestBuildRepWitnessDurable(t *testing.T) {
+	ctx := context.Background()
+	walPath := filepath.Join(t.TempDir(), "w.wal")
+
+	r1, d1, err := buildRep("W", walPath, "", wal.SyncOnCommit, rep.RecoverStrict, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Witness() {
+		t.Fatal("witness build should produce a witness rep")
+	}
+	id := lock.TxnID(1)
+	if err := r1.Insert(ctx, id, keyspace.New("k"), 1, "secret"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Commit(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	d1.Close()
+
+	// Second life: still a witness, version recovered, value blanked —
+	// the WAL itself must never have carried the value.
+	r2, d2, err := buildRep("W", walPath, "", wal.SyncOnCommit, rep.RecoverStrict, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if !r2.Witness() {
+		t.Error("recovered rep should still be a witness")
+	}
+	res, err := r2.Lookup(ctx, 2, keyspace.New("k"))
+	if err != nil || !res.Found {
+		t.Fatalf("recovered witness lookup = %+v, %v", res, err)
+	}
+	if res.Value != "" {
+		t.Errorf("witness stored a value across recovery: %q", res.Value)
+	}
+	if res.Version != 1 {
+		t.Errorf("witness version = %d, want 1", res.Version)
+	}
+	r2.Commit(ctx, 2)
+}
+
 func TestRunFlagValidation(t *testing.T) {
 	if err := run([]string{"-snap", "/tmp/x.snap"}); err == nil {
 		t.Error("-snap without -wal should fail")
+	}
+	if err := run([]string{"-name", "A", "-addr", "127.0.0.1:0", "-witness", "Z"}); err == nil {
+		t.Error("-witness naming a rep not in -name should fail")
 	}
 	if err := run([]string{"-checkpoint", "5m", "-wal", "/tmp/x.wal"}); err == nil {
 		t.Error("-checkpoint without -snap should fail")
@@ -73,7 +119,7 @@ func TestRunFlagValidation(t *testing.T) {
 }
 
 func TestBuildRepRejectsBadPath(t *testing.T) {
-	if _, _, err := buildRep("x", t.TempDir(), "", wal.SyncOnCommit, rep.RecoverStrict); err == nil {
+	if _, _, err := buildRep("x", t.TempDir(), "", wal.SyncOnCommit, rep.RecoverStrict, false); err == nil {
 		t.Error("opening a directory as a WAL should fail")
 	}
 }

@@ -46,25 +46,40 @@ func (s *Suite) Predecessor(ctx context.Context, before string) (KV, bool, error
 // PredecessorKey) is answered locally as found == false with no
 // representative probes.
 func (tx *Tx) SuccessorKey(ctx context.Context, after keyspace.Key) (KV, bool, error) {
-	nb, err := tx.realSuccessor(ctx, after)
-	if err != nil {
-		return KV{}, false, err
+	k := after
+	for {
+		nb, err := tx.realSuccessor(ctx, k)
+		if err != nil {
+			return KV{}, false, err
+		}
+		if nb.key.IsHigh() {
+			return KV{}, false, nil
+		}
+		// System entries are invisible to the public API; keep walking.
+		if isSystemKey(nb.key) {
+			k = nb.key
+			continue
+		}
+		return KV{Key: nb.key.Raw(), Value: nb.value}, true, nil
 	}
-	if nb.key.IsHigh() {
-		return KV{}, false, nil
-	}
-	return KV{Key: nb.key.Raw(), Value: nb.value}, true, nil
 }
 
 // PredecessorKey is the transactional, Key-typed form of
 // Suite.Predecessor.
 func (tx *Tx) PredecessorKey(ctx context.Context, before keyspace.Key) (KV, bool, error) {
-	nb, err := tx.realPredecessor(ctx, before)
-	if err != nil {
-		return KV{}, false, err
+	k := before
+	for {
+		nb, err := tx.realPredecessor(ctx, k)
+		if err != nil {
+			return KV{}, false, err
+		}
+		if nb.key.IsLow() {
+			return KV{}, false, nil
+		}
+		if isSystemKey(nb.key) {
+			k = nb.key
+			continue
+		}
+		return KV{Key: nb.key.Raw(), Value: nb.value}, true, nil
 	}
-	if nb.key.IsLow() {
-		return KV{}, false, nil
-	}
-	return KV{Key: nb.key.Raw(), Value: nb.value}, true, nil
 }

@@ -74,6 +74,7 @@ func RepairReplica(ctx context.Context, s *Suite, target rep.Directory) (RepairS
 
 // RepairReplicaOpts is RepairReplica with paging and pacing control.
 func RepairReplicaOpts(ctx context.Context, s *Suite, target rep.Directory, opts RepairOptions) (RepairStats, error) {
+	target = s.wrapDir(target)
 	pageSize := opts.PageSize
 	if pageSize <= 0 {
 		pageSize = DefaultRepairPageSize
@@ -142,6 +143,7 @@ func RepairReplicaOpts(ctx context.Context, s *Suite, target rep.Directory, opts
 // against a target in recovering mode (its reads bounce, its writes
 // land).
 func ReconcileReplica(ctx context.Context, s *Suite, target rep.Directory, opts RepairOptions) (RepairStats, error) {
+	target = s.wrapDir(target)
 	pageSize := opts.PageSize
 	if pageSize <= 0 {
 		pageSize = DefaultRepairPageSize

@@ -113,6 +113,13 @@ func (tx *Tx) walkSpan(ctx context.Context, after, until keyspace.Key, limit int
 		if !k.Less(succ.key) {
 			return fmt.Errorf("core: scan after %s: successor %s did not advance", k, succ.key)
 		}
+		// System entries (the replicated configuration record) are real
+		// entries at the representative layer but are not user state:
+		// step over them without visiting or counting.
+		if isSystemKey(succ.key) {
+			k = succ.key
+			continue
+		}
 		visit(succ)
 		seen++
 		k = succ.key
@@ -161,6 +168,11 @@ func (tx *Tx) ScanReverseSpan(ctx context.Context, before keyspace.Key, limit in
 		// Mirror of walkSpan's guard: each step must strictly descend.
 		if !pred.key.Less(k) {
 			return nil, fmt.Errorf("core: scan before %s: predecessor %s did not advance", k, pred.key)
+		}
+		// Step over system entries without emitting them (see walkSpan).
+		if isSystemKey(pred.key) {
+			k = pred.key
+			continue
 		}
 		out = append(out, KV{Key: pred.key.Raw(), Value: pred.value})
 		k = pred.key

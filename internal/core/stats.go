@@ -39,6 +39,11 @@ type SuiteStats struct {
 	ReadRepairFailed    uint64
 	ReadRepairCopied    uint64
 	ReadRepairFreshened uint64
+	// StaleEpochRejections counts operations that failed because this
+	// suite's configuration epoch was fenced as stale by a
+	// representative (rep.ErrStaleEpoch); the suite must be rebuilt from
+	// the current configuration record.
+	StaleEpochRejections uint64
 }
 
 // suiteCounters is the mutable, atomic backing store.
@@ -56,6 +61,7 @@ type suiteCounters struct {
 	readRepairFailed    atomic.Uint64
 	readRepairCopied    atomic.Uint64
 	readRepairFreshened atomic.Uint64
+	staleEpoch          atomic.Uint64
 }
 
 // snapshot freezes the counters.
@@ -72,8 +78,9 @@ func (c *suiteCounters) snapshot() SuiteStats {
 		ReadRepairDropped:   c.readRepairDropped.Load(),
 		ReadRepairDone:      c.readRepairDone.Load(),
 		ReadRepairFailed:    c.readRepairFailed.Load(),
-		ReadRepairCopied:    c.readRepairCopied.Load(),
-		ReadRepairFreshened: c.readRepairFreshened.Load(),
+		ReadRepairCopied:     c.readRepairCopied.Load(),
+		ReadRepairFreshened:  c.readRepairFreshened.Load(),
+		StaleEpochRejections: c.staleEpoch.Load(),
 	}
 }
 

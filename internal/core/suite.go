@@ -31,6 +31,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,6 +62,7 @@ var (
 // each operation runs its own transaction.
 type Suite struct {
 	cfg        quorum.Config
+	hasWitness bool
 	sel        quorum.Selector
 	ids        *txn.IDSource
 	metrics    Metrics
@@ -187,6 +189,7 @@ func NewSuite(cfg quorum.Config, opts ...Option) (*Suite, error) {
 	}
 	s := &Suite{
 		cfg:        cfg,
+		hasWitness: cfg.WitnessVotes() > 0,
 		ids:        txn.NewIDSource(uint16(nextSuiteNode.Add(1))),
 		maxRetries: 256,
 		fanout:     1,
@@ -348,6 +351,14 @@ func (s *Suite) runTxn(ctx context.Context, op string, repairTxn bool, fn func(t
 		if len(tx.failed) > 0 {
 			s.counters.replicaLosses.Add(uint64(len(tx.failed)))
 		}
+		if errors.Is(err, rep.ErrStaleEpoch) {
+			// Deliberately not retryable: the suite's whole configuration
+			// is outdated, so re-running under the same quorums cannot
+			// succeed. The error surfaces to the caller (reconfig.Manager
+			// refreshes the configuration and retries there).
+			s.counters.staleEpoch.Add(1)
+			s.obs.StaleRejected()
+		}
 		if !retryable(err) {
 			s.counters.failures.Add(1)
 			return err
@@ -367,7 +378,11 @@ func (s *Suite) runTxn(ctx context.Context, op string, repairTxn bool, fn func(t
 		}
 	}
 	s.counters.failures.Add(1)
-	return fmt.Errorf("%w: %v", ErrRetriesExhausted, lastErr)
+	// Both identities survive errors.Is: callers distinguishing "out of
+	// retries" from the underlying transient cause (heal.Rebuild retries
+	// reconciles that died of ErrUnavailable, not of logic errors) need
+	// the full chain.
+	return fmt.Errorf("%w: %w", ErrRetriesExhausted, lastErr)
 }
 
 // backoff waits linearly with the attempt number, capped at 2ms. A
@@ -399,12 +414,15 @@ func retryable(err error) bool {
 		errors.Is(err, rep.ErrUnknownTxn)
 }
 
-// validateKey rejects empty keys; the sentinels LOW and HIGH are not
-// addressable through the public API by construction (every user string
-// maps to a normal key).
+// validateKey rejects empty keys and keys in the reserved system
+// namespace; the sentinels LOW and HIGH are not addressable through the
+// public API by construction (every user string maps to a normal key).
 func validateKey(key string) (keyspace.Key, error) {
 	if key == "" {
 		return keyspace.Key{}, errors.New("core: empty key")
+	}
+	if strings.HasPrefix(key, SysPrefix) {
+		return keyspace.Key{}, fmt.Errorf("core: key %q is in the reserved system namespace", key)
 	}
 	return keyspace.New(key), nil
 }

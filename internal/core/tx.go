@@ -118,11 +118,26 @@ func (tx *Tx) flushMetrics() {
 
 // readQuorum and writeQuorum assemble quorums honoring exclusions.
 func (tx *Tx) readQuorum() ([]quorum.Member, error) {
-	return tx.selectQuorum(quorum.Read)
+	return tx.wrapMembers(tx.selectQuorum(quorum.Read))
 }
 
 func (tx *Tx) writeQuorum() ([]quorum.Member, error) {
-	return tx.selectQuorum(quorum.Write)
+	return tx.wrapMembers(tx.selectQuorum(quorum.Write))
+}
+
+// wrapMembers rebinds a selected quorum to epoch-stamping directory
+// wrappers (no-op for epoch-zero suites). The slice is copied first —
+// selectors may return views of their own member storage.
+func (tx *Tx) wrapMembers(members []quorum.Member, err error) ([]quorum.Member, error) {
+	if err != nil || tx.suite.cfg.Epoch == 0 {
+		return members, err
+	}
+	out := make([]quorum.Member, len(members))
+	copy(out, members)
+	for i := range out {
+		out[i].Dir = tx.suite.wrapDir(out[i].Dir)
+	}
+	return out, nil
 }
 
 // selectQuorum merges the transaction's own exclusions with the health
@@ -189,13 +204,40 @@ func (tx *Tx) suiteLookup(ctx context.Context, key keyspace.Key) (rep.LookupResu
 	// Figure 8: bestv starts at LowestVersion; strictly larger versions
 	// win. Replies at LowestVersion leave the default "not present".
 	best := rep.LookupResult{Found: false, Version: version.Lowest}
+	bestIdx := -1
 	for i := range members {
 		// Strictly larger wins, as in Figure 8. Version dominance
 		// (section 3.3) guarantees current data outranks stale data, so
-		// ties only occur between equally current "not present" replies.
-		if replies[i].Version > best.Version {
+		// ties only occur between equally current replies — and there a
+		// store member's reply is preferred over a witness's, whose value
+		// is blank by construction.
+		if replies[i].Version > best.Version ||
+			(bestIdx >= 0 && replies[i].Version == best.Version &&
+				members[bestIdx].Witness && !members[i].Witness) {
 			best = replies[i]
+			bestIdx = i
 		}
+	}
+	if tx.suite.hasWitness {
+		wv := 0
+		for _, m := range members {
+			if m.Witness {
+				wv += m.Votes
+			}
+		}
+		tx.suite.obs.WitnessVotes(wv)
+	}
+	// A witness holds versions but no values: when the winning entry
+	// reply came from one, chase the value from a store member before
+	// answering. Every value the suite ever returns — lookups, scans,
+	// neighbor searches, and Delete's bound copies — flows through this
+	// one comparison, so the chase here covers them all.
+	if best.Found && bestIdx >= 0 && members[bestIdx].Witness {
+		chased, err := tx.chaseValue(ctx, key, best, members)
+		if err != nil {
+			return rep.LookupResult{}, err
+		}
+		best = chased
 	}
 	// Read repair: responders whose reply lost to the winning entry
 	// hold a stale or missing copy; enqueue an asynchronous freshen of
@@ -214,6 +256,48 @@ func (tx *Tx) suiteLookup(ctx context.Context, key keyspace.Key) (rep.LookupResu
 		}
 	}
 	return best, nil
+}
+
+// chaseValue fetches the value behind a winning witness reply from a
+// store member outside the read quorum, inside the same transaction.
+// Safety: the quorum read already holds lookup locks that intersect
+// every write quorum, so no write can change the key's version while
+// the chase runs — a store member answering with a version at or above
+// the winner's holds the current value. Quorum intersection guarantees
+// no member can exceed the quorum maximum for a committed write, and
+// W > witness votes (quorum.Config.Validate) guarantees at least one
+// store member holds the winning entry, so the chase fails only when
+// every such member is unreachable — which is retryable unavailability,
+// not a semantic failure.
+func (tx *Tx) chaseValue(ctx context.Context, key keyspace.Key, best rep.LookupResult, members []quorum.Member) (rep.LookupResult, error) {
+	inRound := make(map[string]bool, len(members))
+	for _, m := range members {
+		inRound[m.Dir.Name()] = true
+	}
+	sp := tx.span("witness-chase", key.Raw())
+	defer sp.End()
+	var lastErr error
+	for _, m := range tx.suite.cfg.Members {
+		if m.Witness || inRound[m.Dir.Name()] || tx.exclude[m.Dir.Name()] {
+			continue
+		}
+		d := tx.suite.wrapDir(m.Dir)
+		tx.txn.Join(d)
+		tx.msgs++
+		res, err := d.Lookup(ctx, tx.txn.ID, key)
+		if err != nil {
+			tx.noteFailure(d.Name(), err)
+			lastErr = err
+			continue
+		}
+		if res.Found && res.Version >= best.Version {
+			return res, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = transport.ErrUnavailable
+	}
+	return rep.LookupResult{}, fmt.Errorf("core: chase value of %s at version %v: no reachable store member holds it: %w", key, best.Version, lastErr)
 }
 
 // roundError folds the per-member errors of one quorum round. Every

@@ -126,6 +126,7 @@ type Member struct {
 	target         rep.Directory
 	restart        func() (rep.Directory, error)
 	wipe           func(frac float64) int // damage the log's tail (LoseStorage)
+	suspended      bool
 	down           int
 	lost           bool // down window opened by a crash: restart must rebuild
 	pendingRebuild bool // storage was lost: recovering mode until RebuildDone
@@ -152,11 +153,13 @@ func NewMember(name string, target rep.Directory, restart func() (rep.Directory,
 // NewRecovering builds a write-ahead-logged representative wrapped in a
 // fault member whose crashes drop volatile state and whose restarts
 // rebuild it with rep.Recover from the log. The log is returned for
-// inspection.
-func NewRecovering(name string, plan Plan, seed int64) (*Member, *wal.MemoryLog) {
+// inspection. Extra rep options (rep.AsWitness, ...) apply to the
+// initial representative and to every restart.
+func NewRecovering(name string, plan Plan, seed int64, opts ...rep.Option) (*Member, *wal.MemoryLog) {
 	log := &wal.MemoryLog{}
-	m := NewMember(name, rep.New(name, rep.WithLog(log)), func() (rep.Directory, error) {
-		return rep.Recover(name, log.Records(), rep.WithLog(log))
+	repOpts := append([]rep.Option{rep.WithLog(log)}, opts...)
+	m := NewMember(name, rep.New(name, repOpts...), func() (rep.Directory, error) {
+		return rep.Recover(name, log.Records(), repOpts...)
 	}, plan, seed)
 	m.wipe = func(frac float64) int {
 		n := int(float64(len(log.Records())) * frac)
@@ -192,6 +195,11 @@ func (m *Member) decide() decision {
 			m.restartLocked()
 		}
 		return decision{unavailable: true}
+	}
+	if m.suspended {
+		// Maintenance window: deliver cleanly and draw nothing from the
+		// decision stream, so the schedule resumes where it left off.
+		return decision{target: m.target}
 	}
 	roll := m.rng.Float64()
 	switch {
@@ -411,6 +419,19 @@ func (m *Member) Quiesce() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.plan = Plan{}
+}
+
+// Suspend pauses (true) or resumes (false) injection without
+// discarding the plan: suspended deliveries pass through cleanly and
+// consume nothing from the decision stream. Drivers use it for
+// operator-style maintenance windows in the middle of a soak — work
+// that must eventually finish (a reconfiguration's catch-up pass)
+// after its under-fire attempts have been exercised. An open down
+// window still needs Heal to end.
+func (m *Member) Suspend(v bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.suspended = v
 }
 
 // Up reports whether the member is currently reachable.

@@ -16,18 +16,31 @@ import (
 // write-ahead-logged representatives, and drives cooperative
 // termination of the in-doubt two-phase commits its crashes create.
 type Injector struct {
+	plan    Plan
+	seed    int64
 	members []*Member
 }
 
 // NewInjector builds one recovering member per name, with per-member
 // fault streams derived deterministically from seed.
 func NewInjector(names []string, plan Plan, seed int64) *Injector {
-	in := &Injector{}
-	for i, n := range names {
-		m, _ := NewRecovering(n, plan, seed+int64(i)*7919)
-		in.members = append(in.members, m)
+	in := &Injector{plan: plan, seed: seed}
+	for _, n := range names {
+		in.Add(n)
 	}
 	return in
+}
+
+// Add builds one more recovering member under the injector's plan and
+// returns it. The new member's fault stream is derived from the
+// injector seed and its construction index, so a reconfiguration
+// schedule that adds members at fixed points replays identically under
+// the same seed. Extra rep options (rep.AsWitness, ...) pass through to
+// the representative and its restarts.
+func (in *Injector) Add(name string, opts ...rep.Option) *Member {
+	m, _ := NewRecovering(name, in.plan, in.seed+int64(len(in.members))*7919, opts...)
+	in.members = append(in.members, m)
+	return m
 }
 
 // Members returns the fault members in construction order.
@@ -41,6 +54,14 @@ func (in *Injector) Directories() []rep.Directory {
 		out[i] = m
 	}
 	return out
+}
+
+// Suspend pauses (true) or resumes (false) every member's fault
+// injection without discarding the plans; see Member.Suspend.
+func (in *Injector) Suspend(v bool) {
+	for _, m := range in.members {
+		m.Suspend(v)
+	}
 }
 
 // Heal ends every open fault window, restarting crashed members from

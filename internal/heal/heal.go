@@ -23,8 +23,10 @@ import (
 	"time"
 
 	"repdir/internal/core"
+	"repdir/internal/lock"
 	"repdir/internal/obs"
 	"repdir/internal/rep"
+	"repdir/internal/transport"
 )
 
 // Config tunes the healer. The zero value means defaults.
@@ -69,6 +71,11 @@ type Stats struct {
 	// Rebuilds counts full rebuild-from-peers passes (Rebuild); Gaps
 	// totals the gap segments those passes reconciled.
 	Rebuilds, Gaps uint64
+	// Retries counts rebuild attempts re-run after a transient peer
+	// error (an unavailable or still-recovering member, a wait-die
+	// loss). Each retry restarts the reconcile pass; the passes are
+	// idempotent, so only time is lost.
+	Retries uint64
 }
 
 // Healer repairs recovered members in the background. Construct with
@@ -98,6 +105,7 @@ type Healer struct {
 	pages     atomic.Uint64
 	rebuilds  atomic.Uint64
 	gaps      atomic.Uint64
+	retries   atomic.Uint64
 }
 
 // New builds a healer over the suite for the given repair targets
@@ -273,32 +281,53 @@ func (h *Healer) Rebuild(ctx context.Context, member string) (core.RepairStats, 
 	pageSpan := trace.StartSpan("page")
 	rctx, cancel := context.WithTimeout(ctx, h.cfg.RepairTimeout)
 	defer cancel()
-	var prev core.RepairStats
-	stats, err := core.ReconcileReplica(rctx, h.suite, target, core.RepairOptions{
-		PageSize: h.cfg.PageSize,
-		OnPage: func(cum core.RepairStats) error {
-			pageSpan.End()
-			pageSpan = trace.StartSpan("page")
-			h.pages.Add(1)
-			h.scanned.Add(uint64(cum.Scanned - prev.Scanned))
-			h.copied.Add(uint64(cum.Copied - prev.Copied))
-			h.freshened.Add(uint64(cum.Freshened - prev.Freshened))
-			h.gaps.Add(uint64(cum.Gaps - prev.Gaps))
-			h.cfg.Obs.RebuildProgress((cum.Copied + cum.Freshened) - (prev.Copied + prev.Freshened))
-			prev = cum
-			if h.cfg.Pace > 0 {
-				sleep := trace.StartSpan("pace")
-				t := time.NewTimer(h.cfg.Pace)
-				defer t.Stop()
-				select {
-				case <-t.C:
-				case <-rctx.Done():
+	// A rebuild reads whole quorums for every segment, so one flaky peer
+	// mid-pass used to fail the entire rebuild and leave the member in
+	// recovering mode until an operator noticed. The pass is idempotent,
+	// so transient errors are retried in place with bounded backoff;
+	// only persistent failure (or the rebuild timeout) surfaces.
+	var stats core.RepairStats
+	var err error
+	for attempt := 0; ; attempt++ {
+		var prev core.RepairStats
+		stats, err = core.ReconcileReplica(rctx, h.suite, target, core.RepairOptions{
+			PageSize: h.cfg.PageSize,
+			OnPage: func(cum core.RepairStats) error {
+				pageSpan.End()
+				pageSpan = trace.StartSpan("page")
+				h.pages.Add(1)
+				h.scanned.Add(uint64(cum.Scanned - prev.Scanned))
+				h.copied.Add(uint64(cum.Copied - prev.Copied))
+				h.freshened.Add(uint64(cum.Freshened - prev.Freshened))
+				h.gaps.Add(uint64(cum.Gaps - prev.Gaps))
+				h.cfg.Obs.RebuildProgress((cum.Copied + cum.Freshened) - (prev.Copied + prev.Freshened))
+				prev = cum
+				if h.cfg.Pace > 0 {
+					sleep := trace.StartSpan("pace")
+					t := time.NewTimer(h.cfg.Pace)
+					defer t.Stop()
+					select {
+					case <-t.C:
+					case <-rctx.Done():
+					}
+					sleep.End()
 				}
-				sleep.End()
-			}
-			return rctx.Err()
-		},
-	})
+				return rctx.Err()
+			},
+		})
+		if err == nil || attempt >= rebuildRetries || !transientRebuildErr(err) || rctx.Err() != nil {
+			break
+		}
+		h.retries.Add(1)
+		wait := trace.StartSpan("retry-backoff")
+		t := time.NewTimer(rebuildRetryBase << attempt)
+		select {
+		case <-t.C:
+		case <-rctx.Done():
+		}
+		t.Stop()
+		wait.End()
+	}
 	pageSpan.End()
 	trace.Finish(err, 0)
 	h.cfg.Obs.OpDone("rebuild", time.Since(start), 0, err)
@@ -308,6 +337,24 @@ func (h *Healer) Rebuild(ctx context.Context, member string) (core.RepairStats, 
 	}
 	h.completed.Add(1)
 	return stats, nil
+}
+
+// Rebuild retry policy: up to rebuildRetries re-runs of a transiently
+// failed reconcile pass, backing off rebuildRetryBase doubled per
+// attempt (25, 50, 100, 200ms) — all inside the rebuild timeout.
+const (
+	rebuildRetries   = 4
+	rebuildRetryBase = 25 * time.Millisecond
+)
+
+// transientRebuildErr reports whether a rebuild failure is worth
+// retrying in place: a peer that is unreachable, still recovering, or
+// won a wait-die conflict may well be fine a moment later. Everything
+// else (context expiry, semantic errors) surfaces immediately.
+func transientRebuildErr(err error) bool {
+	return errors.Is(err, transport.ErrUnavailable) ||
+		errors.Is(err, rep.ErrRecovering) ||
+		errors.Is(err, lock.ErrDie)
 }
 
 // ErrNotConverged reports that Converge's pass budget ran out while
@@ -369,5 +416,6 @@ func (h *Healer) Stats() Stats {
 		Pages:     h.pages.Load(),
 		Rebuilds:  h.rebuilds.Load(),
 		Gaps:      h.gaps.Load(),
+		Retries:   h.retries.Load(),
 	}
 }

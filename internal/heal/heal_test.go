@@ -8,6 +8,7 @@ import (
 
 	"repdir/internal/core"
 	"repdir/internal/keyspace"
+	"repdir/internal/lock"
 	"repdir/internal/obs"
 	"repdir/internal/quorum"
 	"repdir/internal/rep"
@@ -296,4 +297,75 @@ func TestHealerPace(t *testing.T) {
 	if st := h.Stats(); st.Failed == 0 {
 		t.Errorf("stats = %+v, want a failed pass", st)
 	}
+}
+
+// flakyDir wraps a directory so its lookups fail with
+// transport.ErrUnavailable until the failure budget is consumed —
+// a peer that drops off briefly and comes back.
+type flakyDir struct {
+	rep.Directory
+	failures int
+}
+
+func (f *flakyDir) Lookup(ctx context.Context, txn lock.TxnID, key keyspace.Key) (rep.LookupResult, error) {
+	if f.failures > 0 {
+		f.failures--
+		return rep.LookupResult{}, fmt.Errorf("%w: injected blip", transport.ErrUnavailable)
+	}
+	return f.Directory.Lookup(ctx, txn, key)
+}
+
+// TestHealerRebuildRetriesTransient is the regression test for the old
+// behavior where one transient peer error failed an entire rebuild: the
+// rebuild must ride out a bounded number of blips, count the retries,
+// and still complete.
+func TestHealerRebuildRetriesTransient(t *testing.T) {
+	ctx := context.Background()
+	f := newFixture(t)
+	// Diverge with the fixture's default suite (full retry budget), so
+	// the setup inserts ride out C's crash like production traffic would.
+	keys := f.divergeC(t, 6)
+	// Then hand the healer a suite with a zero in-transaction retry
+	// budget so the injected blips surface to the healer instead of
+	// being absorbed by the operation retry loop.
+	cfg := quorum.NewUniform(f.dirs, 2, 2)
+	suite, err := core.NewSuite(cfg,
+		core.WithSelector(quorum.NewRandomSelector(cfg, 21)),
+		core.WithMaxRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.suite = suite
+
+	flaky := &flakyDir{Directory: f.locals[2], failures: 2}
+	h := New(f.suite, []rep.Directory{f.dirs[0], f.dirs[1], flaky}, Config{PageSize: 4})
+	stats, err := h.Rebuild(ctx, "C")
+	if err != nil {
+		t.Fatalf("rebuild did not survive transient blips: %v (stats %+v)", err, stats)
+	}
+	st := h.Stats()
+	if st.Retries == 0 {
+		t.Errorf("stats = %+v, want retries > 0", st)
+	}
+	if st.Completed != 1 || st.Failed != 0 {
+		t.Errorf("stats = %+v, want one completed pass and no failures", st)
+	}
+	for _, k := range keys {
+		if !f.has(2, k) {
+			t.Errorf("after rebuild, C is missing %s", k)
+		}
+	}
+
+	// A persistently dead peer still fails the rebuild once the retry
+	// budget is exhausted.
+	f.locals[2].Crash()
+	wedged := &flakyDir{Directory: f.locals[2], failures: 1 << 30}
+	h2 := New(f.suite, []rep.Directory{f.dirs[0], f.dirs[1], wedged}, Config{PageSize: 4})
+	if _, err := h2.Rebuild(ctx, "C"); err == nil {
+		t.Fatal("rebuild succeeded against a persistently dead peer")
+	}
+	if st := h2.Stats(); st.Retries != rebuildRetries || st.Failed != 1 {
+		t.Errorf("stats = %+v, want %d retries and one failure", st, rebuildRetries)
+	}
+	f.locals[2].Restart()
 }

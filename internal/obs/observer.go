@@ -54,6 +54,13 @@ type Observer struct {
 	snapshotFallbacks atomic.Uint64
 	rebuilds          atomic.Uint64
 	rebuildEntries    atomic.Uint64
+
+	// Reconfiguration counters: epoch transitions committed, operations
+	// fenced for carrying a stale epoch, and read-quorum votes served by
+	// zero-data witness replicas.
+	reconfigEpochs  atomic.Uint64
+	staleRejections atomic.Uint64
+	witnessVotes    atomic.Uint64
 }
 
 // StorageStats is a snapshot of the storage-fault counters.
@@ -182,6 +189,30 @@ func (o *Observer) RebuildProgress(entries int) {
 	o.rebuildEntries.Add(uint64(entries))
 }
 
+// EpochAdvanced records one committed configuration-epoch transition.
+func (o *Observer) EpochAdvanced() {
+	if o == nil {
+		return
+	}
+	o.reconfigEpochs.Add(1)
+}
+
+// StaleRejected records one operation fenced with rep.ErrStaleEpoch.
+func (o *Observer) StaleRejected() {
+	if o == nil {
+		return
+	}
+	o.staleRejections.Add(1)
+}
+
+// WitnessVotes records read-quorum votes served by witness replicas.
+func (o *Observer) WitnessVotes(n int) {
+	if o == nil || n <= 0 {
+		return
+	}
+	o.witnessVotes.Add(uint64(n))
+}
+
 // Storage returns a snapshot of the storage-fault counters.
 func (o *Observer) Storage() StorageStats {
 	if o == nil {
@@ -194,6 +225,28 @@ func (o *Observer) Storage() StorageStats {
 		SnapshotFallbacks: o.snapshotFallbacks.Load(),
 		Rebuilds:          o.rebuilds.Load(),
 		RebuildEntries:    o.rebuildEntries.Load(),
+	}
+}
+
+// ReconfigStats is a snapshot of the reconfiguration counters.
+type ReconfigStats struct {
+	// Epochs counts committed configuration-epoch transitions.
+	Epochs uint64
+	// StaleRejections counts operations fenced with rep.ErrStaleEpoch.
+	StaleRejections uint64
+	// WitnessVotes counts read-quorum votes served by witness replicas.
+	WitnessVotes uint64
+}
+
+// Reconfig returns a snapshot of the reconfiguration counters.
+func (o *Observer) Reconfig() ReconfigStats {
+	if o == nil {
+		return ReconfigStats{}
+	}
+	return ReconfigStats{
+		Epochs:          o.reconfigEpochs.Load(),
+		StaleRejections: o.staleRejections.Load(),
+		WitnessVotes:    o.witnessVotes.Load(),
 	}
 }
 
@@ -331,6 +384,15 @@ func (o *Observer) Register(reg *Registry) {
 	reg.Counter("repdir_storage_rebuild_entries_total",
 		"Entries installed on rebuilding replicas by rebuild-from-peers.",
 		o.rebuildEntries.Load)
+	reg.Counter("repdir_reconfig_epochs_total",
+		"Configuration-epoch transitions committed by reconfiguration.",
+		o.reconfigEpochs.Load)
+	reg.Counter("repdir_reconfig_stale_rejections_total",
+		"Operations fenced for carrying a stale configuration epoch.",
+		o.staleRejections.Load)
+	reg.Counter("repdir_reconfig_witness_votes_total",
+		"Read-quorum votes served by zero-data witness replicas.",
+		o.witnessVotes.Load)
 	if o.tracer != nil {
 		reg.Counter("repdir_traces_finished_total",
 			"Operation traces completed.", o.tracer.Finished)

@@ -27,9 +27,18 @@ import (
 var ErrNoQuorum = errors.New("quorum: not enough available votes")
 
 // Member is one representative in a suite together with its vote weight.
+// A witness member votes and stores entry/gap versions like any other,
+// but stores no values (the paper's zero-vote "hint" idea inverted:
+// votes without storage). Witnesses are cheap tie-breakers; selectors
+// order them last so they only enter a quorum when store members alone
+// cannot reach the threshold.
 type Member struct {
 	Dir   rep.Directory
 	Votes int
+	// Witness marks a zero-data member: its replies carry versions but
+	// never values, so the suite must chase winning values to a store
+	// member (core.Tx does this transparently).
+	Witness bool
 }
 
 // Config describes a directory suite: its members, vote assignment, and
@@ -37,6 +46,11 @@ type Member struct {
 // quorum y, write quorum z, one vote each) maps to len(Members)=x, R=y,
 // W=z with all Votes=1.
 type Config struct {
+	// Epoch numbers the configuration. Zero means "unversioned" (a
+	// statically configured suite that has never been reconfigured);
+	// reconfiguration bumps it and fences stale-epoch clients at the
+	// representatives (rep.ErrStaleEpoch).
+	Epoch uint64
 	Members []Member
 	// R is the read quorum size in votes.
 	R int
@@ -59,6 +73,17 @@ func (c Config) TotalVotes() int {
 	total := 0
 	for _, m := range c.Members {
 		total += m.Votes
+	}
+	return total
+}
+
+// WitnessVotes sums the votes held by witness members.
+func (c Config) WitnessVotes() int {
+	total := 0
+	for _, m := range c.Members {
+		if m.Witness {
+			total += m.Votes
+		}
 	}
 	return total
 }
@@ -93,6 +118,17 @@ func (c Config) Validate() error {
 			"quorum: R+W=%d must exceed total votes %d so read and write quorums intersect",
 			c.R+c.W, total)
 	}
+	// Witnesses store no values, so a write quorum must always contain
+	// at least one store member or an acknowledged value would exist
+	// nowhere: W strictly greater than the total witness votes
+	// guarantees it. Reads are safe regardless — a winning version seen
+	// only on witnesses is value-chased to a store member, and the write
+	// quorum that installed it contained one.
+	if wv := c.WitnessVotes(); c.W <= wv {
+		return fmt.Errorf(
+			"quorum: W=%d must exceed witness votes %d so every write quorum stores the value somewhere",
+			c.W, wv)
+	}
 	return nil
 }
 
@@ -111,6 +147,26 @@ const (
 // ErrNoQuorum when the remaining members cannot reach the vote threshold.
 type Selector interface {
 	Select(kind Kind, exclude map[string]bool) ([]Member, error)
+}
+
+// witnessLast stably partitions candidates so store members come first:
+// witnesses are tie-breakers, entering a quorum only when the preceding
+// store members cannot reach the vote threshold alone. Relative order is
+// preserved within each class, so the enclosing policy (random, sticky,
+// locality) still governs.
+func witnessLast(candidates []Member) []Member {
+	out := make([]Member, 0, len(candidates))
+	for _, m := range candidates {
+		if !m.Witness {
+			out = append(out, m)
+		}
+	}
+	for _, m := range candidates {
+		if m.Witness {
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 // take greedily accumulates members from an ordered candidate list until
@@ -164,7 +220,7 @@ func (s *RandomSelector) Select(kind Kind, exclude map[string]bool) ([]Member, e
 	copy(order, s.cfg.Members)
 	s.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 	s.mu.Unlock()
-	return take(order, s.cfg.need(kind), exclude)
+	return take(witnessLast(order), s.cfg.need(kind), exclude)
 }
 
 // StickySelector always prefers members in a fixed order, so quorum
@@ -184,7 +240,7 @@ func NewStickySelector(cfg Config) *StickySelector {
 
 // Select implements Selector.
 func (s *StickySelector) Select(kind Kind, exclude map[string]bool) ([]Member, error) {
-	return take(s.cfg.Members, s.cfg.need(kind), exclude)
+	return take(witnessLast(s.cfg.Members), s.cfg.need(kind), exclude)
 }
 
 // LocalitySelector implements the Figure 16 policy: reads are served
@@ -232,5 +288,5 @@ func (s *LocalitySelector) Select(kind Kind, exclude map[string]bool) ([]Member,
 		remote = append(append([]Member{}, remote[k:]...), remote[:k]...)
 	}
 	s.mu.Unlock()
-	return take(append(local, remote...), s.cfg.need(kind), exclude)
+	return take(witnessLast(append(local, remote...)), s.cfg.need(kind), exclude)
 }

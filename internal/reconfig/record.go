@@ -1,0 +1,127 @@
+// Package reconfig implements online configuration change for directory
+// suites: the suite's quorum configuration becomes an epoch-numbered
+// record replicated as an ordinary (system-namespace) directory entry,
+// every suite operation carries its configuration epoch, and
+// representatives fence operations from superseded epochs. Membership
+// changes — adding a member, removing one, reweighting votes, resizing
+// R/W, introducing witnesses — run as a two-phase joint transition: the
+// system first moves to a joint epoch whose quorums satisfy both the
+// old and the new thresholds, then, once every new member is fully
+// current, to the new configuration alone. A crash at any point leaves
+// a durable record that the next reconfiguration attempt completes.
+//
+// The paper has no reconfiguration protocol (it notes only that "the
+// exact configuration of suites can be tailored", section 5); this
+// package supplies the missing operator story with the paper's own
+// machinery: the record gains single-copy semantics from versioned
+// quorum writes, and the joint transition is the classic overlapping-
+// quorums handoff.
+package reconfig
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repdir/internal/core"
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+)
+
+// ConfigKey is the reserved directory key under which the configuration
+// record replicates. It lives in the system namespace: invisible to
+// scans and neighbor searches, unwritable through the public API.
+const ConfigKey = core.SysPrefix + "config"
+
+// Phases of the configuration record.
+const (
+	// PhaseStable: one configuration is in force.
+	PhaseStable = "stable"
+	// PhaseJoint: a transition is underway; quorums must satisfy both
+	// the Old side and the target (Members/R/W) thresholds.
+	PhaseJoint = "joint"
+)
+
+// MemberSpec describes one member of a configuration, by name rather
+// than by connection: records replicate between processes, so they
+// carry an optional dial address and are rebound to live directories by
+// a Resolver.
+type MemberSpec struct {
+	Name    string `json:"name"`
+	Votes   int    `json:"votes"`
+	Witness bool   `json:"witness,omitempty"`
+	Addr    string `json:"addr,omitempty"`
+}
+
+// Side is one configuration's membership and quorum sizes.
+type Side struct {
+	Members []MemberSpec `json:"members"`
+	R       int          `json:"r"`
+	W       int          `json:"w"`
+}
+
+// Record is the replicated configuration record. In PhaseStable only
+// Current is set; in PhaseJoint, Current is the target configuration
+// and Old the one being left.
+type Record struct {
+	Epoch   uint64 `json:"epoch"`
+	Phase   string `json:"phase"`
+	Current Side   `json:"current"`
+	Old     *Side  `json:"old,omitempty"`
+}
+
+// Encode renders the record as its stored value.
+func (r Record) Encode() (string, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return "", fmt.Errorf("reconfig: encode record: %w", err)
+	}
+	return string(b), nil
+}
+
+// DecodeRecord parses a stored configuration record.
+func DecodeRecord(value string) (Record, error) {
+	var r Record
+	if err := json.Unmarshal([]byte(value), &r); err != nil {
+		return Record{}, fmt.Errorf("reconfig: decode record: %w", err)
+	}
+	if r.Epoch == 0 {
+		return Record{}, errors.New("reconfig: record has no epoch")
+	}
+	switch r.Phase {
+	case PhaseStable:
+		if r.Old != nil {
+			return Record{}, errors.New("reconfig: stable record carries an old side")
+		}
+	case PhaseJoint:
+		if r.Old == nil {
+			return Record{}, errors.New("reconfig: joint record is missing its old side")
+		}
+	default:
+		return Record{}, fmt.Errorf("reconfig: unknown phase %q", r.Phase)
+	}
+	return r, nil
+}
+
+// sideOf captures a live configuration as specs.
+func sideOf(cfg quorum.Config) Side {
+	s := Side{R: cfg.R, W: cfg.W, Members: make([]MemberSpec, len(cfg.Members))}
+	for i, m := range cfg.Members {
+		s.Members[i] = MemberSpec{Name: m.Dir.Name(), Votes: m.Votes, Witness: m.Witness}
+	}
+	return s
+}
+
+// Resolver rebinds a member spec to a live directory connection.
+// Managers consult their own directory cache first (members they were
+// built with or that joined through them) and fall back to the
+// resolver, so purely local topologies need none.
+type Resolver interface {
+	Resolve(spec MemberSpec) (rep.Directory, error)
+}
+
+// ResolverFunc adapts a function to the Resolver interface.
+type ResolverFunc func(spec MemberSpec) (rep.Directory, error)
+
+// Resolve implements Resolver.
+func (f ResolverFunc) Resolve(spec MemberSpec) (rep.Directory, error) { return f(spec) }

@@ -28,6 +28,9 @@ func (r *Rep) PredecessorBatch(ctx context.Context, txn lock.TxnID, key keyspace
 	if key.IsLow() {
 		return nil, fmt.Errorf("%w: predecessor of LOW", ErrNoNeighbor)
 	}
+	if err := r.checkEpoch(ctx); err != nil {
+		return nil, err
+	}
 	if err := r.readable(); err != nil {
 		return nil, err
 	}
@@ -82,6 +85,9 @@ func (r *Rep) PredecessorBatch(ctx context.Context, txn lock.TxnID, key keyspace
 func (r *Rep) SuccessorBatch(ctx context.Context, txn lock.TxnID, key keyspace.Key, max int) ([]NeighborResult, error) {
 	if key.IsHigh() {
 		return nil, fmt.Errorf("%w: successor of HIGH", ErrNoNeighbor)
+	}
+	if err := r.checkEpoch(ctx); err != nil {
+		return nil, err
 	}
 	if err := r.readable(); err != nil {
 		return nil, err

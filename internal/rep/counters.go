@@ -17,6 +17,9 @@ type Counters struct {
 	Prepares         uint64
 	Commits          uint64
 	Aborts           uint64
+	// StaleRejections counts fenced operations refused because the
+	// caller carried an outdated configuration epoch.
+	StaleRejections uint64
 }
 
 // counters is the atomic backing store embedded in Rep.
@@ -29,6 +32,7 @@ type counters struct {
 	prepares         atomic.Uint64
 	commits          atomic.Uint64
 	aborts           atomic.Uint64
+	staleRejections  atomic.Uint64
 }
 
 func (c *counters) snapshot() Counters {
@@ -41,6 +45,7 @@ func (c *counters) snapshot() Counters {
 		Prepares:         c.prepares.Load(),
 		Commits:          c.commits.Load(),
 		Aborts:           c.aborts.Load(),
+		StaleRejections:  c.staleRejections.Load(),
 	}
 }
 
@@ -56,6 +61,7 @@ func (c Counters) Map() map[string]uint64 {
 		"prepares":          c.Prepares,
 		"commits":           c.Commits,
 		"aborts":            c.Aborts,
+		"stale_rejections":  c.StaleRejections,
 	}
 }
 

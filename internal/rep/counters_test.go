@@ -69,8 +69,8 @@ func TestCountersTrackOperations(t *testing.T) {
 
 	// The map form carries every field under its exposition name.
 	m := r.Counters().Map()
-	if len(m) != 8 {
-		t.Errorf("map has %d entries, want 8: %v", len(m), m)
+	if len(m) != 9 {
+		t.Errorf("map has %d entries, want 9: %v", len(m), m)
 	}
 	if m["inserts"] != 4 || m["neighbor_probes"] != 2 || m["aborts"] != 1 {
 		t.Errorf("map = %v", m)

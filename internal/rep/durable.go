@@ -33,6 +33,10 @@ type snapshotFile struct {
 	Name    string
 	LastLSN uint64
 	Entries []btree.Entry
+	// Epoch is the configuration-epoch fence at checkpoint time; log
+	// truncation would otherwise discard the KindEpoch records that
+	// made the fence durable. Old snapshots decode with zero (gob).
+	Epoch uint64
 }
 
 // Snapshot container format, version 2: a 12-byte header — magic,
@@ -49,9 +53,9 @@ var snapCRC = crc32.MakeTable(crc32.Castagnoli)
 // WriteSnapshot atomically writes a checksummed snapshot file: temp
 // file, fsync, rename, then fsync of the parent directory so the
 // rename itself survives power loss on journaled filesystems.
-func WriteSnapshot(path, name string, lastLSN uint64, entries []btree.Entry) error {
+func WriteSnapshot(path, name string, lastLSN uint64, entries []btree.Entry, epoch uint64) error {
 	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(snapshotFile{Name: name, LastLSN: lastLSN, Entries: entries}); err != nil {
+	if err := gob.NewEncoder(&payload).Encode(snapshotFile{Name: name, LastLSN: lastLSN, Entries: entries, Epoch: epoch}); err != nil {
 		return fmt.Errorf("rep: snapshot encode: %w", err)
 	}
 	head := make([]byte, snapHeaderLen)
@@ -93,36 +97,36 @@ func WriteSnapshot(path, name string, lastLSN uint64, entries []btree.Entry) err
 // file is not an error; it returns ok = false. A file that exists but
 // is truncated or damaged returns an error wrapping ErrSnapshotCorrupt,
 // which OpenDurable downgrades to a WAL-only recovery when possible.
-func ReadSnapshot(path string) (name string, lastLSN uint64, entries []btree.Entry, ok bool, err error) {
+func ReadSnapshot(path string) (name string, lastLSN uint64, entries []btree.Entry, epoch uint64, ok bool, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			return "", 0, nil, false, nil
+			return "", 0, nil, 0, false, nil
 		}
-		return "", 0, nil, false, fmt.Errorf("rep: open snapshot %q: %w", path, err)
+		return "", 0, nil, 0, false, fmt.Errorf("rep: open snapshot %q: %w", path, err)
 	}
 	payload := data
 	if len(data) >= 4 && bytes.Equal(data[:4], snapMagic[:]) {
 		if len(data) < snapHeaderLen {
-			return "", 0, nil, false, fmt.Errorf("%w: %q: truncated header (%d bytes)", ErrSnapshotCorrupt, path, len(data))
+			return "", 0, nil, 0, false, fmt.Errorf("%w: %q: truncated header (%d bytes)", ErrSnapshotCorrupt, path, len(data))
 		}
 		n := binary.BigEndian.Uint32(data[4:8])
 		if int64(n) != int64(len(data)-snapHeaderLen) {
-			return "", 0, nil, false, fmt.Errorf("%w: %q: header claims %d payload bytes, file holds %d",
+			return "", 0, nil, 0, false, fmt.Errorf("%w: %q: header claims %d payload bytes, file holds %d",
 				ErrSnapshotCorrupt, path, n, len(data)-snapHeaderLen)
 		}
 		crc := crc32.Update(0, snapCRC, data[:8])
 		crc = crc32.Update(crc, snapCRC, data[snapHeaderLen:])
 		if crc != binary.BigEndian.Uint32(data[8:12]) {
-			return "", 0, nil, false, fmt.Errorf("%w: %q: checksum mismatch", ErrSnapshotCorrupt, path)
+			return "", 0, nil, 0, false, fmt.Errorf("%w: %q: checksum mismatch", ErrSnapshotCorrupt, path)
 		}
 		payload = data[snapHeaderLen:]
 	}
 	var snap snapshotFile
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
-		return "", 0, nil, false, fmt.Errorf("%w: %q: %v", ErrSnapshotCorrupt, path, err)
+		return "", 0, nil, 0, false, fmt.Errorf("%w: %q: %v", ErrSnapshotCorrupt, path, err)
 	}
-	return snap.Name, snap.LastLSN, snap.Entries, true, nil
+	return snap.Name, snap.LastLSN, snap.Entries, snap.Epoch, true, nil
 }
 
 // seedStore replaces the representative's store with snapshot entries.
@@ -141,17 +145,17 @@ func (r *Rep) seedStore(entries []btree.Entry) {
 // log LSN while no transactions are in flight. Holding r.mu for both
 // excludes concurrent commits, so the pair is consistent: every record
 // at or below the returned LSN is reflected in the entries.
-func (r *Rep) checkpointState() ([]btree.Entry, uint64, error) {
+func (r *Rep) checkpointState() ([]btree.Entry, uint64, uint64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.txns) != 0 {
-		return nil, 0, fmt.Errorf("%w: %d active", ErrBusy, len(r.txns))
+		return nil, 0, 0, fmt.Errorf("%w: %d active", ErrBusy, len(r.txns))
 	}
 	var lastLSN uint64
 	if r.log != nil {
 		lastLSN = r.log.NextLSN() - 1
 	}
-	return r.store.Entries(), lastLSN, nil
+	return r.store.Entries(), lastLSN, r.fence, nil
 }
 
 // RecoveryPolicy selects how OpenDurable responds to storage damage
@@ -235,6 +239,7 @@ type durableConfig struct {
 	policy   wal.SyncPolicy
 	recovery RecoveryPolicy
 	obs      *obs.Observer
+	repOpts  []Option
 }
 
 // WithSyncPolicy selects when the write-ahead log fsyncs (default
@@ -255,6 +260,13 @@ func WithRecovery(p RecoveryPolicy) DurableOption {
 // counters. A nil observer is fine.
 func WithDurableObserver(o *obs.Observer) DurableOption {
 	return func(c *durableConfig) { c.obs = o }
+}
+
+// WithRepOptions forwards representative options (e.g. AsWitness) to
+// the Rep that OpenDurable constructs after recovery. A durable witness
+// logs blanked values, so its WAL carries versions alone.
+func WithRepOptions(opts ...Option) DurableOption {
+	return func(c *durableConfig) { c.repOpts = append(c.repOpts, opts...) }
 }
 
 // OpenDurable opens (or creates) a durable representative: snapshot
@@ -279,17 +291,18 @@ func OpenDurable(name, walPath, snapPath string, opts ...DurableOption) (*Rep, *
 	report := RecoveryReport{Policy: cfg.recovery}
 
 	var (
-		seed    []btree.Entry
-		lastLSN uint64
+		seed      []btree.Entry
+		lastLSN   uint64
+		snapEpoch uint64
 	)
 	if snapPath != "" {
-		snapName, lsn, entries, ok, err := ReadSnapshot(snapPath)
+		snapName, lsn, entries, epoch, ok, err := ReadSnapshot(snapPath)
 		switch {
 		case err == nil && ok:
 			if snapName != name {
 				return nil, nil, fmt.Errorf("rep: snapshot %q belongs to %q, not %q", snapPath, snapName, name)
 			}
-			seed, lastLSN = entries, lsn
+			seed, lastLSN, snapEpoch = entries, lsn, epoch
 			report.SnapshotLoaded = true
 		case err == nil:
 			// No snapshot; WAL-only recovery is the normal fresh path.
@@ -361,7 +374,7 @@ func OpenDurable(name, walPath, snapPath string, opts ...DurableOption) (*Rep, *
 		if err := archiveCorrupt(walPath, snapPath); err != nil {
 			return nil, nil, err
 		}
-		seed, lastLSN, records = nil, 0, nil
+		seed, lastLSN, snapEpoch, records = nil, 0, 0, nil
 		report.SnapshotLoaded = false
 		report.Rebuilt = true
 		report.NeedsRepair = true
@@ -383,7 +396,7 @@ func OpenDurable(name, walPath, snapPath string, opts ...DurableOption) (*Rep, *
 	log.SetSyncPolicy(cfg.policy)
 	log.StartAt(maxLSN + 1)
 
-	r := New(name, WithLog(log))
+	r := New(name, append(cfg.repOpts, WithLog(log))...)
 	if seed != nil {
 		r.seedStore(seed)
 	}
@@ -395,6 +408,11 @@ func OpenDurable(name, walPath, snapPath string, opts ...DurableOption) (*Rep, *
 	if err := r.installAnalysis(a); err != nil {
 		log.Close()
 		return nil, nil, fmt.Errorf("rep: recover %s: %w", name, err)
+	}
+	if snapEpoch > r.fence {
+		// A checkpoint truncated the log past the KindEpoch record that
+		// made this fence durable; the snapshot is its only witness.
+		r.fence = snapEpoch
 	}
 	if report.Rebuilt {
 		// Everything this replica once knew is gone: gap versions are
@@ -453,11 +471,11 @@ func (d *Durability) Checkpoint() error {
 	if d.snapPath == "" {
 		return errors.New("rep: no snapshot path configured")
 	}
-	entries, lastLSN, err := d.rep.checkpointState()
+	entries, lastLSN, epoch, err := d.rep.checkpointState()
 	if err != nil {
 		return err
 	}
-	if err := WriteSnapshot(d.snapPath, d.rep.Name(), lastLSN, entries); err != nil {
+	if err := WriteSnapshot(d.snapPath, d.rep.Name(), lastLSN, entries, epoch); err != nil {
 		return err
 	}
 	// A crash here leaves the full log alongside the snapshot; recovery

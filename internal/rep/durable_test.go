@@ -127,11 +127,11 @@ func TestCrashBetweenSnapshotAndTruncateIsSafe(t *testing.T) {
 	}
 
 	// Write the snapshot by hand — the checkpoint's first half only.
-	entries, lastLSN, err := r.checkpointState()
+	entries, lastLSN, epoch, err := r.checkpointState()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteSnapshot(snapPath, "win", lastLSN, entries); err != nil {
+	if err := WriteSnapshot(snapPath, "win", lastLSN, entries, epoch); err != nil {
 		t.Fatal(err)
 	}
 	// "Crash": no truncate. Now delete a — its redo record refers to a

@@ -81,7 +81,7 @@ func TestCorruptSnapshotFallsBackToWAL(t *testing.T) {
 	}
 	commitInsert(t, r, 1, "a", 1)
 	commitInsert(t, r, 2, "b", 2)
-	if err := WriteSnapshot(snapPath, "fb", 0, r.Dump()); err != nil {
+	if err := WriteSnapshot(snapPath, "fb", 0, r.Dump(), 0); err != nil {
 		t.Fatal(err)
 	}
 	d.Close()

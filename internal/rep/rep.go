@@ -150,12 +150,21 @@ type Rep struct {
 	name  string
 	locks *lock.Manager
 
-	mu       sync.Mutex // guards store, txns, and outcomes
+	mu       sync.Mutex // guards store, txns, outcomes, and fence
 	store    *btree.Tree
 	txns     map[lock.TxnID]*txnState
 	outcomes map[lock.TxnID]bool // decided 2PC participants: true = committed
 	log      wal.Log
 	stats    counters
+
+	// fence is the configuration epoch this representative is fenced
+	// at: fenced operations from callers with an older epoch are
+	// rejected with ErrStaleEpoch (see epoch.go). Durable via KindEpoch
+	// log records and the snapshot epoch.
+	fence uint64
+	// witness marks a zero-data member: values are blanked before
+	// storage and logging (see AsWitness).
+	witness bool
 
 	// recovering gates reads while lost storage is rebuilt from peers;
 	// see ErrRecovering.
@@ -236,6 +245,9 @@ func (r *Rep) readable() error {
 // Lookup implements Directory. Sentinel keys are always present.
 // Locks RepLookup(key, key).
 func (r *Rep) Lookup(ctx context.Context, txn lock.TxnID, key keyspace.Key) (LookupResult, error) {
+	if err := r.checkEpoch(ctx); err != nil {
+		return LookupResult{}, err
+	}
 	if err := r.readable(); err != nil {
 		return LookupResult{}, err
 	}
@@ -267,6 +279,9 @@ func (r *Rep) Lookup(ctx context.Context, txn lock.TxnID, key keyspace.Key) (Loo
 func (r *Rep) Predecessor(ctx context.Context, txn lock.TxnID, key keyspace.Key) (NeighborResult, error) {
 	if key.IsLow() {
 		return NeighborResult{}, fmt.Errorf("%w: predecessor of LOW", ErrNoNeighbor)
+	}
+	if err := r.checkEpoch(ctx); err != nil {
+		return NeighborResult{}, err
 	}
 	if err := r.readable(); err != nil {
 		return NeighborResult{}, err
@@ -309,6 +324,9 @@ func (r *Rep) Predecessor(ctx context.Context, txn lock.TxnID, key keyspace.Key)
 func (r *Rep) Successor(ctx context.Context, txn lock.TxnID, key keyspace.Key) (NeighborResult, error) {
 	if key.IsHigh() {
 		return NeighborResult{}, fmt.Errorf("%w: successor of HIGH", ErrNoNeighbor)
+	}
+	if err := r.checkEpoch(ctx); err != nil {
+		return NeighborResult{}, err
 	}
 	if err := r.readable(); err != nil {
 		return NeighborResult{}, err
@@ -362,6 +380,15 @@ func (r *Rep) Insert(ctx context.Context, txn lock.TxnID, key keyspace.Key, ver 
 	if key.IsSentinel() {
 		return fmt.Errorf("%w: insert %s", ErrSentinel, key)
 	}
+	if err := r.checkEpoch(ctx); err != nil {
+		return err
+	}
+	if r.witness {
+		// A witness keeps the version bookkeeping but no data: the value
+		// is blanked before the undo/redo records are built, so neither
+		// the store nor the log ever holds it.
+		value = ""
+	}
 	if err := r.locks.Acquire(ctx, txn, lock.ModeModify, interval.Point(key)); err != nil {
 		return err
 	}
@@ -405,6 +432,9 @@ func (r *Rep) applyInsert(key keyspace.Key, ver version.V, value string) {
 func (r *Rep) Coalesce(ctx context.Context, txn lock.TxnID, lo, hi keyspace.Key, ver version.V) (CoalesceResult, error) {
 	if !lo.Less(hi) {
 		return CoalesceResult{}, fmt.Errorf("%w: %s..%s", ErrBadRange, lo, hi)
+	}
+	if err := r.checkEpoch(ctx); err != nil {
+		return CoalesceResult{}, err
 	}
 	if err := r.locks.Acquire(ctx, txn, lock.ModeModify, interval.Span(lo, hi)); err != nil {
 		return CoalesceResult{}, err
@@ -462,7 +492,10 @@ func (r *Rep) applyCoalesce(lo, hi keyspace.Key, ver version.V) error {
 
 // Prepare implements Directory: phase one of two-phase commit. The
 // transaction's redo records and a prepare marker are forced to the log.
-func (r *Rep) Prepare(_ context.Context, txn lock.TxnID) error {
+func (r *Rep) Prepare(ctx context.Context, txn lock.TxnID) error {
+	if err := r.checkEpoch(ctx); err != nil {
+		return err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := r.undecided(txn); err != nil {
@@ -498,7 +531,8 @@ func (r *Rep) Prepare(_ context.Context, txn lock.TxnID) error {
 // or late operation under the same transaction ID is answered with
 // ErrTxnDecided (or an idempotent nil for a re-commit) instead of
 // silently seeding fresh transaction state.
-func (r *Rep) Commit(_ context.Context, txn lock.TxnID) error {
+func (r *Rep) Commit(ctx context.Context, txn lock.TxnID) error {
+	r.adoptEpoch(ctx)
 	r.mu.Lock()
 	if committed, decided := r.outcomes[txn]; decided {
 		r.mu.Unlock()
@@ -560,7 +594,8 @@ func (r *Rep) Commit(_ context.Context, txn lock.TxnID) error {
 
 // Abort implements Directory: undo the transaction's effects and release
 // its locks.
-func (r *Rep) Abort(_ context.Context, txn lock.TxnID) error {
+func (r *Rep) Abort(ctx context.Context, txn lock.TxnID) error {
+	r.adoptEpoch(ctx)
 	r.mu.Lock()
 	if committed, decided := r.outcomes[txn]; decided {
 		r.mu.Unlock()

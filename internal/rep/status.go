@@ -47,7 +47,12 @@ func (s TxnStatus) String() string {
 }
 
 // Status implements Directory: this representative's knowledge of txn.
-func (r *Rep) Status(_ context.Context, txn lock.TxnID) (TxnStatus, error) {
+// Status is never fenced, but it does adopt newer epochs — which makes a
+// Status(txn 0) probe under WithEpoch the wire-level "advance your
+// fence" verb (reconfig uses it to fence members it only reaches
+// through the generic Directory interface).
+func (r *Rep) Status(ctx context.Context, txn lock.TxnID) (TxnStatus, error) {
+	r.adoptEpoch(ctx)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if committed, ok := r.outcomes[txn]; ok {
@@ -130,6 +135,12 @@ func (r *Rep) installAnalysis(a wal.Analysis) error {
 				return fmt.Errorf("relock in-doubt txn %d: %w", id, err)
 			}
 		}
+	}
+	if a.Epoch > r.fence {
+		// Restore the epoch fence the log recorded. Set directly — the
+		// advance was already logged before the crash; re-logging it on
+		// every recovery would grow the log for nothing.
+		r.fence = a.Epoch
 	}
 	return nil
 }

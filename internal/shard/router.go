@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -23,9 +24,16 @@ import (
 // core.Tx per touched shard, committed with a single two-phase commit,
 // so a cross-shard result is as atomic as a single-suite one.
 type Router struct {
-	m          *Map
-	suites     []*core.Suite
-	ids        *txn.IDSource
+	m   *Map
+	ids *txn.IDSource
+
+	// mu guards suites: online reconfiguration swaps a shard's suite
+	// with SetSuite while traffic is in flight. Operations snapshot the
+	// slice once at the top, so an individual operation sees one
+	// coherent assignment end to end.
+	mu     sync.RWMutex
+	suites []*core.Suite
+
 	maxRetries int
 	parallel   bool
 	stats      *routerStats
@@ -115,13 +123,62 @@ func NewRouter(m *Map, suites []*core.Suite, opts ...Option) (*Router, error) {
 // Map returns the router's shard map.
 func (r *Router) Map() *Map { return r.m }
 
-// Suites returns the per-shard suites in range order. Callers must not
-// mutate the slice.
-func (r *Router) Suites() []*core.Suite { return r.suites }
+// Suites returns a snapshot of the per-shard suites in range order.
+func (r *Router) Suites() []*core.Suite {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*core.Suite, len(r.suites))
+	copy(out, r.suites)
+	return out
+}
+
+// suite returns shard i's current suite.
+func (r *Router) suite(i int) *core.Suite {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.suites[i]
+}
+
+// SetSuite atomically replaces shard i's suite — the router half of an
+// online reconfiguration: reconfig.Manager builds the new-epoch suite,
+// then the router routes subsequent operations through it. The replaced
+// suite is returned and NOT closed; operations that snapshotted it may
+// still be running, so the caller closes it after they drain (or leaks
+// it for the remaining life of a test). The new suite must keep
+// representative names unique across shards, for the same reason
+// NewRouter demands it.
+func (r *Router) SetSuite(i int, s *core.Suite) (*core.Suite, error) {
+	if s == nil {
+		return nil, errors.New("shard: nil suite")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.suites) {
+		return nil, fmt.Errorf("shard: no shard %d", i)
+	}
+	seen := make(map[string]int)
+	for j, other := range r.suites {
+		if j == i {
+			continue
+		}
+		for _, member := range other.Config().Members {
+			seen[member.Dir.Name()] = j
+		}
+	}
+	for _, member := range s.Config().Members {
+		name := member.Dir.Name()
+		if prev, dup := seen[name]; dup {
+			return nil, fmt.Errorf("shard: representative %q already serves shard %d", name, prev)
+		}
+	}
+	old := r.suites[i]
+	r.suites[i] = s
+	return old, nil
+}
 
 // Close shuts down every suite's background machinery.
 func (r *Router) Close() {
-	for _, s := range r.suites {
+	for _, s := range r.Suites() {
 		s.Close()
 	}
 }
@@ -140,7 +197,7 @@ func (r *Router) Lookup(ctx context.Context, key string) (string, bool, error) {
 	if err != nil {
 		return "", false, err
 	}
-	value, found, err := r.suites[i].Lookup(ctx, key)
+	value, found, err := r.suite(i).Lookup(ctx, key)
 	r.stats.point(i, core.OpLookup, err)
 	return value, found, err
 }
@@ -151,7 +208,7 @@ func (r *Router) Insert(ctx context.Context, key, value string) error {
 	if err != nil {
 		return err
 	}
-	err = r.suites[i].Insert(ctx, key, value)
+	err = r.suite(i).Insert(ctx, key, value)
 	r.stats.point(i, core.OpInsert, err)
 	return err
 }
@@ -162,7 +219,7 @@ func (r *Router) Update(ctx context.Context, key, value string) error {
 	if err != nil {
 		return err
 	}
-	err = r.suites[i].Update(ctx, key, value)
+	err = r.suite(i).Update(ctx, key, value)
 	r.stats.point(i, core.OpUpdate, err)
 	return err
 }
@@ -173,7 +230,7 @@ func (r *Router) Delete(ctx context.Context, key string) error {
 	if err != nil {
 		return err
 	}
-	err = r.suites[i].Delete(ctx, key)
+	err = r.suite(i).Delete(ctx, key)
 	r.stats.point(i, core.OpDelete, err)
 	return err
 }
@@ -287,7 +344,8 @@ func (r *Router) RunInTxn(ctx context.Context, fn func(x *Txn) error) error {
 func (r *Router) runTxn(ctx context.Context, op string, fn func(x *Txn) error) error {
 	start := time.Now()
 	base := r.ids.Next()
-	excludes := make([]map[string]bool, len(r.suites))
+	suites := r.Suites()
+	excludes := make([]map[string]bool, len(suites))
 	for i := range excludes {
 		excludes[i] = make(map[string]bool)
 	}
@@ -303,7 +361,7 @@ func (r *Router) runTxn(ctx context.Context, op string, fn func(x *Txn) error) e
 		}
 		t := txn.New(txn.AttemptID(base, attempt))
 		t.Parallel = r.parallel
-		x := &Txn{r: r, t: t, txs: make([]*core.Tx, len(r.suites)), excludes: excludes}
+		x := &Txn{r: r, t: t, suites: suites, txs: make([]*core.Tx, len(suites)), excludes: excludes}
 		err := fn(x)
 		if err == nil {
 			if x.mutated() {

@@ -17,8 +17,12 @@ import (
 // router's own parallel stitching keeps each shard's Tx on a single
 // goroutine.
 type Txn struct {
-	r        *Router
-	t        *txn.Txn
+	r *Router
+	t *txn.Txn
+	// suites is the router's shard assignment snapshotted when the
+	// transaction began; a concurrent SetSuite does not shift shards
+	// under a running transaction.
+	suites   []*core.Suite
 	excludes []map[string]bool
 
 	// mu guards lazy Tx creation; parallel stitching instantiates
@@ -32,7 +36,7 @@ func (x *Txn) shardTx(i int) *core.Tx {
 	x.mu.Lock()
 	defer x.mu.Unlock()
 	if x.txs[i] == nil {
-		x.txs[i] = x.r.suites[i].AttachTx(x.t, x.excludes[i])
+		x.txs[i] = x.suites[i].AttachTx(x.t, x.excludes[i])
 	}
 	return x.txs[i]
 }
@@ -262,7 +266,7 @@ func (x *Txn) scanReverseSpan(ctx context.Context, before keyspace.Key, limit in
 // installed by concurrent writers or read-repair freshens are either in
 // every shard's count or in none.
 func (x *Txn) Count(ctx context.Context) (int, error) {
-	counts := make([]int, len(x.r.suites))
+	counts := make([]int, len(x.suites))
 	err := x.gather(len(counts), func(j int) error {
 		var err error
 		counts[j], err = x.shardTx(j).Count(ctx)

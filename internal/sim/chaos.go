@@ -17,6 +17,7 @@ import (
 	"repdir/internal/model"
 	"repdir/internal/obs"
 	"repdir/internal/quorum"
+	"repdir/internal/reconfig"
 	"repdir/internal/rep"
 	"repdir/internal/shard"
 	"repdir/internal/transport"
@@ -63,6 +64,13 @@ type ChaosConfig struct {
 	// workload keeps running. When sharded, every shard goes through the
 	// phase.
 	StorageFaults *bool
+	// Churn enables the membership-churn phase (default false): each
+	// shard's configuration becomes an epoch-fenced replicated record
+	// managed by reconfig.Manager, and a seed-derived schedule adds a
+	// member, adds a witness, and removes-with-reweight mid-run, racing
+	// the reconfigurations against the fault schedule. Requires
+	// Operations >= 32.
+	Churn *bool
 	// OpTimeout bounds each operation; in-doubt transactions can hold
 	// locks until the between-ops resolution pass, and wait-die kills
 	// conflicting younger transactions quickly, so this is a backstop
@@ -97,6 +105,10 @@ func (c ChaosConfig) withDefaults() ChaosConfig {
 		t := true
 		c.StorageFaults = &t
 	}
+	if c.Churn == nil {
+		f := false
+		c.Churn = &f
+	}
 	if c.OpTimeout == 0 {
 		c.OpTimeout = 5 * time.Second
 	}
@@ -108,6 +120,9 @@ func (c ChaosConfig) withDefaults() ChaosConfig {
 			c.Name = fmt.Sprintf("chaos-%d-%ds", c.Seed, c.Shards)
 		} else {
 			c.Name = fmt.Sprintf("chaos-%d", c.Seed)
+		}
+		if *c.Churn {
+			c.Name += "-churn"
 		}
 	}
 	return c
@@ -164,6 +179,19 @@ type ChaosResult struct {
 	// Storage is the run's storage-recovery metric counters (the same
 	// counters a production observer would export).
 	Storage obs.StorageStats
+	// Reconfigs counts completed configuration changes across shards;
+	// Epochs sums the final configuration epoch over shards; StaleProbes
+	// counts old-epoch clients observed to fail loudly with
+	// rep.ErrStaleEpoch after a reconfiguration; ChurnEvents describes
+	// the seed-derived schedule and each event's outcome. All zero/empty
+	// unless Churn is enabled.
+	Reconfigs   int
+	Epochs      uint64
+	StaleProbes int
+	ChurnEvents []string
+	// Reconfig is the run's reconfiguration metric counters (the same
+	// counters a production observer would export).
+	Reconfig obs.ReconfigStats
 	// Converged reports that after the healer finished, every replica
 	// physically held every current entry at an identical (version,
 	// value), with any leftover ghosts (GhostsLeft) provably harmless
@@ -202,6 +230,13 @@ type chaosHarness struct {
 	observer  *obs.Observer
 	router    *shard.Router
 	dir       chaosDirectory
+	// Churn machinery (nil/empty unless ChaosConfig.Churn): one
+	// reconfig.Manager per shard owning that shard's configuration
+	// record, the seed-derived schedule, and the first rewiring error
+	// (the OnChange hook cannot return one).
+	managers []*reconfig.Manager
+	churn    *churnPlan
+	wireErr  error
 }
 
 // buildChaosHarness constructs the per-shard machinery. With one shard
@@ -216,6 +251,13 @@ func buildChaosHarness(cfg ChaosConfig) (*chaosHarness, error) {
 			cfg.Name, cfg.Shards, cfg.Shards, cfg.Keys)
 	}
 	h := &chaosHarness{observer: obs.NewObserver(obs.ObserverConfig{NoTrace: true})}
+	if *cfg.Churn {
+		plan, err := newChurnPlan(cfg)
+		if err != nil {
+			return nil, err
+		}
+		h.churn = plan
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		names := make([]string, cfg.Replicas)
 		for j := range names {
@@ -245,19 +287,74 @@ func buildChaosHarness(cfg ChaosConfig) (*chaosHarness, error) {
 		// in on a paced schedule. All tracker updates happen on the
 		// driver goroutine (fan-out outcomes are folded sequentially
 		// after each round), so the soak stays a pure function of the
-		// seed.
-		health := core.NewHealthTracker(names, core.HealthConfig{ProbeAfter: 4})
+		// seed. Under churn the tracker is built over the full eventual
+		// membership, newcomers included, so one tracker per shard spans
+		// every epoch.
+		trackNames := names
+		if h.churn != nil {
+			trackNames = append(append([]string{}, names...), churnNames(cfg, i)...)
+		}
+		health := core.NewHealthTracker(trackNames, core.HealthConfig{ProbeAfter: 4})
 		h.healths = append(h.healths, health)
 		qcfg := quorum.NewUniform(dirs, cfg.R, cfg.W)
-		suite, err := core.NewSuite(qcfg,
-			core.WithIDSource(txn.NewIDSource(uint16(i))),
-			core.WithSelector(quorum.NewRandomSelector(qcfg, cfg.Seed+1+int64(i))),
-			core.WithMaxRetries(cfg.MaxRetries),
-			core.WithParallelQuorum(*cfg.Parallel),
-			core.WithHealth(health),
-		)
-		if err != nil {
-			return nil, err
+		ids := txn.NewIDSource(uint16(i))
+		selSeed := cfg.Seed + 1 + int64(i)
+		suiteOpts := func(qc quorum.Config) []core.Option {
+			return []core.Option{
+				core.WithIDSource(ids),
+				core.WithSelector(quorum.NewRandomSelector(qc, selSeed)),
+				core.WithMaxRetries(cfg.MaxRetries),
+				core.WithParallelQuorum(*cfg.Parallel),
+				core.WithHealth(health),
+				core.WithObserver(h.observer),
+			}
+		}
+		var suite *core.Suite
+		if h.churn == nil {
+			var err error
+			suite, err = core.NewSuite(qcfg, suiteOpts(qcfg)...)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			// Configuration-as-a-replicated-entry: the manager owns the
+			// record and rebuilds the suite on every epoch; the OnChange
+			// hook repoints the harness. The same suite options apply to
+			// every epoch's suite (for joint configurations the manager
+			// appends its own two-sided selector after them).
+			shardIdx := i
+			manager, err := reconfig.NewManager(qcfg,
+				reconfig.WithSuiteOptions(suiteOpts),
+				reconfig.WithSelectorSeed(selSeed),
+				reconfig.WithObserver(h.observer),
+				reconfig.WithOnChange(func(_ reconfig.Record, s *core.Suite) {
+					h.rewireShard(shardIdx, s)
+				}),
+			)
+			if err != nil {
+				return nil, err
+			}
+			// Init writes the epoch-1 record and fences the members to
+			// it; the fault schedule is already live underneath, so ride
+			// out windows the first calls may open.
+			ictx, icancel := context.WithTimeout(context.Background(), 30*time.Second)
+			for attempt := 0; ; attempt++ {
+				_, err = manager.Init(ictx)
+				if err == nil {
+					break
+				}
+				if attempt >= 20 || ictx.Err() != nil {
+					icancel()
+					return nil, fmt.Errorf("sim: chaos %s: init shard %d: %w", cfg.Name, i, err)
+				}
+				if herr := injector.Heal(); herr != nil {
+					icancel()
+					return nil, herr
+				}
+			}
+			icancel()
+			h.managers = append(h.managers, manager)
+			suite = manager.Suite()
 		}
 		h.suites = append(h.suites, suite)
 
@@ -268,7 +365,14 @@ func buildChaosHarness(cfg ChaosConfig) (*chaosHarness, error) {
 	}
 
 	if cfg.Shards == 1 {
-		h.dir = h.suites[0]
+		if h.churn != nil {
+			// The manager's delegated operations transparently refresh
+			// across configuration changes; bare-suite clients would go
+			// stale at the first epoch transition.
+			h.dir = h.managers[0]
+		} else {
+			h.dir = h.suites[0]
+		}
 		return h, nil
 	}
 	// Split the key universe evenly: shard i owns keys with index in
@@ -391,6 +495,17 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 				if err := storagePhase(h, i, &res); err != nil {
 					return res, fmt.Errorf("sim: chaos %s: %w", cfg.Name, err)
 				}
+			}
+		}
+		// Membership-churn phase: at its scheduled ops, reconfigure every
+		// shard online — the epoch handoff racing the same fault schedule
+		// the workload runs under.
+		if h.churn != nil {
+			for h.churn.next < len(h.churn.steps) && h.churn.steps[h.churn.next].AtOp == op {
+				if err := churnPhase(h, cfg, op, h.churn.steps[h.churn.next], &res); err != nil {
+					return res, fmt.Errorf("sim: chaos %s: %w", cfg.Name, err)
+				}
+				h.churn.next++
 			}
 		}
 		// Settle any in-doubt two-phase commits left by crashes before
@@ -668,6 +783,10 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	if h.router != nil {
 		res.CrossShardTxns = h.router.Stats().CrossShard
 	}
+	for _, m := range h.managers {
+		res.Epochs += m.Epoch()
+	}
+	res.Reconfig = h.observer.Reconfig()
 	return res, nil
 }
 
@@ -686,6 +805,7 @@ func addSuiteStats(dst *core.SuiteStats, s core.SuiteStats) {
 	dst.ReadRepairFailed += s.ReadRepairFailed
 	dst.ReadRepairCopied += s.ReadRepairCopied
 	dst.ReadRepairFreshened += s.ReadRepairFreshened
+	dst.StaleEpochRejections += s.StaleEpochRejections
 }
 
 // addHealthStats folds one tracker's counters into a total.
@@ -776,16 +896,30 @@ func storagePhase(h *chaosHarness, shardIdx int, res *ChaosResult) error {
 // finished: every current entry (by quorum scan) must be present on
 // every replica with one identical (version, value), and every
 // non-current entry lingering on a replica must be dominated (its key
-// must read as not-present by quorum). It returns the violations found
-// and the count of harmless ghosts.
+// must read as not-present by quorum). Membership comes from the
+// suite's configuration, not the injector: under churn, removed members
+// are no longer obliged to hold anything, and witness members are
+// audited for versions only (blank values are their contract, not
+// divergence). It returns the violations found and the count of
+// harmless ghosts.
 func auditConvergence(ctx context.Context, suite *core.Suite, injector *fault.Injector) ([]string, int, error) {
 	current, err := suite.Scan(ctx, "", 0)
 	if err != nil {
 		return nil, 0, fmt.Errorf("convergence scan: %w", err)
 	}
+	witness := make(map[string]bool)
+	for _, mem := range suite.Config().Members {
+		witness[mem.Dir.Name()] = mem.Witness
+	}
+	var audited []*fault.Member
+	for _, m := range injector.Members() {
+		if _, ok := witness[m.Name()]; ok {
+			audited = append(audited, m)
+		}
+	}
 	type dumper interface{ Dump() []btree.Entry }
 	dumps := make(map[string]map[string]btree.Entry)
-	for _, m := range injector.Members() {
+	for _, m := range audited {
 		d, ok := m.Rep().(dumper)
 		if !ok {
 			return nil, 0, fmt.Errorf("convergence: member %s not dumpable", m.Name())
@@ -793,6 +927,13 @@ func auditConvergence(ctx context.Context, suite *core.Suite, injector *fault.In
 		entries := make(map[string]btree.Entry)
 		for _, e := range d.Dump() {
 			if e.Key.IsLow() || e.Key.IsHigh() {
+				continue
+			}
+			if strings.HasPrefix(e.Key.Raw(), core.SysPrefix) {
+				// The replicated configuration record lives outside the
+				// user keyspace and legitimately differs across epochs'
+				// write quorums; the record's own CAS protocol, not the
+				// convergence audit, is its consistency story.
 				continue
 			}
 			entries[e.Key.Raw()] = e
@@ -806,13 +947,13 @@ func auditConvergence(ctx context.Context, suite *core.Suite, injector *fault.In
 		currentSet[kv.Key] = true
 		first := true
 		var refVersion btree.Entry
-		for _, m := range injector.Members() {
+		for _, m := range audited {
 			e, ok := dumps[m.Name()][kv.Key]
 			switch {
 			case !ok:
 				violations = append(violations,
 					fmt.Sprintf("convergence: %s missing current entry %s", m.Name(), kv.Key))
-			case e.Value != kv.Value:
+			case !witness[m.Name()] && e.Value != kv.Value:
 				violations = append(violations,
 					fmt.Sprintf("convergence: %s has %s=%q, current value is %q",
 						m.Name(), kv.Key, e.Value, kv.Value))
@@ -873,22 +1014,22 @@ func RunChaosSeeds(base ChaosConfig, seeds []int64) ([]ChaosResult, error) {
 func FormatChaos(title string, results []ChaosResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", title)
-	fmt.Fprintf(&b, "%-14s %6s %8s %8s %7s %7s %7s %7s %6s %6s %6s %8s %5s %5s %6s %6s %6s %5s %4s %5s %6s %6s %6s\n",
+	fmt.Fprintf(&b, "%-20s %6s %8s %8s %7s %7s %7s %7s %6s %6s %6s %8s %5s %5s %6s %6s %6s %5s %4s %5s %6s %6s %6s %5s %5s\n",
 		"run", "ops", "applied", "observe", "indet", "lookups", "crash", "partn", "dup", "drop", "rstrt", "resolved", "viol",
-		"trips", "ffails", "healed", "ghosts", "conv", "fall", "slost", "rebld", "counts", "xshard")
+		"trips", "ffails", "healed", "ghosts", "conv", "fall", "slost", "rebld", "counts", "xshard", "recfg", "epoch")
 	for _, r := range results {
 		conv := "no"
 		if r.Converged {
 			conv = "yes"
 		}
-		fmt.Fprintf(&b, "%-14s %6d %8d %8d %7d %7d %7d %7d %6d %6d %6d %8d %5d %5d %6d %6d %6d %5s %4d %5d %6d %6d %6d\n",
+		fmt.Fprintf(&b, "%-20s %6d %8d %8d %7d %7d %7d %7d %6d %6d %6d %8d %5d %5d %6d %6d %6d %5s %4d %5d %6d %6d %6d %5d %5d\n",
 			r.Config.Name, r.Config.Operations, r.Applied, r.Observed, r.Indeterminate,
 			r.Lookups, r.Faults.Crashes+r.Faults.CrashAfters, r.Faults.Partitions,
 			r.Faults.Duplicates, r.Faults.DroppedReplies, r.Faults.Restarts,
 			r.Resolved, len(r.Violations),
 			r.Health.Trips, r.Health.FastFails, r.Heal.Copied+r.Heal.Freshened,
 			r.GhostsLeft, conv, r.Health.Fallbacks, r.StorageLosses, r.Rebuilds,
-			r.Counts, r.CrossShardTxns)
+			r.Counts, r.CrossShardTxns, r.Reconfigs, r.Epochs)
 		for _, v := range r.Violations {
 			fmt.Fprintf(&b, "    VIOLATION: %s\n", v)
 		}

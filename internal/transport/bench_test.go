@@ -319,7 +319,7 @@ func BenchmarkWireEncodeRequest(b *testing.B) {
 	buf := make([]byte, 0, 256)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		buf = appendRequest(buf[:0], &req)
+		buf = appendRequest(buf[:0], &req, wireVersion)
 	}
 	_ = buf
 }
@@ -351,7 +351,7 @@ func TestEncodeZeroAlloc(t *testing.T) {
 	if n := testing.AllocsPerRun(100, func() {
 		buf = buf[:0]
 		for i := range reqs {
-			buf = appendRequest(buf, &reqs[i])
+			buf = appendRequest(buf, &reqs[i], wireVersion)
 		}
 		for i := range resps {
 			buf = appendResponse(buf, &resps[i])
@@ -368,13 +368,13 @@ func TestEncodeZeroAlloc(t *testing.T) {
 	}
 	var pcBuf []byte
 	for i := range twoPC {
-		pcBuf = appendRequest(pcBuf, &twoPC[i])
+		pcBuf = appendRequest(pcBuf, &twoPC[i], wireVersion)
 	}
 	if n := testing.AllocsPerRun(100, func() {
 		r := wireReader{buf: pcBuf}
 		var req request
 		for r.remaining() > 0 {
-			if err := r.readRequest(&req); err != nil {
+			if err := r.readRequest(&req, wireVersion); err != nil {
 				t.Fatal(err)
 			}
 		}

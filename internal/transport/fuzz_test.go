@@ -36,9 +36,14 @@ func FuzzCodecRoundTrip(f *testing.F) {
 	f.Fuzz(func(t *testing.T, tag uint8, id, txn uint64, keyKind uint8, keyS string,
 		hiKind uint8, hiS string, ver uint64, value string, count int, codeByte uint8, msg string, raw []byte) {
 
-		// Structured round trip: a valid request of every op.
+		// Structured round trip: a valid request of every op, at both
+		// codec versions (epoch rides the v2 header only).
+		wver := byte(tag%2) + 1
 		reqOp := op(tag%12) + 1
 		req := request{ID: id, Op: reqOp, Txn: txn}
+		if wver >= 2 {
+			req.Epoch = id ^ txn
+		}
 		switch reqOp {
 		case opLookup, opPredecessor, opSuccessor:
 			req.Key = fuzzKey(keyKind, keyS)
@@ -57,10 +62,10 @@ func FuzzCodecRoundTrip(f *testing.F) {
 			req.Hi = fuzzKey(hiKind, hiS)
 			req.Version = version.V(ver)
 		}
-		encReq := appendRequest(nil, &req)
+		encReq := appendRequest(nil, &req, wver)
 		r := wireReader{buf: encReq}
 		var gotReq request
-		if err := r.readRequest(&gotReq); err != nil {
+		if err := r.readRequest(&gotReq, wver); err != nil {
 			t.Fatalf("valid request %+v failed to decode: %v", req, err)
 		}
 		if !reflect.DeepEqual(gotReq, req) {
@@ -71,7 +76,7 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		}
 
 		// Structured round trip: a response for the same op, OK or error.
-		resp := response{ID: id, Op: reqOp, Code: code(codeByte % 10)}
+		resp := response{ID: id, Op: reqOp, Code: code(codeByte % 11)}
 		if resp.Code != codeOK {
 			resp.Msg = msg
 		} else {
@@ -115,7 +120,7 @@ func FuzzCodecRoundTrip(f *testing.F) {
 
 		// Re-encoding the decoded message must be byte-identical
 		// (canonical encoding — no two spellings of one message).
-		if re := appendRequest(nil, &gotReq); !bytes.Equal(re, encReq) {
+		if re := appendRequest(nil, &gotReq, wver); !bytes.Equal(re, encReq) {
 			t.Fatalf("request re-encode differs:\n got  %#v\n want %#v", re, encReq)
 		}
 		if re := appendResponse(nil, &gotResp); !bytes.Equal(re, encResp) {
@@ -125,14 +130,16 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		// Adversarial half: arbitrary bytes must error or decode, never
 		// panic. Decode repeatedly to walk multi-message framings.
 		for _, buf := range [][]byte{raw, encReq, encResp} {
-			r := wireReader{buf: buf}
-			for r.remaining() > 0 {
-				var rq request
-				if err := r.readRequest(&rq); err != nil {
-					break
+			for _, dv := range []byte{1, 2} {
+				r := wireReader{buf: buf}
+				for r.remaining() > 0 {
+					var rq request
+					if err := r.readRequest(&rq, dv); err != nil {
+						break
+					}
 				}
 			}
-			r = wireReader{buf: buf}
+			r := wireReader{buf: buf}
 			for r.remaining() > 0 {
 				var rs response
 				if err := r.readResponse(&rs); err != nil {

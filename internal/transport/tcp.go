@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -50,6 +51,7 @@ type request struct {
 	ID      uint64
 	Op      op
 	Txn     uint64
+	Epoch   uint64
 	Key     keyspace.Key
 	Hi      keyspace.Key
 	Version version.V
@@ -303,7 +305,7 @@ func (s *Server) serveConnBinary(conn net.Conn, br *bufio.Reader) {
 		msgs := 0
 		for r.remaining() > 0 {
 			var req request
-			if err := r.readRequest(&req); err != nil {
+			if err := r.readRequest(&req, ver); err != nil {
 				putFrameBuf(buf)
 				return
 			}
@@ -378,6 +380,12 @@ func (s *Server) opCtx() context.Context {
 
 func (s *Server) handle(req *request) response {
 	ctx := s.opCtx()
+	// Restore the caller's configuration epoch so the representative can
+	// fence stale-epoch operations (a v1 or gob peer sends no epoch,
+	// which the rep treats as a legacy unversioned caller).
+	if req.Epoch != 0 {
+		ctx = rep.WithEpoch(ctx, req.Epoch)
+	}
 	txn := lock.TxnID(req.Txn)
 	var resp response
 	var err error
@@ -423,8 +431,13 @@ func (s *Server) handle(req *request) response {
 	return resp
 }
 
-// Redial backoff bounds: the first redial after a failed dial waits
-// redialBase, doubling per consecutive failure up to redialMax.
+// Redial backoff bounds: the first redial after a failed dial waits on
+// the order of redialBase, doubling per consecutive failure up to
+// redialMax. Each delay is jittered to [1/2, 1) of its nominal value so
+// a fleet of clients that lost the same server redials spread out
+// instead of in lockstep (every client hammering the recovering server
+// at the same instants, losing together, and staying synchronized —
+// the classic retry-storm resonance).
 const (
 	redialBase = 10 * time.Millisecond
 	redialMax  = time.Second
@@ -445,6 +458,8 @@ type callResult struct {
 type clientConn struct {
 	conn  net.Conn
 	proto string
+	// ver is the negotiated binary codec version (0 on gob).
+	ver byte
 
 	// Binary protocol: the group-commit frame writer.
 	fw *frameWriter
@@ -459,10 +474,11 @@ type clientConn struct {
 	broken   bool
 }
 
-func newClientConn(conn net.Conn, proto, addr string, window time.Duration, maxBatch int, stats *WireStats) *clientConn {
+func newClientConn(conn net.Conn, proto string, ver byte, addr string, window time.Duration, maxBatch int, stats *WireStats) *clientConn {
 	cc := &clientConn{
 		conn:     conn,
 		proto:    proto,
+		ver:      ver,
 		stats:    stats,
 		inflight: make(map[uint64]chan callResult),
 	}
@@ -482,7 +498,7 @@ func newClientConn(conn net.Conn, proto, addr string, window time.Duration, maxB
 // shared stream either way).
 func (cc *clientConn) send(req *request) error {
 	if cc.fw != nil {
-		return cc.fw.enqueue(func(b []byte) []byte { return appendRequest(b, req) })
+		return cc.fw.enqueue(func(b []byte) []byte { return appendRequest(b, req, cc.ver) })
 	}
 	cc.wmu.Lock()
 	err := cc.enc.Encode(req)
@@ -613,6 +629,16 @@ func WithBatchWindow(d time.Duration) DialOption {
 	}
 }
 
+// WithRedialSeed pins the redial-jitter RNG seed, for deterministic
+// simulations and tests. Without it each client seeds from the clock —
+// distinct seeds are the whole point of the jitter.
+func WithRedialSeed(seed int64) DialOption {
+	return func(c *Client) {
+		c.rngSeed = seed
+		c.seeded = true
+	}
+}
+
 // WithMaxBatch caps how many requests coalesce into one frame
 // (0 = unbounded). WithMaxBatch(1) pins every request to its own frame,
 // which is how the unbatched benchmark baseline is measured.
@@ -656,6 +682,10 @@ type Client struct {
 	nextDial time.Time
 	wait     time.Duration
 	name     string
+	// rng jitters redial backoff (guarded by mu; lazily seeded).
+	rng     *rand.Rand
+	rngSeed int64
+	seeded  bool
 }
 
 var _ rep.Directory = (*Client)(nil)
@@ -709,6 +739,29 @@ func (c *Client) Close() error {
 	return nil
 }
 
+// advanceBackoff steps the exponential redial backoff and returns the
+// jittered delay to wait before the next dial attempt: uniform in
+// [wait/2, wait). Called with c.mu held.
+func (c *Client) advanceBackoff() time.Duration {
+	if c.wait == 0 {
+		c.wait = redialBase
+	} else if c.wait < redialMax {
+		c.wait *= 2
+		if c.wait > redialMax {
+			c.wait = redialMax
+		}
+	}
+	if c.rng == nil {
+		seed := c.rngSeed
+		if !c.seeded {
+			seed = time.Now().UnixNano()
+		}
+		c.rng = rand.New(rand.NewSource(seed))
+	}
+	half := c.wait / 2
+	return half + time.Duration(c.rng.Int63n(int64(half)))
+}
+
 // dropConn forgets cc if it is still the current connection, so the next
 // call dials afresh.
 func (c *Client) dropConn(cc *clientConn) {
@@ -726,10 +779,10 @@ func (c *Client) dropConn(cc *clientConn) {
 // client remembers gob and redials speaking it. A wrong downgrade — a
 // flaky network eating the reply — costs only performance, because
 // every new server still serves gob connections.
-func (c *Client) dialAndNegotiate(ctx context.Context, useGob bool) (net.Conn, string, error) {
+func (c *Client) dialAndNegotiate(ctx context.Context, useGob bool) (net.Conn, string, byte, error) {
 	conn, err := (&net.Dialer{}).DialContext(ctx, "tcp", c.addr)
 	if err != nil || useGob {
-		return conn, ProtoGob, err
+		return conn, ProtoGob, 0, err
 	}
 	deadline := time.Now().Add(negotiateTimeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
@@ -743,16 +796,17 @@ func (c *Client) dialAndNegotiate(ctx context.Context, useGob bool) (net.Conn, s
 	if err != nil || reply[0] != preambleByte || reply[1] == 0 || reply[1] > wireVersion {
 		conn.Close()
 		if ctx.Err() != nil {
-			return nil, "", ctx.Err()
+			return nil, "", 0, ctx.Err()
 		}
 		c.mu.Lock()
 		c.gobOnly = true
 		c.mu.Unlock()
 		conn, err := (&net.Dialer{}).DialContext(ctx, "tcp", c.addr)
-		return conn, ProtoGob, err
+		return conn, ProtoGob, 0, err
 	}
 	_ = conn.SetDeadline(time.Time{})
-	return conn, ProtoBinary, nil
+	// The server echoed min(our offer, its max): both sides speak that.
+	return conn, ProtoBinary, reply[1], nil
 }
 
 // ensureConn returns a live connection, dialing when needed. Exactly one
@@ -796,26 +850,18 @@ func (c *Client) ensureConn(ctx context.Context) (*clientConn, error) {
 		c.dialing = make(chan struct{})
 		useGob := c.gobOnly
 		c.mu.Unlock()
-		conn, proto, err := c.dialAndNegotiate(ctx, useGob)
+		conn, proto, ver, err := c.dialAndNegotiate(ctx, useGob)
 		c.mu.Lock()
 		close(c.dialing)
 		c.dialing = nil
 		if err != nil {
-			if c.wait == 0 {
-				c.wait = redialBase
-			} else if c.wait < redialMax {
-				c.wait *= 2
-				if c.wait > redialMax {
-					c.wait = redialMax
-				}
-			}
-			c.nextDial = time.Now().Add(c.wait)
+			c.nextDial = time.Now().Add(c.advanceBackoff())
 			c.mu.Unlock()
 			return nil, fmt.Errorf("%w: dial %s: %v", ErrUnavailable, c.addr, err)
 		}
 		c.wait = 0
 		c.nextDial = time.Time{}
-		cc := newClientConn(conn, proto, c.addr, c.window, c.maxBatch, &c.stats)
+		cc := newClientConn(conn, proto, ver, c.addr, c.window, c.maxBatch, &c.stats)
 		c.cc = cc
 		go func() {
 			cc.readLoop(c.addr)
@@ -838,6 +884,11 @@ var resultChanPool = sync.Pool{
 // connection. Many calls may be outstanding at once; each waits only for
 // its own response or its own context.
 func (c *Client) call(ctx context.Context, req request) (response, error) {
+	// Carry the caller's configuration epoch across the wire so the
+	// remote representative can fence stale epochs. Gob and v2-binary
+	// peers both transmit it; a v1 server simply never sees it (it is
+	// an old build with nothing to fence against).
+	req.Epoch = rep.EpochFromContext(ctx)
 	for attempt := 0; ; attempt++ {
 		cc, err := c.ensureConn(ctx)
 		if err != nil {

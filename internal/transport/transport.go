@@ -43,6 +43,11 @@ const (
 	codeUnknownTxn
 	codeRecovering
 	codeOther
+	// codeStaleEpoch arrived with wire v2 (epoch fencing); appended
+	// after codeOther so existing code values never change. An old
+	// client maps it through the default branch to an opaque error,
+	// which is right: it has no epoch machinery to react with.
+	codeStaleEpoch
 )
 
 // encodeError maps an error to its wire code plus display message.
@@ -68,6 +73,8 @@ func encodeError(err error) (code, string) {
 		return codeUnknownTxn, err.Error()
 	case errors.Is(err, rep.ErrRecovering):
 		return codeRecovering, err.Error()
+	case errors.Is(err, rep.ErrStaleEpoch):
+		return codeStaleEpoch, err.Error()
 	default:
 		return codeOther, err.Error()
 	}
@@ -96,6 +103,8 @@ func decodeError(c code, msg string) error {
 		return fmt.Errorf("%w (remote: %s)", rep.ErrUnknownTxn, msg)
 	case codeRecovering:
 		return fmt.Errorf("%w (remote: %s)", rep.ErrRecovering, msg)
+	case codeStaleEpoch:
+		return fmt.Errorf("%w (remote: %s)", rep.ErrStaleEpoch, msg)
 	default:
 		return errors.New(msg)
 	}

@@ -62,7 +62,15 @@ const (
 	// preambleByte opens a binary-codec stream; see above for why 0x00.
 	preambleByte = 0x00
 	// wireVersion is the codec version offered and echoed in preambles.
-	wireVersion = 1
+	// Both sides speak min(offered, supported), so mixed-version pairs
+	// settle on the older layout.
+	//
+	// Version history:
+	//	1: initial binary codec.
+	//	2: request header gains the caller's configuration epoch
+	//	   (uvarint after txn), for epoch fencing (internal/reconfig).
+	//	   Response layouts are unchanged.
+	wireVersion = 2
 
 	// maxFrameLen bounds a received frame before its buffer is
 	// allocated, so a corrupt or hostile length prefix cannot balloon
@@ -106,12 +114,16 @@ func appendBool(b []byte, v bool) []byte {
 	return append(b, 0)
 }
 
-// appendRequest appends one encoded request message to b. It never
-// fails and performs no allocation beyond growing b.
-func appendRequest(b []byte, req *request) []byte {
+// appendRequest appends one encoded request message to b, in the layout
+// of the negotiated codec version. It never fails and performs no
+// allocation beyond growing b.
+func appendRequest(b []byte, req *request, ver byte) []byte {
 	b = append(b, byte(req.Op))
 	b = appendUvarint(b, req.ID)
 	b = appendUvarint(b, req.Txn)
+	if ver >= 2 {
+		b = appendUvarint(b, req.Epoch)
+	}
 	switch req.Op {
 	case opLookup, opPredecessor, opSuccessor:
 		b = appendKey(b, req.Key)
@@ -264,8 +276,8 @@ func (r *wireReader) readBool() (bool, error) {
 }
 
 // readRequest decodes the next request message into *req, overwriting
-// every field.
-func (r *wireReader) readRequest(req *request) error {
+// every field, in the layout of the negotiated codec version.
+func (r *wireReader) readRequest(req *request, ver byte) error {
 	tag, err := r.readByte()
 	if err != nil {
 		return err
@@ -276,6 +288,11 @@ func (r *wireReader) readRequest(req *request) error {
 	}
 	if req.Txn, err = r.readUvarint(); err != nil {
 		return err
+	}
+	if ver >= 2 {
+		if req.Epoch, err = r.readUvarint(); err != nil {
+			return err
+		}
 	}
 	switch req.Op {
 	case opLookup, opPredecessor, opSuccessor:

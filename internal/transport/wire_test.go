@@ -55,8 +55,45 @@ func TestWireGoldenVectors(t *testing.T) {
 		},
 	}
 	for _, v := range reqVectors {
-		t.Run("request_"+v.name, func(t *testing.T) {
-			got := appendRequest(nil, &v.req)
+		t.Run("request_v1_"+v.name, func(t *testing.T) {
+			got := appendRequest(nil, &v.req, 1)
+			if !bytes.Equal(got, v.want) {
+				t.Fatalf("encoding drifted:\n got  %#v\n want %#v", got, v.want)
+			}
+		})
+	}
+
+	// Version 2 adds the epoch uvarint after the txn in the request
+	// header; everything else is the v1 layout.
+	reqV2Vectors := []struct {
+		name string
+		req  request
+		want []byte
+	}{
+		{
+			name: "lookup_epoch",
+			req:  request{ID: 7, Op: opLookup, Txn: 9, Epoch: 5, Key: keyspace.New("k")},
+			want: []byte{0x01, 0x07, 0x09, 0x05, 0x02, 0x01, 'k'},
+		},
+		{
+			name: "lookup_no_epoch",
+			req:  request{ID: 7, Op: opLookup, Txn: 9, Key: keyspace.New("k")},
+			want: []byte{0x01, 0x07, 0x09, 0x00, 0x02, 0x01, 'k'},
+		},
+		{
+			name: "insert_big_epoch",
+			req:  request{ID: 1, Op: opInsert, Txn: 2, Epoch: 300, Key: keyspace.New("ab"), Version: 3, Value: "xyz"},
+			want: []byte{0x06, 0x01, 0x02, 0xac, 0x02, 0x02, 0x02, 'a', 'b', 0x03, 0x03, 'x', 'y', 'z'},
+		},
+		{
+			name: "status_bypass_epoch",
+			req:  request{ID: 1, Op: opStatus, Txn: 0, Epoch: ^uint64(0)},
+			want: []byte{0x0b, 0x01, 0x00, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01},
+		},
+	}
+	for _, v := range reqV2Vectors {
+		t.Run("request_v2_"+v.name, func(t *testing.T) {
+			got := appendRequest(nil, &v.req, 2)
 			if !bytes.Equal(got, v.want) {
 				t.Fatalf("encoding drifted:\n got  %#v\n want %#v", got, v.want)
 			}
@@ -145,31 +182,38 @@ func wireResponseVariants() []response {
 // TestWireRoundTrip encodes and decodes every request and response
 // variant, alone and coalesced into one frame.
 func TestWireRoundTrip(t *testing.T) {
-	reqs := wireRequestVariants()
-	var buf []byte
-	for i := range reqs {
-		buf = appendRequest(buf, &reqs[i])
-	}
-	r := wireReader{buf: buf}
-	for i := range reqs {
-		var got request
-		if err := r.readRequest(&got); err != nil {
-			t.Fatalf("request %d (%v): %v", i, reqs[i].Op, err)
+	for _, ver := range []byte{1, 2} {
+		reqs := wireRequestVariants()
+		if ver >= 2 {
+			for i := range reqs {
+				reqs[i].Epoch = uint64(i * 3)
+			}
 		}
-		if !reflect.DeepEqual(got, reqs[i]) {
-			t.Fatalf("request round-trip mismatch:\n got  %+v\n want %+v", got, reqs[i])
+		var buf []byte
+		for i := range reqs {
+			buf = appendRequest(buf, &reqs[i], ver)
 		}
-	}
-	if r.remaining() != 0 {
-		t.Fatalf("%d bytes left over after decoding all requests", r.remaining())
+		r := wireReader{buf: buf}
+		for i := range reqs {
+			var got request
+			if err := r.readRequest(&got, ver); err != nil {
+				t.Fatalf("v%d request %d (%v): %v", ver, i, reqs[i].Op, err)
+			}
+			if !reflect.DeepEqual(got, reqs[i]) {
+				t.Fatalf("v%d request round-trip mismatch:\n got  %+v\n want %+v", ver, got, reqs[i])
+			}
+		}
+		if r.remaining() != 0 {
+			t.Fatalf("v%d: %d bytes left over after decoding all requests", ver, r.remaining())
+		}
 	}
 
 	resps := wireResponseVariants()
-	buf = buf[:0]
+	var buf []byte
 	for i := range resps {
 		buf = appendResponse(buf, &resps[i])
 	}
-	r = wireReader{buf: buf}
+	r := wireReader{buf: buf}
 	for i := range resps {
 		var got response
 		if err := r.readResponse(&got); err != nil {
@@ -188,13 +232,15 @@ func TestWireRoundTrip(t *testing.T) {
 // decoders: each must error cleanly, never panic or read out of bounds.
 func TestWireTruncatedInputs(t *testing.T) {
 	reqs := wireRequestVariants()
-	for i := range reqs {
-		full := appendRequest(nil, &reqs[i])
-		for n := 0; n < len(full); n++ {
-			r := wireReader{buf: full[:n]}
-			var got request
-			if err := r.readRequest(&got); err == nil {
-				t.Fatalf("request %v truncated to %d/%d bytes decoded without error", reqs[i].Op, n, len(full))
+	for _, ver := range []byte{1, 2} {
+		for i := range reqs {
+			full := appendRequest(nil, &reqs[i], ver)
+			for n := 0; n < len(full); n++ {
+				r := wireReader{buf: full[:n]}
+				var got request
+				if err := r.readRequest(&got, ver); err == nil {
+					t.Fatalf("v%d request %v truncated to %d/%d bytes decoded without error", ver, reqs[i].Op, n, len(full))
+				}
 			}
 		}
 	}
@@ -405,7 +451,7 @@ func testWritePoisonFastFail(t *testing.T, proto string) {
 
 	fc := &flakyConn{Conn: cli}
 	c := &Client{addr: "injected"}
-	cc := newClientConn(fc, proto, c.addr, 0, 0, &c.stats)
+	cc := newClientConn(fc, proto, wireVersion, c.addr, 0, 0, &c.stats)
 	c.mu.Lock()
 	c.cc = cc
 	c.mu.Unlock()

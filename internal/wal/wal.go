@@ -38,6 +38,10 @@ const (
 	KindCommit
 	// KindAbort discards a transaction's redo records.
 	KindAbort
+	// KindEpoch records an epoch-fence advance (Record.Epoch): after
+	// recovery the representative rejects operations carrying an older
+	// configuration epoch. Epoch records belong to no transaction.
+	KindEpoch
 )
 
 // String names the record kind.
@@ -53,6 +57,8 @@ func (k Kind) String() string {
 		return "commit"
 	case KindAbort:
 		return "abort"
+	case KindEpoch:
+		return "epoch"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -70,6 +76,10 @@ type Record struct {
 	Hi      keyspace.Key
 	Version version.V
 	Value   string
+	// Epoch is the configuration epoch a KindEpoch record fences at;
+	// zero on every other kind. (Gob keeps old logs readable: records
+	// written before this field exists decode with Epoch zero.)
+	Epoch uint64
 }
 
 // Log is an append-only record sink.
@@ -395,6 +405,9 @@ type Analysis struct {
 	// Outcomes records the decided transactions: true = committed,
 	// false = aborted.
 	Outcomes map[uint64]bool
+	// Epoch is the highest configuration epoch fence the log recorded
+	// (KindEpoch records); zero when the log holds none.
+	Epoch uint64
 }
 
 // Analyze scans log records. Transactions with redo records but no
@@ -423,6 +436,10 @@ func Analyze(records []Record) (Analysis, error) {
 			delete(pending, r.Txn)
 			delete(prepared, r.Txn)
 			a.Outcomes[r.Txn] = true
+		case KindEpoch:
+			if r.Epoch > a.Epoch {
+				a.Epoch = r.Epoch
+			}
 		default:
 			return Analysis{}, fmt.Errorf("wal: unknown record kind %d", r.Kind)
 		}
