@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench benchall benchshard benchsmoke chaos crash shard reconfig obsdeps
+.PHONY: check vet build test race bench benchall benchshard benchsmoke benchworkload workload chaos crash shard reconfig obsdeps
 
-check: vet obsdeps build race shard crash chaos reconfig benchsmoke
+check: vet obsdeps build race shard crash chaos reconfig workload benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -83,6 +83,29 @@ benchshard:
 	$(GO) run ./cmd/repdir-sim -experiment shard | tee /dev/stderr | \
 		$(GO) run ./cmd/benchjson -out BENCH_shard.json
 
+# Open-loop workload measurement, recorded machine-readably: a
+# million-key zipfian universe over four sticky 3-2-2 shards, driven
+# through the standard mixes (read-heavy, update-heavy, scan-heavy,
+# read-heavy through client sessions) with coordinated-omission-safe
+# latency capture. Rewrites the BENCH_workload.json ledger, whose
+# entries carry response-time quantiles and the SLO verdict next to the
+# usual ns/op. The run itself fails if any mix misses its SLO.
+# (The run goes to a temp file first, not a pipe: /bin/sh reports only
+# the last pipeline stage's status, which would let an SLO failure slip
+# past make.)
+benchworkload:
+	$(GO) run ./cmd/repdir-sim -experiment workload -keys 1000000 > /tmp/workload_bench.out
+	cat /tmp/workload_bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_workload.json < /tmp/workload_bench.out
+
+# Workload smoke gate: a scaled-down open-loop run (20k keys, 1s mixes)
+# whose SLO verdicts still gate — shedding or a blown tail fails `make
+# check` — plus schema validation of the emitted ledger lines.
+workload:
+	$(GO) run ./cmd/repdir-sim -experiment workload -keys 20000 -rate 2000 -duration 1s > /tmp/workload_smoke.out
+	$(GO) run ./cmd/benchjson -out /tmp/BENCH_workload_smoke.json < /tmp/workload_smoke.out
+	$(GO) run ./cmd/benchjson -validate /tmp/BENCH_workload_smoke.json
+
 # CI smoke for the benchmark plumbing: same benchmarks at -benchtime=10x
 # (numbers meaningless, schema real), written to a scratch ledger and
 # schema-validated. Never gates on the measured values.
@@ -92,6 +115,7 @@ benchsmoke:
 	$(GO) run ./cmd/benchjson -validate /tmp/BENCH_smoke.json
 	$(GO) run ./cmd/benchjson -validate BENCH_transport.json
 	$(GO) run ./cmd/benchjson -validate BENCH_shard.json
+	$(GO) run ./cmd/benchjson -validate BENCH_workload.json
 
 # Every benchmark in the repo (paper figures included), human-readable.
 benchall:

@@ -35,12 +35,19 @@ import (
 )
 
 // Entry is one benchmark measurement. The field set is the repo's
-// benchmark-ledger schema; -validate enforces it.
+// benchmark-ledger schema; -validate enforces it. The quantile and SLO
+// fields are populated only by workload benchmark lines (the custom
+// p50-ns/p99-ns/p999-ns/slo-ok value pairs FormatWorkload emits) and
+// are omitted everywhere else, so older ledgers keep validating.
 type Entry struct {
 	Bench    string  `json:"bench"`
 	NsOp     float64 `json:"ns_op"`
 	BytesOp  int64   `json:"bytes_op"`
 	AllocsOp int64   `json:"allocs_op"`
+	P50Ns    float64 `json:"p50_ns,omitempty"`
+	P99Ns    float64 `json:"p99_ns,omitempty"`
+	P999Ns   float64 `json:"p999_ns,omitempty"`
+	SLO      string  `json:"slo,omitempty"`
 	Date     string  `json:"date"`
 	GitRev   string  `json:"git_rev"`
 }
@@ -138,6 +145,18 @@ func parseBench(r io.Reader, date, rev string) ([]Entry, error) {
 				e.BytesOp = int64(v)
 			case "allocs/op":
 				e.AllocsOp = int64(v)
+			case "p50-ns":
+				e.P50Ns = v
+			case "p99-ns":
+				e.P99Ns = v
+			case "p999-ns":
+				e.P999Ns = v
+			case "slo-ok":
+				if v > 0 {
+					e.SLO = "pass"
+				} else {
+					e.SLO = "fail"
+				}
 			}
 		}
 		if !seen {
@@ -187,6 +206,18 @@ func validateLedger(file string) (int, error) {
 		}
 		if e.BytesOp < 0 || e.AllocsOp < 0 {
 			return 0, fmt.Errorf("%s: %s: negative memory stats", file, e.Bench)
+		}
+		if e.P50Ns < 0 || e.P99Ns < 0 || e.P999Ns < 0 {
+			return 0, fmt.Errorf("%s: %s: negative quantile", file, e.Bench)
+		}
+		// Quantiles, when all present, must be ordered.
+		if e.P50Ns > 0 && e.P99Ns > 0 && e.P999Ns > 0 &&
+			(e.P99Ns < e.P50Ns || e.P999Ns < e.P99Ns) {
+			return 0, fmt.Errorf("%s: %s: quantiles out of order (p50 %v, p99 %v, p999 %v)",
+				file, e.Bench, e.P50Ns, e.P99Ns, e.P999Ns)
+		}
+		if e.SLO != "" && e.SLO != "pass" && e.SLO != "fail" {
+			return 0, fmt.Errorf("%s: %s: bad slo verdict %q", file, e.Bench, e.SLO)
 		}
 		if _, err := time.Parse("2006-01-02", e.Date); err != nil {
 			return 0, fmt.Errorf("%s: %s: bad date %q", file, e.Bench, e.Date)

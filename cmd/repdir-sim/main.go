@@ -14,6 +14,7 @@
 //	repdir-sim -experiment traffic # live instrumented traffic with a Delete trace
 //	repdir-sim -experiment wire    # transport codec comparison (gob vs binary, batching)
 //	repdir-sim -experiment shard   # keyspace sharding: write throughput at 1/2/4/8 shards
+//	repdir-sim -experiment workload # open-loop workload mixes with SLO verdicts
 //	repdir-sim -experiment all     # everything
 //
 // The -ops flag overrides the per-run operation count (the paper used
@@ -57,7 +58,9 @@ func run(args []string) error {
 		clients    = fs.Int("clients", 8, "concurrent clients for the concurrency comparison")
 		latency    = fs.Duration("latency", 200*time.Microsecond, "simulated per-message latency for the concurrency comparison")
 		obsAddr    = fs.String("obs.addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
-		duration   = fs.Duration("duration", 0, "workload length for the traffic experiment (0 = default)")
+		duration   = fs.Duration("duration", 0, "workload length for the traffic and workload experiments (0 = default)")
+		keys       = fs.Int("keys", 0, "key-universe size for the workload experiment (0 = default)")
+		rate       = fs.Float64("rate", 0, "open-loop arrival rate for the workload experiment, ops/sec (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -243,6 +246,25 @@ func run(args []string) error {
 			fmt.Print(sim.FormatShardScaling(points, *latency))
 			return nil
 		},
+		"workload": func() error {
+			report, err := sim.RunWorkload(sim.WorkloadConfig{
+				Keys:     *keys,
+				Rate:     *rate,
+				Duration: *duration,
+				Seed:     *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(sim.FormatWorkload(report))
+			for _, m := range report.Mixes {
+				if m.Verdict.Checked && !m.Verdict.Pass {
+					return fmt.Errorf("workload: mix %s missed its SLO: %v",
+						m.Config.Mix.Name, m.Verdict.Failures)
+				}
+			}
+			return nil
+		},
 		"conc": func() error {
 			opsPerClient := *ops
 			if opsPerClient == 0 {
@@ -258,11 +280,11 @@ func run(args []string) error {
 		},
 	}
 
-	order := []string{"fig14", "fig15", "fig16", "sticky", "batch", "model", "skew", "scale", "shard", "conc", "chaos", "heal", "storage", "traffic", "wire"}
+	order := []string{"fig14", "fig15", "fig16", "sticky", "batch", "model", "skew", "scale", "shard", "conc", "chaos", "heal", "storage", "traffic", "wire", "workload"}
 	if *experiment != "all" {
 		fn, ok := runs[*experiment]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want fig14, fig15, fig16, sticky, batch, model, skew, scale, shard, conc, chaos, heal, storage, traffic, wire, or all)", *experiment)
+			return fmt.Errorf("unknown experiment %q (want fig14, fig15, fig16, sticky, batch, model, skew, scale, shard, conc, chaos, heal, storage, traffic, wire, workload, or all)", *experiment)
 		}
 		return timed(*experiment, fn)
 	}

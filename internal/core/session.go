@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repdir/internal/rep"
+	"repdir/internal/version"
+)
+
+// Session support: version-returning operation variants and single-member
+// local reads.
+//
+// A client session that wants read-your-writes semantics without paying a
+// read quorum on every lookup needs two primitives from the suite. First,
+// writes must report the version they installed, so the session can keep
+// a per-key floor: "my data is at least this new". Second, the suite must
+// offer a one-member read against a designated local representative —
+// one message instead of R — whose reply the session checks against the
+// floor, falling back to a full quorum read when the local copy is too
+// old. With a sticky write-quorum policy that always includes the local
+// member, the local copy is too old only when some *other* client wrote
+// through a quorum excluding it, so the fallback is the exception, not
+// the rule. internal/workload builds the session layer on top of these.
+
+// ErrNoLocalMember reports a LocalLookup on a suite built without
+// WithLocalReads.
+var ErrNoLocalMember = errors.New("core: suite has no local read member")
+
+type localOption struct{ name string }
+
+func (o localOption) apply(s *Suite) { s.localMember = o.name }
+
+// WithLocalReads designates the named store member as the suite's local
+// read target: LocalLookup consults only that member. The member must
+// exist in the configuration and must not be a witness (witness replies
+// carry no values). Pair this with a sticky or locality selector that
+// keeps the member in every write quorum, so the local copy stays
+// current for data written through this suite.
+func WithLocalReads(member string) Option { return localOption{name: member} }
+
+// LocalMember returns the designated local read member ("" if none).
+func (s *Suite) LocalMember() string { return s.localMember }
+
+// OpLocalLookup labels single-member local reads in traces and
+// histograms, distinct from quorum lookups so the read-path win is
+// measurable per operation.
+const OpLocalLookup = "lookup-local"
+
+// LookupV is Lookup plus the winning version: the entry's version when
+// found, the winning gap version otherwise. Sessions use it to advance
+// monotonic-read floors from quorum reads.
+func (s *Suite) LookupV(ctx context.Context, key string) (string, bool, version.V, error) {
+	var res rep.LookupResult
+	err := s.runTxn(ctx, OpLookup, false, func(tx *Tx) error {
+		k, err := validateKey(key)
+		if err != nil {
+			return err
+		}
+		res, err = tx.suiteLookup(ctx, k)
+		return err
+	})
+	return res.Value, res.Found, res.Version, err
+}
+
+// InsertV is Insert plus the version the new entry was written with.
+func (s *Suite) InsertV(ctx context.Context, key, value string) (version.V, error) {
+	var ver version.V
+	err := s.runTxn(ctx, OpInsert, false, func(tx *Tx) error {
+		var err error
+		ver, err = tx.InsertV(ctx, key, value)
+		return err
+	})
+	return ver, err
+}
+
+// UpdateV is Update plus the version the replacement was written with.
+func (s *Suite) UpdateV(ctx context.Context, key, value string) (version.V, error) {
+	var ver version.V
+	err := s.runTxn(ctx, OpUpdate, false, func(tx *Tx) error {
+		var err error
+		ver, err = tx.UpdateV(ctx, key, value)
+		return err
+	})
+	return ver, err
+}
+
+// InsertV implements Insert within the transaction, returning the
+// version written.
+func (tx *Tx) InsertV(ctx context.Context, key, value string) (version.V, error) {
+	k, err := validateKey(key)
+	if err != nil {
+		return version.Lowest, err
+	}
+	cur, err := tx.suiteLookup(ctx, k)
+	if err != nil {
+		return version.Lowest, err
+	}
+	if cur.Found {
+		return version.Lowest, fmt.Errorf("%w: %s", ErrKeyExists, k)
+	}
+	ver := cur.Version.Next()
+	return ver, tx.writeEntry(ctx, k, ver, value)
+}
+
+// UpdateV implements Update within the transaction, returning the
+// version written.
+func (tx *Tx) UpdateV(ctx context.Context, key, value string) (version.V, error) {
+	k, err := validateKey(key)
+	if err != nil {
+		return version.Lowest, err
+	}
+	cur, err := tx.suiteLookup(ctx, k)
+	if err != nil {
+		return version.Lowest, err
+	}
+	if !cur.Found {
+		return version.Lowest, fmt.Errorf("%w: %s", ErrKeyNotFound, k)
+	}
+	ver := cur.Version.Next()
+	return ver, tx.writeEntry(ctx, k, ver, value)
+}
+
+// LocalLookup reads the key from the suite's designated local member
+// only: one representative message instead of a read quorum. The reply
+// is whatever that member holds — current for everything written through
+// write quorums containing the member (the sticky policy's invariant),
+// but possibly stale otherwise, so callers needing session guarantees
+// must check the returned version against their floor and fall back to
+// Lookup/LookupV on violation. The read still runs as a transaction
+// (the member takes and releases a read lock), so it never observes a
+// torn write.
+func (s *Suite) LocalLookup(ctx context.Context, key string) (string, bool, version.V, error) {
+	if s.localMember == "" {
+		return "", false, version.Lowest, ErrNoLocalMember
+	}
+	m, ok := s.cfg.MemberByName(s.localMember)
+	if !ok {
+		return "", false, version.Lowest, fmt.Errorf("%w: %q left the configuration", ErrNoLocalMember, s.localMember)
+	}
+	var res rep.LookupResult
+	err := s.runTxn(ctx, OpLocalLookup, false, func(tx *Tx) error {
+		k, err := validateKey(key)
+		if err != nil {
+			return err
+		}
+		d := s.wrapDir(m.Dir)
+		tx.txn.Join(d)
+		tx.msgs++
+		sp := tx.span("local-read", k.Raw())
+		res, err = d.Lookup(ctx, tx.txn.ID, k)
+		sp.End()
+		if err != nil {
+			tx.noteFailure(d.Name(), err)
+			return fmt.Errorf("local lookup %s at %s: %w", k, d.Name(), err)
+		}
+		if h := s.health; h != nil {
+			h.ReportSuccess(d.Name())
+		}
+		return nil
+	})
+	return res.Value, res.Found, res.Version, err
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+	"repdir/internal/version"
+)
+
+// newSessionSuite builds a 3-2-2 suite with sticky quorums (rep0 always
+// in every quorum) and rep0 as the local read member.
+func newSessionSuite(t *testing.T) (*Suite, []rep.Directory) {
+	t.Helper()
+	dirs := make([]rep.Directory, 3)
+	for i, n := range []string{"rep0", "rep1", "rep2"} {
+		dirs[i] = transport.NewLocal(rep.New(n))
+	}
+	cfg := quorum.NewUniform(dirs, 2, 2)
+	s, err := NewSuite(cfg,
+		WithSelector(quorum.NewStickySelector(cfg)),
+		WithLocalReads("rep0"))
+	if err != nil {
+		t.Fatalf("NewSuite: %v", err)
+	}
+	return s, dirs
+}
+
+// TestVersionedOps pins the version-returning variants: versions start
+// above the gap version and advance by one per write, and LookupV
+// reports the same version the write returned.
+func TestVersionedOps(t *testing.T) {
+	ctx := context.Background()
+	s, _ := newSessionSuite(t)
+
+	v1, err := s.InsertV(ctx, "a", "1")
+	if err != nil {
+		t.Fatalf("InsertV: %v", err)
+	}
+	v2, err := s.UpdateV(ctx, "a", "2")
+	if err != nil {
+		t.Fatalf("UpdateV: %v", err)
+	}
+	if v2 != v1.Next() {
+		t.Errorf("update version %v, want %v", v2, v1.Next())
+	}
+	val, found, vr, err := s.LookupV(ctx, "a")
+	if err != nil || !found || val != "2" {
+		t.Fatalf("LookupV = %q, %v, %v", val, found, err)
+	}
+	if vr != v2 {
+		t.Errorf("LookupV version %v, want %v", vr, v2)
+	}
+	// A missing key reports found=false with the winning gap version.
+	_, found, gv, err := s.LookupV(ctx, "zzz")
+	if err != nil || found {
+		t.Fatalf("LookupV missing = %v, %v", found, err)
+	}
+	if gv < version.Lowest {
+		t.Errorf("gap version %v", gv)
+	}
+	if _, err := s.InsertV(ctx, "a", "x"); !errors.Is(err, ErrKeyExists) {
+		t.Errorf("InsertV existing: %v", err)
+	}
+	if _, err := s.UpdateV(ctx, "zzz", "x"); !errors.Is(err, ErrKeyNotFound) {
+		t.Errorf("UpdateV missing: %v", err)
+	}
+}
+
+// TestLocalLookup checks the single-member read path: under sticky write
+// quorums the local member sees every write, so local reads return
+// current data at current versions; message accounting shows one member
+// message per local read.
+func TestLocalLookup(t *testing.T) {
+	ctx := context.Background()
+	s, _ := newSessionSuite(t)
+
+	wv, err := s.InsertV(ctx, "k", "v0")
+	if err != nil {
+		t.Fatalf("InsertV: %v", err)
+	}
+	val, found, lv, err := s.LocalLookup(ctx, "k")
+	if err != nil || !found || val != "v0" {
+		t.Fatalf("LocalLookup = %q, %v, %v", val, found, err)
+	}
+	if lv != wv {
+		t.Errorf("local version %v, want written %v", lv, wv)
+	}
+	if _, found, _, err := s.LocalLookup(ctx, "absent"); err != nil || found {
+		t.Errorf("LocalLookup absent = %v, %v", found, err)
+	}
+}
+
+// TestLocalLookupStaleness demonstrates the staleness contract: a write
+// through a quorum that excludes the local member leaves the local copy
+// behind, and the returned version exposes exactly that — the floor
+// check a session layer needs.
+func TestLocalLookupStaleness(t *testing.T) {
+	ctx := context.Background()
+	dirs := make([]rep.Directory, 3)
+	for i, n := range []string{"rep0", "rep1", "rep2"} {
+		dirs[i] = transport.NewLocal(rep.New(n))
+	}
+	cfg := quorum.NewUniform(dirs, 2, 2)
+	sel := &scriptSelector{cfg: cfg}
+	s, err := NewSuite(cfg, WithSelector(sel), WithLocalReads("rep0"))
+	if err != nil {
+		t.Fatalf("NewSuite: %v", err)
+	}
+	// Seed through a quorum containing rep0, then update through one
+	// that excludes it.
+	sel.set([]int{0, 1}, []int{0, 1})
+	v1, err := s.InsertV(ctx, "k", "v0")
+	if err != nil {
+		t.Fatalf("InsertV: %v", err)
+	}
+	sel.set([]int{1, 2}, []int{1, 2})
+	v2, err := s.UpdateV(ctx, "k", "v1")
+	if err != nil {
+		t.Fatalf("UpdateV: %v", err)
+	}
+	val, found, lv, err := s.LocalLookup(ctx, "k")
+	if err != nil || !found {
+		t.Fatalf("LocalLookup: %v, %v", found, err)
+	}
+	if val != "v0" || lv != v1 {
+		t.Fatalf("local copy = %q at %v, want the stale v0 at %v", val, lv, v1)
+	}
+	if lv >= v2 {
+		t.Errorf("staleness invisible: local %v >= written %v", lv, v2)
+	}
+}
+
+// TestLocalReadsValidation pins the constructor checks and the
+// no-local-member error.
+func TestLocalReadsValidation(t *testing.T) {
+	dirs := make([]rep.Directory, 3)
+	for i, n := range []string{"rep0", "rep1", "rep2"} {
+		dirs[i] = transport.NewLocal(rep.New(n))
+	}
+	cfg := quorum.NewUniform(dirs, 2, 2)
+	if _, err := NewSuite(cfg, WithLocalReads("nope")); err == nil {
+		t.Error("unknown local member accepted")
+	}
+	wcfg := cfg
+	wcfg.Members = append([]quorum.Member(nil), cfg.Members...)
+	wcfg.Members[0].Witness = true
+	wcfg.Members[0].Dir = transport.NewLocal(rep.New("rep0", rep.AsWitness()))
+	if _, err := NewSuite(wcfg, WithLocalReads("rep0")); err == nil {
+		t.Error("witness local member accepted")
+	}
+	plain, err := NewSuite(cfg)
+	if err != nil {
+		t.Fatalf("NewSuite: %v", err)
+	}
+	if _, _, _, err := plain.LocalLookup(context.Background(), "k"); !errors.Is(err, ErrNoLocalMember) {
+		t.Errorf("LocalLookup without member: %v", err)
+	}
+}

@@ -72,6 +72,9 @@ type Suite struct {
 	health     *HealthTracker
 	obs        *obs.Observer
 	counters   suiteCounters
+	// localMember, when set (WithLocalReads), names the store member
+	// LocalLookup consults.
+	localMember string
 
 	// Read-repair machinery (nil/zero unless WithReadRepair).
 	rrQueue   chan readRepairJob
@@ -202,6 +205,15 @@ func NewSuite(cfg quorum.Config, opts ...Option) (*Suite, error) {
 	}
 	if s.fanout < 1 {
 		return nil, fmt.Errorf("core: neighbor fanout %d must be positive", s.fanout)
+	}
+	if s.localMember != "" {
+		m, ok := cfg.MemberByName(s.localMember)
+		if !ok {
+			return nil, fmt.Errorf("core: local read member %q is not in the configuration", s.localMember)
+		}
+		if m.Witness {
+			return nil, fmt.Errorf("core: local read member %q is a witness (holds no values)", s.localMember)
+		}
 	}
 	if s.rrQueue != nil {
 		ctx, cancel := context.WithCancel(context.Background())

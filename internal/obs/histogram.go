@@ -66,6 +66,7 @@ type Histogram struct {
 	counts [NumBuckets]atomic.Uint64
 	sum    atomic.Int64 // nanoseconds
 	count  atomic.Uint64
+	max    atomic.Int64 // nanoseconds
 }
 
 // Observe records one duration.
@@ -73,6 +74,15 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.counts[bucketFor(d)].Add(1)
 	h.sum.Add(int64(d))
 	h.count.Add(1)
+	// Track the exact maximum so overflow-bucket quantiles can report a
+	// true bound instead of clamping to the largest finite bucket (~67s),
+	// which would silently under-report a pathological tail.
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
 }
 
 // HistogramSnapshot is a point-in-time copy of a histogram. Because the
@@ -83,6 +93,10 @@ type HistogramSnapshot struct {
 	// Count is the number of observations; Sum their total duration.
 	Count uint64
 	Sum   time.Duration
+	// Max is the largest single observation. It is the value Quantile
+	// reports for quantiles that land in the +Inf overflow bucket, so
+	// tail verdicts never clamp to the largest finite bound.
+	Max time.Duration
 	// Counts[i] is the number of observations in bucket i (NOT
 	// cumulative; the Prometheus renderer accumulates).
 	Counts [NumBuckets]uint64
@@ -96,15 +110,19 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	s.Sum = time.Duration(h.sum.Load())
 	s.Count = h.count.Load()
+	s.Max = time.Duration(h.max.Load())
 	return s
 }
 
 // Merge returns the bucket-wise sum of two snapshots (same fixed
-// layout, so merging is exact).
+// layout, so merging is exact). Max merges as the larger of the two.
 func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
 	out := s
 	out.Count += o.Count
 	out.Sum += o.Sum
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
 	for i := range out.Counts {
 		out.Counts[i] += o.Counts[i]
 	}
@@ -120,8 +138,9 @@ func (s HistogramSnapshot) Mean() time.Duration {
 }
 
 // Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
-// bound of the bucket the quantile falls in. Observations in the
-// overflow bucket report the largest finite bound.
+// bound of the bucket the quantile falls in. Quantiles that land in the
+// +Inf overflow bucket report the exact observed maximum, never a
+// finite bucket bound that would under-state the tail.
 func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 	if s.Count == 0 {
 		return 0
@@ -137,12 +156,23 @@ func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 		cum += s.Counts[i]
 		if cum >= rank {
 			if i >= numFinite {
-				return BucketBound(numFinite - 1)
+				return s.overflowBound()
 			}
 			return BucketBound(i)
 		}
 	}
-	return BucketBound(numFinite - 1)
+	return s.overflowBound()
+}
+
+// overflowBound is what Quantile reports for the +Inf bucket: the exact
+// observed maximum, floored at the largest finite bound for hand-built
+// snapshots that populated Counts but not Max (the bucket's own lower
+// edge — still never an under-report of where the tail starts).
+func (s HistogramSnapshot) overflowBound() time.Duration {
+	if last := BucketBound(numFinite - 1); s.Max < last {
+		return last
+	}
+	return s.Max
 }
 
 // String renders a compact summary.

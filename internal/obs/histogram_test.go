@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 	"time"
@@ -23,9 +24,9 @@ func TestBucketBoundaries(t *testing.T) {
 		{3 * time.Microsecond, 2},
 		{4 * time.Microsecond, 2},
 		{5 * time.Microsecond, 3},
-		{time.Millisecond, 10},      // 1024µs = 1µs<<10
+		{time.Millisecond, 10}, // 1024µs = 1µs<<10
 		{1025 * time.Microsecond, 11},
-		{time.Microsecond << 26, numFinite - 1}, // largest finite bound
+		{time.Microsecond << 26, numFinite - 1},             // largest finite bound
 		{time.Microsecond<<26 + time.Nanosecond, numFinite}, // overflow
 		{time.Hour, numFinite},
 	}
@@ -125,6 +126,150 @@ func TestHistogramMerge(t *testing.T) {
 	id := a.Snapshot().Merge(HistogramSnapshot{})
 	if id != a.Snapshot() {
 		t.Error("merge with zero snapshot changed the histogram")
+	}
+}
+
+// TestQuantileOverflowReportsMax is the regression test for the
+// overflow-clamp bug: a histogram whose observations all land in the
+// +Inf bucket used to report its quantiles as the largest finite bucket
+// bound (~67s) no matter how far past it the tail actually ran, so an
+// SLO p999 verdict could pass on a run whose tail was minutes long.
+// Every quantile of an all-overflow histogram must report the exact
+// observed maximum.
+func TestQuantileOverflowReportsMax(t *testing.T) {
+	var h Histogram
+	over := BucketBound(numFinite-1) + time.Second
+	for i := 0; i < 10; i++ {
+		h.Observe(over + time.Duration(i)*time.Minute)
+	}
+	max := over + 9*time.Minute
+	s := h.Snapshot()
+	if s.Max != max {
+		t.Fatalf("snapshot max = %v, want %v", s.Max, max)
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999, 1} {
+		if got := s.Quantile(q); got != max {
+			t.Errorf("all-overflow Quantile(%v) = %v, want observed max %v", q, got, max)
+		}
+	}
+	// Mixed: p50 stays in a finite bucket, the tail reports the max.
+	var m Histogram
+	for i := 0; i < 99; i++ {
+		m.Observe(time.Millisecond)
+	}
+	m.Observe(2 * time.Hour)
+	ms := m.Snapshot()
+	if got := ms.Quantile(0.5); got != BucketBound(bucketFor(time.Millisecond)) {
+		t.Errorf("mixed p50 = %v", got)
+	}
+	if got := ms.Quantile(0.999); got != 2*time.Hour {
+		t.Errorf("mixed p999 = %v, want 2h", got)
+	}
+	// A hand-built snapshot with overflow counts but no Max falls back
+	// to the largest finite bound (the overflow bucket's lower edge)
+	// rather than reporting zero.
+	var hand HistogramSnapshot
+	hand.Count = 1
+	hand.Counts[numFinite] = 1
+	if got, want := hand.Quantile(0.99), BucketBound(numFinite-1); got != want {
+		t.Errorf("hand-built overflow quantile = %v, want %v", got, want)
+	}
+}
+
+// TestQuantileBucketEdges pins Quantile at exact bucket boundaries:
+// exact powers of two sit in their own bucket (a quantile there reports
+// the bound itself), sub-µs observations report the 1µs bound, and Max
+// survives Merge.
+func TestQuantileBucketEdges(t *testing.T) {
+	// Exact powers of two: an observation at 1µs<<i reports bound i.
+	for i := 0; i < numFinite; i++ {
+		var h Histogram
+		h.Observe(time.Microsecond << i)
+		if got := h.Snapshot().Quantile(1); got != BucketBound(i) {
+			t.Errorf("Quantile(1) of exactly 1µs<<%d = %v, want %v", i, got, BucketBound(i))
+		}
+	}
+	// Sub-µs and negative observations land in bucket 0 and report 1µs.
+	var sub Histogram
+	sub.Observe(10 * time.Nanosecond)
+	sub.Observe(-time.Second)
+	if got := sub.Snapshot().Quantile(1); got != time.Microsecond {
+		t.Errorf("sub-µs Quantile(1) = %v, want 1µs", got)
+	}
+	if got := sub.Snapshot().Max; got != 10*time.Nanosecond {
+		t.Errorf("sub-µs max = %v", got)
+	}
+	// Max merges as the larger of the two sides, both ways.
+	var a, b Histogram
+	a.Observe(time.Hour * 24)
+	b.Observe(time.Millisecond)
+	if got := a.Snapshot().Merge(b.Snapshot()).Max; got != 24*time.Hour {
+		t.Errorf("merged max = %v", got)
+	}
+	if got := b.Snapshot().Merge(a.Snapshot()).Max; got != 24*time.Hour {
+		t.Errorf("merged max (reversed) = %v", got)
+	}
+}
+
+// TestMergePreservesQuantileBounds is a property test over random
+// histogram pairs: the merged snapshot's quantile at any q is never
+// below the smaller of the two parts' quantiles, and never above
+// max(part quantiles, merged Max). The upper bound needs the merged Max
+// term because merging can push a rank into the overflow bucket — where
+// the exact maximum (possibly from a part whose own q-quantile was
+// finite) is the honest answer, not either part's finite bound. When the
+// merged quantile stays finite it must sit within the parts' bounds
+// exactly.
+func TestMergePreservesQuantileBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1983))
+	quantiles := []float64{0.01, 0.5, 0.9, 0.99, 0.999, 1}
+	for trial := 0; trial < 200; trial++ {
+		var a, b Histogram
+		fill := func(h *Histogram) {
+			n := 1 + rng.Intn(64)
+			for i := 0; i < n; i++ {
+				// Spread across the full range, overflow included.
+				d := time.Duration(rng.Int63n(int64(90 * time.Second)))
+				if rng.Intn(10) == 0 {
+					d += BucketBound(numFinite - 1) // force overflow
+				}
+				h.Observe(d)
+			}
+		}
+		fill(&a)
+		fill(&b)
+		sa, sb := a.Snapshot(), b.Snapshot()
+		m := sa.Merge(sb)
+		if m.Count != sa.Count+sb.Count {
+			t.Fatalf("trial %d: merged count %d != %d+%d", trial, m.Count, sa.Count, sb.Count)
+		}
+		// The merged max is exactly the larger side's max.
+		wantMax := sa.Max
+		if sb.Max > wantMax {
+			wantMax = sb.Max
+		}
+		if m.Max != wantMax {
+			t.Fatalf("trial %d: merged max %v, want %v", trial, m.Max, wantMax)
+		}
+		for _, q := range quantiles {
+			qa, qb, qm := sa.Quantile(q), sb.Quantile(q), m.Quantile(q)
+			lo, hi := qa, qb
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if qm < lo {
+				t.Fatalf("trial %d: merged Quantile(%v) = %v below both parts (lo %v)",
+					trial, q, qm, lo)
+			}
+			if qm <= BucketBound(numFinite-1) && qm > hi {
+				t.Fatalf("trial %d: finite merged Quantile(%v) = %v above both parts (hi %v)",
+					trial, q, qm, hi)
+			}
+			if qm > hi && qm != m.Max {
+				t.Fatalf("trial %d: merged Quantile(%v) = %v above both parts but not the merged max %v",
+					trial, q, qm, m.Max)
+			}
+		}
 	}
 }
 

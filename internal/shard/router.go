@@ -12,6 +12,7 @@ import (
 	"repdir/internal/keyspace"
 	"repdir/internal/lock"
 	"repdir/internal/txn"
+	"repdir/internal/version"
 )
 
 // Router serves the directory API over a sharded keyspace: one
@@ -222,6 +223,54 @@ func (r *Router) Update(ctx context.Context, key, value string) error {
 	err = r.suite(i).Update(ctx, key, value)
 	r.stats.point(i, core.OpUpdate, err)
 	return err
+}
+
+// LookupV is Lookup plus the winning version, delegated to the owning
+// shard (see core.Suite.LookupV).
+func (r *Router) LookupV(ctx context.Context, key string) (string, bool, version.V, error) {
+	i, err := r.ownerOf(key)
+	if err != nil {
+		return "", false, version.Lowest, err
+	}
+	value, found, ver, err := r.suite(i).LookupV(ctx, key)
+	r.stats.point(i, core.OpLookup, err)
+	return value, found, ver, err
+}
+
+// InsertV is Insert plus the version written.
+func (r *Router) InsertV(ctx context.Context, key, value string) (version.V, error) {
+	i, err := r.ownerOf(key)
+	if err != nil {
+		return version.Lowest, err
+	}
+	ver, err := r.suite(i).InsertV(ctx, key, value)
+	r.stats.point(i, core.OpInsert, err)
+	return ver, err
+}
+
+// UpdateV is Update plus the version written.
+func (r *Router) UpdateV(ctx context.Context, key, value string) (version.V, error) {
+	i, err := r.ownerOf(key)
+	if err != nil {
+		return version.Lowest, err
+	}
+	ver, err := r.suite(i).UpdateV(ctx, key, value)
+	r.stats.point(i, core.OpUpdate, err)
+	return ver, err
+}
+
+// LocalLookup reads the key from the owning shard's designated local
+// member (core.WithLocalReads on that shard's suite): one message
+// instead of a read quorum, with the staleness contract documented on
+// core.Suite.LocalLookup.
+func (r *Router) LocalLookup(ctx context.Context, key string) (string, bool, version.V, error) {
+	i, err := r.ownerOf(key)
+	if err != nil {
+		return "", false, version.Lowest, err
+	}
+	value, found, ver, err := r.suite(i).LocalLookup(ctx, key)
+	r.stats.point(i, core.OpLocalLookup, err)
+	return value, found, ver, err
 }
 
 // Delete removes the entry for key.

@@ -31,7 +31,8 @@ type HealConfig struct {
 	// PageSize and Pace tune the recovery repair (defaults 32, 2ms).
 	PageSize int
 	Pace     time.Duration
-	// Seed fixes the workload.
+	// Seed fixes the workload. Zero is a valid, replayable seed (not
+	// coerced).
 	Seed int64
 }
 
@@ -53,9 +54,6 @@ func (c HealConfig) withDefaults() HealConfig {
 	}
 	if c.Pace <= 0 {
 		c.Pace = 2 * time.Millisecond
-	}
-	if c.Seed == 0 {
-		c.Seed = 1
 	}
 	return c
 }

@@ -36,7 +36,8 @@ type StorageConfig struct {
 	Entries int
 	// PageSize is the rebuild repair page (default 64).
 	PageSize int
-	// Seed fixes the workload.
+	// Seed fixes the workload. Zero is a valid, replayable seed (not
+	// coerced).
 	Seed int64
 }
 
@@ -52,9 +53,6 @@ func (c StorageConfig) withDefaults() StorageConfig {
 	}
 	if c.PageSize <= 0 {
 		c.PageSize = 64
-	}
-	if c.Seed == 0 {
-		c.Seed = 1
 	}
 	return c
 }

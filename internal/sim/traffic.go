@@ -13,6 +13,7 @@ import (
 	"repdir/internal/quorum"
 	"repdir/internal/rep"
 	"repdir/internal/transport"
+	"repdir/internal/workload"
 )
 
 // TrafficConfig parameterizes the live-traffic experiment: a fully
@@ -25,7 +26,16 @@ type TrafficConfig struct {
 	Entries int
 	// Duration bounds the mixed workload phase (default 2s).
 	Duration time.Duration
-	// Seed fixes the workload.
+	// Rate is the intended arrival rate in operations per second
+	// (default 500). Operations are issued by a single closed-loop
+	// client, but latency is charged from each operation's *intended*
+	// start on this schedule: when the suite runs slower than the
+	// schedule, the backlog counts against response time instead of
+	// silently stretching the arrival gaps (coordinated omission).
+	Rate float64
+	// Seed fixes the workload. Zero is a valid, replayable seed — it is
+	// deliberately not coerced, so `-seed 0` reproduces the same run
+	// every time rather than silently becoming seed 1.
 	Seed int64
 	// Registry, when non-nil, receives every metric family the run
 	// exports (suite counters, health states, op and per-member call
@@ -41,8 +51,8 @@ func (c TrafficConfig) withDefaults() TrafficConfig {
 	if c.Duration <= 0 {
 		c.Duration = 2 * time.Second
 	}
-	if c.Seed == 0 {
-		c.Seed = 1
+	if c.Rate <= 0 {
+		c.Rate = 500
 	}
 	return c
 }
@@ -59,6 +69,14 @@ type TrafficResult struct {
 	// ProbesPerDelete is the live counterpart of the paper's section 4
 	// neighbor-probe cost column.
 	ProbesPerDelete float64
+	// Response is latency measured from each operation's intended
+	// arrival time on the Rate schedule; Service is measured from when
+	// the operation actually started executing. Service is what this
+	// experiment used to report implicitly (and what any closed-loop
+	// driver reports); the gap between the two tails is the queueing
+	// delay coordinated omission hides.
+	Response obs.HistogramSnapshot
+	Service  obs.HistogramSnapshot
 	// DeleteTrace is the most recent Delete's span timeline, rendered by
 	// obs.FormatTrace (empty if the workload never deleted).
 	DeleteTrace string
@@ -130,44 +148,76 @@ func RunTraffic(cfg TrafficConfig) (TrafficResult, error) {
 		}
 	}
 
+	// doOp runs one operation of the seeded mix and reports its label.
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 	next := cfg.Entries
-	deadline := time.Now().Add(cfg.Duration)
-	for op := 0; time.Now().Before(deadline); op++ {
+	doOp := func(op int) (string, error) {
 		switch r := rng.Intn(10); {
 		case r < 5: // lookups dominate, as in the paper's workload
 			k := live[rng.Intn(len(live))]
 			if _, found, err := suite.Lookup(ctx, k); err != nil {
-				return res, fmt.Errorf("sim: traffic lookup %s: %w", k, err)
+				return "", fmt.Errorf("sim: traffic lookup %s: %w", k, err)
 			} else if !found {
-				return res, fmt.Errorf("sim: traffic key %s vanished", k)
+				return "", fmt.Errorf("sim: traffic key %s vanished", k)
 			}
+			return core.OpLookup, nil
 		case r < 7: // update
 			k := live[rng.Intn(len(live))]
 			if err := suite.Update(ctx, k, fmt.Sprintf("v%d", op)); err != nil {
-				return res, fmt.Errorf("sim: traffic update %s: %w", k, err)
+				return "", fmt.Errorf("sim: traffic update %s: %w", k, err)
 			}
+			return core.OpUpdate, nil
 		case r < 8: // insert a fresh key
 			k := fmt.Sprintf("key-%05d", next)
 			next++
 			if err := suite.Insert(ctx, k, fmt.Sprintf("v%d", op)); err != nil {
-				return res, fmt.Errorf("sim: traffic insert %s: %w", k, err)
+				return "", fmt.Errorf("sim: traffic insert %s: %w", k, err)
 			}
 			live = append(live, k)
+			return core.OpInsert, nil
 		case r < 9 && len(live) > 1: // delete, keeping the set non-empty
 			i := rng.Intn(len(live))
 			k := live[i]
 			if err := suite.Delete(ctx, k); err != nil {
-				return res, fmt.Errorf("sim: traffic delete %s: %w", k, err)
+				return "", fmt.Errorf("sim: traffic delete %s: %w", k, err)
 			}
 			live[i] = live[len(live)-1]
 			live = live[:len(live)-1]
+			return core.OpDelete, nil
 		default: // short scan
 			if _, err := suite.Scan(ctx, live[rng.Intn(len(live))], 8); err != nil {
-				return res, fmt.Errorf("sim: traffic scan: %w", err)
+				return "", fmt.Errorf("sim: traffic scan: %w", err)
 			}
+			return core.OpScan, nil
 		}
 	}
+
+	// Arrivals follow the Rate schedule; latency is charged from each
+	// operation's intended start, not from when the single closed-loop
+	// client got around to it. This run used to measure service time
+	// only, which understated the tail whenever the suite fell behind
+	// the offered load.
+	rec := workload.NewRecorder()
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	startAt := time.Now()
+	deadline := startAt.Add(cfg.Duration)
+	for n := 0; ; n++ {
+		intended := startAt.Add(time.Duration(n) * interval)
+		if intended.After(deadline) {
+			break
+		}
+		if d := time.Until(intended); d > 0 {
+			time.Sleep(d)
+		}
+		execStart := time.Now()
+		label, err := doOp(n)
+		if err != nil {
+			return res, err
+		}
+		rec.Record(label, intended, execStart, time.Now())
+	}
+	res.Response = rec.Response()
+	res.Service = rec.Service()
 
 	// Snapshot a Delete trace before draining: the drain's read-repair
 	// traces would otherwise push every workload trace out of the ring.
@@ -218,6 +268,18 @@ func FormatTraffic(r TrafficResult) string {
 		r.Suite.ReadRepairCopied, r.Suite.ReadRepairFreshened, r.Suite.ReadRepairDropped)
 	fmt.Fprintf(&b, "  neighbor probes per delete: %.2f (paper section 4 predicts ~2 with batching)\n",
 		r.ProbesPerDelete)
+	if r.Response.Count > 0 {
+		fmt.Fprintf(&b, "\n  latency (%d ops at %.0f/s intended):\n", r.Response.Count, r.Config.Rate)
+		fmt.Fprintf(&b, "  %-10s %12s %12s %12s %12s\n", "", "p50", "p99", "p999", "max")
+		row := func(name string, s obs.HistogramSnapshot) {
+			fmt.Fprintf(&b, "  %-10s %12v %12v %12v %12v\n", name,
+				s.Quantile(0.50), s.Quantile(0.99), s.Quantile(0.999), s.Max)
+		}
+		row("response", r.Response)
+		row("service", r.Service)
+		fmt.Fprintf(&b, "  omission delta at p99: %v (what a closed-loop driver would have hidden)\n",
+			r.Response.Quantile(0.99)-r.Service.Quantile(0.99))
+	}
 	if r.DeleteTrace != "" {
 		fmt.Fprintf(&b, "\n  most recent delete trace:\n")
 		for _, line := range strings.Split(strings.TrimRight(r.DeleteTrace, "\n"), "\n") {

@@ -57,6 +57,20 @@ func TestRunTraffic(t *testing.T) {
 		t.Errorf("probes/delete = %v, want > 0", res.ProbesPerDelete)
 	}
 
+	// Latency is captured per operation, measured both from the intended
+	// arrival (response) and the actual start (service); response can
+	// never be the smaller sum, because intended <= actual start.
+	if res.Response.Count == 0 {
+		t.Fatal("no response-time capture")
+	}
+	if res.Response.Count != res.Service.Count {
+		t.Errorf("response count %d != service count %d", res.Response.Count, res.Service.Count)
+	}
+	if res.Response.Sum < res.Service.Sum {
+		t.Errorf("response sum %v < service sum %v — latency measured from the wrong clock",
+			res.Response.Sum, res.Service.Sum)
+	}
+
 	// The registry the caller passed in scrapes the run's families.
 	var sb strings.Builder
 	if err := reg.WritePrometheus(&sb); err != nil {
@@ -77,5 +91,8 @@ func TestRunTraffic(t *testing.T) {
 	out := FormatTraffic(res)
 	if !strings.Contains(out, "messages/op") || !strings.Contains(out, "delete trace") {
 		t.Errorf("report missing sections:\n%s", out)
+	}
+	if !strings.Contains(out, "omission delta") {
+		t.Errorf("report missing latency section:\n%s", out)
 	}
 }

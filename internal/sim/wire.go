@@ -23,7 +23,8 @@ type WireConfig struct {
 	Ops int
 	// Workers is the number of concurrent clients per mode.
 	Workers int
-	// Seed fixes each worker's operation mix.
+	// Seed fixes each worker's operation mix. Zero is a valid,
+	// replayable seed (not coerced).
 	Seed int64
 }
 
@@ -33,9 +34,6 @@ func (c WireConfig) withDefaults() WireConfig {
 	}
 	if c.Workers <= 0 {
 		c.Workers = 16
-	}
-	if c.Seed == 0 {
-		c.Seed = 1
 	}
 	return c
 }
