@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench benchall benchshard benchsmoke benchworkload workload chaos crash shard reconfig obsdeps
+.PHONY: check vet build test race bench benchall benchshard benchsmoke benchworkload benchoverload benchdiff workload overload raceoverload chaos crash shard reconfig obsdeps
 
-check: vet obsdeps build race shard crash chaos reconfig workload benchsmoke
+check: vet obsdeps build race shard crash chaos reconfig workload overload raceoverload benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -106,6 +106,47 @@ workload:
 	$(GO) run ./cmd/benchjson -out /tmp/BENCH_workload_smoke.json < /tmp/workload_smoke.out
 	$(GO) run ./cmd/benchjson -validate /tmp/BENCH_workload_smoke.json
 
+# Overload curve, recorded machine-readably: the repdir-sim overload
+# experiment (a TCP 3-2-2 suite with the full protection stack —
+# deadline propagation, CoDel admission, retry budgets, hedged reads —
+# driven at 0.5/1/1.5/2x its calibrated capacity) rewrites the
+# BENCH_overload.json ledger. The run fails unless goodput at 2x stays
+# within 20% of peak with a bounded p999 — degradation, not collapse.
+benchoverload:
+	$(GO) run ./cmd/repdir-sim -experiment overload > /tmp/overload_bench.out
+	cat /tmp/overload_bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_overload.json < /tmp/overload_bench.out
+
+# Overload smoke gate: the same curve at full length (1s points proved
+# too noisy to gate on — a bad patch in one window flips the verdict).
+# The pass verdict gates — a goodput collapse or unbounded tail past
+# saturation fails `make check` — and the ledger lines are
+# schema-checked.
+overload:
+	$(GO) run ./cmd/repdir-sim -experiment overload > /tmp/overload_smoke.out
+	cat /tmp/overload_smoke.out
+	$(GO) run ./cmd/benchjson -out /tmp/BENCH_overload_smoke.json < /tmp/overload_smoke.out
+	$(GO) run ./cmd/benchjson -validate /tmp/BENCH_overload_smoke.json
+
+# Focused race pass over the overload-protection stack: admission
+# control, deadline propagation, retry budgets, and hedged reads are the
+# code paths densest in shared atomics and concurrent teardown, so they
+# get an extra -count=2 run beyond the suite-wide `race` target.
+raceoverload:
+	$(GO) test -race -count 2 ./internal/transport/ ./internal/core/
+
+# Ledger regression diff: re-measures the overload curve and compares it
+# against the committed BENCH_overload.json, failing on ns/op, quantile,
+# or goodput regressions beyond tolerance (or an SLO verdict flipping to
+# fail). Tolerance is 1.0 (2x) because the latency histogram's buckets
+# are powers of two: one bucket of jitter doubles a quantile, so a
+# tighter tolerance would page on noise. A real collapse blows through
+# 2x easily — that is what the mode exists to catch.
+benchdiff:
+	$(GO) run ./cmd/repdir-sim -experiment overload > /tmp/overload_diff.out
+	$(GO) run ./cmd/benchjson -out /tmp/BENCH_overload_new.json < /tmp/overload_diff.out
+	$(GO) run ./cmd/benchjson -diff -tolerance 1.0 BENCH_overload.json /tmp/BENCH_overload_new.json
+
 # CI smoke for the benchmark plumbing: same benchmarks at -benchtime=10x
 # (numbers meaningless, schema real), written to a scratch ledger and
 # schema-validated. Never gates on the measured values.
@@ -116,6 +157,7 @@ benchsmoke:
 	$(GO) run ./cmd/benchjson -validate BENCH_transport.json
 	$(GO) run ./cmd/benchjson -validate BENCH_shard.json
 	$(GO) run ./cmd/benchjson -validate BENCH_workload.json
+	$(GO) run ./cmd/benchjson -validate BENCH_overload.json
 
 # Every benchmark in the repo (paper figures included), human-readable.
 benchall:

@@ -17,6 +17,15 @@
 // run with -benchtime=10x and the values mean nothing:
 //
 //	benchjson -validate BENCH_transport.json
+//
+// The -diff mode compares two ledgers and fails on regressions: for
+// every benchmark present in both, ns/op and the latency quantiles may
+// not grow past (1 + tolerance) times the old value, goodput may not
+// shrink below 1/(1 + tolerance), and an SLO verdict may not flip from
+// pass to fail. Benchmarks present in only one ledger are reported but
+// do not fail the diff (curves gain and lose points legitimately):
+//
+//	benchjson -diff -tolerance 0.5 BENCH_overload.json /tmp/new.json
 package main
 
 import (
@@ -48,8 +57,14 @@ type Entry struct {
 	P99Ns    float64 `json:"p99_ns,omitempty"`
 	P999Ns   float64 `json:"p999_ns,omitempty"`
 	SLO      string  `json:"slo,omitempty"`
-	Date     string  `json:"date"`
-	GitRev   string  `json:"git_rev"`
+	// GoodputOps and Shed are populated only by overload-curve lines
+	// (the goodput-ops/shed value pairs FormatOverload emits): error-free
+	// completions per second, and operations refused explicitly at the
+	// driver, the admission controllers, or the deadline check.
+	GoodputOps float64 `json:"goodput_ops,omitempty"`
+	Shed       int64   `json:"shed,omitempty"`
+	Date       string  `json:"date"`
+	GitRev     string  `json:"git_rev"`
 }
 
 func main() {
@@ -62,10 +77,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	var (
-		out      = fs.String("out", "BENCH_transport.json", "ledger file to write")
-		rev      = fs.String("rev", "", "git revision to stamp entries with (default: git rev-parse --short HEAD)")
-		date     = fs.String("date", "", "date to stamp entries with, YYYY-MM-DD (default: today)")
-		validate = fs.String("validate", "", "validate an existing ledger file and exit")
+		out       = fs.String("out", "BENCH_transport.json", "ledger file to write")
+		rev       = fs.String("rev", "", "git revision to stamp entries with (default: git rev-parse --short HEAD)")
+		date      = fs.String("date", "", "date to stamp entries with, YYYY-MM-DD (default: today)")
+		validate  = fs.String("validate", "", "validate an existing ledger file and exit")
+		diff      = fs.Bool("diff", false, "compare two ledgers (old new) and fail on regressions")
+		tolerance = fs.Float64("tolerance", 0.25, "allowed relative regression for -diff (0.25 = 25%)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +94,12 @@ func run(args []string) error {
 		}
 		fmt.Printf("%s: %d entries, schema ok\n", *validate, n)
 		return nil
+	}
+	if *diff {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-diff wants exactly two ledger files (old new), got %d", fs.NArg())
+		}
+		return diffLedgers(fs.Arg(0), fs.Arg(1), *tolerance)
 	}
 
 	if *date == "" {
@@ -157,6 +180,10 @@ func parseBench(r io.Reader, date, rev string) ([]Entry, error) {
 				} else {
 					e.SLO = "fail"
 				}
+			case "goodput-ops":
+				e.GoodputOps = v
+			case "shed":
+				e.Shed = int64(v)
 			}
 		}
 		if !seen {
@@ -178,6 +205,88 @@ func stripProcs(name string) string {
 		return name
 	}
 	return name[:i]
+}
+
+// readLedger loads and schema-checks one ledger, returning its entries
+// keyed by benchmark name.
+func readLedger(file string) (map[string]Entry, []string, error) {
+	if _, err := validateLedger(file); err != nil {
+		return nil, nil, err
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, nil, err
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, nil, err
+	}
+	byName := make(map[string]Entry, len(entries))
+	var names []string
+	for _, e := range entries {
+		byName[e.Bench] = e
+		names = append(names, e.Bench)
+	}
+	sort.Strings(names)
+	return byName, names, nil
+}
+
+// diffLedgers compares two ledgers benchmark by benchmark and returns
+// an error describing every regression beyond the tolerance: ns/op or a
+// latency quantile grew past (1+tol)x its old value, goodput fell under
+// 1/(1+tol)x, or an SLO verdict flipped from pass to fail. Benchmarks
+// present in only one ledger are reported but never fail the diff.
+// Memory stats (B/op, allocs/op) and shed counts are informational:
+// shedding MORE under the same offered load is not by itself a
+// regression — the goodput and tail gates decide whether it mattered.
+func diffLedgers(oldFile, newFile string, tol float64) error {
+	oldBy, oldNames, err := readLedger(oldFile)
+	if err != nil {
+		return err
+	}
+	newBy, newNames, err := readLedger(newFile)
+	if err != nil {
+		return err
+	}
+	var regressions []string
+	grew := func(bench, metric string, old, new float64) {
+		if old > 0 && new > old*(1+tol) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %s %.0f -> %.0f (+%.0f%%, tolerance %.0f%%)",
+					bench, metric, old, new, 100*(new/old-1), 100*tol))
+		}
+	}
+	for _, name := range newNames {
+		n := newBy[name]
+		o, ok := oldBy[name]
+		if !ok {
+			fmt.Printf("new benchmark (not in %s): %s\n", oldFile, name)
+			continue
+		}
+		grew(name, "ns/op", o.NsOp, n.NsOp)
+		grew(name, "p50_ns", o.P50Ns, n.P50Ns)
+		grew(name, "p99_ns", o.P99Ns, n.P99Ns)
+		grew(name, "p999_ns", o.P999Ns, n.P999Ns)
+		if o.GoodputOps > 0 && n.GoodputOps < o.GoodputOps/(1+tol) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: goodput_ops %.0f -> %.0f (-%.0f%%, tolerance %.0f%%)",
+					name, o.GoodputOps, n.GoodputOps, 100*(1-n.GoodputOps/o.GoodputOps), 100*tol))
+		}
+		if o.SLO == "pass" && n.SLO == "fail" {
+			regressions = append(regressions, fmt.Sprintf("%s: slo pass -> fail", name))
+		}
+	}
+	for _, name := range oldNames {
+		if _, ok := newBy[name]; !ok {
+			fmt.Printf("dropped benchmark (not in %s): %s\n", newFile, name)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d regression(s) beyond tolerance:\n  %s",
+			len(regressions), strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("%s vs %s: no regressions beyond %.0f%%\n", oldFile, newFile, 100*tol)
+	return nil
 }
 
 // validateLedger checks that file parses as a non-empty array of
@@ -209,6 +318,9 @@ func validateLedger(file string) (int, error) {
 		}
 		if e.P50Ns < 0 || e.P99Ns < 0 || e.P999Ns < 0 {
 			return 0, fmt.Errorf("%s: %s: negative quantile", file, e.Bench)
+		}
+		if e.GoodputOps < 0 || e.Shed < 0 {
+			return 0, fmt.Errorf("%s: %s: negative goodput or shed count", file, e.Bench)
 		}
 		// Quantiles, when all present, must be ordered.
 		if e.P50Ns > 0 && e.P99Ns > 0 && e.P999Ns > 0 &&

@@ -41,6 +41,73 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+// TestParseOverloadLine pins the overload-curve value pairs: quantiles,
+// goodput, shed count, and the SLO verdict all land in their fields.
+func TestParseOverloadLine(t *testing.T) {
+	line := "BenchmarkOverload/load=2x/keys=2000 \t    1545\t   190073881 ns/op\t   262144000 p50-ns\t   524288000 p99-ns\t   524288000 p999-ns\t         877 goodput-ops\t        1581 shed\t1 slo-ok\n"
+	entries, err := parseBench(strings.NewReader(line), "2026-08-08", "abc1234")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("got %d entries, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.P50Ns != 262144000 || e.P99Ns != 524288000 || e.P999Ns != 524288000 {
+		t.Errorf("quantiles: %+v", e)
+	}
+	if e.GoodputOps != 877 || e.Shed != 1581 || e.SLO != "pass" {
+		t.Errorf("overload fields: %+v", e)
+	}
+}
+
+func TestDiffLedgers(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		f := filepath.Join(dir, name)
+		os.WriteFile(f, []byte(body), 0o644)
+		return f
+	}
+	old := write("old.json", `[
+  {"bench": "BenchmarkOverload/load=2x", "ns_op": 1000, "bytes_op": 0, "allocs_op": 0,
+   "p99_ns": 4000, "p999_ns": 8000, "goodput_ops": 900, "slo": "pass",
+   "date": "2026-08-08", "git_rev": "aaa"},
+  {"bench": "BenchmarkDropped", "ns_op": 5, "bytes_op": 0, "allocs_op": 0,
+   "date": "2026-08-08", "git_rev": "aaa"}
+]`)
+
+	// Within tolerance (and a new benchmark): no error.
+	good := write("good.json", `[
+  {"bench": "BenchmarkOverload/load=2x", "ns_op": 1100, "bytes_op": 0, "allocs_op": 0,
+   "p99_ns": 4400, "p999_ns": 8800, "goodput_ops": 850, "slo": "pass",
+   "date": "2026-08-08", "git_rev": "bbb"},
+  {"bench": "BenchmarkNew", "ns_op": 7, "bytes_op": 0, "allocs_op": 0,
+   "date": "2026-08-08", "git_rev": "bbb"}
+]`)
+	if err := diffLedgers(old, good, 0.25); err != nil {
+		t.Fatalf("within-tolerance diff failed: %v", err)
+	}
+
+	// p999 doubled, goodput halved, SLO flipped: all three must be named.
+	bad := write("bad.json", `[
+  {"bench": "BenchmarkOverload/load=2x", "ns_op": 1000, "bytes_op": 0, "allocs_op": 0,
+   "p99_ns": 4000, "p999_ns": 16000, "goodput_ops": 450, "slo": "fail",
+   "date": "2026-08-08", "git_rev": "ccc"}
+]`)
+	err := diffLedgers(old, bad, 0.25)
+	if err == nil {
+		t.Fatal("regressed diff passed, want error")
+	}
+	for _, want := range []string{"p999_ns", "goodput_ops", "slo pass -> fail"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("diff error missing %q: %v", want, err)
+		}
+	}
+	if strings.Contains(err.Error(), "BenchmarkDropped") {
+		t.Errorf("dropped benchmark must not be a regression: %v", err)
+	}
+}
+
 func TestValidateLedger(t *testing.T) {
 	dir := t.TempDir()
 	good := filepath.Join(dir, "good.json")

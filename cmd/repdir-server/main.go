@@ -26,6 +26,14 @@
 // In that mode -wal and -snap, when set, are templates that must
 // contain %s, expanded with each representative's name.
 //
+// -admit turns on CoDel-style overload shedding: when the dispatch
+// queue's delay stays above -admit.target (default 5ms) for a full
+// -admit.interval (default 100ms), newly arriving requests are refused
+// with ErrOverloaded until the delay recovers — except two-phase-commit
+// resolution, which is always served so shedding cannot wedge in-flight
+// transactions. The controller's decisions (admitted, shed, expired,
+// episodes) are exported per server on the -obs.addr metrics endpoint.
+//
 // -witness lists the -name entries to run as zero-data witnesses:
 // they vote and track entry/gap versions but store no values, the
 // cheap tie-breakers that `repdir-cli reconfig add <addr> ... witness`
@@ -68,6 +76,12 @@ func run(args []string) error {
 		recovery = fs.String("recovery", "strict", "WAL recovery policy: strict, salvage, or rebuild")
 		conc     = fs.Int("concurrency", transport.DefaultPerConnConcurrency,
 			"max requests served concurrently per client connection")
+		admit = fs.Bool("admit", false,
+			"enable CoDel-style overload shedding: sustained dispatch-queue delay refuses new work with ErrOverloaded (2PC resolution is never shed)")
+		admitTarget = fs.Duration("admit.target", transport.DefaultAdmitTarget,
+			"queue-delay target for -admit; sojourns above it for a full interval trip shedding")
+		admitInterval = fs.Duration("admit.interval", transport.DefaultAdmitInterval,
+			"how long queue delay must stay above -admit.target before shedding starts")
 		obsAddr = fs.String("obs.addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
 		witness = fs.String("witness", "", "comma-separated -name entries to run as zero-data witnesses (votes and versions, no values)")
 	)
@@ -150,7 +164,11 @@ func run(args []string) error {
 				fmt.Printf("%s: in-doubt transactions holding locks: %v — settle with repdir-cli resolve <id>\n", nm, ids)
 			}
 		}
-		srv, err := transport.Serve(r, addrs[i], transport.WithPerConnConcurrency(*conc))
+		serveOpts := []transport.ServerOption{transport.WithPerConnConcurrency(*conc)}
+		if *admit {
+			serveOpts = append(serveOpts, transport.WithAdmission(*admitTarget, *admitInterval))
+		}
+		srv, err := transport.Serve(r, addrs[i], serveOpts...)
 		if err != nil {
 			return fmt.Errorf("%s: %w", nm, err)
 		}
@@ -179,6 +197,7 @@ func run(args []string) error {
 		}
 		transport.RegisterWireStats(registry, wire)
 		registerRepMetrics(registry, reps, names)
+		registerAdmissionMetrics(registry, servers, names, multi)
 		osrv, err := obs.Serve(*obsAddr, registry, true)
 		if err != nil {
 			return fmt.Errorf("obs: %w", err)
@@ -211,6 +230,11 @@ func run(args []string) error {
 			"%d coalesces (%d entries), %d prepares, %d commits, %d aborts\n",
 			names[i], c.Lookups, c.NeighborProbes, c.Inserts,
 			c.Coalesces, c.EntriesCoalesced, c.Prepares, c.Commits, c.Aborts)
+		if *admit {
+			a := servers[i].AdmissionStats()
+			fmt.Printf("  admission %s: %d admitted, %d shed, %d expired, %d overload episodes\n",
+				names[i], a.Admitted, a.Shed, a.Expired, a.Episodes)
+		}
 	}
 	return nil
 }
@@ -297,6 +321,30 @@ func registerRepMetrics(reg *obs.Registry, reps []*rep.Rep, names []string) {
 				for op, v := range r.Counters().Map() {
 					out = append(out, obs.Sample{Labels: []string{names[i], op}, Value: float64(v)})
 				}
+			}
+			return out
+		})
+}
+
+// registerAdmissionMetrics exposes each server's admission-controller
+// decision counters. With -admit off, only the expired counter can move
+// (hard deadline rejection runs regardless).
+func registerAdmissionMetrics(reg *obs.Registry, servers []*transport.Server, names []string, multi bool) {
+	reg.CounterVec("repdir_admission_total",
+		"Cumulative admission-controller decisions per server.",
+		[]string{"member", "decision"}, func() []obs.Sample {
+			var out []obs.Sample
+			for i, s := range servers {
+				ep := "server"
+				if multi {
+					ep = names[i]
+				}
+				st := s.AdmissionStats()
+				out = append(out,
+					obs.Sample{Labels: []string{ep, "admitted"}, Value: float64(st.Admitted)},
+					obs.Sample{Labels: []string{ep, "shed"}, Value: float64(st.Shed)},
+					obs.Sample{Labels: []string{ep, "expired"}, Value: float64(st.Expired)},
+					obs.Sample{Labels: []string{ep, "episodes"}, Value: float64(st.Episodes)})
 			}
 			return out
 		})

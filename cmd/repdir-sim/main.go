@@ -15,6 +15,7 @@
 //	repdir-sim -experiment wire    # transport codec comparison (gob vs binary, batching)
 //	repdir-sim -experiment shard   # keyspace sharding: write throughput at 1/2/4/8 shards
 //	repdir-sim -experiment workload # open-loop workload mixes with SLO verdicts
+//	repdir-sim -experiment overload # overload curve: goodput plateau + bounded tail past saturation
 //	repdir-sim -experiment all     # everything
 //
 // The -ops flag overrides the per-run operation count (the paper used
@@ -246,6 +247,22 @@ func run(args []string) error {
 			fmt.Print(sim.FormatShardScaling(points, *latency))
 			return nil
 		},
+		"overload": func() error {
+			report, err := sim.RunOverload(sim.OverloadConfig{
+				Keys:     *keys,
+				Duration: *duration,
+				Seed:     *seed,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(sim.FormatOverload(report))
+			if !report.Pass() {
+				return fmt.Errorf("overload: goodput collapsed or tail unbounded past saturation (plateau=%v tail=%v)",
+					report.Plateau, report.TailBounded)
+			}
+			return nil
+		},
 		"workload": func() error {
 			report, err := sim.RunWorkload(sim.WorkloadConfig{
 				Keys:     *keys,
@@ -280,11 +297,11 @@ func run(args []string) error {
 		},
 	}
 
-	order := []string{"fig14", "fig15", "fig16", "sticky", "batch", "model", "skew", "scale", "shard", "conc", "chaos", "heal", "storage", "traffic", "wire", "workload"}
+	order := []string{"fig14", "fig15", "fig16", "sticky", "batch", "model", "skew", "scale", "shard", "conc", "chaos", "heal", "storage", "traffic", "wire", "workload", "overload"}
 	if *experiment != "all" {
 		fn, ok := runs[*experiment]
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (want fig14, fig15, fig16, sticky, batch, model, skew, scale, shard, conc, chaos, heal, storage, traffic, wire, workload, or all)", *experiment)
+			return fmt.Errorf("unknown experiment %q (want fig14, fig15, fig16, sticky, batch, model, skew, scale, shard, conc, chaos, heal, storage, traffic, wire, workload, overload, or all)", *experiment)
 		}
 		return timed(*experiment, fn)
 	}

@@ -1,0 +1,256 @@
+// Hedged reads: tail-latency insurance for quorum lookups.
+//
+// A quorum read is as slow as its slowest probe, so one member having a
+// bad moment (GC pause, queue spike, slow link) puts that moment
+// straight into the operation's tail. Hedging bounds the damage: when a
+// per-member lookup probe has been outstanding longer than the observed
+// p99 probe latency, the suite fires the same probe at a spare store
+// member outside the read quorum and takes whichever answer arrives
+// first, cancelling the loser. Because the trigger is the p99, hedges
+// fire on ~1% of probes — the extra load is bounded by construction,
+// unlike naive duplicate-everything schemes.
+//
+// Correctness: the spare's reply substitutes for the slow member's slot
+// in the quorum only if the spare carries at least as many votes, so
+// the substituted read set still intersects every write quorum. The
+// spare joins the transaction before its probe fires (txn.Join is
+// concurrency-safe), so its read lock is released with everyone else's
+// at commit/abort. Witnesses are never spares (no values), and members
+// excluded by earlier failures are not considered.
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repdir/internal/keyspace"
+	"repdir/internal/obs"
+	"repdir/internal/quorum"
+	"repdir/internal/rep"
+)
+
+// Hedging defaults: never hedge before 1ms (duplicating sub-millisecond
+// probes buys nothing and doubles read traffic), never wait past 100ms
+// to hedge (by then the probe is clearly stuck), and require a modest
+// sample before trusting the histogram at all.
+const (
+	DefaultHedgeFloor  = time.Millisecond
+	DefaultHedgeCeil   = 100 * time.Millisecond
+	hedgeWarmupProbes  = 64
+	hedgeRefreshProbes = 256
+)
+
+// hedgeState tracks per-probe lookup latency and derives the hedge
+// delay from its p99. Safe for concurrent use.
+type hedgeState struct {
+	floor, ceil time.Duration
+	hist        obs.Histogram
+	n           atomic.Uint64
+	// delay caches the clamped p99 in nanoseconds (0 = not warmed up);
+	// recomputing the histogram quantile on every probe would put a
+	// snapshot on the read hot path, so it refreshes every
+	// hedgeRefreshProbes observations instead.
+	delay atomic.Int64
+}
+
+func newHedgeState(floor, ceil time.Duration) *hedgeState {
+	if floor <= 0 {
+		floor = DefaultHedgeFloor
+	}
+	if ceil <= 0 {
+		ceil = DefaultHedgeCeil
+	}
+	if ceil < floor {
+		ceil = floor
+	}
+	return &hedgeState{floor: floor, ceil: ceil}
+}
+
+// observe feeds one probe's latency and periodically refreshes the
+// cached delay.
+func (h *hedgeState) observe(d time.Duration) {
+	h.hist.Observe(d)
+	n := h.n.Add(1)
+	if n < hedgeWarmupProbes || n%hedgeRefreshProbes != 0 && h.delay.Load() != 0 {
+		return
+	}
+	p99 := h.hist.Snapshot().Quantile(0.99)
+	if p99 < h.floor {
+		p99 = h.floor
+	}
+	if p99 > h.ceil {
+		p99 = h.ceil
+	}
+	h.delay.Store(int64(p99))
+}
+
+// hedgeDelay returns how long a probe may be outstanding before its
+// hedge fires, or 0 while the estimator is still warming up (no
+// hedging until the p99 means something).
+func (h *hedgeState) hedgeDelay() time.Duration {
+	return time.Duration(h.delay.Load())
+}
+
+type hedgeOption struct{ floor, ceil time.Duration }
+
+func (o hedgeOption) apply(s *Suite) { s.hedge = newHedgeState(o.floor, o.ceil) }
+
+// WithHedgedReads enables hedged quorum-read probes: a per-member
+// lookup probe outstanding longer than the observed p99 probe latency
+// (clamped to [floor, ceil]; zero values select DefaultHedgeFloor /
+// DefaultHedgeCeil) is raced against a spare store member, first answer
+// wins. Fires on ~1% of probes by construction. Most useful together
+// with WithParallelQuorum over a real network.
+func WithHedgedReads(floor, ceil time.Duration) Option {
+	return hedgeOption{floor: floor, ceil: ceil}
+}
+
+// hedgeSpares lists the store members eligible to back up this round's
+// probes: outside the read quorum, not witnesses (no values), not
+// excluded by earlier failures.
+func (tx *Tx) hedgeSpares(members []quorum.Member) []quorum.Member {
+	inRound := make(map[string]bool, len(members))
+	for _, m := range members {
+		inRound[m.Dir.Name()] = true
+	}
+	var spares []quorum.Member
+	for _, m := range tx.suite.cfg.Members {
+		if m.Witness || inRound[m.Dir.Name()] || tx.exclude[m.Dir.Name()] {
+			continue
+		}
+		spares = append(spares, m)
+	}
+	return spares
+}
+
+// hedgedProbe builds the per-member probe function for one quorum-read
+// round with hedging armed. Each slot races its member against at most
+// one spare; a spare substitutes for a member only if it carries at
+// least as many votes, so the effective read set still intersects every
+// write quorum. The winner's reply fills the slot and the loser is
+// cancelled. A primary that fails before the hedge delay simply fails
+// (failover across retries is the transaction retry loop's job, and
+// conflating it with hedging would turn every outage into doubled
+// traffic) — with one exception: an overload-class refusal
+// (ErrOverloaded / ErrExpired) fires the spare immediately. The refused
+// member is alive and explicitly asking to lose traffic, the spare is
+// by construction outside the hot read quorum, and without the failover
+// an uncoordinated per-member shed fails whole quorum rounds at
+// compounding rates — each member shedding fraction p fails ~2p of
+// rounds, which is exactly the retry-amplification spiral admission
+// control exists to prevent.
+func (tx *Tx) hedgedProbe(ctx context.Context, key keyspace.Key, members []quorum.Member, replies []rep.LookupResult, errs []error) func(int, quorum.Member) {
+	h := tx.suite.hedge
+	spares := tx.hedgeSpares(members)
+	var mu sync.Mutex
+	used := make([]bool, len(spares))
+	claim := func(minVotes int) (quorum.Member, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		for j, s := range spares {
+			if !used[j] && s.Votes >= minVotes {
+				used[j] = true
+				return s, true
+			}
+		}
+		return quorum.Member{}, false
+	}
+
+	type probeRes struct {
+		r     rep.LookupResult
+		err   error
+		hedge bool
+	}
+	return func(i int, m quorum.Member) {
+		start := time.Now()
+		delay := h.hedgeDelay()
+		if delay == 0 || len(spares) == 0 {
+			replies[i], errs[i] = m.Dir.Lookup(ctx, tx.txn.ID, key)
+			h.observe(time.Since(start))
+			return
+		}
+		pctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		ch := make(chan probeRes, 2)
+		go func() {
+			r, err := m.Dir.Lookup(pctx, tx.txn.ID, key)
+			ch <- probeRes{r: r, err: err}
+		}()
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
+		timerC := timer.C
+		hedgeFired := false
+		hedgeFailed := false
+		var primaryErr *probeRes
+		fire := func() bool {
+			sp, ok := claim(m.Votes)
+			if !ok {
+				return false
+			}
+			hedgeFired = true
+			tx.suite.counters.hedgedReads.Add(1)
+			tx.hedgeMsgs.Add(1)
+			d := tx.suite.wrapDir(sp.Dir)
+			tx.txn.Join(d)
+			go func() {
+				r, err := d.Lookup(pctx, tx.txn.ID, key)
+				ch <- probeRes{r: r, err: err, hedge: true}
+			}()
+			return true
+		}
+		for {
+			select {
+			case <-timerC:
+				timerC = nil
+				fire() // no eligible spare: just wait the primary out
+			case res := <-ch:
+				if res.err == nil {
+					if res.hedge {
+						tx.suite.counters.hedgeWins.Add(1)
+					}
+					replies[i], errs[i] = res.r, nil
+					h.observe(time.Since(start))
+					cancel() // release the loser
+					return
+				}
+				if res.hedge {
+					hedgeFailed = true
+					if primaryErr != nil {
+						// Both legs failed: report the primary's error, so
+						// exclusion and health accounting blame the right
+						// member.
+						replies[i], errs[i] = primaryErr.r, primaryErr.err
+						h.observe(time.Since(start))
+						return
+					}
+					// The hedge failed first; the primary is still in
+					// flight and remains the slot's answer.
+					continue
+				}
+				// The primary failed. An overload-class refusal fails over
+				// to the spare right now — don't wait out a hedge delay for
+				// a member that answered instantly with "go away".
+				if !hedgeFired && overloadClass(res.err) {
+					timerC = nil
+					if fire() {
+						r := res
+						primaryErr = &r
+						continue
+					}
+				}
+				// With no hedge in flight (or one that already failed too)
+				// the slot fails now; otherwise hold the error and wait for
+				// the hedge's verdict.
+				if !hedgeFired || hedgeFailed {
+					replies[i], errs[i] = res.r, res.err
+					h.observe(time.Since(start))
+					return
+				}
+				r := res
+				primaryErr = &r
+			}
+		}
+	}
+}

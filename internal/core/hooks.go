@@ -58,6 +58,17 @@ func (tx *Tx) Messages() int { return tx.msgs }
 // Semantic errors and quorum-collection failures are final.
 func Retryable(err error) bool { return retryable(err) }
 
+// DecideRetry is the budget-aware retry policy, for coordinators that
+// run their own retry loops (the shard router). It reports whether err
+// warrants another attempt; when the only obstacle is a drained retry
+// budget, cause is ErrBudgetExhausted for the caller to wrap into its
+// final error. b may be nil: then unavailability retries are unlimited
+// and overload-class errors (transport.ErrOverloaded, ErrExpired) are
+// never retried — the safe default against retry amplification.
+func DecideRetry(err error, b *RetryBudget) (retry bool, cause error) {
+	return decideRetry(err, b)
+}
+
 // Backoff waits briefly before a wait-die retry, linearly with the
 // attempt number (capped at 2ms), returning early if ctx is cancelled.
 func Backoff(ctx context.Context, attempt int) { backoff(ctx, attempt) }

@@ -44,6 +44,15 @@ type SuiteStats struct {
 	// representative (rep.ErrStaleEpoch); the suite must be rebuilt from
 	// the current configuration record.
 	StaleEpochRejections uint64
+	// BudgetExhausted counts operations that failed with
+	// ErrBudgetExhausted: the error class was retryable, but the retry
+	// budget (WithRetryBudget) had no tokens left.
+	BudgetExhausted uint64
+	// HedgedReads counts backup quorum-read probes fired by read
+	// hedging (WithHedgedReads); HedgeWins counts the ones whose answer
+	// arrived before the primary's.
+	HedgedReads uint64
+	HedgeWins   uint64
 }
 
 // suiteCounters is the mutable, atomic backing store.
@@ -62,6 +71,9 @@ type suiteCounters struct {
 	readRepairCopied    atomic.Uint64
 	readRepairFreshened atomic.Uint64
 	staleEpoch          atomic.Uint64
+	budgetExhausted     atomic.Uint64
+	hedgedReads         atomic.Uint64
+	hedgeWins           atomic.Uint64
 }
 
 // snapshot freezes the counters.
@@ -81,6 +93,9 @@ func (c *suiteCounters) snapshot() SuiteStats {
 		ReadRepairCopied:     c.readRepairCopied.Load(),
 		ReadRepairFreshened:  c.readRepairFreshened.Load(),
 		StaleEpochRejections: c.staleEpoch.Load(),
+		BudgetExhausted:      c.budgetExhausted.Load(),
+		HedgedReads:          c.hedgedReads.Load(),
+		HedgeWins:            c.hedgeWins.Load(),
 	}
 }
 

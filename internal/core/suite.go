@@ -72,6 +72,12 @@ type Suite struct {
 	health     *HealthTracker
 	obs        *obs.Observer
 	counters   suiteCounters
+	// budget, when set (WithRetryBudget), caps unavailability-class
+	// retries at a fraction of recent successes (see budget.go).
+	budget *RetryBudget
+	// hedge, when set (WithHedgedReads), fires a backup quorum-read
+	// probe after the observed p99 probe latency (see hedge.go).
+	hedge *hedgeState
 	// localMember, when set (WithLocalReads), names the store member
 	// LocalLookup consults.
 	localMember string
@@ -170,6 +176,21 @@ func (o readRepairOption) apply(s *Suite) {
 // dropped and counted (SuiteStats.ReadRepairDropped). Call Suite.Close
 // to stop the background worker.
 func WithReadRepair(queue int) Option { return readRepairOption{queue: queue} }
+
+type budgetOption struct{ b *RetryBudget }
+
+func (o budgetOption) apply(s *Suite) { s.budget = o.b }
+
+// WithRetryBudget caps the suite's unavailability-class retries
+// (unreachable/recovering replicas, shed or expired requests) with a
+// token-bucket budget: each committed operation earns a fraction of a
+// retry token, each budgeted retry spends one, and when the bucket is
+// empty the operation fails with ErrBudgetExhausted instead of retrying
+// into an overloaded system. ErrOverloaded/ErrExpired become retryable
+// *only* under a budget. Wait-die retries are exempt (deadlock
+// avoidance, not load). Budgets are shareable: pass the same one to
+// every suite and router in a process to cap their combined retry load.
+func WithRetryBudget(b *RetryBudget) Option { return budgetOption{b: b} }
 
 // WithNeighborFanout sets how many successive predecessors/successors
 // each neighbor probe fetches in one message during Delete's
@@ -353,6 +374,9 @@ func (s *Suite) runTxn(ctx context.Context, op string, repairTxn bool, fn func(t
 		retrySpan.End()
 		if err == nil {
 			s.counters.commits.Add(1)
+			if s.budget != nil {
+				s.budget.OnSuccess()
+			}
 			tx.flushMetrics()
 			return nil
 		}
@@ -371,8 +395,16 @@ func (s *Suite) runTxn(ctx context.Context, op string, repairTxn bool, fn func(t
 			s.counters.staleEpoch.Add(1)
 			s.obs.StaleRejected()
 		}
-		if !retryable(err) {
+		retry, cause := decideRetry(err, s.budget)
+		if !retry {
 			s.counters.failures.Add(1)
+			if cause != nil {
+				// The error class was retryable; only the drained budget
+				// stopped it. Surface both identities so callers can back
+				// off on ErrBudgetExhausted yet still see the root cause.
+				s.counters.budgetExhausted.Add(1)
+				return fmt.Errorf("%w: %w", cause, err)
+			}
 			return err
 		}
 		s.counters.retries.Add(1)

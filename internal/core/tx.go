@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repdir/internal/keyspace"
@@ -41,6 +42,10 @@ type Tx struct {
 	// mutated records whether any representative state changed; pure
 	// read transactions release their locks with a cheap abort.
 	mutated bool
+	// hedgeMsgs counts messages sent by hedge probe goroutines during a
+	// quorum round; folded into msgs after the round's barrier (msgs
+	// itself is not written concurrently).
+	hedgeMsgs atomic.Int64
 	// observations buffers per-delete statistics until commit.
 	observations []DeleteObservation
 }
@@ -196,7 +201,16 @@ func (tx *Tx) suiteLookup(ctx context.Context, key keyspace.Key) (rep.LookupResu
 	do := func(i int, m quorum.Member) {
 		replies[i], errs[i] = m.Dir.Lookup(ctx, tx.txn.ID, key)
 	}
+	if tx.suite.hedge != nil {
+		do = tx.hedgedProbe(ctx, key, members, replies, errs)
+	}
 	tx.fanOut(members, do)
+	if tx.hedgeMsgs.Load() > 0 {
+		// Hedge probes send extra messages from concurrent probe
+		// goroutines; they accumulate in an atomic and fold into the
+		// transaction's count here, after the round's barrier.
+		tx.msgs += int(tx.hedgeMsgs.Swap(0))
+	}
 	sp.End()
 	if err := tx.roundError(members, errs, "lookup", key); err != nil {
 		return rep.LookupResult{}, err

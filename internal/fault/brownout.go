@@ -1,0 +1,233 @@
+package fault
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repdir/internal/keyspace"
+	"repdir/internal/lock"
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+	"repdir/internal/version"
+)
+
+// Brownout is a rep.Directory middleware for *degraded* members — the
+// failure mode Member's crash/partition windows cannot express. A
+// browned-out replica is alive and correct, just slow (or half-reachable),
+// which is exactly the regime that turns retries into metastable
+// collapse. Three knobs, all composable and switchable at runtime:
+//
+//   - SlowLink: a constant per-call latency, modeling a congested link
+//     or an overcommitted host;
+//   - Ramp: latency that climbs linearly from base to peak over a
+//     window and then holds at peak, modeling a failing disk or a
+//     saturating neighbor — the shape that defeats static timeouts;
+//   - Asymmetric: an asymmetric partition — requests reach the member
+//     and EXECUTE, but replies are lost, so the caller sees
+//     transport.ErrUnavailable for operations that took effect.
+//
+// Unlike Member, Brownout draws no randomness: its schedule is pure
+// wall-clock, so an overload experiment gets the same capacity profile
+// every run. All injected sleeps honor the caller's context, so a
+// deadline-propagating server can still cut a browned-out call short.
+type Brownout struct {
+	inner rep.Directory
+
+	mu         sync.Mutex
+	slow       time.Duration // constant slow-link latency
+	rampBase   time.Duration
+	rampPeak   time.Duration
+	rampStart  time.Time
+	rampOver   time.Duration
+	asymmetric bool
+	stats      BrownoutStats
+}
+
+// BrownoutStats counts what the injector did.
+type BrownoutStats struct {
+	// Calls counts deliveries; Delayed those that slept.
+	Calls, Delayed uint64
+	// Injected is total injected sleep time.
+	Injected time.Duration
+	// LostReplies counts calls that executed but whose reply was
+	// replaced with ErrUnavailable (asymmetric mode).
+	LostReplies uint64
+}
+
+var _ rep.Directory = (*Brownout)(nil)
+
+// NewBrownout wraps inner with an initially-clear injector.
+func NewBrownout(inner rep.Directory) *Brownout {
+	return &Brownout{inner: inner}
+}
+
+// SlowLink sets the constant per-call latency (0 clears it). It adds to
+// any active ramp.
+func (b *Brownout) SlowLink(d time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.slow = d
+}
+
+// Ramp starts a latency ramp now: injected latency climbs linearly from
+// base to peak over the given window, then holds at peak until Clear or
+// another Ramp.
+func (b *Brownout) Ramp(base, peak, over time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.rampBase, b.rampPeak, b.rampOver = base, peak, over
+	b.rampStart = time.Now()
+}
+
+// Asymmetric switches the one-way partition on or off: while on, calls
+// execute at the member but their replies are dropped.
+func (b *Brownout) Asymmetric(on bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.asymmetric = on
+}
+
+// Clear removes all degradation.
+func (b *Brownout) Clear() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.slow, b.rampBase, b.rampPeak, b.rampOver = 0, 0, 0, 0
+	b.rampStart = time.Time{}
+	b.asymmetric = false
+}
+
+// Stats returns a snapshot of the injection counters.
+func (b *Brownout) Stats() BrownoutStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// delay returns the latency one delivery should suffer right now, and
+// whether its reply should be lost.
+func (b *Brownout) delay() (time.Duration, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats.Calls++
+	d := b.slow
+	if !b.rampStart.IsZero() {
+		frac := 1.0
+		if b.rampOver > 0 {
+			if el := time.Since(b.rampStart); el < b.rampOver {
+				frac = float64(el) / float64(b.rampOver)
+			}
+		}
+		d += b.rampBase + time.Duration(frac*float64(b.rampPeak-b.rampBase))
+	}
+	if d > 0 {
+		b.stats.Delayed++
+		b.stats.Injected += d
+	}
+	return d, b.asymmetric
+}
+
+func (b *Brownout) noteLost() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats.LostReplies++
+}
+
+// binvoke drives one delivery through the brownout schedule.
+func binvoke[T any](ctx context.Context, b *Brownout, call func(rep.Directory) (T, error)) (T, error) {
+	var zero T
+	d, lossy := b.delay()
+	if err := sleep(ctx, d); err != nil {
+		return zero, err
+	}
+	res, err := call(b.inner)
+	if lossy {
+		b.noteLost()
+		return zero, transport.ErrUnavailable
+	}
+	return res, err
+}
+
+// Name implements rep.Directory.
+func (b *Brownout) Name() string { return b.inner.Name() }
+
+// Lookup implements rep.Directory.
+func (b *Brownout) Lookup(ctx context.Context, id lock.TxnID, key keyspace.Key) (rep.LookupResult, error) {
+	return binvoke(ctx, b, func(d rep.Directory) (rep.LookupResult, error) {
+		return d.Lookup(ctx, id, key)
+	})
+}
+
+// Predecessor implements rep.Directory.
+func (b *Brownout) Predecessor(ctx context.Context, id lock.TxnID, key keyspace.Key) (rep.NeighborResult, error) {
+	return binvoke(ctx, b, func(d rep.Directory) (rep.NeighborResult, error) {
+		return d.Predecessor(ctx, id, key)
+	})
+}
+
+// Successor implements rep.Directory.
+func (b *Brownout) Successor(ctx context.Context, id lock.TxnID, key keyspace.Key) (rep.NeighborResult, error) {
+	return binvoke(ctx, b, func(d rep.Directory) (rep.NeighborResult, error) {
+		return d.Successor(ctx, id, key)
+	})
+}
+
+// PredecessorBatch implements rep.Directory.
+func (b *Brownout) PredecessorBatch(ctx context.Context, id lock.TxnID, key keyspace.Key, max int) ([]rep.NeighborResult, error) {
+	return binvoke(ctx, b, func(d rep.Directory) ([]rep.NeighborResult, error) {
+		return d.PredecessorBatch(ctx, id, key, max)
+	})
+}
+
+// SuccessorBatch implements rep.Directory.
+func (b *Brownout) SuccessorBatch(ctx context.Context, id lock.TxnID, key keyspace.Key, max int) ([]rep.NeighborResult, error) {
+	return binvoke(ctx, b, func(d rep.Directory) ([]rep.NeighborResult, error) {
+		return d.SuccessorBatch(ctx, id, key, max)
+	})
+}
+
+// Insert implements rep.Directory.
+func (b *Brownout) Insert(ctx context.Context, id lock.TxnID, key keyspace.Key, ver version.V, value string) error {
+	_, err := binvoke(ctx, b, func(d rep.Directory) (struct{}, error) {
+		return struct{}{}, d.Insert(ctx, id, key, ver, value)
+	})
+	return err
+}
+
+// Coalesce implements rep.Directory.
+func (b *Brownout) Coalesce(ctx context.Context, id lock.TxnID, lo, hi keyspace.Key, ver version.V) (rep.CoalesceResult, error) {
+	return binvoke(ctx, b, func(d rep.Directory) (rep.CoalesceResult, error) {
+		return d.Coalesce(ctx, id, lo, hi, ver)
+	})
+}
+
+// Prepare implements rep.Directory.
+func (b *Brownout) Prepare(ctx context.Context, id lock.TxnID) error {
+	_, err := binvoke(ctx, b, func(d rep.Directory) (struct{}, error) {
+		return struct{}{}, d.Prepare(ctx, id)
+	})
+	return err
+}
+
+// Commit implements rep.Directory.
+func (b *Brownout) Commit(ctx context.Context, id lock.TxnID) error {
+	_, err := binvoke(ctx, b, func(d rep.Directory) (struct{}, error) {
+		return struct{}{}, d.Commit(ctx, id)
+	})
+	return err
+}
+
+// Abort implements rep.Directory.
+func (b *Brownout) Abort(ctx context.Context, id lock.TxnID) error {
+	_, err := binvoke(ctx, b, func(d rep.Directory) (struct{}, error) {
+		return struct{}{}, d.Abort(ctx, id)
+	})
+	return err
+}
+
+// Status implements rep.Directory.
+func (b *Brownout) Status(ctx context.Context, id lock.TxnID) (rep.TxnStatus, error) {
+	return binvoke(ctx, b, func(d rep.Directory) (rep.TxnStatus, error) {
+		return d.Status(ctx, id)
+	})
+}

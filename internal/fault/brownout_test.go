@@ -1,0 +1,98 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repdir/internal/keyspace"
+	"repdir/internal/rep"
+	"repdir/internal/transport"
+)
+
+// TestBrownoutRamp pins the ramp shape: latency starts near base,
+// climbs through the window, and holds at peak after it.
+func TestBrownoutRamp(t *testing.T) {
+	b := NewBrownout(rep.New("A"))
+	b.Ramp(time.Millisecond, 101*time.Millisecond, 100*time.Millisecond)
+
+	early, _ := b.delay()
+	if early < time.Millisecond || early > 30*time.Millisecond {
+		t.Fatalf("early ramp delay = %v, want near the 1ms base", early)
+	}
+	time.Sleep(120 * time.Millisecond)
+	late, _ := b.delay()
+	if late != 101*time.Millisecond {
+		t.Fatalf("post-window delay = %v, want held at the 101ms peak", late)
+	}
+	if late <= early {
+		t.Fatalf("ramp did not climb: %v then %v", early, late)
+	}
+
+	b.Clear()
+	if d, lossy := b.delay(); d != 0 || lossy {
+		t.Fatalf("cleared brownout still injects (%v, %v)", d, lossy)
+	}
+}
+
+// TestBrownoutSlowLink: the constant latency is actually imposed on
+// calls, the sleep honors the caller's context, and stats account for
+// the injected time.
+func TestBrownoutSlowLink(t *testing.T) {
+	ctx := context.Background()
+	r := rep.New("A")
+	b := NewBrownout(r)
+	b.SlowLink(20 * time.Millisecond)
+
+	start := time.Now()
+	if _, err := b.Lookup(ctx, 1, keyspace.New("k")); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Fatalf("slow link not imposed: call took %v", el)
+	}
+
+	// An already-expired context must cut the sleep short.
+	expired, cancel := context.WithCancel(ctx)
+	cancel()
+	start = time.Now()
+	if _, err := b.Lookup(expired, 2, keyspace.New("k")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired context: err = %v", err)
+	}
+	if el := time.Since(start); el > 10*time.Millisecond {
+		t.Fatalf("cancelled call still slept %v", el)
+	}
+
+	st := b.Stats()
+	if st.Calls != 2 || st.Delayed != 2 || st.Injected == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestBrownoutAsymmetric pins the one-way partition semantics: the call
+// executes at the member (state changes) but the caller sees
+// ErrUnavailable — the in-doubt outcome 2PC recovery exists for.
+func TestBrownoutAsymmetric(t *testing.T) {
+	ctx := context.Background()
+	r := rep.New("A")
+	b := NewBrownout(r)
+	b.Asymmetric(true)
+
+	err := b.Insert(ctx, 7, keyspace.New("k"), 1, "v")
+	if !errors.Is(err, transport.ErrUnavailable) {
+		t.Fatalf("asymmetric insert err = %v, want ErrUnavailable", err)
+	}
+	// The request got through: the member holds the in-flight write.
+	b.Asymmetric(false)
+	if err := b.Commit(ctx, 7); err != nil {
+		t.Fatalf("commit of the supposedly-lost insert: %v", err)
+	}
+	res, err := r.Lookup(ctx, 8, keyspace.New("k"))
+	if err != nil || !res.Found || res.Value != "v" {
+		t.Fatalf("write did not take effect at the member: %+v, %v", res, err)
+	}
+	if st := b.Stats(); st.LostReplies != 1 {
+		t.Fatalf("stats = %+v, want 1 lost reply", st)
+	}
+}

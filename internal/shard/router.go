@@ -37,6 +37,7 @@ type Router struct {
 
 	maxRetries int
 	parallel   bool
+	budget     *core.RetryBudget
 	stats      *routerStats
 }
 
@@ -66,6 +67,16 @@ func WithMaxRetries(n int) Option { return retriesOption{n: n} }
 type parallelOption struct{ on bool }
 
 func (o parallelOption) apply(r *Router) { r.parallel = o.on }
+
+type budgetOption struct{ b *core.RetryBudget }
+
+func (o budgetOption) apply(r *Router) { r.budget = o.b }
+
+// WithRetryBudget caps the router's unavailability-class transaction
+// retries with the same token-bucket policy as core.WithRetryBudget;
+// pass the very same budget to the router and its suites so their
+// combined retry load honors one cap. Wait-die retries are exempt.
+func WithRetryBudget(b *core.RetryBudget) Option { return budgetOption{b: b} }
 
 // WithParallelStitch makes unlimited scans and counts fetch their
 // per-shard parts concurrently (one goroutine per shard; each shard's
@@ -422,11 +433,18 @@ func (r *Router) runTxn(ctx context.Context, op string, fn func(x *Txn) error) e
 			_ = t.Abort(ctx)
 		}
 		if err == nil {
+			if r.budget != nil {
+				r.budget.OnSuccess()
+			}
 			r.stats.done(op, time.Since(start), x.fanout(), attempt, nil)
 			return nil
 		}
 		lastErr = err
-		if !core.Retryable(err) {
+		retry, cause := core.DecideRetry(err, r.budget)
+		if !retry {
+			if cause != nil {
+				err = fmt.Errorf("%w: %w", cause, err)
+			}
 			r.stats.done(op, time.Since(start), x.fanout(), attempt, err)
 			return err
 		}

@@ -1,0 +1,207 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admission control: the server-side half of overload protection.
+//
+// A saturated server fails metastably if left alone: the dispatch queue
+// grows without bound, every queued request waits longer than its
+// client's deadline, the clients time out and retry, and the server
+// spends all its capacity computing answers nobody is waiting for
+// anymore. The controller here bounds the queue by *measured queue
+// delay* rather than by length (a length bound must be retuned for
+// every service-time change; a delay bound is the SLO itself), in the
+// style of CoDel:
+//
+//   - every dispatched request carries its arrival time; the worker
+//     that picks it up reports the sojourn (arrival → pickup);
+//   - sojourns below the target reset the controller to the clear
+//     state; a sojourn above the target starts (or continues) an
+//     above-target episode;
+//   - when an episode has lasted a full interval, the controller
+//     declares overload and the decode loops shed *newly arriving*
+//     sheddable requests with ErrOverloaded until a sojourn dips back
+//     under the target. Shedding the newest arrivals (rather than
+//     oldest, as classic CoDel drops from the head) keeps the requests
+//     with the most accumulated queue delay — the ones closest to
+//     completing their wait — while refusing work that would only wait
+//     longer still.
+//
+// Two classes of request are never shed: two-phase-commit resolution
+// (prepare, commit, abort, status — their transactions already hold
+// locks on this and other representatives, so refusing them wedges the
+// very work shedding is meant to protect) and the trivial name probe.
+// Under full shed, the server therefore keeps draining 2PC traffic,
+// which is what lets in-flight transactions finish and release locks
+// while new work is refused.
+//
+// The controller also tracks an EWMA of request service time, which the
+// expiry check uses to reject work that cannot finish before its
+// propagated deadline ("won't-finish-in-time"): serving a request whose
+// remaining budget is smaller than half a typical service time wastes a
+// worker on an answer that will be discarded.
+
+// Admission defaults. The 5ms target is ~25 typical quorum-op service
+// times on loopback — far above healthy queueing jitter, far below any
+// client deadline worth propagating.
+const (
+	DefaultAdmitTarget   = 5 * time.Millisecond
+	DefaultAdmitInterval = 100 * time.Millisecond
+)
+
+// AdmissionStats counts the admission controller's decisions.
+type AdmissionStats struct {
+	// Admitted counts requests dispatched to workers.
+	Admitted uint64
+	// Shed counts requests rejected with ErrOverloaded.
+	Shed uint64
+	// Expired counts requests rejected with ErrExpired: their
+	// propagated deadline had passed (or could not be met) by the time
+	// a worker picked them up.
+	Expired uint64
+	// Episodes counts transitions into the overloaded state.
+	Episodes uint64
+}
+
+// admitState is the per-server admission controller. The zero value is
+// disabled (admit everything, still enforce hard expiry).
+type admitState struct {
+	enabled  bool
+	target   time.Duration
+	interval time.Duration
+
+	overloaded atomic.Bool
+
+	mu         sync.Mutex
+	firstAbove time.Time // start of the current above-target episode
+
+	admitted atomic.Uint64
+	shed     atomic.Uint64
+	expired  atomic.Uint64
+	episodes atomic.Uint64
+
+	// serviceEWMA is an exponentially weighted mean of handle() service
+	// time in nanoseconds (α = 1/16), fed only by completed requests.
+	// Zero until the first observation.
+	serviceEWMA atomic.Int64
+}
+
+// pickup reports one request's queue sojourn and steps the CoDel state
+// machine. Called by workers at dispatch time, including for requests
+// about to be expiry-rejected — their waiting is the signal.
+func (a *admitState) pickup(arrived time.Time) {
+	if !a.enabled || arrived.IsZero() {
+		return
+	}
+	sojourn := time.Since(arrived)
+	if sojourn < a.target {
+		a.mu.Lock()
+		a.firstAbove = time.Time{}
+		a.mu.Unlock()
+		a.overloaded.Store(false)
+		return
+	}
+	now := time.Now()
+	a.mu.Lock()
+	if a.firstAbove.IsZero() {
+		a.firstAbove = now
+		a.mu.Unlock()
+		return
+	}
+	above := now.Sub(a.firstAbove)
+	a.mu.Unlock()
+	if above >= a.interval && a.overloaded.CompareAndSwap(false, true) {
+		a.episodes.Add(1)
+	}
+}
+
+// shouldShed reports whether a newly arrived sheddable request must be
+// rejected right now.
+func (a *admitState) shouldShed() bool {
+	return a.enabled && a.overloaded.Load()
+}
+
+// overBacklog reports whether a dispatch queue of qlen requests drained
+// by the given worker count already holds more than one target's worth
+// of delay, judged against the measured service-time EWMA: the expected
+// sojourn of the next admitted request is qlen*ewma/workers. The shed
+// path requires this alongside the tripped controller so that shedding
+// settles the queue at the delay target instead of at some fraction of
+// the queue's capacity — the queue can then be sized generously to
+// absorb bursts without the standing delay growing with it. A cold
+// controller (no completed request yet) treats any backlog as over.
+func (a *admitState) overBacklog(qlen, workers int) bool {
+	if workers < 1 {
+		workers = 1
+	}
+	ewma := a.serviceEWMA.Load()
+	if ewma <= 0 {
+		return qlen > 0
+	}
+	limit := int(int64(a.target) * int64(workers) / ewma)
+	if limit < 1 {
+		limit = 1
+	}
+	return qlen >= limit
+}
+
+// observeService feeds one completed request's service time into the
+// EWMA.
+func (a *admitState) observeService(d time.Duration) {
+	if !a.enabled {
+		return
+	}
+	for {
+		old := a.serviceEWMA.Load()
+		var next int64
+		if old == 0 {
+			next = int64(d)
+		} else {
+			next = old + (int64(d)-old)/16
+		}
+		if a.serviceEWMA.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// wontFinish reports whether a request with the given absolute deadline
+// provably cannot be served in time: its remaining budget is below half
+// the typical service time. Requires the EWMA to be warmed (a cold
+// controller rejects nothing it does not have to).
+func (a *admitState) wontFinish(deadline time.Time) bool {
+	if !a.enabled || deadline.IsZero() {
+		return false
+	}
+	ewma := a.serviceEWMA.Load()
+	if ewma == 0 {
+		return false
+	}
+	return time.Until(deadline) < time.Duration(ewma)/2
+}
+
+// snapshot freezes the counters.
+func (a *admitState) snapshot() AdmissionStats {
+	return AdmissionStats{
+		Admitted: a.admitted.Load(),
+		Shed:     a.shed.Load(),
+		Expired:  a.expired.Load(),
+		Episodes: a.episodes.Load(),
+	}
+}
+
+// sheddable reports whether an op is new work the admission controller
+// may refuse. Two-phase-commit resolution ops are never shed (their
+// transactions hold locks; refusing them wedges everything behind those
+// locks), and the name probe is too cheap to bother.
+func sheddable(o op) bool {
+	switch o {
+	case opPrepare, opCommit, opAbort, opStatus, opName:
+		return false
+	}
+	return true
+}

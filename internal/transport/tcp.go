@@ -48,15 +48,26 @@ const (
 // its response: the connection is multiplexed, so responses may return
 // in any order.
 type request struct {
-	ID      uint64
-	Op      op
-	Txn     uint64
-	Epoch   uint64
-	Key     keyspace.Key
-	Hi      keyspace.Key
-	Version version.V
-	Value   string
-	Count   int
+	ID    uint64
+	Op    op
+	Txn   uint64
+	Epoch uint64
+	// Deadline is the client's remaining context budget in microseconds
+	// at send time (0 = no deadline). Carried by gob and v3-binary
+	// peers; the server turns it into a per-request context and
+	// fast-rejects work it cannot finish in time.
+	Deadline uint64
+	Key      keyspace.Key
+	Hi       keyspace.Key
+	Version  version.V
+	Value    string
+	Count    int
+
+	// Server-side bookkeeping, never on the wire (gob skips unexported
+	// fields; the binary codec is explicit): when the request was
+	// decoded, and the absolute deadline its budget implies.
+	arrived time.Time
+	expires time.Time
 }
 
 // response is the single wire response shape. ID echoes the request it
@@ -112,6 +123,47 @@ func WithPerConnConcurrency(n int) ServerOption {
 	}
 }
 
+// WithAdmission enables CoDel-style overload shedding on the server's
+// dispatch path (see admit.go): when the measured queue delay stays
+// above target for a full interval, newly arriving requests are
+// rejected with ErrOverloaded until the delay recovers — except
+// two-phase-commit resolution, which is always served so shedding can
+// never wedge an in-flight transaction. Zero durations select
+// DefaultAdmitTarget / DefaultAdmitInterval. Enabling admission also
+// buffers the per-connection dispatch queue (WithDispatchQueue) so
+// queue delay is measurable.
+func WithAdmission(target, interval time.Duration) ServerOption {
+	return func(s *Server) {
+		s.admit.enabled = true
+		s.admit.target = DefaultAdmitTarget
+		s.admit.interval = DefaultAdmitInterval
+		if target > 0 {
+			s.admit.target = target
+		}
+		if interval > 0 {
+			s.admit.interval = interval
+		}
+	}
+}
+
+// WithDispatchQueue buffers each connection's dispatch queue with n
+// slots beyond the running workers. The default 0 keeps the legacy
+// unbuffered handoff (decode blocks whenever all workers are busy);
+// admission control defaults it to 16x the per-connection concurrency.
+// Under admission the queue's standing delay is bounded by the CoDel
+// controller, not by the queue's length, so the queue should be sized
+// for the worst arrival burst a client may legitimately multiplex onto
+// the connection — a queue that overflows on an honest burst sheds work
+// a healthy server could have drained well inside the delay target.
+func WithDispatchQueue(n int) ServerOption {
+	return func(s *Server) {
+		if n >= 0 {
+			s.queueDepth = n
+			s.queueSet = true
+		}
+	}
+}
+
 // WithGobOnly makes the server behave like a pre-codec build: every
 // connection is served with gob and a binary preamble is rejected (the
 // gob decoder chokes on it and the connection closes), which is exactly
@@ -146,6 +198,13 @@ type Server struct {
 	callTimeout time.Duration
 	// perConn bounds concurrent dispatch per connection.
 	perConn int
+	// queueDepth buffers the per-connection dispatch queue (0 =
+	// unbuffered handoff); queueSet records an explicit option so
+	// admission can supply its own default.
+	queueDepth int
+	queueSet   bool
+	// admit is the overload-shedding controller (disabled by default).
+	admit admitState
 	// gobOnly disables the binary codec (legacy-server mode).
 	gobOnly bool
 	// stats aggregates binary-codec frame traffic across connections.
@@ -175,6 +234,9 @@ func Serve(dir rep.Directory, addr string, opts ...ServerOption) (*Server, error
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.admit.enabled && !s.queueSet {
+		s.queueDepth = 16 * s.perConn
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -186,6 +248,11 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // WireStats returns the server's binary-codec traffic counters. Gob
 // connections do not contribute.
 func (s *Server) WireStats() *WireStats { return &s.stats }
+
+// AdmissionStats returns the admission controller's counters (all zero
+// unless WithAdmission, except Expired, which hard deadline rejection
+// feeds regardless).
+func (s *Server) AdmissionStats() AdmissionStats { return s.admit.snapshot() }
 
 // Close stops accepting, closes every connection, and waits for handler
 // goroutines to exit.
@@ -278,21 +345,24 @@ func (s *Server) serveConnBinary(conn net.Conn, br *bufio.Reader) {
 	// Long-lived worker pool: a channel handoff costs a fraction of a
 	// goroutine spawn, and the pool size is the same per-connection
 	// concurrency bound the sem used to enforce — when every worker is
-	// busy the decode loop blocks, applying backpressure to the client.
-	work := make(chan request)
+	// busy (and the dispatch queue, if buffered, is full) the decode
+	// loop blocks, applying backpressure to the client.
+	work := make(chan request, s.queueDepth)
 	var handlers sync.WaitGroup
 	// Outstanding handlers may still be mid-operation when the decode
 	// loop exits; wait for them before tearing the connection down so
 	// their (failing) writes never race the close.
 	defer handlers.Wait()
 	defer close(work)
+	reply := func(resp response) {
+		_ = fw.enqueue(func(b []byte) []byte { return appendResponse(b, &resp) })
+	}
 	for i := 0; i < s.perConn; i++ {
 		handlers.Add(1)
 		go func() {
 			defer handlers.Done()
 			for req := range work {
-				resp := s.handle(&req)
-				_ = fw.enqueue(func(b []byte) []byte { return appendResponse(b, &resp) })
+				reply(s.dispatch(&req))
 			}
 		}()
 	}
@@ -310,7 +380,7 @@ func (s *Server) serveConnBinary(conn net.Conn, br *bufio.Reader) {
 				return
 			}
 			msgs++
-			work <- req
+			s.offer(req, work, reply)
 		}
 		s.stats.noteRecv(len(buf), msgs)
 		putFrameBuf(buf)
@@ -322,26 +392,28 @@ func (s *Server) serveConnGob(conn net.Conn, br *bufio.Reader) {
 	dec := gob.NewDecoder(br)
 	enc := gob.NewEncoder(conn)
 	var wmu sync.Mutex
-	work := make(chan request)
+	work := make(chan request, s.queueDepth)
 	var handlers sync.WaitGroup
 	defer handlers.Wait()
 	defer close(work)
+	reply := func(resp response) {
+		wmu.Lock()
+		err := enc.Encode(resp)
+		wmu.Unlock()
+		if err != nil {
+			// A failed encode poisons the shared gob stream: every
+			// later response would hit a corrupt encoder state and
+			// the client would hang until its call timeouts. Close
+			// the connection so in-flight calls fail fast.
+			conn.Close()
+		}
+	}
 	for i := 0; i < s.perConn; i++ {
 		handlers.Add(1)
 		go func() {
 			defer handlers.Done()
 			for req := range work {
-				resp := s.handle(&req)
-				wmu.Lock()
-				err := enc.Encode(resp)
-				wmu.Unlock()
-				if err != nil {
-					// A failed encode poisons the shared gob stream: every
-					// later response would hit a corrupt encoder state and
-					// the client would hang until its call timeouts. Close
-					// the connection so in-flight calls fail fast.
-					conn.Close()
-				}
+				reply(s.dispatch(&req))
 			}
 		}()
 	}
@@ -350,8 +422,75 @@ func (s *Server) serveConnGob(conn net.Conn, br *bufio.Reader) {
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
-		work <- req
+		s.offer(req, work, reply)
 	}
+}
+
+// offer routes one decoded request toward the worker pool. The request
+// is stamped with its arrival time and, when it carries a propagated
+// deadline budget, the absolute instant that budget expires. Under
+// admission-control overload, sheddable requests are refused
+// immediately with ErrOverloaded — when the controller has tripped AND
+// the queue's expected drain delay exceeds the target (overBacklog), or
+// unconditionally when the queue is full (a full queue with the
+// controller enabled means sojourn is about to blow far past target
+// anyway; rejecting now is strictly kinder than queueing then
+// rejecting). Requiring backlog alongside the tripped controller keeps
+// shedding proportional: admitted work keeps flowing at the drain rate,
+// the queue settles at roughly one target's worth of delay, and a
+// below-target pickup can clear the episode — an all-arrivals shed
+// would turn every sustained overload into a full outage that only ends
+// when the offered load does. Two-phase-commit resolution is never
+// shed: it blocks on the queue like the legacy path, so lock-holding
+// transactions always drain.
+func (s *Server) offer(req request, work chan<- request, reply func(response)) {
+	req.arrived = time.Now()
+	if req.Deadline > 0 {
+		req.expires = req.arrived.Add(time.Duration(req.Deadline) * time.Microsecond)
+	}
+	if sheddable(req.Op) && s.admit.enabled {
+		if s.admit.shouldShed() && s.admit.overBacklog(len(work), s.perConn) {
+			s.admit.shed.Add(1)
+			reply(errorResponse(&req, ErrOverloaded))
+			return
+		}
+		select {
+		case work <- req:
+		default:
+			s.admit.shed.Add(1)
+			reply(errorResponse(&req, ErrOverloaded))
+		}
+		return
+	}
+	work <- req
+}
+
+// dispatch is the worker-side half of admission: report the request's
+// queue sojourn, refuse work whose propagated deadline has already
+// passed (or provably cannot be met given typical service time), and
+// otherwise run the handler, feeding its service time back into the
+// controller's estimate.
+func (s *Server) dispatch(req *request) response {
+	s.admit.pickup(req.arrived)
+	if sheddable(req.Op) && !req.expires.IsZero() {
+		if time.Now().After(req.expires) || s.admit.wontFinish(req.expires) {
+			s.admit.expired.Add(1)
+			return errorResponse(req, ErrExpired)
+		}
+	}
+	start := time.Now()
+	resp := s.handle(req)
+	s.admit.observeService(time.Since(start))
+	s.admit.admitted.Add(1)
+	return resp
+}
+
+// errorResponse builds the reply for a request refused before its
+// handler ran.
+func errorResponse(req *request, err error) response {
+	resp := response{ID: req.ID, Op: req.Op}
+	resp.Code, resp.Msg = encodeError(err)
+	return resp
 }
 
 // opCtx returns a context carrying the call-timeout deadline. One
@@ -379,7 +518,26 @@ func (s *Server) opCtx() context.Context {
 }
 
 func (s *Server) handle(req *request) response {
-	ctx := s.opCtx()
+	var ctx context.Context
+	if !req.expires.IsZero() {
+		// The request carries its client's own deadline: honor it
+		// per-request instead of the shared coarse context, capped by the
+		// server's call timeout so a client claiming an hour of budget
+		// cannot pin a worker that long. This is what keeps one
+		// short-deadline call from cancelling a long-deadline sibling on
+		// the same connection.
+		limit := req.expires
+		if hard := req.arrived.Add(s.callTimeout); hard.Before(limit) {
+			limit = hard
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(context.Background(), limit)
+		defer cancel()
+	} else {
+		// No propagated deadline (legacy peer, or client context without
+		// one): the shared coarse call-timeout context.
+		ctx = s.opCtx()
+	}
 	// Restore the caller's configuration epoch so the representative can
 	// fence stale-epoch operations (a v1 or gob peer sends no epoch,
 	// which the rep treats as a legacy unversioned caller).
@@ -893,6 +1051,20 @@ func (c *Client) call(ctx context.Context, req request) (response, error) {
 		cc, err := c.ensureConn(ctx)
 		if err != nil {
 			return response{}, err
+		}
+		// Propagate the remaining deadline budget (µs) so the server can
+		// fast-reject work this caller will no longer wait for. Stamped
+		// per attempt: a redial consumed part of the budget. Gob and
+		// v3-binary peers carry the field; older servers never see it.
+		if d, ok := ctx.Deadline(); ok {
+			rem := time.Until(d)
+			if rem <= 0 {
+				return response{}, context.DeadlineExceeded
+			}
+			req.Deadline = uint64(rem / time.Microsecond)
+			if req.Deadline == 0 {
+				req.Deadline = 1
+			}
 		}
 		req.ID = c.nextID.Add(1)
 		ch := resultChanPool.Get().(chan callResult)

@@ -28,6 +28,22 @@ import (
 // by selecting a different quorum.
 var ErrUnavailable = errors.New("transport: representative unavailable")
 
+// ErrExpired reports that a request's propagated deadline had already
+// passed (or provably could not be met) when the server would have
+// started it, so the server refused to burn a worker on an answer the
+// client can no longer use. Clients treat it like overload: retrying is
+// pointless without both remaining deadline and retry budget.
+var ErrExpired = errors.New("transport: request deadline expired before service")
+
+// ErrOverloaded reports that the server shed the request under
+// admission control: its dispatch queue's measured delay exceeded the
+// target for a sustained interval, so the newest arrivals are rejected
+// instead of queued (queueing them would only push every request past
+// its deadline — the metastable-collapse mode). Clients must not retry
+// on overload except against an explicit retry budget: blind retries
+// multiply the very load being shed.
+var ErrOverloaded = errors.New("transport: server overloaded, request shed")
+
 // code is the wire form of the errors the algorithm must distinguish.
 type code int
 
@@ -48,6 +64,12 @@ const (
 	// client maps it through the default branch to an opaque error,
 	// which is right: it has no epoch machinery to react with.
 	codeStaleEpoch
+	// codeExpired and codeOverloaded arrived with wire v3 (deadline
+	// propagation and admission control), appended for the same reason.
+	// An old client sees them as opaque errors and does not retry,
+	// which is exactly the conservative behavior overload needs.
+	codeExpired
+	codeOverloaded
 )
 
 // encodeError maps an error to its wire code plus display message.
@@ -75,6 +97,10 @@ func encodeError(err error) (code, string) {
 		return codeRecovering, err.Error()
 	case errors.Is(err, rep.ErrStaleEpoch):
 		return codeStaleEpoch, err.Error()
+	case errors.Is(err, ErrExpired):
+		return codeExpired, err.Error()
+	case errors.Is(err, ErrOverloaded):
+		return codeOverloaded, err.Error()
 	default:
 		return codeOther, err.Error()
 	}
@@ -105,6 +131,10 @@ func decodeError(c code, msg string) error {
 		return fmt.Errorf("%w (remote: %s)", rep.ErrRecovering, msg)
 	case codeStaleEpoch:
 		return fmt.Errorf("%w (remote: %s)", rep.ErrStaleEpoch, msg)
+	case codeExpired:
+		return fmt.Errorf("%w (remote: %s)", ErrExpired, msg)
+	case codeOverloaded:
+		return fmt.Errorf("%w (remote: %s)", ErrOverloaded, msg)
 	default:
 		return errors.New(msg)
 	}

@@ -70,7 +70,11 @@ const (
 	//	2: request header gains the caller's configuration epoch
 	//	   (uvarint after txn), for epoch fencing (internal/reconfig).
 	//	   Response layouts are unchanged.
-	wireVersion = 2
+	//	3: request header gains the caller's remaining deadline budget
+	//	   in microseconds (uvarint after epoch, 0 = no deadline), for
+	//	   server-side deadline propagation and expired-work rejection.
+	//	   Response layouts are unchanged.
+	wireVersion = 3
 
 	// maxFrameLen bounds a received frame before its buffer is
 	// allocated, so a corrupt or hostile length prefix cannot balloon
@@ -123,6 +127,9 @@ func appendRequest(b []byte, req *request, ver byte) []byte {
 	b = appendUvarint(b, req.Txn)
 	if ver >= 2 {
 		b = appendUvarint(b, req.Epoch)
+	}
+	if ver >= 3 {
+		b = appendUvarint(b, req.Deadline)
 	}
 	switch req.Op {
 	case opLookup, opPredecessor, opSuccessor:
@@ -291,6 +298,11 @@ func (r *wireReader) readRequest(req *request, ver byte) error {
 	}
 	if ver >= 2 {
 		if req.Epoch, err = r.readUvarint(); err != nil {
+			return err
+		}
+	}
+	if ver >= 3 {
+		if req.Deadline, err = r.readUvarint(); err != nil {
 			return err
 		}
 	}

@@ -100,6 +100,39 @@ func TestWireGoldenVectors(t *testing.T) {
 		})
 	}
 
+	// Version 3 adds the remaining-deadline-budget uvarint (microseconds,
+	// 0 = none) after the epoch in the request header; everything else is
+	// the v2 layout.
+	reqV3Vectors := []struct {
+		name string
+		req  request
+		want []byte
+	}{
+		{
+			name: "lookup_deadline",
+			req:  request{ID: 7, Op: opLookup, Txn: 9, Epoch: 5, Deadline: 300, Key: keyspace.New("k")},
+			want: []byte{0x01, 0x07, 0x09, 0x05, 0xac, 0x02, 0x02, 0x01, 'k'},
+		},
+		{
+			name: "lookup_no_deadline",
+			req:  request{ID: 7, Op: opLookup, Txn: 9, Key: keyspace.New("k")},
+			want: []byte{0x01, 0x07, 0x09, 0x00, 0x00, 0x02, 0x01, 'k'},
+		},
+		{
+			name: "prepare_deadline",
+			req:  request{ID: 200, Op: opPrepare, Txn: 300, Deadline: 1},
+			want: []byte{0x08, 0xc8, 0x01, 0xac, 0x02, 0x00, 0x01},
+		},
+	}
+	for _, v := range reqV3Vectors {
+		t.Run("request_v3_"+v.name, func(t *testing.T) {
+			got := appendRequest(nil, &v.req, 3)
+			if !bytes.Equal(got, v.want) {
+				t.Fatalf("encoding drifted:\n got  %#v\n want %#v", got, v.want)
+			}
+		})
+	}
+
 	respVectors := []struct {
 		name string
 		resp response
@@ -182,11 +215,16 @@ func wireResponseVariants() []response {
 // TestWireRoundTrip encodes and decodes every request and response
 // variant, alone and coalesced into one frame.
 func TestWireRoundTrip(t *testing.T) {
-	for _, ver := range []byte{1, 2} {
+	for _, ver := range []byte{1, 2, 3} {
 		reqs := wireRequestVariants()
 		if ver >= 2 {
 			for i := range reqs {
 				reqs[i].Epoch = uint64(i * 3)
+			}
+		}
+		if ver >= 3 {
+			for i := range reqs {
+				reqs[i].Deadline = uint64(i * 50_000)
 			}
 		}
 		var buf []byte
@@ -232,7 +270,7 @@ func TestWireRoundTrip(t *testing.T) {
 // decoders: each must error cleanly, never panic or read out of bounds.
 func TestWireTruncatedInputs(t *testing.T) {
 	reqs := wireRequestVariants()
-	for _, ver := range []byte{1, 2} {
+	for _, ver := range []byte{1, 2, 3} {
 		for i := range reqs {
 			full := appendRequest(nil, &reqs[i], ver)
 			for n := 0; n < len(full); n++ {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repdir/internal/lock"
 	"repdir/internal/rep"
@@ -142,7 +143,7 @@ func (t *Txn) Commit(ctx context.Context) error {
 			return fmt.Errorf("txn %d: prepare at %s: %w", t.ID, p.Name(), prepErrs[i])
 		}
 	}
-	commitErrs := t.observedRound(ctx, "commit", parts, rep.Directory.Commit)
+	commitErrs := t.decidedRound(ctx, "commit", parts, rep.Directory.Commit)
 	for i, p := range parts {
 		if commitErrs[i] != nil {
 			return fmt.Errorf("txn %d: commit at %s: %w", t.ID, p.Name(), commitErrs[i])
@@ -205,7 +206,52 @@ func (t *Txn) Abort(ctx context.Context) error {
 	return nil
 }
 
-// abortAll aborts at every participant, best effort; see Abort.
+// decisionGrace bounds a detached decided round when the caller's
+// context is dead. Commit and abort are never shed by admission control
+// and acquire no locks of their own, so even a saturated participant
+// answers quickly.
+const decisionGrace = 2 * time.Second
+
+// decidedRound delivers a round whose outcome is already decided —
+// commit after a unanimous prepare vote, or abort. A decided round must
+// reach the participants even when the caller's context is dead: a
+// blown operation deadline is the most common reason an abort happens
+// at all, and a deadline can equally die between the prepare and commit
+// rounds. A participant the round never reaches is stuck holding locks
+// nobody else can release — wait-die never steals from a live holder,
+// an unprepared orphan is invisible to cooperative termination, and a
+// prepared in-doubt orphan waits for a txn.Resolve that nothing in the
+// live operation path drives. Each stuck lock then blocks later
+// operations on its keys into the same deadline death: a
+// self-sustaining congestion collapse. So a context dead on entry is
+// replaced by a detached one (cancellation dropped, values such as the
+// configuration epoch survive) bounded by decisionGrace; a context that
+// dies mid-round gets one detached redelivery of the whole round, which
+// is safe because Commit and Abort are idempotent per participant.
+func (t *Txn) decidedRound(ctx context.Context, name string, parts []rep.Directory,
+	phase func(rep.Directory, context.Context, lock.TxnID) error) []error {
+	if ctx.Err() == nil {
+		errs := t.observedRound(ctx, name, parts, phase)
+		if ctx.Err() == nil || !anyFailed(errs) {
+			return errs
+		}
+	}
+	dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), decisionGrace)
+	defer cancel()
+	return t.observedRound(dctx, name, parts, phase)
+}
+
+func anyFailed(errs []error) bool {
+	for _, err := range errs {
+		if err != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// abortAll aborts at every participant, best effort; see Abort and
+// decidedRound for why the round survives a dead context.
 func (t *Txn) abortAll(ctx context.Context, parts []rep.Directory) {
-	_ = t.observedRound(ctx, "abort", parts, rep.Directory.Abort)
+	_ = t.decidedRound(ctx, "abort", parts, rep.Directory.Abort)
 }

@@ -124,6 +124,110 @@ func TestAbortUndoesEverywhere(t *testing.T) {
 	}
 }
 
+// ctxAbortDir refuses aborts once the caller's context is dead, the way
+// a remote participant behind the transport does (the client never even
+// sends the request).
+type ctxAbortDir struct {
+	*rep.Rep
+}
+
+func (d ctxAbortDir) Abort(ctx context.Context, id lock.TxnID) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return d.Rep.Abort(ctx, id)
+}
+
+// TestAbortDeadContextStillReleasesLocks is the regression test for
+// orphaned locks: an operation that failed by blowing its own deadline
+// must still release its locks, even though the context it can offer
+// the abort round is already dead. Without the detached abort, the
+// locks stay held by a transaction nobody will ever resolve (wait-die
+// cannot steal from an active holder) and every later operation on
+// those keys blocks into the same deadline death.
+func TestAbortDeadContextStillReleasesLocks(t *testing.T) {
+	r := rep.New("A")
+	tx := New(100)
+	if err := r.Insert(ctx, tx.ID, keyspace.New("k"), 1, "v"); err != nil {
+		t.Fatal(err)
+	}
+	tx.Join(ctxAbortDir{r})
+
+	dead, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := tx.Abort(dead); err != nil {
+		t.Fatal(err)
+	}
+
+	// The write lock must be gone: transaction 200 is younger than 100,
+	// so wait-die would kill it on the spot (ErrDie) if the lock were
+	// still held.
+	if err := r.Insert(ctx, 200, keyspace.New("k"), 2, "w"); err != nil {
+		t.Fatalf("lock still held after dead-context abort: %v", err)
+	}
+	if err := r.Commit(ctx, 200); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// cancelOnPrepareDir votes yes at prepare, then kills the operation's
+// context — the shape of a deadline blowing between the two rounds of
+// 2PC. Its Commit refuses a dead context the way the transport client
+// does (the request is never sent).
+type cancelOnPrepareDir struct {
+	*rep.Rep
+	cancel context.CancelFunc
+}
+
+func (d cancelOnPrepareDir) Prepare(ctx context.Context, id lock.TxnID) error {
+	err := d.Rep.Prepare(ctx, id)
+	d.cancel()
+	return err
+}
+
+func (d cancelOnPrepareDir) Commit(ctx context.Context, id lock.TxnID) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return d.Rep.Commit(ctx, id)
+}
+
+// TestCommitDeliveredAfterMidRoundDeadline is the in-doubt twin of the
+// dead-context abort test: once every participant has voted yes, the
+// outcome is decided, and the commit round must be delivered even if
+// the caller's deadline dies between the rounds. Abandoning it would
+// strand the participant prepared and in-doubt, holding locks that only
+// an external txn.Resolve could ever release.
+func TestCommitDeliveredAfterMidRoundDeadline(t *testing.T) {
+	r := rep.New("A")
+	tx := New(100)
+	if err := r.Insert(ctx, tx.ID, keyspace.New("k"), 1, "v"); err != nil {
+		t.Fatal(err)
+	}
+	opCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	tx.Join(cancelOnPrepareDir{Rep: r, cancel: cancel})
+
+	if err := tx.Commit(opCtx); err != nil {
+		t.Fatalf("commit after mid-round cancellation = %v, want delivered", err)
+	}
+	res, err := r.Lookup(ctx, 150, keyspace.New("k"))
+	if err != nil || !res.Found {
+		t.Fatalf("lookup after redelivered commit: %+v %v", res, err)
+	}
+	if err := r.Commit(ctx, 150); err != nil {
+		t.Fatal(err)
+	}
+	// And the write lock must be gone: a younger transaction would die
+	// by wait-die if txn 100 still held it.
+	if err := r.Insert(ctx, 200, keyspace.New("k"), 2, "w"); err != nil {
+		t.Fatalf("lock still held after redelivered commit: %v", err)
+	}
+	if err := r.Abort(ctx, 200); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestJoinDeduplicates(t *testing.T) {
 	r := rep.New("A")
 	tx := New(1)

@@ -36,6 +36,7 @@ import (
 
 	"repdir/internal/core"
 	"repdir/internal/obs"
+	"repdir/internal/transport"
 	"repdir/internal/version"
 )
 
@@ -117,6 +118,21 @@ type Config struct {
 	// ZipfS > 1 draws keys from a Zipf(s) rank distribution over the
 	// universe (hot head, long tail); otherwise uniform.
 	ZipfS float64
+	// HotFraction, when > 0, redirects that fraction of update
+	// operations onto a tiny write-hot keyset of HotKeys keys (the first
+	// HotKeys keys of the universe), layered on top of the base
+	// distribution. Concentrated writers contend for the same write
+	// locks, so the mix exercises wait-die lock pressure, not just
+	// queueing.
+	HotFraction float64
+	// HotKeys sizes the write-hot keyset (default 16 when HotFraction
+	// is set).
+	HotKeys int
+	// OpTimeout, when > 0, runs every operation under its own context
+	// deadline. Over the TCP transport the remaining budget propagates
+	// in the request header, so servers can fast-reject work this
+	// driver will no longer wait for.
+	OpTimeout time.Duration
 	// ScanLimit is the entry budget per scan (default 50).
 	ScanLimit int
 	// Seed fixes the operation/key sequence. Zero is a valid,
@@ -159,6 +175,12 @@ func (c Config) withDefaults() Config {
 	if c.LeaseTTL <= 0 {
 		c.LeaseTTL = 500 * time.Millisecond
 	}
+	if c.HotFraction > 0 && c.HotKeys <= 0 {
+		c.HotKeys = 16
+	}
+	if c.HotKeys > c.Keys {
+		c.HotKeys = c.Keys
+	}
 	return c
 }
 
@@ -188,6 +210,12 @@ type Result struct {
 	// one-message local path vs falling back to a quorum read (floor
 	// violation, lease expiry, or local-read error).
 	LocalReads, LocalFallbacks uint64
+	// ErrorKinds splits Errors by cause, so an overload run can account
+	// for every refused operation: "overloaded" (server shed),
+	// "expired" (deadline refused at the server), "budget" (client
+	// retry budget drained), "unavailable", "deadline" (client context
+	// elapsed), "other".
+	ErrorKinds map[string]uint64
 	// Verdict is the SLO evaluation (Checked false when no SLO set).
 	Verdict Verdict
 }
@@ -253,6 +281,42 @@ const (
 )
 
 var opLabels = [...]string{"lookup", "update", "insert", "scan"}
+
+// Error-kind buckets for Result.ErrorKinds. Overload accounting needs
+// every refused operation attributed: a shed, an expiry, and a drained
+// budget are three different stories about the same slow server.
+const (
+	errOverloaded = iota
+	errExpired
+	errBudget
+	errUnavailable
+	errDeadline
+	errOther
+	numErrKinds
+)
+
+var errKindLabels = [numErrKinds]string{
+	"overloaded", "expired", "budget", "unavailable", "deadline", "other",
+}
+
+func errKind(err error) int {
+	switch {
+	case errors.Is(err, core.ErrBudgetExhausted):
+		// Budget wraps the overload-class root cause; the budget verdict
+		// is the useful one (the client stopped, not the server).
+		return errBudget
+	case errors.Is(err, transport.ErrOverloaded):
+		return errOverloaded
+	case errors.Is(err, transport.ErrExpired):
+		return errExpired
+	case errors.Is(err, transport.ErrUnavailable):
+		return errUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return errDeadline
+	default:
+		return errOther
+	}
+}
 
 // Preload installs the dense key universe through dir, batching inserts
 // into transactions of batch keys (amortizing two-phase commit) and
@@ -355,6 +419,7 @@ func Run(ctx context.Context, dir Directory, cfg Config) (Result, error) {
 	rec := NewRecorder()
 	queue := make(chan op, cfg.QueueDepth)
 	var offered, shed, completed, errs atomic.Uint64
+	var errKinds [numErrKinds]atomic.Uint64
 
 	// Executors: drain the queue, run the operation, record latency
 	// from the intended start.
@@ -365,11 +430,19 @@ func Run(ctx context.Context, dir Directory, cfg Config) (Result, error) {
 			defer wg.Done()
 			for o := range queue {
 				execStart := time.Now()
-				err := execute(ctx, dir, sessions, cfg, o)
+				opCtx, cancel := ctx, context.CancelFunc(nil)
+				if cfg.OpTimeout > 0 {
+					opCtx, cancel = context.WithTimeout(ctx, cfg.OpTimeout)
+				}
+				err := execute(opCtx, dir, sessions, cfg, o)
+				if cancel != nil {
+					cancel()
+				}
 				rec.Record(opLabels[o.kind], o.intended, execStart, time.Now())
 				completed.Add(1)
 				if err != nil {
 					errs.Add(1)
+					errKinds[errKind(err)].Add(1)
 				}
 			}
 		}()
@@ -418,6 +491,14 @@ func Run(ctx context.Context, dir Directory, cfg Config) (Result, error) {
 		lr, lf := s.Stats()
 		res.LocalReads += lr
 		res.LocalFallbacks += lf
+	}
+	for i := range errKinds {
+		if n := errKinds[i].Load(); n > 0 {
+			if res.ErrorKinds == nil {
+				res.ErrorKinds = make(map[string]uint64, numErrKinds)
+			}
+			res.ErrorKinds[errKindLabels[i]] = n
+		}
 	}
 	cfg.evaluate(&res)
 	return res, nil
@@ -480,6 +561,16 @@ func (g *opGen) pickKey() string {
 	return Key(g.rng.Intn(g.cfg.Keys))
 }
 
+// pickWriteKey layers the write-hot keyset over the base distribution:
+// with probability HotFraction the update lands on one of HotKeys keys,
+// concentrating writers onto the same locks.
+func (g *opGen) pickWriteKey() string {
+	if g.cfg.HotFraction > 0 && g.rng.Float64() < g.cfg.HotFraction {
+		return Key(g.rng.Intn(g.cfg.HotKeys))
+	}
+	return g.pickKey()
+}
+
 func (g *opGen) next() op {
 	m := g.cfg.Mix
 	r := g.rng.Intn(m.total())
@@ -489,7 +580,7 @@ func (g *opGen) next() op {
 	case r < m.Lookup:
 		o.kind, o.key = opLookup, g.pickKey()
 	case r < m.Lookup+m.Update:
-		o.kind, o.key = opUpdate, g.pickKey()
+		o.kind, o.key = opUpdate, g.pickWriteKey()
 		o.value = fmt.Sprintf("u%d", g.seq)
 	case r < m.Lookup+m.Update+m.Insert:
 		o.kind = opInsert

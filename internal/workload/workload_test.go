@@ -2,6 +2,7 @@ package workload
 
 import (
 	"context"
+	"fmt"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -341,5 +342,163 @@ func TestRecorder(t *testing.T) {
 	}
 	if per := r.PerOp(); per["lookup"].Count != 1 {
 		t.Errorf("per-op capture missing: %+v", per)
+	}
+}
+
+// TestHotKeyMix pins the write-hot overlay: with HotFraction set, about
+// that share of updates lands on the tiny hot keyset while lookups keep
+// the base distribution (over a universe large enough that hot hits by
+// chance are negligible).
+func TestHotKeyMix(t *testing.T) {
+	cfg := Config{
+		Keys:        10_000,
+		Mix:         UpdateHeavy,
+		HotFraction: 0.5,
+		HotKeys:     4,
+		Seed:        11,
+	}.withDefaults()
+	g := newOpGen(cfg)
+	hotSet := make(map[string]bool, cfg.HotKeys)
+	for i := 0; i < cfg.HotKeys; i++ {
+		hotSet[Key(i)] = true
+	}
+	var updates, hotUpdates, lookups, hotLookups int
+	for i := 0; i < 4000; i++ {
+		o := g.next()
+		switch o.kind {
+		case opUpdate:
+			updates++
+			if hotSet[o.key] {
+				hotUpdates++
+			}
+		case opLookup:
+			lookups++
+			if hotSet[o.key] {
+				hotLookups++
+			}
+		}
+	}
+	frac := float64(hotUpdates) / float64(updates)
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("hot update fraction = %.2f, want ~0.5", frac)
+	}
+	// 4 hot keys out of 10k: uniform lookups land there ~0.04% of the
+	// time. Anything above 2% means the overlay leaked into reads.
+	if float64(hotLookups)/float64(lookups) > 0.02 {
+		t.Errorf("lookups biased to hot keys (%d of %d) — overlay must be write-only", hotLookups, lookups)
+	}
+
+	// The overlay stays deterministic under a fixed seed.
+	a, b := newOpGen(cfg), newOpGen(cfg)
+	for i := 0; i < 500; i++ {
+		oa, ob := a.next(), b.next()
+		if oa.kind != ob.kind || oa.key != ob.key {
+			t.Fatalf("op %d diverged with hot overlay", i)
+		}
+	}
+}
+
+func TestErrKindClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{transport.ErrOverloaded, "overloaded"},
+		{transport.ErrExpired, "expired"},
+		{transport.ErrUnavailable, "unavailable"},
+		{context.DeadlineExceeded, "deadline"},
+		{core.ErrKeyExists, "other"},
+		// The budget wraps its overload-class root cause; the budget
+		// verdict must win over the wrapped kind.
+		{fmt.Errorf("%w: %w", core.ErrBudgetExhausted, transport.ErrOverloaded), "budget"},
+	}
+	for _, c := range cases {
+		if got := errKindLabels[errKind(c.err)]; got != c.want {
+			t.Errorf("errKind(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+// failDir fails every lookup with a fixed error.
+type failDir struct {
+	Directory
+	err error
+}
+
+func (d *failDir) Lookup(ctx context.Context, key string) (string, bool, error) {
+	return "", false, d.err
+}
+
+// TestRunErrorKindsAccounting drives a lookup-only run against a target
+// that sheds everything: every error must land in the "overloaded"
+// bucket and the buckets must sum to Errors.
+func TestRunErrorKindsAccounting(t *testing.T) {
+	ctx := context.Background()
+	s := newSuite(t, "ek0", "ek1", "ek2")
+	if err := Preload(ctx, s, 20, 16, 2, SuiteRunner(s)); err != nil {
+		t.Fatalf("Preload: %v", err)
+	}
+	res, err := Run(ctx, &failDir{Directory: s, err: transport.ErrOverloaded}, Config{
+		Mix:      Mix{Name: "reads", Lookup: 1},
+		Keys:     20,
+		Rate:     1000,
+		Duration: 100 * time.Millisecond,
+		Workers:  4,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Errors == 0 {
+		t.Fatal("no errors recorded against an always-shedding target")
+	}
+	if got := res.ErrorKinds["overloaded"]; got != res.Errors {
+		t.Errorf("ErrorKinds[overloaded] = %d, want all %d errors", got, res.Errors)
+	}
+	var sum uint64
+	for _, n := range res.ErrorKinds {
+		sum += n
+	}
+	if sum != res.Errors {
+		t.Errorf("ErrorKinds sum %d != Errors %d", sum, res.Errors)
+	}
+}
+
+// stallDir blocks lookups until the per-op context expires — the
+// OpTimeout must bound the operation and classify it as a deadline miss.
+type stallDir struct {
+	Directory
+}
+
+func (d *stallDir) Lookup(ctx context.Context, key string) (string, bool, error) {
+	<-ctx.Done()
+	return "", false, ctx.Err()
+}
+
+func TestRunOpTimeout(t *testing.T) {
+	ctx := context.Background()
+	s := newSuite(t, "ot0", "ot1", "ot2")
+	if err := Preload(ctx, s, 20, 16, 2, SuiteRunner(s)); err != nil {
+		t.Fatalf("Preload: %v", err)
+	}
+	start := time.Now()
+	res, err := Run(ctx, &stallDir{Directory: s}, Config{
+		Mix:       Mix{Name: "reads", Lookup: 1},
+		Keys:      20,
+		Rate:      200,
+		Duration:  100 * time.Millisecond,
+		Workers:   8,
+		OpTimeout: 20 * time.Millisecond,
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Without OpTimeout this run would hang forever on the first lookup.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("run took %v — OpTimeout did not bound stalled operations", elapsed)
+	}
+	if res.Errors == 0 || res.ErrorKinds["deadline"] != res.Errors {
+		t.Errorf("deadline misses = %d of %d errors, want all", res.ErrorKinds["deadline"], res.Errors)
 	}
 }
